@@ -1,0 +1,392 @@
+package sdimm
+
+import (
+	"errors"
+	"fmt"
+
+	"sdimm/internal/oram"
+	"sdimm/internal/rng"
+	isdimm "sdimm/internal/sdimm"
+	"sdimm/internal/seccomm"
+)
+
+// ClusterOptions sizes a distributed functional ORAM (the Independent
+// protocol of Section III-C with real payloads and real link cryptography).
+type ClusterOptions struct {
+	// SDIMMs is the number of secure buffers; must be a power of two ≥ 2.
+	SDIMMs int
+	// Levels is the global tree height (each SDIMM holds a subtree of
+	// Levels - log2(SDIMMs) levels).
+	Levels int
+	// BlockSize is the payload bytes per block (default 64).
+	BlockSize int
+	// Z is the bucket capacity (default 4).
+	Z int
+	// Key seeds the bucket encryption/MAC keys.
+	Key []byte
+	// Seed drives leaf assignment (0 uses 1).
+	Seed uint64
+}
+
+// Cluster is a functional distributed ORAM: the host side (position map,
+// request routing, APPEND broadcast) runs here; each SDIMM's secure buffer
+// executes whole accessORAM operations against its own encrypted tree. All
+// host<->buffer messages cross an (in-process) untrusted channel sealed
+// with the session cryptography of the paper's Section III-B, so the full
+// stack — handshake, counter-mode link encryption, bucket encryption,
+// PMMAC — is exercised on every access.
+type Cluster struct {
+	buffers   []*isdimm.Buffer
+	hostSess  []*seccomm.Session
+	devSess   []*seccomm.Session
+	pos       oram.PositionMap
+	rnd       *rng.Source
+	blockSize int
+	levels    int
+	localBits uint
+}
+
+// NewCluster builds a cluster: it mints a device identity per SDIMM,
+// registers them with an authority, and performs the SEND_PKEY /
+// RECEIVE_SECRET handshake for each.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.SDIMMs < 2 || opts.SDIMMs&(opts.SDIMMs-1) != 0 {
+		return nil, errors.New("sdimm: SDIMM count must be a power of two ≥ 2")
+	}
+	if opts.BlockSize == 0 {
+		opts.BlockSize = 64
+	}
+	if opts.Z == 0 {
+		opts.Z = 4
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	localLevels := opts.Levels - log2int(opts.SDIMMs)
+	if localLevels < 2 {
+		return nil, fmt.Errorf("sdimm: %d levels too shallow for %d SDIMMs", opts.Levels, opts.SDIMMs)
+	}
+	geom, err := oram.NewGeometry(localLevels)
+	if err != nil {
+		return nil, err
+	}
+
+	auth := seccomm.NewAuthority()
+	c := &Cluster{
+		pos:       oram.NewSparsePosMap(),
+		rnd:       rng.New(opts.Seed),
+		blockSize: opts.BlockSize,
+		levels:    opts.Levels,
+		localBits: uint(localLevels - 1),
+	}
+	for i := 0; i < opts.SDIMMs; i++ {
+		store, err := oram.NewMemStore(opts.Z, opts.BlockSize, append([]byte(fmt.Sprintf("sd%d|", i)), opts.Key...))
+		if err != nil {
+			return nil, err
+		}
+		engine, err := oram.NewEngine(store, nil, oram.Options{
+			Geometry:       geom,
+			StashCapacity:  200,
+			EvictThreshold: 150,
+			Rand:           rng.New(opts.Seed ^ uint64(0x5d*i+11)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		buf, err := isdimm.NewBuffer(fmt.Sprintf("sdimm-%d", i), engine, 64, 0.25,
+			rng.New(opts.Seed^uint64(0x77*i+5)))
+		if err != nil {
+			return nil, err
+		}
+		dev, err := seccomm.NewDevice(buf.ID(), nil)
+		if err != nil {
+			return nil, err
+		}
+		auth.Register(dev)
+		host, devSide, err := seccomm.Handshake(nil, dev, auth)
+		if err != nil {
+			return nil, err
+		}
+		c.buffers = append(c.buffers, buf)
+		c.hostSess = append(c.hostSess, host)
+		c.devSess = append(c.devSess, devSide)
+	}
+	return c, nil
+}
+
+func log2int(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// SDIMMs returns the number of secure buffers.
+func (c *Cluster) SDIMMs() int { return len(c.buffers) }
+
+// BlockSize returns the payload size per block.
+func (c *Cluster) BlockSize() int { return c.blockSize }
+
+// Read returns the payload of addr (zeros if never written).
+func (c *Cluster) Read(addr uint64) ([]byte, error) {
+	return c.access(addr, oram.OpRead, nil)
+}
+
+// Write stores up to BlockSize bytes at addr.
+func (c *Cluster) Write(addr uint64, data []byte) error {
+	if len(data) > c.blockSize {
+		return fmt.Errorf("sdimm: payload %d exceeds block size %d", len(data), c.blockSize)
+	}
+	buf := make([]byte, c.blockSize)
+	copy(buf, data)
+	_, err := c.access(addr, oram.OpWrite, buf)
+	return err
+}
+
+// access runs one distributed accessORAM: route by old leaf, execute on the
+// owning SDIMM (over the encrypted link), fetch the result, and broadcast
+// the APPEND that carries the block to its new home.
+func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
+	globalLeaves := uint64(1) << (c.levels - 1)
+	oldG, ok := c.pos.Get(addr)
+	if !ok {
+		oldG = c.rnd.Uint64n(globalLeaves)
+	}
+	newG := c.rnd.Uint64n(globalLeaves)
+	c.pos.Set(addr, newG)
+
+	mask := uint64(1)<<c.localBits - 1
+	sd := int(oldG >> c.localBits)
+	sdNew := int(newG >> c.localBits)
+	keep := sd == sdNew
+
+	req := isdimm.AccessRequest{
+		Addr:    addr,
+		Op:      op,
+		Data:    data,
+		OldLeaf: oldG & mask,
+		NewLeaf: newG & mask,
+		Keep:    keep,
+	}
+
+	// ACCESS over the sealed link (reads carry a dummy payload slot).
+	sealed := c.hostSess[sd].Seal(isdimm.MarshalAccess(req, c.blockSize))
+	body, err := c.devSess[sd].Open(sealed)
+	if err != nil {
+		return nil, fmt.Errorf("sdimm: link to buffer %d: %w", sd, err)
+	}
+	devReq, err := isdimm.UnmarshalAccess(body, c.blockSize)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := c.buffers[sd].HandleAccess(devReq); err != nil {
+		return nil, err
+	}
+
+	// PROBE until ready (functional: immediately), then FETCH_RESULT.
+	if !c.buffers[sd].HandleProbe() {
+		return nil, fmt.Errorf("sdimm: buffer %d has no response", sd)
+	}
+	resp, err := c.buffers[sd].HandleFetchResult()
+	if err != nil {
+		return nil, err
+	}
+	respBody, err := c.hostSess[sd].Open(c.devSess[sd].Seal(isdimm.MarshalResponse(resp, c.blockSize)))
+	if err != nil {
+		return nil, fmt.Errorf("sdimm: response link from buffer %d: %w", sd, err)
+	}
+	resp, err = isdimm.UnmarshalResponse(respBody, c.blockSize)
+	if err != nil {
+		return nil, err
+	}
+
+	// APPEND broadcast: one sealed block-sized message to every SDIMM;
+	// only the new owner receives the real block (when it migrated).
+	blk := resp.Block
+	blk.Addr = addr
+	blk.Leaf = newG & mask
+	for j := range c.buffers {
+		real := !keep && j == sdNew && !resp.Dummy
+		wire := isdimm.MarshalAppend(blk, !real, c.blockSize)
+		opened, err := c.devSess[j].Open(c.hostSess[j].Seal(wire))
+		if err != nil {
+			return nil, fmt.Errorf("sdimm: append link to buffer %d: %w", j, err)
+		}
+		ablk, dummy, err := isdimm.UnmarshalAppend(opened, c.blockSize)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.buffers[j].HandleAppend(ablk, dummy); err != nil {
+			return nil, err
+		}
+	}
+
+	if op == oram.OpRead {
+		if resp.Dummy || resp.Block.Data == nil {
+			return make([]byte, c.blockSize), nil
+		}
+		return append([]byte(nil), resp.Block.Data...), nil
+	}
+	return nil, nil
+}
+
+// StashLens reports each buffer's stash occupancy (monitoring).
+func (c *Cluster) StashLens() []int {
+	out := make([]int, len(c.buffers))
+	for i, b := range c.buffers {
+		out[i] = b.Engine().StashLen()
+	}
+	return out
+}
+
+// SplitClusterOptions sizes a functional Split-protocol ORAM.
+type SplitClusterOptions struct {
+	// SDIMMs is the number of shard holders (power of two ≥ 2); each holds
+	// BlockSize/SDIMMs bytes of every block.
+	SDIMMs int
+	// Levels is the (single, shared) tree height.
+	Levels int
+	// BlockSize is the payload bytes per block (default 64; must divide by
+	// SDIMMs).
+	BlockSize int
+	// Key seeds the per-shard bucket encryption/MAC keys.
+	Key []byte
+	// Seed drives leaf assignment (0 uses 1).
+	Seed uint64
+}
+
+// SplitCluster is the functional form of the Split protocol (Section
+// III-D): every block is bit-sliced across the member buffers, which hold
+// shard trees of identical shape. The host owns the position map, routes
+// each access to all members, and reassembles the shards. Each shard tree
+// is independently encrypted and MACed (the n-MAC overhead the paper
+// accepts), and the members' placements never diverge because greedy
+// eviction is a pure function of (identical) stash contents.
+type SplitCluster struct {
+	buffers   []*isdimm.Buffer
+	pos       oram.PositionMap
+	rnd       *rng.Source
+	blockSize int
+	shard     int
+	leaves    uint64
+}
+
+// NewSplitCluster builds a functional split ORAM.
+func NewSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
+	if opts.SDIMMs < 2 || opts.SDIMMs&(opts.SDIMMs-1) != 0 {
+		return nil, errors.New("sdimm: SDIMM count must be a power of two ≥ 2")
+	}
+	if opts.BlockSize == 0 {
+		opts.BlockSize = 64
+	}
+	if opts.BlockSize%opts.SDIMMs != 0 {
+		return nil, fmt.Errorf("sdimm: block size %d not divisible by %d shards", opts.BlockSize, opts.SDIMMs)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	geom, err := oram.NewGeometry(opts.Levels)
+	if err != nil {
+		return nil, err
+	}
+	c := &SplitCluster{
+		pos:       oram.NewSparsePosMap(),
+		rnd:       rng.New(opts.Seed ^ 0x59117),
+		blockSize: opts.BlockSize,
+		shard:     opts.BlockSize / opts.SDIMMs,
+		leaves:    geom.Leaves(),
+	}
+	for i := 0; i < opts.SDIMMs; i++ {
+		store, err := oram.NewMemStore(4, c.shard, append([]byte(fmt.Sprintf("shard%d|", i)), opts.Key...))
+		if err != nil {
+			return nil, err
+		}
+		engine, err := oram.NewEngine(store, nil, oram.Options{
+			Geometry:       geom,
+			StashCapacity:  200,
+			EvictThreshold: 150,
+			// All shards must evolve in lockstep: the host directs
+			// eviction with shared randomness (below), so the engines'
+			// own background eviction stays off.
+			DisableAutoDrain: true,
+			Rand:             rng.New(opts.Seed ^ 0x3b1d), // same stream: lockstep
+		})
+		if err != nil {
+			return nil, err
+		}
+		buf, err := isdimm.NewBuffer(fmt.Sprintf("shard-%d", i), engine, 64, 0,
+			rng.New(opts.Seed^uint64(0x99*i+1)))
+		if err != nil {
+			return nil, err
+		}
+		c.buffers = append(c.buffers, buf)
+	}
+	return c, nil
+}
+
+// Read returns the payload of addr, reassembled from all shards.
+func (c *SplitCluster) Read(addr uint64) ([]byte, error) {
+	return c.access(addr, oram.OpRead, nil)
+}
+
+// Write stores up to BlockSize bytes at addr, splitting it across shards.
+func (c *SplitCluster) Write(addr uint64, data []byte) error {
+	if len(data) > c.blockSize {
+		return fmt.Errorf("sdimm: payload %d exceeds block size %d", len(data), c.blockSize)
+	}
+	buf := make([]byte, c.blockSize)
+	copy(buf, data)
+	_, err := c.access(addr, oram.OpWrite, buf)
+	return err
+}
+
+func (c *SplitCluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
+	oldLeaf, ok := c.pos.Get(addr)
+	if !ok {
+		oldLeaf = c.rnd.Uint64n(c.leaves)
+	}
+	newLeaf := c.rnd.Uint64n(c.leaves)
+	c.pos.Set(addr, newLeaf)
+
+	out := make([]byte, c.blockSize)
+	for i, b := range c.buffers {
+		var shard []byte
+		if op == oram.OpWrite {
+			shard = data[i*c.shard : (i+1)*c.shard]
+		}
+		blk, _, err := b.ShardAccess(isdimm.AccessRequest{
+			Addr: addr, Op: op, Data: shard, OldLeaf: oldLeaf, NewLeaf: newLeaf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sdimm: shard %d: %w", i, err)
+		}
+		if op == oram.OpRead && blk.Data != nil {
+			copy(out[i*c.shard:], blk.Data)
+		}
+	}
+	// Host-directed background eviction, same leaf to every shard.
+	for n := 0; n < 8 && c.buffers[0].Engine().NeedsDrain(); n++ {
+		leaf := c.rnd.Uint64n(c.leaves)
+		for i, b := range c.buffers {
+			if err := b.EvictLocal(leaf); err != nil {
+				return nil, fmt.Errorf("sdimm: shard %d eviction: %w", i, err)
+			}
+		}
+	}
+	if op == oram.OpRead {
+		return out, nil
+	}
+	return nil, nil
+}
+
+// StashLens reports each shard's stash occupancy; the Split invariant is
+// that they are always identical.
+func (c *SplitCluster) StashLens() []int {
+	out := make([]int, len(c.buffers))
+	for i, b := range c.buffers {
+		out[i] = b.Engine().StashLen()
+	}
+	return out
+}

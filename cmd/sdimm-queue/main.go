@@ -1,0 +1,65 @@
+// Command sdimm-queue explores the transfer-queue overflow models of
+// Section IV-C: the passive random walk (Figure 13a) and the actively
+// drained M/M/1/K queue (Figure 13b), plus a Monte Carlo cross-check.
+//
+// Usage:
+//
+//	sdimm-queue -steps 800000 -limit 64
+//	sdimm-queue -mm1k -p 0.25 -k 16
+//	sdimm-queue -montecarlo -steps 100000 -limit 16 -trials 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdimm/internal/queueing"
+	"sdimm/internal/rng"
+)
+
+func main() {
+	var (
+		steps  = flag.Int("steps", 800000, "random-walk steps")
+		limit  = flag.Int("limit", 64, "queue size limit")
+		arrive = flag.Float64("arrive", 0.25, "arrival probability per step")
+		depart = flag.Float64("depart", 0.25, "departure probability per step")
+		mm1k   = flag.Bool("mm1k", false, "evaluate the M/M/1/K model instead")
+		p      = flag.Float64("p", 0.25, "M/M/1/K drain probability")
+		k      = flag.Int("k", 16, "M/M/1/K queue size")
+		mc     = flag.Bool("montecarlo", false, "cross-check the walk by simulation")
+		trials = flag.Int("trials", 2000, "Monte Carlo trials")
+		seed   = flag.Uint64("seed", 1, "Monte Carlo seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *mm1k:
+		v, err := queueing.MM1KFullProbability(*p, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("utilization rho = %.4f\n", queueing.Utilization(*p))
+		fmt.Printf("P(queue of %d full) = %.6g\n", *k, v)
+	case *mc:
+		w := queueing.Walk{Arrive: *arrive, Depart: *depart}
+		v, err := w.SimulateOverflow(*steps, *limit, *trials, rng.New(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Monte Carlo P(exceed %d within %d steps) = %.4f (%d trials)\n",
+			*limit, *steps, v, *trials)
+	default:
+		w := queueing.Walk{Arrive: *arrive, Depart: *depart}
+		v, err := w.OverflowProbability(*steps, *limit)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("P(exceed %d within %d steps) = %.4f\n", *limit, *steps, v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdimm-queue:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command sdimm-sim runs one simulation: a protocol, a channel count, and a
+// workload, printing performance and energy results.
+//
+// Usage:
+//
+//	sdimm-sim -protocol indep-split -channels 2 -workload mcf
+//	sdimm-sim -protocol freecursive -levels 24 -warmup 500 -measure 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdimm/internal/config"
+	"sdimm/internal/sim"
+	"sdimm/internal/trace"
+)
+
+func main() {
+	var (
+		protoName = flag.String("protocol", "freecursive", "non-secure | freecursive | independent | split | indep-split")
+		channels  = flag.Int("channels", 2, "host memory channels (1 or 2)")
+		workload  = flag.String("workload", "mcf", "benchmark profile (see -list)")
+		levels    = flag.Int("levels", 28, "ORAM tree levels")
+		cached    = flag.Int("cached", 7, "on-chip ORAM cache levels (0 disables)")
+		warmup    = flag.Int("warmup", 500, "warmup LLC-miss records")
+		measure   = flag.Int("measure", 2000, "measured LLC-miss records")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		lowPower  = flag.Bool("lowpower", true, "rank-per-subtree low-power layout")
+		traceFile = flag.String("trace", "", "drive the run from a trace file (see sdimm-trace) instead of a generated workload")
+		list      = flag.Bool("list", false, "list workload profiles and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range trace.Profiles() {
+			fmt.Printf("%-12s mean-gap=%-4g burst=%-3d stream=%.2f footprint=%d lines\n",
+				p.Name, p.MeanGap, p.Burst, p.StreamProb, p.Footprint)
+		}
+		return
+	}
+
+	proto, err := parseProtocol(*protoName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := config.Default(proto, *channels)
+	cfg.ORAM.Levels = *levels
+	cfg.ORAM.CachedLevels = *cached
+	cfg.WarmupAccesses = *warmup
+	cfg.MeasureAccesses = *measure
+	cfg.Seed = *seed
+	cfg.LowPower = *lowPower
+
+	var res sim.Result
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if cfg.WarmupAccesses+cfg.MeasureAccesses > len(recs) {
+			fatal(fmt.Errorf("trace has %d records, need %d", len(recs), cfg.WarmupAccesses+cfg.MeasureAccesses))
+		}
+		res, err = sim.RunTrace(cfg, *traceFile, recs[:cfg.WarmupAccesses+cfg.MeasureAccesses])
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		res, err = sim.Run(cfg, *workload)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("protocol           %s\n", res.Protocol)
+	fmt.Printf("workload           %s\n", res.Workload)
+	fmt.Printf("measured cycles    %d\n", res.MeasuredCycles)
+	fmt.Printf("total cycles       %d\n", res.TotalCycles)
+	fmt.Printf("LLC misses (meas)  %d\n", res.LLCMisses)
+	fmt.Printf("cycles / miss      %.1f\n", res.CyclesPerMiss())
+	fmt.Printf("avg miss latency   %.1f cycles\n", res.AvgMissLatency)
+	fmt.Printf("accessORAM / miss  %.3f\n", res.AccessesPerMiss)
+	fmt.Printf("host bytes         %d\n", res.HostBytes)
+	fmt.Printf("on-DIMM bytes      %d\n", res.LocalBytes)
+	fmt.Printf("energy             %.4g J (bg %.3g, act %.3g, rw %.3g, ref %.3g, io %.3g)\n",
+		res.Energy.Total(), res.Energy.Background, res.Energy.ActPre,
+		res.Energy.ReadWrite, res.Energy.Refresh, res.Energy.IO)
+	fmt.Printf("energy / miss      %.4g J\n", res.EnergyPerMiss)
+	fmt.Printf("host bus util      %.3f\n", res.HostBusUtil)
+	fmt.Printf("on-DIMM bus util   %.3f\n", res.LocalBusUtil)
+}
+
+func parseProtocol(s string) (config.Protocol, error) {
+	for _, p := range []config.Protocol{config.NonSecure, config.Freecursive,
+		config.Independent, config.Split, config.IndepSplit} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown protocol %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdimm-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command sdimm-trace generates synthetic L1-miss trace files in the
+// simulator's binary format, or inspects existing ones.
+//
+// Usage:
+//
+//	sdimm-trace -workload mcf -n 1000000 -o mcf.sdtr
+//	sdimm-trace -inspect mcf.sdtr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdimm/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "mcf", "benchmark profile")
+		n        = flag.Int("n", 100000, "records to generate")
+		seed     = flag.Uint64("seed", 1, "generation seed")
+		out      = flag.String("o", "", "output file (default <workload>.sdtr)")
+		inspect  = flag.String("inspect", "", "print a summary of an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		recs, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		summarize(*inspect, recs)
+		return
+	}
+
+	prof, err := trace.ProfileByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	recs, err := prof.Generate(*n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *workload + ".sdtr"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.Write(f, recs); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d records to %s\n", len(recs), path)
+}
+
+func summarize(name string, recs []trace.Record) {
+	if len(recs) == 0 {
+		fmt.Printf("%s: empty trace\n", name)
+		return
+	}
+	var gaps, writes uint64
+	minA, maxA := recs[0].Addr, recs[0].Addr
+	for _, r := range recs {
+		gaps += uint64(r.Gap)
+		if r.Write {
+			writes++
+		}
+		if r.Addr < minA {
+			minA = r.Addr
+		}
+		if r.Addr > maxA {
+			maxA = r.Addr
+		}
+	}
+	fmt.Printf("%s: %d records\n", name, len(recs))
+	fmt.Printf("  mean gap     %.1f instructions\n", float64(gaps)/float64(len(recs)))
+	fmt.Printf("  write frac   %.3f\n", float64(writes)/float64(len(recs)))
+	fmt.Printf("  addr range   [%d, %d] lines\n", minA, maxA)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdimm-trace:", err)
+	os.Exit(1)
+}

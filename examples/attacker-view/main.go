@@ -1,0 +1,65 @@
+// Attacker-view: looks at the memory system through the adversary's logic
+// analyzer (the threat model of Section II-B). It captures the address
+// trace on every untrusted bus for two very different programs — a
+// streaming sweep and a pointer chase — first on a plaintext memory
+// system, then under ORAM, and prints the distinguishability metrics:
+// on the plaintext bus the two programs are trivially told apart; under
+// ORAM their traces look statistically identical.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdimm/internal/attacker"
+	"sdimm/internal/config"
+)
+
+func main() {
+	workloads := [2]string{"libquantum", "mcf"} // streaming vs pointer chase
+
+	grab := func(proto config.Protocol, w string, sysSeed uint64) *attacker.Trace {
+		cfg := config.Default(proto, 1)
+		cfg.ORAM.Levels = 20
+		cfg.WarmupAccesses = 100
+		cfg.MeasureAccesses = 400
+		cfg.Seed = sysSeed
+		// Program inputs stay fixed (trace seed 1); only the system's own
+		// randomness varies with sysSeed.
+		all, _, err := attacker.CaptureSeeded(cfg, w, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return attacker.Merge(all)
+	}
+
+	for _, proto := range []config.Protocol{config.NonSecure, config.Freecursive, config.Independent} {
+		a := grab(proto, workloads[0], 1)
+		b := grab(proto, workloads[1], 1)
+		cross, err := attacker.TotalVariation(a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Noise floor: the empirical TV between two runs of the SAME
+		// program and input, varying only the system's randomness. For the
+		// deterministic plaintext system this is exactly 0; for ORAM it is
+		// the path-sampling noise an attacker must beat.
+		floor, err := attacker.TotalVariation(a, grab(proto, workloads[0], 2))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("== %s ==\n", proto)
+		for i, tr := range []*attacker.Trace{a, b} {
+			r := attacker.Analyze(tr)
+			fmt.Printf("  %-12s %6d ACTs, %5d rows, entropy %.2f bits (norm %.3f), repeat %.3f\n",
+				workloads[i], r.Accesses, r.DistinctRows, r.Entropy, r.NormalizedEntropy, r.RepeatRate)
+		}
+		verdict := "programs DISTINGUISHABLE"
+		if cross < 1.5*floor {
+			verdict = "programs indistinguishable (within sampling noise)"
+		}
+		fmt.Printf("  TV distance between programs %.3f vs same-program noise floor %.3f -> %s\n\n",
+			cross, floor, verdict)
+	}
+}

@@ -1,0 +1,3 @@
+module sdimm
+
+go 1.22

@@ -1,0 +1,143 @@
+package attacker
+
+import (
+	"math"
+	"testing"
+
+	"sdimm/internal/config"
+	"sdimm/internal/event"
+)
+
+func capture(t *testing.T, p config.Protocol, workload string) *Trace {
+	t.Helper()
+	cfg := config.Default(p, 1)
+	cfg.ORAM.Levels = 20
+	cfg.WarmupAccesses = 100
+	cfg.MeasureAccesses = 400
+	traces, _, err := Capture(cfg, workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Merge(traces)
+}
+
+// TestNonSecureBusLeaks: on the plaintext bus, two different programs
+// produce clearly distinguishable address traces, and a single program
+// shows strong temporal locality.
+func TestNonSecureBusLeaks(t *testing.T) {
+	stream := capture(t, config.NonSecure, "libquantum")
+	random := capture(t, config.NonSecure, "mcf")
+	tv, err := TotalVariation(stream, random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv < 0.5 {
+		t.Fatalf("plaintext traces of different programs TV=%v, expected clearly distinguishable", tv)
+	}
+}
+
+// TestORAMBusObliviousness: under Freecursive ORAM, the same two programs
+// produce traces the metrics cannot tell apart.
+func TestORAMBusObliviousness(t *testing.T) {
+	stream := capture(t, config.Freecursive, "libquantum")
+	random := capture(t, config.Freecursive, "mcf")
+	tvORAM, err := TotalVariation(stream, random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsStream := capture(t, config.NonSecure, "libquantum")
+	nsRandom := capture(t, config.NonSecure, "mcf")
+	tvNS, _ := TotalVariation(nsStream, nsRandom)
+	if tvORAM >= tvNS/2 {
+		t.Fatalf("ORAM TV %v not far below plaintext TV %v", tvORAM, tvNS)
+	}
+}
+
+// TestORAMEntropyNearUniform: the ORAM's touched-row distribution is close
+// to uniform (per-level uniform path sampling).
+func TestORAMEntropyNearUniform(t *testing.T) {
+	tr := capture(t, config.Freecursive, "milc")
+	rep := Analyze(tr)
+	if rep.NormalizedEntropy < 0.85 {
+		t.Fatalf("ORAM normalized entropy %v, want near 1", rep.NormalizedEntropy)
+	}
+}
+
+// TestSDIMMBusesObliviousToo: the Independent protocol's on-DIMM buses are
+// untrusted as well; they must show the same indistinguishability.
+func TestSDIMMBusesObliviousToo(t *testing.T) {
+	a := capture(t, config.Independent, "libquantum")
+	b := capture(t, config.Independent, "mcf")
+	tv, err := TotalVariation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv > 0.35 {
+		t.Fatalf("SDIMM bus traces distinguishable: TV=%v", tv)
+	}
+}
+
+// TestRepeatRateSignal: the short-window repeat rate is a program
+// fingerprint on the plaintext bus (different programs differ), but under
+// ORAM it is a program-independent constant — the tree's shape, not the
+// program, determines it (shared top levels repeat on every access for
+// every program alike).
+func TestRepeatRateSignal(t *testing.T) {
+	nsA := capture(t, config.NonSecure, "libquantum").RepeatRate(32)
+	nsB := capture(t, config.NonSecure, "mcf").RepeatRate(32)
+	orA := capture(t, config.Freecursive, "libquantum").RepeatRate(32)
+	orB := capture(t, config.Freecursive, "mcf").RepeatRate(32)
+
+	nsGap := math.Abs(nsA - nsB)
+	orGap := math.Abs(orA - orB)
+	if orGap >= nsGap/2 {
+		t.Fatalf("ORAM repeat-rate gap %v (A=%v B=%v) not well below plaintext gap %v (A=%v B=%v)",
+			orGap, orA, orB, nsGap, nsA, nsB)
+	}
+}
+
+func TestMetricsEdgeCases(t *testing.T) {
+	var empty Trace
+	if empty.Entropy() != 0 || empty.NormalizedEntropy() != 0 || empty.RepeatRate(8) != 0 {
+		t.Fatal("empty trace metrics not zero")
+	}
+	if _, err := TotalVariation(&empty, &empty); err == nil {
+		t.Fatal("TV of empty traces accepted")
+	}
+	one := &Trace{Accesses: []Access{{Row: 1}, {Row: 1}}}
+	if one.NormalizedEntropy() != 0 {
+		t.Fatal("single-row trace entropy not 0")
+	}
+	if r := one.RepeatRate(8); r != 0.5 {
+		t.Fatalf("repeat rate %v, want 0.5", r)
+	}
+	ident, err := TotalVariation(one, one)
+	if err != nil || math.Abs(ident) > 1e-12 {
+		t.Fatalf("self TV %v %v", ident, err)
+	}
+}
+
+func TestCaptureRejectsBadWorkload(t *testing.T) {
+	cfg := config.Default(config.NonSecure, 1)
+	if _, _, err := Capture(cfg, "nope"); err == nil {
+		t.Fatal("bad workload accepted")
+	}
+}
+
+func TestMergeOrdersByCycle(t *testing.T) {
+	traces := map[string]*Trace{
+		"b": {Channel: "b", Accesses: []Access{{Cycle: 5}, {Cycle: 9}}},
+		"a": {Channel: "a", Accesses: []Access{{Cycle: 7}}},
+	}
+	m := Merge(traces)
+	if len(m.Accesses) != 3 {
+		t.Fatalf("merged %d", len(m.Accesses))
+	}
+	for i := 1; i < len(m.Accesses); i++ {
+		if m.Accesses[i].Cycle < m.Accesses[i-1].Cycle {
+			t.Fatal("merge not time-ordered")
+		}
+	}
+}
+
+var _ = event.Time(0)

@@ -1,0 +1,68 @@
+package dram
+
+import (
+	"fmt"
+
+	"sdimm/internal/config"
+)
+
+// Mapper translates linear line addresses (cache-line index within one
+// channel's physical space) into DRAM coordinates. The baseline policy
+// spreads consecutive lines across banks and ranks after exhausting a row
+// (open-page friendly: row:rank:bank:column from high to low bits), which is
+// the optimized layout the paper's baseline uses once ORAM subtrees are
+// packed into rows.
+type Mapper struct {
+	linesPerRow int
+	banks       int
+	ranks       int
+	rowsPerBank int
+}
+
+// NewMapper builds a mapper for one channel of the organization with the
+// given rank count.
+func NewMapper(org config.Org, ranks int) *Mapper {
+	return &Mapper{
+		linesPerRow: org.LinesPerRow(),
+		banks:       org.BanksPerRank,
+		ranks:       ranks,
+		rowsPerBank: org.RowsPerBank,
+	}
+}
+
+// Lines returns the channel capacity in cache lines.
+func (m *Mapper) Lines() uint64 {
+	return uint64(m.linesPerRow) * uint64(m.banks) * uint64(m.ranks) * uint64(m.rowsPerBank)
+}
+
+// Map converts a linear line address to a coordinate. Addresses wrap modulo
+// the channel capacity, so simulated address spaces larger than the modelled
+// channel alias rather than fault (documented simulator behaviour).
+func (m *Mapper) Map(line uint64) Coord {
+	line %= m.Lines()
+	col := int(line % uint64(m.linesPerRow))
+	line /= uint64(m.linesPerRow)
+	bankIdx := int(line % uint64(m.banks))
+	line /= uint64(m.banks)
+	rankIdx := int(line % uint64(m.ranks))
+	line /= uint64(m.ranks)
+	row := uint32(line % uint64(m.rowsPerBank))
+	return Coord{Rank: rankIdx, Bank: bankIdx, Row: row, Col: col}
+}
+
+// MapToRank maps a linear line address into a fixed rank, spreading lines
+// across that rank's banks and rows. The low-power ORAM layout uses this to
+// pin whole subtrees to one rank (Section III-E).
+func (m *Mapper) MapToRank(line uint64, rankIdx int) Coord {
+	if rankIdx < 0 || rankIdx >= m.ranks {
+		panic(fmt.Sprintf("dram: rank %d out of range [0,%d)", rankIdx, m.ranks))
+	}
+	perRank := uint64(m.linesPerRow) * uint64(m.banks) * uint64(m.rowsPerBank)
+	line %= perRank
+	col := int(line % uint64(m.linesPerRow))
+	line /= uint64(m.linesPerRow)
+	bankIdx := int(line % uint64(m.banks))
+	line /= uint64(m.banks)
+	row := uint32(line % uint64(m.rowsPerBank))
+	return Coord{Rank: rankIdx, Bank: bankIdx, Row: row, Col: col}
+}

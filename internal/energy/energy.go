@@ -1,0 +1,135 @@
+// Package energy implements an IDD-based DRAM power model in the style of
+// the Micron system power calculator the paper uses. Energy is derived from
+// the activity counters and power-state residencies recorded by the DRAM
+// model plus explicit I/O byte accounting, split into background, activate/
+// precharge, read/write, refresh, and I/O components.
+//
+// The I/O component distinguishes host-channel transfers (CPU socket <->
+// DIMM, long and heavily terminated) from on-DIMM transfers (secure buffer
+// <-> DRAM chips), which is the first-order source of the SDIMM energy win:
+// the Independent/Split protocols keep most ORAM shuffle bytes on the DIMM.
+package energy
+
+import "sdimm/internal/dram"
+
+// Params holds device current draws (mA), supply voltage, interface
+// energies and the timing needed to convert counters into Joules.
+type Params struct {
+	VDD float64 // supply voltage, V
+
+	// Device currents in mA (DDR3-1600 x8 2 Gb class).
+	IDD0  float64 // one-bank ACT-PRE cycling
+	IDD2P float64 // precharge power-down
+	IDD2N float64 // precharge standby
+	IDD3P float64 // active power-down
+	IDD3N float64 // active standby
+	IDD4R float64 // burst read
+	IDD4W float64 // burst write
+	IDD5B float64 // burst refresh
+
+	TCKns float64 // memory command-cycle time, ns
+
+	// Timing in memory command cycles (must match the simulated Timing).
+	TRC, TRAS, TRP, TBURST, TRFC int
+
+	DevicesPerRank int
+
+	// Interface energy per transferred bit, pJ.
+	HostPJPerBit  float64
+	LocalPJPerBit float64
+}
+
+// Default returns DDR3-1600 parameters for a Micron MT41J256M8-class x8
+// part on a 9-device (ECC) rank.
+func Default() Params {
+	return Params{
+		VDD:            1.5,
+		IDD0:           95,
+		IDD2P:          12,
+		IDD2N:          42,
+		IDD3P:          30,
+		IDD3N:          45,
+		IDD4R:          180,
+		IDD4W:          185,
+		IDD5B:          215,
+		TCKns:          1.25,
+		TRC:            39,
+		TRAS:           28,
+		TRP:            11,
+		TBURST:         4,
+		TRFC:           208,
+		DevicesPerRank: 9,
+		HostPJPerBit:   18,
+		LocalPJPerBit:  7,
+	}
+}
+
+// Breakdown reports energy in Joules by component.
+type Breakdown struct {
+	Background float64
+	ActPre     float64
+	ReadWrite  float64
+	Refresh    float64
+	IO         float64
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 {
+	return b.Background + b.ActPre + b.ReadWrite + b.Refresh + b.IO
+}
+
+// Add accumulates another breakdown component-wise.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Background += o.Background
+	b.ActPre += o.ActPre
+	b.ReadWrite += o.ReadWrite
+	b.Refresh += o.Refresh
+	b.IO += o.IO
+}
+
+// joulesPerCyclePerMA converts (mA × command cycles) to Joules: I×V×t.
+func (p Params) joulesPerCyclePerMA() float64 {
+	return 1e-3 * p.VDD * p.TCKns * 1e-9
+}
+
+// Channel computes the energy consumed by one modelled DRAM channel over
+// the run, given its statistics and the CPU:memory clock ratio used to
+// record residencies (residencies are stored in CPU cycles). localBus marks
+// an on-DIMM channel: its data-bus bytes are charged at the local interface
+// rate, a host channel's at the host rate.
+func (p Params) Channel(st dram.Stats, cpuCyclesPerMem int, localBus bool) Breakdown {
+	var b Breakdown
+	k := p.joulesPerCyclePerMA() * float64(p.DevicesPerRank)
+	ratio := float64(cpuCyclesPerMem)
+
+	for _, r := range st.PerRank {
+		// Residencies are in CPU cycles; convert to memory cycles.
+		act := float64(r.TActive) / ratio
+		pre := float64(r.TPrecharge) / ratio
+		pd := float64(r.TPowerDown) / ratio
+		b.Background += k * (act*p.IDD3N + pre*p.IDD2N + pd*p.IDD2P)
+		b.Refresh += k * float64(r.Refreshes) * (p.IDD5B - p.IDD2N) * float64(p.TRFC)
+	}
+
+	// Activate/precharge pair energy (Micron formulation): the IDD0 loop
+	// minus the background already accounted during tRAS/tRP.
+	actMA := p.IDD0*float64(p.TRC) - p.IDD3N*float64(p.TRAS) - p.IDD2N*float64(p.TRP)
+	b.ActPre = k * float64(st.Activates) * actMA
+
+	b.ReadWrite = k * float64(p.TBURST) *
+		(float64(st.Reads)*(p.IDD4R-p.IDD3N) + float64(st.Writes)*(p.IDD4W-p.IDD3N))
+
+	bits := 8 * float64(st.BytesRead+st.BytesWrite)
+	rate := p.HostPJPerBit
+	if localBus {
+		rate = p.LocalPJPerBit
+	}
+	b.IO = bits * rate * 1e-12
+	return b
+}
+
+// HostTransfer returns the I/O energy of moving bytes across the host
+// channel (CPU <-> secure buffer transfers carried by a dram.Link).
+func (p Params) HostTransfer(bytes uint64) Breakdown {
+	return Breakdown{IO: 8 * float64(bytes) * p.HostPJPerBit * 1e-12}
+}

@@ -1,0 +1,125 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"sdimm/internal/dram"
+)
+
+func mkStats(reads, writes, acts uint64, tAct, tPre, tPD uint64) dram.Stats {
+	return dram.Stats{
+		Reads:      reads,
+		Writes:     writes,
+		Activates:  acts,
+		BytesRead:  reads * 64,
+		BytesWrite: writes * 64,
+		PerRank: []dram.RankStats{{
+			TActive:    tAct,
+			TPrecharge: tPre,
+			TPowerDown: tPD,
+		}},
+	}
+}
+
+func TestZeroActivityZeroEnergy(t *testing.T) {
+	p := Default()
+	b := p.Channel(dram.Stats{PerRank: make([]dram.RankStats, 2)}, 2, false)
+	if b.Total() != 0 {
+		t.Fatalf("idle channel with zero residency burned %v J", b.Total())
+	}
+}
+
+func TestBackgroundScalesWithTime(t *testing.T) {
+	p := Default()
+	b1 := p.Channel(mkStats(0, 0, 0, 0, 1000, 0), 2, false)
+	b2 := p.Channel(mkStats(0, 0, 0, 0, 2000, 0), 2, false)
+	if math.Abs(b2.Background-2*b1.Background) > 1e-15 {
+		t.Fatalf("background not linear in residency: %v vs %v", b1.Background, b2.Background)
+	}
+}
+
+func TestPowerDownCheaperThanStandby(t *testing.T) {
+	p := Default()
+	pd := p.Channel(mkStats(0, 0, 0, 0, 0, 10000), 2, false)
+	stby := p.Channel(mkStats(0, 0, 0, 0, 10000, 0), 2, false)
+	active := p.Channel(mkStats(0, 0, 0, 10000, 0, 0), 2, false)
+	if !(pd.Background < stby.Background && stby.Background < active.Background) {
+		t.Fatalf("ordering violated: pd=%v stby=%v act=%v",
+			pd.Background, stby.Background, active.Background)
+	}
+	// Power-down should be a substantial saving (IDD2P vs IDD2N ≈ 3.5x).
+	if stby.Background/pd.Background < 2 {
+		t.Fatalf("power-down saving only %vx", stby.Background/pd.Background)
+	}
+}
+
+func TestReadWriteEnergyPositiveAndLinear(t *testing.T) {
+	p := Default()
+	b1 := p.Channel(mkStats(100, 50, 10, 0, 0, 0), 2, true)
+	b2 := p.Channel(mkStats(200, 100, 20, 0, 0, 0), 2, true)
+	if b1.ReadWrite <= 0 || b1.ActPre <= 0 {
+		t.Fatalf("dynamic energy not positive: %+v", b1)
+	}
+	if math.Abs(b2.ReadWrite-2*b1.ReadWrite) > 1e-15 ||
+		math.Abs(b2.ActPre-2*b1.ActPre) > 1e-15 {
+		t.Fatal("dynamic energy not linear in activity")
+	}
+}
+
+func TestLocalIOCheaperThanHost(t *testing.T) {
+	p := Default()
+	host := p.Channel(mkStats(1000, 0, 0, 0, 0, 0), 2, false)
+	local := p.Channel(mkStats(1000, 0, 0, 0, 0, 0), 2, true)
+	if local.IO >= host.IO {
+		t.Fatalf("local I/O %v not cheaper than host %v", local.IO, host.IO)
+	}
+	ratio := host.IO / local.IO
+	want := p.HostPJPerBit / p.LocalPJPerBit
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Fatalf("I/O ratio %v, want %v", ratio, want)
+	}
+}
+
+func TestHostTransfer(t *testing.T) {
+	p := Default()
+	b := p.HostTransfer(64)
+	want := 8.0 * 64 * p.HostPJPerBit * 1e-12
+	if math.Abs(b.IO-want) > 1e-18 || b.Total() != b.IO {
+		t.Fatalf("HostTransfer = %+v, want IO %v", b, want)
+	}
+}
+
+func TestRefreshEnergyCounted(t *testing.T) {
+	p := Default()
+	st := dram.Stats{PerRank: []dram.RankStats{{Refreshes: 10}}}
+	b := p.Channel(st, 2, false)
+	if b.Refresh <= 0 {
+		t.Fatalf("refresh energy = %v", b.Refresh)
+	}
+}
+
+func TestBreakdownAddAndTotal(t *testing.T) {
+	a := Breakdown{1, 2, 3, 4, 5}
+	b := Breakdown{10, 20, 30, 40, 50}
+	a.Add(b)
+	if a.Total() != 165 {
+		t.Fatalf("Total = %v, want 165", a.Total())
+	}
+	if a.Background != 11 || a.IO != 55 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+// Sanity: one rank idle in precharge standby for 1 second should burn about
+// IDD2N * VDD * devices ≈ 0.57 W — the model must land in a plausible watt
+// range (0.1..2 W).
+func TestAbsolutePlausibility(t *testing.T) {
+	p := Default()
+	cyclesPerSec := uint64(1e9 / p.TCKns) // memory cycles in 1 s
+	st := mkStats(0, 0, 0, 0, cyclesPerSec*2, 0)
+	b := p.Channel(st, 2, false)
+	if b.Background < 0.1 || b.Background > 2 {
+		t.Fatalf("1s precharge standby = %v J, implausible", b.Background)
+	}
+}

@@ -1,0 +1,200 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var e Engine
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", e.Now())
+	}
+	if !e.Empty() {
+		t.Fatal("zero engine not empty")
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	var e Engine
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 10, 0} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	want := []Time{0, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOWithinSameCycle(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 16; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle order %v not FIFO", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	var e Engine
+	var at Time
+	e.Schedule(42, func() { at = e.Now() })
+	e.Run()
+	if at != 42 {
+		t.Fatalf("Now() inside event = %d, want 42", at)
+	}
+	if e.Now() != 42 {
+		t.Fatalf("final Now() = %d, want 42", e.Now())
+	}
+}
+
+func TestScheduleInPastClampsToNow(t *testing.T) {
+	var e Engine
+	fired := Time(0)
+	e.Schedule(100, func() {
+		e.Schedule(10, func() { fired = e.Now() }) // in the past
+	})
+	e.Run()
+	if fired != 100 {
+		t.Fatalf("past event fired at %d, want clamp to 100", fired)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	var e Engine
+	var fired Time
+	e.Schedule(7, func() {
+		e.After(5, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 12 {
+		t.Fatalf("After fired at %d, want 12", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	ran := false
+	h := e.Schedule(5, func() { ran = true })
+	h.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	// Double-cancel and cancel-after-run must be no-ops.
+	h.Cancel()
+	h2 := e.Schedule(6, func() {})
+	e.Run()
+	h2.Cancel()
+}
+
+func TestPendingCountsLiveOnly(t *testing.T) {
+	var e Engine
+	h := e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	h.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(15)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(15) fired %v, want 3 events", fired)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("Now after RunUntil = %d, want 15", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 || e.Now() != 100 {
+		t.Fatalf("RunUntil(100): fired=%v now=%d", fired, e.Now())
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	var e Engine
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		e.After(1, tick)
+	}
+	e.After(1, tick)
+	e.RunWhile(func() bool { return n < 10 })
+	if n != 10 {
+		t.Fatalf("RunWhile stopped at n=%d, want 10", n)
+	}
+}
+
+func TestChainedScheduling(t *testing.T) {
+	var e Engine
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 1000 {
+			e.After(3, recur)
+		}
+	}
+	e.Schedule(0, recur)
+	e.Run()
+	if depth != 1000 {
+		t.Fatalf("depth = %d, want 1000", depth)
+	}
+	if e.Now() != 3*999 {
+		t.Fatalf("Now = %d, want %d", e.Now(), 3*999)
+	}
+}
+
+// Property: for any multiset of schedule times, events fire in nondecreasing
+// time order and all of them fire.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		var e Engine
+		var fired []Time
+		for _, u := range times {
+			at := Time(u)
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+func TestCoTenantShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	o := tiny()
+	o.Workloads = []string{"milc"}
+	tb, err := CoTenant(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := tb.ColGeoMean("with-freecursive")
+	sd := tb.ColGeoMean("with-indep-sdimm")
+	if sd >= fc {
+		t.Fatalf("tenant latency under SDIMM (%v) not below under Freecursive (%v)", sd, fc)
+	}
+	// SDIMM co-residency should leave the tenant nearly undisturbed.
+	if sd > 2.0 {
+		t.Errorf("tenant disturbed %.2fx under SDIMM, want near 1x", sd)
+	}
+	if fc < 1.2 {
+		t.Errorf("tenant disturbed only %.2fx under Freecursive, expected heavy contention", fc)
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns options small enough for unit tests.
+func tiny() Options {
+	return Options{
+		Warmup:    120,
+		Measure:   300,
+		Levels:    22,
+		Seed:      1,
+		Workloads: []string{"milc", "gromacs"},
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := tb.ColGeoMean("slowdown-1ch")
+	s2 := tb.ColGeoMean("slowdown-2ch")
+	if s1 <= 1 || s2 <= 1 {
+		t.Fatalf("ORAM not slower than non-secure: %v / %v", s1, s2)
+	}
+	if s2 >= s1 {
+		t.Fatalf("2-channel slowdown %v not below 1-channel %v", s2, s1)
+	}
+	apm := tb.ColGeoMean("accessORAM/miss")
+	if apm < 1 || apm > 3 {
+		t.Fatalf("accessORAM/miss = %v", apm)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"independent", "split"} {
+		v := tb.ColGeoMean(col)
+		if v <= 0 || v >= 1 {
+			t.Errorf("%s normalized time = %v, want (0, 1)", col, v)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb, err := Fig9(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	is := tb.ColGeoMean("indep-split")
+	if is <= 0 || is >= 1 {
+		t.Fatalf("indep-split normalized time = %v", is)
+	}
+	// The combined protocol is the paper's overall winner.
+	if ind := tb.ColGeoMean("independent"); is >= ind {
+		t.Errorf("indep-split %v not better than independent %v", is, ind)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb, err := Fig10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := tb.ColGeoMean("freecursive-1ch")
+	sp := tb.ColGeoMean("split2-1ch")
+	if fc <= 1 {
+		t.Fatalf("freecursive energy overhead %v not above non-secure", fc)
+	}
+	if sp >= fc {
+		t.Fatalf("split energy overhead %v not below freecursive %v", sp, fc)
+	}
+}
+
+func TestFig13aShape(t *testing.T) {
+	series, err := Fig13a([]int{50_000, 100_000}, []int{16, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	// Small queue must overflow with (much) higher probability.
+	small := series[0].Y[len(series[0].Y)-1]
+	big := series[1].Y[len(series[1].Y)-1]
+	if small <= big {
+		t.Fatalf("P(16)=%v not above P(256)=%v", small, big)
+	}
+	if !strings.Contains(series[0].Name, "16") {
+		t.Fatalf("series name %q", series[0].Name)
+	}
+}
+
+func TestFig13bShape(t *testing.T) {
+	series, err := Fig13b(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("%d series", len(series))
+	}
+	// Higher drain probability => lower overflow at equal K.
+	if series[0].Y[0] <= series[4].Y[0] {
+		t.Fatalf("p ordering violated: %v vs %v", series[0].Y[0], series[4].Y[0])
+	}
+}
+
+func TestAreaUnderOneMM2(t *testing.T) {
+	if Area().Total() >= 1.0 {
+		t.Fatal("area estimate not under 1 mm²")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Warmup == 0 || o.Measure == 0 || o.Levels != 28 || len(o.Workloads) != 10 || o.Parallel <= 0 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}
+
+func TestLowPowerShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	o := tiny()
+	o.Workloads = []string{"milc"}
+	tb, err := LowPower(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := tb.ColGeoMean("time-ratio")
+	if ratio > 1.10 {
+		t.Fatalf("low-power time ratio %v, paper says ≤ 1.04", ratio)
+	}
+	bg := tb.ColGeoMean("bg-energy-ratio")
+	if bg >= 1 {
+		t.Fatalf("low-power did not cut background energy: %v", bg)
+	}
+}
+
+func TestOffDIMMShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	o := tiny()
+	o.Workloads = []string{"milc"}
+	tb, err := OffDIMM(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind := tb.ColGeoMean("indep-2")
+	sp := tb.ColGeoMean("split-2")
+	if ind >= 0.25 {
+		t.Errorf("indep-2 off-DIMM fraction %v, paper ≈ 0.042", ind)
+	}
+	if sp >= 0.5 {
+		t.Errorf("split-2 off-DIMM fraction %v, paper ≈ 0.12", sp)
+	}
+	if ind >= sp {
+		t.Errorf("independent fraction %v not below split %v", ind, sp)
+	}
+}

@@ -1,0 +1,156 @@
+// Package freecursive implements the frontend of Freecursive ORAM
+// [Fletcher et al., ASPLOS'15], which the paper adopts for all its
+// configurations: recursive position maps stored in the same unified ORAM
+// tree as the data, plus a PosMap Lookaside Buffer (PLB) that short-circuits
+// most recursive lookups. The frontend turns one LLC miss into the list of
+// accessORAM operations the backend must perform (on average ~1.4 in the
+// paper's traces).
+package freecursive
+
+import (
+	"fmt"
+
+	"sdimm/internal/cache"
+)
+
+// Op is one accessORAM operation the backend must perform, ordered from the
+// deepest recursive PosMap down to the data ORAM (ORAM 0).
+type Op struct {
+	ORAMLevel int    // 0 = data ORAM, i > 0 = PosMap ORAM i
+	Addr      uint64 // block address in the unified ORAM address space
+}
+
+// Stats counts frontend behaviour.
+type Stats struct {
+	Misses     uint64 // LLC misses resolved
+	AccessOps  uint64 // accessORAM operations generated
+	PLBHits    uint64
+	PLBLookups uint64
+}
+
+// AccessesPerMiss returns the paper's headline frontend metric.
+func (s Stats) AccessesPerMiss() float64 {
+	if s.Misses == 0 {
+		return 0
+	}
+	return float64(s.AccessOps) / float64(s.Misses)
+}
+
+// Frontend resolves LLC-miss block addresses into accessORAM sequences.
+type Frontend struct {
+	nPosMaps int
+	scale    uint64
+	plb      *cache.Cache
+
+	// bases[i] is the first unified address of ORAM i's blocks; counts[i]
+	// its block count. bases[0] = 0 for the data ORAM.
+	bases  []uint64
+	counts []uint64
+
+	stats Stats
+}
+
+// New builds a frontend for a data ORAM of dataBlocks blocks, nPosMaps
+// recursive PosMap ORAMs with `scale` leaf entries per PosMap block, and a
+// PLB of plbEntries blocks (8-way set associative).
+func New(dataBlocks uint64, nPosMaps, scale, plbEntries int) (*Frontend, error) {
+	if dataBlocks == 0 {
+		return nil, fmt.Errorf("freecursive: zero data blocks")
+	}
+	if nPosMaps < 0 || scale < 2 {
+		return nil, fmt.Errorf("freecursive: invalid recursion (n=%d, scale=%d)", nPosMaps, scale)
+	}
+	ways := 8
+	if plbEntries < ways {
+		ways = 1
+	}
+	// Round the PLB down to a valid power-of-two set count.
+	sets := 1
+	for sets*2*ways <= plbEntries {
+		sets *= 2
+	}
+	plb, err := cache.New(sets*ways, ways)
+	if err != nil {
+		return nil, fmt.Errorf("freecursive: plb: %w", err)
+	}
+
+	f := &Frontend{nPosMaps: nPosMaps, scale: uint64(scale), plb: plb}
+	f.bases = make([]uint64, nPosMaps+1)
+	f.counts = make([]uint64, nPosMaps+1)
+	f.counts[0] = dataBlocks
+	next := dataBlocks
+	for i := 1; i <= nPosMaps; i++ {
+		f.bases[i] = f.bases[i-1] + f.counts[i-1]
+		f.counts[i] = (f.counts[i-1] + f.scale - 1) / f.scale
+		next += f.counts[i]
+	}
+	_ = next
+	return f, nil
+}
+
+// TotalBlocks returns the unified address-space size (data + all PosMaps),
+// which sizes the shared ORAM tree.
+func (f *Frontend) TotalBlocks() uint64 {
+	last := f.nPosMaps
+	return f.bases[last] + f.counts[last]
+}
+
+// PosMapBlock returns the unified address of the ORAM-level-i PosMap block
+// covering data (or lower-level PosMap) block addr.
+func (f *Frontend) PosMapBlock(level int, addr uint64) uint64 {
+	// addr is a unified address within ORAM level-1's space; index it
+	// relative to that space, then scale.
+	rel := addr - f.bases[level-1]
+	return f.bases[level] + rel/f.scale
+}
+
+// Stats returns a snapshot of frontend statistics.
+func (f *Frontend) Stats() Stats { return f.stats }
+
+// PLBHitRate returns the PLB hit fraction.
+func (f *Frontend) PLBHitRate() float64 {
+	if f.stats.PLBLookups == 0 {
+		return 0
+	}
+	return float64(f.stats.PLBHits) / float64(f.stats.PLBLookups)
+}
+
+// Resolve turns one LLC-miss data-block address into the ordered list of
+// accessORAM operations: it walks the PLB from ORAM 1 upward, stops at the
+// first hit (or the on-chip PosMap after ORAM n), then the backend must
+// access every level from there down to the data. PosMap blocks fetched by
+// those accesses are inserted into the PLB, modelling Freecursive exactly.
+func (f *Frontend) Resolve(addr uint64) ([]Op, error) {
+	if addr >= f.counts[0] {
+		return nil, fmt.Errorf("freecursive: data address %d beyond %d blocks", addr, f.counts[0])
+	}
+	f.stats.Misses++
+
+	// Find the first PLB hit walking up the recursion.
+	hitLevel := f.nPosMaps + 1 // on-chip PosMap fallback
+	cur := addr
+	posAddrs := make([]uint64, f.nPosMaps+1) // posAddrs[i] = ORAM-i block for this walk
+	for i := 1; i <= f.nPosMaps; i++ {
+		posAddrs[i] = f.PosMapBlock(i, cur)
+		f.stats.PLBLookups++
+		// Probe without allocating: a miss must not install the block (it
+		// has not been fetched yet); a hit refreshes LRU state.
+		if f.plb.Contains(posAddrs[i]) {
+			f.plb.Access(posAddrs[i], false)
+			f.stats.PLBHits++
+			hitLevel = i
+			break
+		}
+		cur = posAddrs[i]
+	}
+
+	// Access levels hitLevel-1 .. 0. Fetched PosMap blocks enter the PLB.
+	ops := make([]Op, 0, hitLevel)
+	for lvl := hitLevel - 1; lvl >= 1; lvl-- {
+		ops = append(ops, Op{ORAMLevel: lvl, Addr: posAddrs[lvl]})
+		f.plb.Access(posAddrs[lvl], false)
+	}
+	ops = append(ops, Op{ORAMLevel: 0, Addr: addr})
+	f.stats.AccessOps += uint64(len(ops))
+	return ops, nil
+}

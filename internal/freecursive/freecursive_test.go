@@ -1,0 +1,184 @@
+package freecursive
+
+import (
+	"testing"
+
+	"sdimm/internal/rng"
+)
+
+func newFrontend(t *testing.T) *Frontend {
+	t.Helper()
+	f, err := New(1<<20, 5, 16, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 5, 16, 1024); err == nil {
+		t.Error("zero blocks accepted")
+	}
+	if _, err := New(100, -1, 16, 1024); err == nil {
+		t.Error("negative recursion accepted")
+	}
+	if _, err := New(100, 5, 1, 1024); err == nil {
+		t.Error("scale 1 accepted")
+	}
+}
+
+func TestAddressSpaceLayout(t *testing.T) {
+	f, err := New(1600, 2, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ORAM1 covers 1600/16 = 100 blocks, ORAM2 covers 100/16 -> 7.
+	if f.bases[1] != 1600 || f.counts[1] != 100 {
+		t.Fatalf("ORAM1 base/count = %d/%d", f.bases[1], f.counts[1])
+	}
+	if f.bases[2] != 1700 || f.counts[2] != 7 {
+		t.Fatalf("ORAM2 base/count = %d/%d", f.bases[2], f.counts[2])
+	}
+	if f.TotalBlocks() != 1707 {
+		t.Fatalf("TotalBlocks = %d", f.TotalBlocks())
+	}
+}
+
+func TestPosMapBlockMapping(t *testing.T) {
+	f, _ := New(1600, 2, 16, 64)
+	// Data blocks 0..15 share PosMap block base1+0; 16..31 -> base1+1.
+	if got := f.PosMapBlock(1, 0); got != 1600 {
+		t.Fatalf("PosMapBlock(1,0) = %d", got)
+	}
+	if got := f.PosMapBlock(1, 15); got != 1600 {
+		t.Fatalf("PosMapBlock(1,15) = %d", got)
+	}
+	if got := f.PosMapBlock(1, 16); got != 1601 {
+		t.Fatalf("PosMapBlock(1,16) = %d", got)
+	}
+	// ORAM2 covers ORAM1's space.
+	if got := f.PosMapBlock(2, 1600); got != 1700 {
+		t.Fatalf("PosMapBlock(2, base1) = %d", got)
+	}
+}
+
+func TestColdMissWalksFullRecursion(t *testing.T) {
+	f := newFrontend(t)
+	ops, err := f.Resolve(12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold PLB: on-chip PosMap provides ORAM5's leaf, so levels 5..0 = 6 ops.
+	if len(ops) != 6 {
+		t.Fatalf("cold resolve produced %d ops", len(ops))
+	}
+	for i, op := range ops {
+		wantLevel := 5 - i
+		if op.ORAMLevel != wantLevel {
+			t.Fatalf("op %d level %d, want %d (ops %v)", i, op.ORAMLevel, wantLevel, ops)
+		}
+	}
+	if ops[len(ops)-1].Addr != 12345 || ops[len(ops)-1].ORAMLevel != 0 {
+		t.Fatalf("final op %+v not the data access", ops[len(ops)-1])
+	}
+}
+
+func TestWarmHitShortCircuits(t *testing.T) {
+	f := newFrontend(t)
+	f.Resolve(1000)
+	// Same address again: the ORAM1 PosMap block is now in the PLB.
+	ops, err := f.Resolve(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].ORAMLevel != 0 {
+		t.Fatalf("warm resolve ops = %v", ops)
+	}
+}
+
+func TestSpatialLocalitySharesPosMapBlock(t *testing.T) {
+	f := newFrontend(t)
+	f.Resolve(160) // covers data blocks 160..175 at level 1
+	ops, _ := f.Resolve(161)
+	if len(ops) != 1 {
+		t.Fatalf("neighbouring block needed %d ops", len(ops))
+	}
+	// A distant block shares only higher PosMap levels.
+	ops, _ = f.Resolve(160 + 16)
+	if len(ops) != 2 {
+		t.Fatalf("next PosMap block over needed %d ops, want 2", len(ops))
+	}
+}
+
+func TestAccessesPerMissMetric(t *testing.T) {
+	f := newFrontend(t)
+	r := rng.New(5)
+	// A workload with strong spatial locality should land well under the
+	// full recursion depth — the paper reports ~1.4.
+	base := uint64(0)
+	for i := 0; i < 5000; i++ {
+		if r.Bool(0.05) {
+			base = r.Uint64n(1 << 18)
+		}
+		addr := base + r.Uint64n(64)
+		if _, err := f.Resolve(addr % (1 << 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apm := f.Stats().AccessesPerMiss()
+	if apm < 1.0 || apm > 2.5 {
+		t.Fatalf("accesses per miss = %v, want in [1, 2.5] for a local workload", apm)
+	}
+	if f.PLBHitRate() <= 0 {
+		t.Fatal("PLB never hit")
+	}
+}
+
+func TestResolveRejectsOutOfRange(t *testing.T) {
+	f := newFrontend(t)
+	if _, err := f.Resolve(1 << 30); err == nil {
+		t.Fatal("out-of-range address accepted")
+	}
+}
+
+func TestZeroRecursionAlwaysOneOp(t *testing.T) {
+	f, err := New(1000, 0, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := f.Resolve(5)
+	if err != nil || len(ops) != 1 || ops[0].ORAMLevel != 0 {
+		t.Fatalf("ops = %v, err %v", ops, err)
+	}
+	if f.TotalBlocks() != 1000 {
+		t.Fatalf("TotalBlocks = %d", f.TotalBlocks())
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	f := newFrontend(t)
+	f.Resolve(1)
+	f.Resolve(1)
+	s := f.Stats()
+	if s.Misses != 2 {
+		t.Fatalf("Misses = %d", s.Misses)
+	}
+	if s.AccessOps != 7 { // 6 cold + 1 warm
+		t.Fatalf("AccessOps = %d", s.AccessOps)
+	}
+	if got := s.AccessesPerMiss(); got != 3.5 {
+		t.Fatalf("AccessesPerMiss = %v", got)
+	}
+}
+
+func TestTinyPLBStillWorks(t *testing.T) {
+	f, err := New(1<<16, 3, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if _, err := f.Resolve(i * 1000 % (1 << 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package oram
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sdimm/internal/rng"
+)
+
+// Op is an ORAM operation type. Path ORAM performs identical work for both;
+// the type only selects whether payload data flows in or out.
+type Op int
+
+// Operations accepted by Access (the accessORAM interface of Section II-C).
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// AccessPlan records exactly what one accessORAM did: which path was read
+// and rewritten, the leaf remapping, and the stash behaviour. The timing
+// simulator replays plans as DRAM traffic; tests use them to check
+// obliviousness invariants (the path depends only on the old leaf).
+type AccessPlan struct {
+	Addr             uint64
+	OldLeaf          uint64
+	NewLeaf          uint64
+	Path             []uint64 // bucket indices, root to leaf
+	Found            bool     // block was present (false on first touch)
+	StashAfter       int
+	BackgroundEvicts int // dummy accesses performed to drain the stash
+	// BackgroundLeaves are the leaves of those dummy accesses, in order;
+	// the timing layer turns each into one more path read+write.
+	BackgroundLeaves []uint64
+}
+
+// EngineStats counts engine activity.
+type EngineStats struct {
+	Accesses         uint64
+	PathReads        uint64
+	PathWrites       uint64
+	BackgroundEvicts uint64
+	StashPeak        int
+}
+
+// Options configures an Engine.
+type Options struct {
+	Geometry            Geometry
+	StashCapacity       int
+	EvictThreshold      int // background-evict when stash exceeds this
+	MaxBackgroundEvicts int // per Access; 0 means a default of 8
+	Rand                *rng.Source
+	// DisableAutoDrain turns off the automatic background eviction inside
+	// Access/AccessAt. The Split protocol sets it: eviction decisions are
+	// made by the CPU-side controller and pushed to every shard engine via
+	// EvictPath so all shards stay in lockstep.
+	DisableAutoDrain bool
+}
+
+// Engine is one Path ORAM instance: tree store + stash + (optionally) a
+// position map. With a position map, Access provides the full accessORAM
+// operation. Without one, the path-level primitives (ReadPath, WritePath,
+// StashInsert, StashRemove) let a distributed protocol drive the engine —
+// this is exactly the role of the secure buffer in the Independent
+// protocol, where the CPU-side frontend owns the position map.
+type Engine struct {
+	geom  Geometry
+	store Store
+	pos   PositionMap
+	stash *Stash
+	rand  *rng.Source
+
+	evictThreshold int
+	maxBG          int
+	autoDrain      bool
+
+	pending     bool
+	pendingLeaf uint64
+
+	stats EngineStats
+}
+
+// NewEngine builds an engine over store. pos may be nil for protocol-driven
+// use (Access then returns an error).
+func NewEngine(store Store, pos PositionMap, opts Options) (*Engine, error) {
+	if store == nil {
+		return nil, errors.New("oram: nil store")
+	}
+	if opts.Geometry.Levels == 0 {
+		return nil, errors.New("oram: zero geometry")
+	}
+	if opts.StashCapacity <= 0 {
+		return nil, errors.New("oram: non-positive stash capacity")
+	}
+	if opts.EvictThreshold <= 0 || opts.EvictThreshold > opts.StashCapacity {
+		return nil, errors.New("oram: eviction threshold out of (0, capacity]")
+	}
+	if opts.Rand == nil {
+		return nil, errors.New("oram: nil randomness source")
+	}
+	maxBG := opts.MaxBackgroundEvicts
+	if maxBG == 0 {
+		maxBG = 8
+	}
+	return &Engine{
+		geom:           opts.Geometry,
+		store:          store,
+		pos:            pos,
+		stash:          NewStash(opts.StashCapacity),
+		rand:           opts.Rand,
+		evictThreshold: opts.EvictThreshold,
+		maxBG:          maxBG,
+		autoDrain:      !opts.DisableAutoDrain,
+	}, nil
+}
+
+// Geometry returns the tree geometry.
+func (e *Engine) Geometry() Geometry { return e.geom }
+
+// Store exposes the bucket store (integrity-failure injection in tests and
+// advanced inspection).
+func (e *Engine) Store() Store { return e.store }
+
+// Stats returns a snapshot of engine statistics.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// StashLen returns current stash occupancy.
+func (e *Engine) StashLen() int { return e.stash.Len() }
+
+// RandomLeaf draws a uniform leaf.
+func (e *Engine) RandomLeaf() uint64 { return e.rand.Uint64n(e.geom.Leaves()) }
+
+// PositionOf exposes the internal position map (nil-safe; ok=false without
+// a map or for unmapped addresses).
+func (e *Engine) PositionOf(addr uint64) (uint64, bool) {
+	if e.pos == nil {
+		return 0, false
+	}
+	return e.pos.Get(addr)
+}
+
+// Access performs one accessORAM(addr, op, data) operation: position-map
+// lookup and remap, path read, block update, greedy writeback, and
+// background eviction if the stash ran hot. For OpRead it returns the
+// block's payload (zero-filled on first touch in functional mode, nil in
+// sparse mode); for OpWrite it stores data.
+func (e *Engine) Access(addr uint64, op Op, data []byte) ([]byte, AccessPlan, error) {
+	if e.pos == nil {
+		return nil, AccessPlan{}, errors.New("oram: Access requires a position map")
+	}
+	oldLeaf, mapped := e.pos.Get(addr)
+	if !mapped {
+		oldLeaf = e.RandomLeaf()
+	}
+	newLeaf := e.RandomLeaf()
+	e.pos.Set(addr, newLeaf)
+
+	plan, blk, err := e.accessPath(addr, op, data, oldLeaf, newLeaf, false)
+	if err != nil {
+		return nil, plan, err
+	}
+	var out []byte
+	if op == OpRead && blk.Data != nil {
+		out = append([]byte(nil), blk.Data...)
+	}
+	e.stats.Accesses++
+	return out, plan, nil
+}
+
+// AccessAt is the protocol-facing variant used by the SDIMM backends: the
+// caller supplies the old and new leaves (the frontend owns the position
+// map). If keep is false the block is removed from this engine and returned
+// (Independent protocol: the block migrates to another SDIMM's stash); the
+// departing block is held aside during writeback so no stale copy remains
+// in this tree.
+func (e *Engine) AccessAt(addr uint64, op Op, data []byte, oldLeaf, newLeaf uint64, keep bool) (Block, AccessPlan, error) {
+	plan, blk, err := e.accessPath(addr, op, data, oldLeaf, newLeaf, !keep)
+	if err != nil {
+		return Block{}, plan, err
+	}
+	e.stats.Accesses++
+	return blk, plan, nil
+}
+
+// accessPath implements the shared body of Access/AccessAt. When migrate is
+// set, the accessed block is excluded from this tree's writeback and
+// returned for transfer elsewhere.
+func (e *Engine) accessPath(addr uint64, op Op, data []byte, oldLeaf, newLeaf uint64, migrate bool) (AccessPlan, Block, error) {
+	plan := AccessPlan{Addr: addr, OldLeaf: oldLeaf, NewLeaf: newLeaf}
+	if !e.geom.ValidLeaf(oldLeaf) {
+		return plan, Block{}, fmt.Errorf("oram: old leaf %d out of range", oldLeaf)
+	}
+	if !migrate && !e.geom.ValidLeaf(newLeaf) {
+		return plan, Block{}, fmt.Errorf("oram: new leaf %d out of range", newLeaf)
+	}
+	path, err := e.ReadPath(oldLeaf)
+	if err != nil {
+		return plan, Block{}, err
+	}
+	plan.Path = path
+
+	blk, found := e.stash.Get(addr)
+	plan.Found = found
+	if !found {
+		blk = Block{Addr: addr, Leaf: newLeaf}
+		if e.blockBytesHint() > 0 {
+			blk.Data = make([]byte, e.blockBytesHint())
+		}
+	}
+	blk.Leaf = newLeaf
+	if op == OpWrite && data != nil {
+		blk.Data = append([]byte(nil), data...)
+	}
+	if migrate {
+		// The block leaves this ORAM entirely: keep it out of writeback.
+		e.stash.Remove(addr)
+	} else if err := e.stash.Put(blk); err != nil {
+		return plan, Block{}, err
+	}
+
+	if err := e.WritePath(oldLeaf); err != nil {
+		return plan, Block{}, err
+	}
+	if e.autoDrain {
+		leaves, err := e.DrainStash()
+		if err != nil {
+			return plan, Block{}, err
+		}
+		plan.BackgroundEvicts = len(leaves)
+		plan.BackgroundLeaves = leaves
+	}
+	plan.StashAfter = e.stash.Len()
+	return plan, blk, nil
+}
+
+// blockBytesHint infers the payload size from the store (functional mode).
+func (e *Engine) blockBytesHint() int {
+	if ms, ok := e.store.(*MemStore); ok {
+		return ms.blockBytes
+	}
+	return 0
+}
+
+// ReadPath reads every bucket on the path to leaf into the stash and
+// returns the path's bucket indices. It must be paired with a WritePath on
+// the same leaf before the next ReadPath (Path ORAM empties what it reads;
+// the writeback rewrites the whole path).
+func (e *Engine) ReadPath(leaf uint64) ([]uint64, error) {
+	if e.pending {
+		return nil, fmt.Errorf("oram: ReadPath(%d) while path %d is pending writeback", leaf, e.pendingLeaf)
+	}
+	if !e.geom.ValidLeaf(leaf) {
+		return nil, fmt.Errorf("oram: leaf %d out of range", leaf)
+	}
+	path := e.geom.Path(leaf, nil)
+	for _, idx := range path {
+		b, err := e.store.ReadBucket(idx)
+		if err != nil {
+			return nil, err
+		}
+		for _, slot := range b.Slots {
+			if slot.IsDummy() {
+				continue
+			}
+			if err := e.stash.Put(slot); err != nil {
+				return nil, err
+			}
+		}
+	}
+	e.pending = true
+	e.pendingLeaf = leaf
+	e.stats.PathReads++
+	if e.stash.Len() > e.stats.StashPeak {
+		e.stats.StashPeak = e.stash.Len()
+	}
+	return path, nil
+}
+
+// WritePath performs the greedy writeback: every bucket on the path to
+// leaf is refilled from the stash, deepest level first, with blocks whose
+// assigned leaf keeps them on this path.
+func (e *Engine) WritePath(leaf uint64) error {
+	if !e.pending || e.pendingLeaf != leaf {
+		return fmt.Errorf("oram: WritePath(%d) without matching ReadPath", leaf)
+	}
+	// Deterministic candidate order: sort by address.
+	cands := make([]Block, 0, e.stash.Len())
+	e.stash.Range(func(b Block) bool {
+		cands = append(cands, b)
+		return true
+	})
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Addr < cands[j].Addr })
+	placed := make(map[uint64]bool)
+
+	z := e.store.Z()
+	for lvl := e.geom.Levels - 1; lvl >= 0; lvl-- {
+		bucket := NewBucket(z)
+		n := 0
+		for _, b := range cands {
+			if n == z {
+				break
+			}
+			if placed[b.Addr] {
+				continue
+			}
+			if e.geom.CommonDepth(b.Leaf, leaf) >= lvl {
+				bucket.Slots[n] = b
+				n++
+				placed[b.Addr] = true
+			}
+		}
+		if err := e.store.WriteBucket(e.geom.BucketAt(leaf, lvl), bucket); err != nil {
+			return err
+		}
+	}
+	for addr := range placed {
+		e.stash.Remove(addr)
+	}
+	e.pending = false
+	e.stats.PathWrites++
+	return nil
+}
+
+// DrainStash performs background-eviction dummy accesses (read a random
+// path, write it back) while the stash exceeds the eviction threshold, up
+// to the per-access bound. It returns the leaves of the accesses performed.
+func (e *Engine) DrainStash() ([]uint64, error) {
+	var leaves []uint64
+	for e.stash.Len() > e.evictThreshold && len(leaves) < e.maxBG {
+		leaf := e.RandomLeaf()
+		if err := e.EvictPath(leaf); err != nil {
+			return leaves, err
+		}
+		leaves = append(leaves, leaf)
+		e.stats.BackgroundEvicts++
+	}
+	return leaves, nil
+}
+
+// EvictPath performs one externally-directed eviction access: it reads the
+// path to leaf and greedily writes it back. The Split protocol's CPU
+// controller calls this on every shard engine with the same leaf so shard
+// placements never diverge; it is also a dummy access for timing purposes.
+func (e *Engine) EvictPath(leaf uint64) error {
+	if _, err := e.ReadPath(leaf); err != nil {
+		return err
+	}
+	return e.WritePath(leaf)
+}
+
+// NeedsDrain reports whether the stash exceeds the eviction threshold.
+func (e *Engine) NeedsDrain() bool { return e.stash.Len() > e.evictThreshold }
+
+// StashInsert adds a block to the stash (the APPEND command of the
+// Independent protocol and the Split protocol's FETCH_DATA destination).
+func (e *Engine) StashInsert(b Block) error {
+	if !e.geom.ValidLeaf(b.Leaf) {
+		return fmt.Errorf("oram: inserting block with leaf %d out of range", b.Leaf)
+	}
+	if e.stash.Len() > e.stats.StashPeak {
+		e.stats.StashPeak = e.stash.Len()
+	}
+	return e.stash.Put(b)
+}
+
+// StashRemove removes and returns the block for addr if present.
+func (e *Engine) StashRemove(addr uint64) (Block, bool) { return e.stash.Remove(addr) }
+
+// StashGet returns the block for addr without removing it.
+func (e *Engine) StashGet(addr uint64) (Block, bool) { return e.stash.Get(addr) }

@@ -1,0 +1,154 @@
+package oram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryBounds(t *testing.T) {
+	if _, err := NewGeometry(0); err == nil {
+		t.Error("levels 0 accepted")
+	}
+	if _, err := NewGeometry(49); err == nil {
+		t.Error("levels 49 accepted")
+	}
+	g, err := NewGeometry(5)
+	if err != nil || g.Levels != 5 {
+		t.Fatalf("NewGeometry(5) = %v, %v", g, err)
+	}
+}
+
+func TestMustGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGeometry(0) did not panic")
+		}
+	}()
+	MustGeometry(0)
+}
+
+func TestCounts(t *testing.T) {
+	g := MustGeometry(4)
+	if g.Leaves() != 8 {
+		t.Errorf("Leaves = %d, want 8", g.Leaves())
+	}
+	if g.Buckets() != 15 {
+		t.Errorf("Buckets = %d, want 15", g.Buckets())
+	}
+	if g.CapacityBlocks(4) != 30 {
+		t.Errorf("CapacityBlocks(4) = %d, want 30", g.CapacityBlocks(4))
+	}
+}
+
+func TestLevelOf(t *testing.T) {
+	g := MustGeometry(4)
+	want := map[uint64]int{0: 0, 1: 1, 2: 1, 3: 2, 6: 2, 7: 3, 14: 3}
+	for b, lvl := range want {
+		if got := g.LevelOf(b); got != lvl {
+			t.Errorf("LevelOf(%d) = %d, want %d", b, got, lvl)
+		}
+	}
+}
+
+func TestPathStructure(t *testing.T) {
+	g := MustGeometry(5)
+	for leaf := uint64(0); leaf < g.Leaves(); leaf++ {
+		p := g.Path(leaf, nil)
+		if len(p) != g.Levels {
+			t.Fatalf("path length %d", len(p))
+		}
+		if p[0] != 0 {
+			t.Fatalf("path does not start at root: %v", p)
+		}
+		if p[g.Levels-1] != g.Buckets()-g.Leaves()+leaf {
+			t.Fatalf("leaf bucket wrong for leaf %d: %v", leaf, p)
+		}
+		for i := 1; i < len(p); i++ {
+			parent := (p[i] - 1) / 2
+			if parent != p[i-1] {
+				t.Fatalf("path not parent-linked at %d: %v", i, p)
+			}
+		}
+	}
+}
+
+func TestPathReuseBuffer(t *testing.T) {
+	g := MustGeometry(4)
+	buf := make([]uint64, g.Levels)
+	p := g.Path(3, buf)
+	if &p[0] != &buf[0] {
+		t.Fatal("Path did not reuse caller buffer")
+	}
+}
+
+func TestBucketAtPanicsOutOfRange(t *testing.T) {
+	g := MustGeometry(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BucketAt(leaf, 99) did not panic")
+		}
+	}()
+	g.BucketAt(0, 99)
+}
+
+func TestCommonDepth(t *testing.T) {
+	g := MustGeometry(4) // 8 leaves, depth 0..3
+	cases := []struct {
+		a, b uint64
+		want int
+	}{
+		{0, 0, 3},
+		{0, 1, 2},
+		{0, 2, 1},
+		{0, 3, 1},
+		{0, 4, 0},
+		{0, 7, 0},
+		{6, 7, 2},
+	}
+	for _, c := range cases {
+		if got := g.CommonDepth(c.a, c.b); got != c.want {
+			t.Errorf("CommonDepth(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: CommonDepth(a,b) is exactly the number of shared buckets minus
+// one between the two paths, and it is symmetric.
+func TestPropertyCommonDepthMatchesPaths(t *testing.T) {
+	g := MustGeometry(10)
+	f := func(a, b uint64) bool {
+		a %= g.Leaves()
+		b %= g.Leaves()
+		if g.CommonDepth(a, b) != g.CommonDepth(b, a) {
+			return false
+		}
+		pa := g.Path(a, nil)
+		pb := g.Path(b, nil)
+		shared := 0
+		for i := range pa {
+			if pa[i] == pb[i] {
+				shared = i
+			} else {
+				break
+			}
+		}
+		return g.CommonDepth(a, b) == shared
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BucketAt is consistent with LevelOf and bucket indexing.
+func TestPropertyBucketAtLevel(t *testing.T) {
+	g := MustGeometry(12)
+	f := func(leaf uint64, lvl uint8) bool {
+		leaf %= g.Leaves()
+		l := int(lvl) % g.Levels
+		b := g.BucketAt(leaf, l)
+		return g.LevelOf(b) == l && b < g.Buckets()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package oram
+
+import "fmt"
+
+// Layout maps bucket indices to linear cache-line addresses in the ORAM
+// region of physical memory. It implements two paper techniques:
+//
+//   - Subtree packing [Ren et al., adopted in Section III]: the tree is cut
+//     into layers of SubtreeLevels levels; the buckets of each small subtree
+//     are stored contiguously, so one path descent touches few DRAM rows and
+//     row-buffer hit rate goes up.
+//
+//   - Rank-per-subtree placement (Section III-E): with NumRanks > 0, the top
+//     log2(NumRanks) tree levels are pinned in the secure buffer and each
+//     remaining top-level subtree is confined to one rank, so an accessORAM
+//     touches a single rank and the others can stay in power-down.
+type Layout struct {
+	Geom           Geometry
+	LinesPerBucket int
+	SubtreeLevels  int
+	// CachedLevels top levels are held on-chip and occupy no memory lines.
+	CachedLevels int
+	// NumRanks enables the low-power placement when > 1 (must be a power
+	// of two). Zero disables rank pinning.
+	NumRanks int
+	// BucketBytes, when > 0, packs buckets at byte granularity instead of
+	// whole lines: bucket i occupies bytes [i*BucketBytes, (i+1)*BucketBytes)
+	// of its packed region and its Placement covers the lines that span.
+	// Used by the Split protocol, whose shards (e.g. 160 B at 2-way
+	// splitting) would otherwise waste a third of every line. LineBytes
+	// must then also be set; LinesPerBucket is ignored for placement but
+	// still bounds Placement.LineCount reporting.
+	BucketBytes int
+	LineBytes   int
+}
+
+// Validate checks the layout parameters.
+func (l Layout) Validate() error {
+	if l.Geom.Levels <= 0 {
+		return fmt.Errorf("oram: layout with zero geometry")
+	}
+	if l.LinesPerBucket <= 0 {
+		return fmt.Errorf("oram: layout lines per bucket %d", l.LinesPerBucket)
+	}
+	if l.BucketBytes < 0 || (l.BucketBytes > 0 && l.LineBytes <= 0) {
+		return fmt.Errorf("oram: byte-packed layout needs BucketBytes ≥ 0 and LineBytes > 0")
+	}
+	if l.SubtreeLevels <= 0 {
+		return fmt.Errorf("oram: layout subtree levels %d", l.SubtreeLevels)
+	}
+	if l.CachedLevels < 0 || l.CachedLevels >= l.Geom.Levels {
+		return fmt.Errorf("oram: layout cached levels %d out of [0, %d)", l.CachedLevels, l.Geom.Levels)
+	}
+	if l.NumRanks != 0 {
+		if l.NumRanks&(l.NumRanks-1) != 0 {
+			return fmt.Errorf("oram: rank count %d not a power of two", l.NumRanks)
+		}
+		if rankLevels(l.NumRanks) >= l.Geom.Levels {
+			return fmt.Errorf("oram: %d ranks need more than %d tree levels", l.NumRanks, l.Geom.Levels)
+		}
+	}
+	return nil
+}
+
+func rankLevels(ranks int) int {
+	n := 0
+	for r := ranks; r > 1; r >>= 1 {
+		n++
+	}
+	return n
+}
+
+// Placement is the physical home of one bucket.
+type Placement struct {
+	// OnChip: the bucket lives in the controller/secure buffer (cached top
+	// levels, or the shared top of the low-power layout); no lines.
+	OnChip bool
+	// Rank is the pinned rank (low-power layout), or -1 for the default
+	// address-interleaved policy.
+	Rank int
+	// FirstLine is the linear line address of the bucket's first line
+	// (rank-local when Rank >= 0). Lines are contiguous per bucket.
+	FirstLine uint64
+	// LineCount is how many lines the bucket spans (differs per bucket
+	// only under byte packing).
+	LineCount int
+}
+
+// Lines returns the bucket's line addresses (nil when on-chip).
+func (p Placement) Lines(linesPerBucket int) []uint64 {
+	if p.OnChip {
+		return nil
+	}
+	n := p.LineCount
+	if n == 0 {
+		n = linesPerBucket
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = p.FirstLine + uint64(i)
+	}
+	return out
+}
+
+// Place computes the physical placement of a bucket.
+func (l Layout) Place(bucket uint64) Placement {
+	if bucket >= l.Geom.Buckets() {
+		panic(fmt.Sprintf("oram: bucket %d out of tree with %d buckets", bucket, l.Geom.Buckets()))
+	}
+	lvl := l.Geom.LevelOf(bucket)
+	if lvl < l.CachedLevels {
+		return Placement{OnChip: true, Rank: -1}
+	}
+
+	if l.NumRanks > 1 {
+		rl := rankLevels(l.NumRanks)
+		if lvl < rl {
+			// Shared top of the forest: kept in the secure buffer
+			// (Section III-E: "the first two levels ... are stored in the
+			// secure buffer").
+			return Placement{OnChip: true, Rank: -1}
+		}
+		posInLevel := bucket + 1 - 1<<uint(lvl)
+		rankIdx := int(posInLevel >> uint(lvl-rl))
+		// Re-index the bucket within its rank-subtree and lay that subtree
+		// out with subtree packing.
+		sub := Geometry{Levels: l.Geom.Levels - rl}
+		localLvl := lvl - rl
+		localPos := posInLevel & (1<<uint(localLvl) - 1)
+		localBucket := 1<<uint(localLvl) - 1 + localPos
+		localLayout := Layout{
+			Geom: sub, LinesPerBucket: l.LinesPerBucket, SubtreeLevels: l.SubtreeLevels,
+			BucketBytes: l.BucketBytes, LineBytes: l.LineBytes,
+		}
+		pl := localLayout.place2(localBucket)
+		pl.Rank = rankIdx
+		return pl
+	}
+
+	return l.place2(bucket)
+}
+
+// place2 converts a packed bucket position to a line placement, honouring
+// byte packing when configured.
+func (l Layout) place2(bucket uint64) Placement {
+	idx := l.packedOffset(bucket)
+	if l.BucketBytes > 0 {
+		start := idx * uint64(l.BucketBytes)
+		end := start + uint64(l.BucketBytes) - 1
+		first := start / uint64(l.LineBytes)
+		last := end / uint64(l.LineBytes)
+		return Placement{Rank: -1, FirstLine: first, LineCount: int(last-first) + 1}
+	}
+	return Placement{Rank: -1, FirstLine: idx * uint64(l.LinesPerBucket), LineCount: l.LinesPerBucket}
+}
+
+// packedOffset returns the bucket's position (in buckets) under subtree
+// packing: layers of SubtreeLevels levels; subtrees within a layer stored
+// contiguously in order of their roots.
+func (l Layout) packedOffset(bucket uint64) uint64 {
+	lvl := l.Geom.LevelOf(bucket)
+	k := l.SubtreeLevels
+	layer := lvl / k
+	rootLvl := layer * k
+	layerLevels := k
+	if rootLvl+layerLevels > l.Geom.Levels {
+		layerLevels = l.Geom.Levels - rootLvl
+	}
+	subtreeSize := uint64(1)<<uint(layerLevels) - 1
+
+	posInLevel := bucket + 1 - 1<<uint(lvl)
+	localLvl := lvl - rootLvl
+	rootPos := posInLevel >> uint(localLvl)
+	localPos := posInLevel & (1<<uint(localLvl) - 1)
+	localIdx := uint64(1)<<uint(localLvl) - 1 + localPos
+
+	bucketsBeforeLayer := uint64(1)<<uint(rootLvl) - 1
+	return bucketsBeforeLayer + rootPos*subtreeSize + localIdx
+}
+
+// TotalLines returns the memory footprint of the layout in lines for one
+// rank partition (NumRanks > 1) or the whole tree (otherwise). Cached
+// levels still occupy address space (holes) to keep the mapping simple.
+func (l Layout) TotalLines() uint64 {
+	buckets := l.Geom.Buckets()
+	if l.NumRanks > 1 {
+		sub := Geometry{Levels: l.Geom.Levels - rankLevels(l.NumRanks)}
+		buckets = sub.Buckets()
+	}
+	if l.BucketBytes > 0 {
+		return (buckets*uint64(l.BucketBytes) + uint64(l.LineBytes) - 1) / uint64(l.LineBytes)
+	}
+	return buckets * uint64(l.LinesPerBucket)
+}

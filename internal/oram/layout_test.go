@@ -1,0 +1,278 @@
+package oram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutValidate(t *testing.T) {
+	g := MustGeometry(10)
+	ok := Layout{Geom: g, LinesPerBucket: 5, SubtreeLevels: 4}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Layout{
+		{LinesPerBucket: 5, SubtreeLevels: 4},
+		{Geom: g, SubtreeLevels: 4},
+		{Geom: g, LinesPerBucket: 5},
+		{Geom: g, LinesPerBucket: 5, SubtreeLevels: 4, CachedLevels: 10},
+		{Geom: g, LinesPerBucket: 5, SubtreeLevels: 4, NumRanks: 3},
+		{Geom: MustGeometry(2), LinesPerBucket: 5, SubtreeLevels: 4, NumRanks: 4},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("bad layout %d accepted", i)
+		}
+	}
+}
+
+func TestPlacementsDistinct(t *testing.T) {
+	g := MustGeometry(10)
+	l := Layout{Geom: g, LinesPerBucket: 5, SubtreeLevels: 4}
+	seen := make(map[uint64]uint64)
+	for b := uint64(0); b < g.Buckets(); b++ {
+		p := l.Place(b)
+		if p.OnChip {
+			t.Fatalf("bucket %d on-chip without caching", b)
+		}
+		if prev, dup := seen[p.FirstLine]; dup {
+			t.Fatalf("buckets %d and %d share line %d", prev, b, p.FirstLine)
+		}
+		if p.FirstLine%uint64(l.LinesPerBucket) != 0 {
+			t.Fatalf("bucket %d not aligned: %d", b, p.FirstLine)
+		}
+		if p.FirstLine >= l.TotalLines() {
+			t.Fatalf("bucket %d beyond footprint", b)
+		}
+		seen[p.FirstLine] = b
+	}
+	if uint64(len(seen)) != g.Buckets() {
+		t.Fatalf("placed %d of %d buckets", len(seen), g.Buckets())
+	}
+}
+
+func TestSubtreePackingLocality(t *testing.T) {
+	// The 15 buckets of each 4-level subtree must be contiguous: a whole
+	// path through one subtree then spans ≤ 15*linesPerBucket lines.
+	g := MustGeometry(12)
+	l := Layout{Geom: g, LinesPerBucket: 5, SubtreeLevels: 4}
+	leaf := uint64(0b10110101101)
+	path := g.Path(leaf%g.Leaves(), nil)
+	subtreeSpan := uint64((1<<4 - 1) * l.LinesPerBucket)
+	for layer := 0; layer < 3; layer++ {
+		var lines []uint64
+		for lvl := layer * 4; lvl < (layer+1)*4; lvl++ {
+			lines = append(lines, l.Place(path[lvl]).FirstLine)
+		}
+		min, max := lines[0], lines[0]
+		for _, x := range lines {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		if max-min >= subtreeSpan {
+			t.Fatalf("layer %d path span %d exceeds subtree span %d", layer, max-min, subtreeSpan)
+		}
+	}
+}
+
+func TestCachedLevelsOnChip(t *testing.T) {
+	g := MustGeometry(10)
+	l := Layout{Geom: g, LinesPerBucket: 5, SubtreeLevels: 4, CachedLevels: 3}
+	for b := uint64(0); b < g.Buckets(); b++ {
+		p := l.Place(b)
+		wantOnChip := g.LevelOf(b) < 3
+		if p.OnChip != wantOnChip {
+			t.Fatalf("bucket %d (level %d) OnChip = %v", b, g.LevelOf(b), p.OnChip)
+		}
+	}
+	if got := l.Place(0).Lines(5); got != nil {
+		t.Fatal("on-chip bucket reported lines")
+	}
+}
+
+func TestLowPowerRankPinning(t *testing.T) {
+	g := MustGeometry(10)
+	l := Layout{Geom: g, LinesPerBucket: 5, SubtreeLevels: 4, NumRanks: 4}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Top 2 levels on-chip.
+	for _, b := range []uint64{0, 1, 2} {
+		if !l.Place(b).OnChip {
+			t.Fatalf("top bucket %d not on-chip in low-power layout", b)
+		}
+	}
+	// Every path must touch exactly one rank (below the shared top).
+	for leaf := uint64(0); leaf < g.Leaves(); leaf += 7 {
+		ranks := map[int]bool{}
+		for _, idx := range g.Path(leaf, nil) {
+			p := l.Place(idx)
+			if p.OnChip {
+				continue
+			}
+			ranks[p.Rank] = true
+		}
+		if len(ranks) != 1 {
+			t.Fatalf("leaf %d path touches ranks %v", leaf, ranks)
+		}
+	}
+	// The 4 quarters of the leaf space map to the 4 ranks in order.
+	quarter := g.Leaves() / 4
+	for q := 0; q < 4; q++ {
+		p := l.Place(g.BucketAt(uint64(q)*quarter, g.Levels-1))
+		if p.Rank != q {
+			t.Fatalf("quarter %d leaf pinned to rank %d", q, p.Rank)
+		}
+	}
+}
+
+func TestLowPowerPlacementsDistinctWithinRank(t *testing.T) {
+	g := MustGeometry(9)
+	l := Layout{Geom: g, LinesPerBucket: 3, SubtreeLevels: 4, NumRanks: 4}
+	seen := make(map[[2]uint64]uint64)
+	for b := uint64(0); b < g.Buckets(); b++ {
+		p := l.Place(b)
+		if p.OnChip {
+			continue
+		}
+		key := [2]uint64{uint64(p.Rank), p.FirstLine}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("buckets %d and %d collide at rank %d line %d", prev, b, p.Rank, p.FirstLine)
+		}
+		if p.FirstLine >= l.TotalLines() {
+			t.Fatalf("bucket %d beyond per-rank footprint", b)
+		}
+		seen[key] = b
+	}
+}
+
+func TestPlacePanicsOutOfTree(t *testing.T) {
+	g := MustGeometry(4)
+	l := Layout{Geom: g, LinesPerBucket: 5, SubtreeLevels: 4}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Place(out of tree) did not panic")
+		}
+	}()
+	l.Place(g.Buckets())
+}
+
+func TestPlacementLines(t *testing.T) {
+	p := Placement{FirstLine: 10}
+	lines := p.Lines(3)
+	want := []uint64{10, 11, 12}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("Lines = %v", lines)
+		}
+	}
+}
+
+// Property: packing is a bijection onto [0, buckets) for trees whose depth
+// is not a multiple of the subtree height (exercises the short last layer).
+func TestPropertyPackingBijective(t *testing.T) {
+	g := MustGeometry(11) // 11 = 2*4 + 3: short last layer
+	l := Layout{Geom: g, LinesPerBucket: 1, SubtreeLevels: 4}
+	seen := make([]bool, g.Buckets())
+	for b := uint64(0); b < g.Buckets(); b++ {
+		off := l.Place(b).FirstLine
+		if off >= g.Buckets() {
+			t.Fatalf("offset %d out of range", off)
+		}
+		if seen[off] {
+			t.Fatalf("offset %d reused", off)
+		}
+		seen[off] = true
+	}
+	f := func(x uint64) bool {
+		b := x % g.Buckets()
+		return l.Place(b).FirstLine < g.Buckets()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytePackedPlacement(t *testing.T) {
+	g := MustGeometry(8)
+	l := Layout{
+		Geom: g, LinesPerBucket: 3, SubtreeLevels: 4,
+		BucketBytes: 160, LineBytes: 64,
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket regions must tile the byte space without gaps: bucket with
+	// packed offset i starts at byte i*160.
+	seen := map[uint64]bool{}
+	var total uint64
+	for b := uint64(0); b < g.Buckets(); b++ {
+		p := l.Place(b)
+		if p.LineCount < 2 || p.LineCount > 3 {
+			t.Fatalf("bucket %d spans %d lines for 160B", b, p.LineCount)
+		}
+		total += uint64(p.LineCount)
+		seen[p.FirstLine] = true
+	}
+	// 160B per bucket: footprint must be about buckets*160/64 lines.
+	want := (g.Buckets()*160 + 63) / 64
+	if l.TotalLines() != want {
+		t.Fatalf("TotalLines = %d, want %d", l.TotalLines(), want)
+	}
+	// Spanned lines stay within the footprint.
+	for b := uint64(0); b < g.Buckets(); b++ {
+		p := l.Place(b)
+		if p.FirstLine+uint64(p.LineCount) > want {
+			t.Fatalf("bucket %d spans beyond footprint", b)
+		}
+	}
+}
+
+func TestBytePackedValidation(t *testing.T) {
+	g := MustGeometry(4)
+	l := Layout{Geom: g, LinesPerBucket: 1, SubtreeLevels: 4, BucketBytes: 100}
+	if err := l.Validate(); err == nil {
+		t.Fatal("BucketBytes without LineBytes accepted")
+	}
+}
+
+func TestBytePackedWithRankPinning(t *testing.T) {
+	g := MustGeometry(9)
+	l := Layout{
+		Geom: g, LinesPerBucket: 3, SubtreeLevels: 4, NumRanks: 4,
+		BucketBytes: 84, LineBytes: 64,
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for leaf := uint64(0); leaf < g.Leaves(); leaf += 5 {
+		ranks := map[int]bool{}
+		for _, idx := range g.Path(leaf, nil) {
+			p := l.Place(idx)
+			if !p.OnChip {
+				ranks[p.Rank] = true
+				if p.LineCount < 1 {
+					t.Fatalf("bucket %d has no lines", idx)
+				}
+			}
+		}
+		if len(ranks) != 1 {
+			t.Fatalf("leaf %d path touches %v", leaf, ranks)
+		}
+	}
+}
+
+func TestPlacementLineCountDefault(t *testing.T) {
+	p := Placement{FirstLine: 4}
+	if got := p.Lines(2); len(got) != 2 {
+		t.Fatalf("zero LineCount should fall back to linesPerBucket: %v", got)
+	}
+	p.LineCount = 3
+	if got := p.Lines(2); len(got) != 3 {
+		t.Fatalf("explicit LineCount ignored: %v", got)
+	}
+}

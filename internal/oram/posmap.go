@@ -1,0 +1,76 @@
+package oram
+
+// PositionMap associates each block address with the leaf whose path must
+// contain the block. Implementations are not safe for concurrent use; the
+// simulator is single-threaded by construction (discrete-event).
+type PositionMap interface {
+	// Get returns the leaf for addr and whether the address has ever been
+	// mapped.
+	Get(addr uint64) (leaf uint64, ok bool)
+	// Set maps addr to leaf.
+	Set(addr uint64, leaf uint64)
+	// Len returns the number of mapped addresses.
+	Len() int
+}
+
+// DensePosMap is an array-backed position map for small functional trees.
+type DensePosMap struct {
+	leaves []uint64
+	set    []bool
+	n      int
+}
+
+// NewDensePosMap builds a dense map over addresses [0, capacity).
+func NewDensePosMap(capacity uint64) *DensePosMap {
+	return &DensePosMap{
+		leaves: make([]uint64, capacity),
+		set:    make([]bool, capacity),
+	}
+}
+
+// Get implements PositionMap.
+func (m *DensePosMap) Get(addr uint64) (uint64, bool) {
+	if addr >= uint64(len(m.leaves)) || !m.set[addr] {
+		return 0, false
+	}
+	return m.leaves[addr], true
+}
+
+// Set implements PositionMap. Addresses beyond capacity panic: the dense
+// map is used only with bounded functional address spaces.
+func (m *DensePosMap) Set(addr uint64, leaf uint64) {
+	if !m.set[addr] {
+		m.n++
+	}
+	m.set[addr] = true
+	m.leaves[addr] = leaf
+}
+
+// Len implements PositionMap.
+func (m *DensePosMap) Len() int { return m.n }
+
+// SparsePosMap is a map-backed position map: memory grows with the touched
+// working set, so paper-scale address spaces (2^29 blocks) are cheap as
+// long as the trace touches a bounded set. Untouched blocks are
+// indistinguishable from never-inserted blocks, which is the standard
+// ORAM-simulation treatment.
+type SparsePosMap struct {
+	m map[uint64]uint64
+}
+
+// NewSparsePosMap builds an empty sparse map.
+func NewSparsePosMap() *SparsePosMap {
+	return &SparsePosMap{m: make(map[uint64]uint64)}
+}
+
+// Get implements PositionMap.
+func (m *SparsePosMap) Get(addr uint64) (uint64, bool) {
+	l, ok := m.m[addr]
+	return l, ok
+}
+
+// Set implements PositionMap.
+func (m *SparsePosMap) Set(addr uint64, leaf uint64) { m.m[addr] = leaf }
+
+// Len implements PositionMap.
+func (m *SparsePosMap) Len() int { return len(m.m) }

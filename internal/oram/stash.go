@@ -1,0 +1,66 @@
+package oram
+
+import "fmt"
+
+// Stash holds blocks that have been read off their paths and not yet
+// written back. Path ORAM's security argument requires only that its
+// occupancy stays small; overflow is a hard error surfaced to the caller
+// (the paper sizes it at ~200 entries and shows overflow probability is
+// negligible for Z >= 4 with background eviction).
+type Stash struct {
+	capacity int
+	blocks   map[uint64]Block // keyed by address
+}
+
+// NewStash builds a stash with the given capacity.
+func NewStash(capacity int) *Stash {
+	return &Stash{capacity: capacity, blocks: make(map[uint64]Block)}
+}
+
+// Len returns the current occupancy.
+func (s *Stash) Len() int { return len(s.blocks) }
+
+// Capacity returns the configured limit.
+func (s *Stash) Capacity() int { return s.capacity }
+
+// ErrStashOverflow is wrapped by Put when capacity would be exceeded.
+var ErrStashOverflow = fmt.Errorf("oram: stash overflow")
+
+// Put inserts or replaces a block. Inserting a new block into a full stash
+// fails with ErrStashOverflow; replacing an existing address never fails.
+func (s *Stash) Put(b Block) error {
+	if b.IsDummy() {
+		return fmt.Errorf("oram: dummy block inserted into stash")
+	}
+	if _, ok := s.blocks[b.Addr]; !ok && len(s.blocks) >= s.capacity {
+		return fmt.Errorf("%w: capacity %d", ErrStashOverflow, s.capacity)
+	}
+	s.blocks[b.Addr] = b
+	return nil
+}
+
+// Get returns the block for addr without removing it.
+func (s *Stash) Get(addr uint64) (Block, bool) {
+	b, ok := s.blocks[addr]
+	return b, ok
+}
+
+// Remove deletes and returns the block for addr.
+func (s *Stash) Remove(addr uint64) (Block, bool) {
+	b, ok := s.blocks[addr]
+	if ok {
+		delete(s.blocks, addr)
+	}
+	return b, ok
+}
+
+// Range calls fn for every block until fn returns false. Iteration order is
+// unspecified; callers needing determinism must sort (see Engine eviction,
+// which selects deterministically by address).
+func (s *Stash) Range(fn func(Block) bool) {
+	for _, b := range s.blocks {
+		if !fn(b) {
+			return
+		}
+	}
+}

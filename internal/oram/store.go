@@ -1,0 +1,230 @@
+package oram
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sdimm/internal/integrity"
+)
+
+// DummyAddr marks an empty bucket slot.
+const DummyAddr = ^uint64(0)
+
+// Block is one ORAM block: its logical address, its assigned leaf, and (in
+// functional mode) its payload.
+type Block struct {
+	Addr uint64
+	Leaf uint64
+	Data []byte // nil in sparse/timing mode
+}
+
+// IsDummy reports whether the slot is empty.
+func (b Block) IsDummy() bool { return b.Addr == DummyAddr }
+
+// Bucket is one tree node: Z slots plus the monotonic write counter used
+// for encryption and PMMAC freshness.
+type Bucket struct {
+	Slots   []Block
+	Counter uint64
+}
+
+// NewBucket returns an all-dummy bucket with z slots.
+func NewBucket(z int) Bucket {
+	b := Bucket{Slots: make([]Block, z)}
+	for i := range b.Slots {
+		b.Slots[i].Addr = DummyAddr
+	}
+	return b
+}
+
+// RealBlocks returns the number of non-dummy slots.
+func (b Bucket) RealBlocks() int {
+	n := 0
+	for _, s := range b.Slots {
+		if !s.IsDummy() {
+			n++
+		}
+	}
+	return n
+}
+
+// Store abstracts bucket storage. Bucket indices follow Geometry's heap
+// order. Reading a never-written bucket returns an all-dummy bucket.
+type Store interface {
+	ReadBucket(idx uint64) (Bucket, error)
+	WriteBucket(idx uint64, b Bucket) error
+	// Z returns the slots per bucket.
+	Z() int
+}
+
+// SparseStore keeps bucket placement metadata only (no payloads, no
+// cryptography): the timing simulator's backing store. Memory grows with
+// the number of buckets ever written.
+type SparseStore struct {
+	z       int
+	buckets map[uint64]Bucket
+}
+
+// NewSparseStore builds an empty sparse store with z slots per bucket.
+func NewSparseStore(z int) *SparseStore {
+	return &SparseStore{z: z, buckets: make(map[uint64]Bucket)}
+}
+
+// Z implements Store.
+func (s *SparseStore) Z() int { return s.z }
+
+// ReadBucket implements Store.
+func (s *SparseStore) ReadBucket(idx uint64) (Bucket, error) {
+	if b, ok := s.buckets[idx]; ok {
+		// Return a copy so callers cannot alias stored state.
+		cp := Bucket{Slots: append([]Block(nil), b.Slots...), Counter: b.Counter}
+		return cp, nil
+	}
+	return NewBucket(s.z), nil
+}
+
+// WriteBucket implements Store. The write counter is owned by the store and
+// advances monotonically regardless of the Counter field passed in.
+func (s *SparseStore) WriteBucket(idx uint64, b Bucket) error {
+	if len(b.Slots) != s.z {
+		return fmt.Errorf("oram: bucket with %d slots written to Z=%d store", len(b.Slots), s.z)
+	}
+	var counter uint64
+	if old, ok := s.buckets[idx]; ok {
+		counter = old.Counter
+	}
+	cp := Bucket{Slots: append([]Block(nil), b.Slots...), Counter: counter + 1}
+	s.buckets[idx] = cp
+	return nil
+}
+
+// Materialized returns how many buckets have ever been written (test and
+// memory-footprint introspection).
+func (s *SparseStore) Materialized() int { return len(s.buckets) }
+
+// ErrIntegrity is returned when a bucket fails MAC verification.
+var ErrIntegrity = errors.New("oram: bucket failed integrity verification")
+
+// MemStore is the functional store: buckets are serialized, encrypted with
+// AES-CTR under a per-bucket counter, and authenticated with PMMAC. It is
+// what a real secure buffer does to its DRAM contents; unit and property
+// tests run the full engine against it.
+type MemStore struct {
+	z          int
+	blockBytes int
+	aead       cipher.Block
+	mac        *integrity.PMMAC
+	buckets    map[uint64][]byte // idx -> counter || ciphertext || tag
+}
+
+// NewMemStore builds a functional store. key seeds both the encryption and
+// MAC keys; blockBytes is the payload size of every block.
+func NewMemStore(z, blockBytes int, key []byte) (*MemStore, error) {
+	if z <= 0 || blockBytes <= 0 {
+		return nil, fmt.Errorf("oram: invalid store shape z=%d block=%d", z, blockBytes)
+	}
+	kb := make([]byte, 16)
+	copy(kb, key)
+	blk, err := aes.NewCipher(kb)
+	if err != nil {
+		return nil, fmt.Errorf("oram: store cipher: %w", err)
+	}
+	macKey := append([]byte("pmmac|"), key...)
+	return &MemStore{
+		z:          z,
+		blockBytes: blockBytes,
+		aead:       blk,
+		mac:        integrity.New(macKey),
+		buckets:    make(map[uint64][]byte),
+	}, nil
+}
+
+// Z implements Store.
+func (s *MemStore) Z() int { return s.z }
+
+const slotHeader = 16 // addr (8) + leaf (8)
+
+func (s *MemStore) plainSize() int { return s.z * (slotHeader + s.blockBytes) }
+
+// ReadBucket implements Store: it decrypts and verifies the bucket.
+func (s *MemStore) ReadBucket(idx uint64) (Bucket, error) {
+	raw, ok := s.buckets[idx]
+	if !ok {
+		return NewBucket(s.z), nil
+	}
+	counter := binary.BigEndian.Uint64(raw[:8])
+	ct := raw[8 : 8+s.plainSize()]
+	tag := raw[8+s.plainSize():]
+	if !s.mac.Verify(idx, counter, ct, tag) {
+		return Bucket{}, fmt.Errorf("%w: bucket %d", ErrIntegrity, idx)
+	}
+	pt := make([]byte, len(ct))
+	s.keystream(idx, counter, ct, pt)
+	b := Bucket{Slots: make([]Block, s.z), Counter: counter}
+	for i := 0; i < s.z; i++ {
+		off := i * (slotHeader + s.blockBytes)
+		b.Slots[i].Addr = binary.BigEndian.Uint64(pt[off:])
+		b.Slots[i].Leaf = binary.BigEndian.Uint64(pt[off+8:])
+		if !b.Slots[i].IsDummy() {
+			b.Slots[i].Data = append([]byte(nil), pt[off+slotHeader:off+slotHeader+s.blockBytes]...)
+		}
+	}
+	return b, nil
+}
+
+// WriteBucket implements Store: it bumps the counter, re-encrypts and
+// re-MACs the bucket (every Path ORAM writeback re-encrypts). The counter
+// is owned by the store and advances monotonically.
+func (s *MemStore) WriteBucket(idx uint64, b Bucket) error {
+	if len(b.Slots) != s.z {
+		return fmt.Errorf("oram: bucket with %d slots written to Z=%d store", len(b.Slots), s.z)
+	}
+	var counter uint64
+	if old, ok := s.buckets[idx]; ok {
+		counter = binary.BigEndian.Uint64(old[:8])
+	}
+	counter++
+	pt := make([]byte, s.plainSize())
+	for i, slot := range b.Slots {
+		off := i * (slotHeader + s.blockBytes)
+		binary.BigEndian.PutUint64(pt[off:], slot.Addr)
+		binary.BigEndian.PutUint64(pt[off+8:], slot.Leaf)
+		if !slot.IsDummy() {
+			if len(slot.Data) > s.blockBytes {
+				return fmt.Errorf("oram: block %d payload %d exceeds %d bytes", slot.Addr, len(slot.Data), s.blockBytes)
+			}
+			copy(pt[off+slotHeader:off+slotHeader+s.blockBytes], slot.Data)
+		}
+	}
+	ct := make([]byte, len(pt))
+	s.keystream(idx, counter, pt, ct)
+	raw := make([]byte, 8+len(ct)+integrity.TagSize)
+	binary.BigEndian.PutUint64(raw[:8], counter)
+	copy(raw[8:], ct)
+	copy(raw[8+len(ct):], s.mac.Tag(idx, counter, ct))
+	s.buckets[idx] = raw
+	return nil
+}
+
+// Corrupt flips a ciphertext bit in a stored bucket (test hook for
+// integrity-failure injection). It reports whether the bucket existed.
+func (s *MemStore) Corrupt(idx uint64) bool {
+	raw, ok := s.buckets[idx]
+	if !ok {
+		return false
+	}
+	raw[8] ^= 0x01
+	return true
+}
+
+// keystream XORs src into dst with the AES-CTR stream bound to (bucket,
+// counter), so every write of every bucket uses a fresh pad.
+func (s *MemStore) keystream(idx, counter uint64, src, dst []byte) {
+	var iv [aes.BlockSize]byte
+	binary.BigEndian.PutUint64(iv[:8], idx)
+	binary.BigEndian.PutUint64(iv[8:], counter)
+	cipher.NewCTR(s.aead, iv[:]).XORKeyStream(dst, src)
+}

@@ -1,0 +1,79 @@
+package protocol
+
+import (
+	"testing"
+
+	"sdimm/internal/config"
+	"sdimm/internal/dram"
+	"sdimm/internal/event"
+)
+
+func TestTenantValidation(t *testing.T) {
+	eng := &event.Engine{}
+	cfg := cfgFor(config.Independent, 1, 20)
+	if _, err := NewTenantOnChannels(eng, cfg.Org, nil); err == nil {
+		t.Error("no channels accepted")
+	}
+	if _, err := NewTenantOnLinks(eng, cfg, nil); err == nil {
+		t.Error("no links accepted")
+	}
+}
+
+func TestTenantOnChannelsSharesBanks(t *testing.T) {
+	eng := &event.Engine{}
+	cfg := cfgFor(config.NonSecure, 1, 20)
+	ch := dram.NewChannel(eng, "shared", cfg.Org, cfg.Timing, cfg.Org.RanksPerChannel())
+	tenant, err := NewTenantOnChannels(eng, cfg.Org, []*dram.Channel{ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	for i := 0; i < 50; i++ {
+		tenant.Read(uint64(i*997), func() { done++ })
+		if i%3 == 0 {
+			tenant.Write(uint64(i * 131))
+		}
+	}
+	eng.RunWhile(func() bool { return done < 50 })
+	if done != 50 {
+		t.Fatalf("%d/50 reads completed", done)
+	}
+	st := ch.Stats()
+	if st.Reads != 50 || st.Writes == 0 {
+		t.Fatalf("channel stats: %+v", st)
+	}
+	lat := tenant.Stats().MissLatency
+	if lat.N() != 50 {
+		t.Fatal("latency histogram incomplete")
+	}
+}
+
+func TestTenantOnLinksCouplesToBus(t *testing.T) {
+	// Saturating the link with foreign traffic must slow the tenant.
+	run := func(saturate bool) float64 {
+		eng := &event.Engine{}
+		cfg := cfgFor(config.Independent, 1, 20)
+		link := dram.NewLink(eng, cfg.Org, cfg.Timing)
+		tenant, err := NewTenantOnLinks(eng, cfg, []*dram.Link{link})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if saturate {
+			for i := 0; i < 200; i++ {
+				link.Transfer(64, nil)
+			}
+		}
+		done := 0
+		for i := 0; i < 20; i++ {
+			tenant.Read(uint64(i*997), func() { done++ })
+		}
+		eng.RunWhile(func() bool { return done < 20 })
+		lat := tenant.Stats().MissLatency
+		return lat.Mean()
+	}
+	free := run(false)
+	busy := run(true)
+	if busy <= free {
+		t.Fatalf("tenant latency %v not above %v under a saturated link", busy, free)
+	}
+}

@@ -1,0 +1,393 @@
+package protocol
+
+import (
+	"fmt"
+
+	"sdimm/internal/config"
+	"sdimm/internal/dram"
+	"sdimm/internal/event"
+	"sdimm/internal/freecursive"
+	"sdimm/internal/oram"
+	"sdimm/internal/rng"
+	"sdimm/internal/sdimm"
+	"sdimm/internal/stats"
+)
+
+// Sizes of host-link messages in bytes. Every long command carries one
+// data block (real or dummy) plus an encrypted header; PROBE is a short
+// read of the reserved block.
+const (
+	msgAccess = 72 // ACCESS: block + header (operation type hidden)
+	msgProbe  = 8
+	msgFetch  = 72 // FETCH_RESULT: block + new leaf
+	msgAppend = 72 // APPEND: block (or dummy) + header
+)
+
+// IndependentBackend implements the Independent protocol (Section III-C):
+// the global ORAM is partitioned by leaf MSBs into one complete sub-ORAM
+// per SDIMM. The CPU runs the Freecursive frontend and the position map;
+// each SDIMM runs whole accessORAM operations against its own DRAM. The
+// host channel carries only the requested blocks, PROBE polling, and the
+// APPEND broadcast that obfuscates block migration.
+//
+// Functional ORAM state transitions happen in submission order (so queue
+// scheduling can never corrupt placement state); the work queues replay
+// the corresponding bus traffic with demand accesses prioritized over
+// posted LLC writebacks.
+type IndependentBackend struct {
+	eng *event.Engine
+	cfg config.Config
+	fe  *freecursive.Frontend
+	pos oram.PositionMap
+	rnd *rng.Source
+
+	buffers []*sdimm.Buffer
+	tms     []*treeMem
+	chans   []*dram.Channel
+	links   []*dram.Link
+
+	localBits uint // local leaf bits per SDIMM
+
+	demandQ  [][]func(done func())
+	postedQ  [][]func(done func())
+	workBusy []bool
+
+	ready   []int      // per SDIMM: responses whose data has arrived from DRAM
+	waiters [][]func() // per SDIMM: FIFO of fetchers awaiting a response
+	probing []bool     // per SDIMM: probe loop active
+
+	enc event.Time
+	st  BackendStats
+}
+
+// NewIndependent builds the Independent backend.
+func NewIndependent(eng *event.Engine, cfg config.Config) (*IndependentBackend, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := cfg.NumSDIMMs
+	localLevels := cfg.ORAM.Levels - int(log2(k))
+	if localLevels < 2 {
+		return nil, fmt.Errorf("protocol: %d SDIMMs need more than %d tree levels", k, cfg.ORAM.Levels)
+	}
+	fe, err := freecursive.New(dataBlocks(cfg), cfg.ORAM.RecursivePosMaps, cfg.ORAM.PosMapScale,
+		cfg.ORAM.PLBBytes/cfg.Org.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	b := &IndependentBackend{
+		eng:       eng,
+		cfg:       cfg,
+		fe:        fe,
+		pos:       oram.NewSparsePosMap(),
+		rnd:       rng.New(cfg.Seed ^ 0x1dde),
+		localBits: uint(localLevels - 1),
+		enc:       event.Time(cfg.ORAM.EncLatency),
+	}
+	b.st.MissLatency = *stats.NewHistogram(256, 4096)
+	for c := 0; c < cfg.Org.Channels; c++ {
+		b.links = append(b.links, dram.NewLink(eng, cfg.Org, cfg.Timing))
+	}
+	numRanks := 0
+	if cfg.LowPower {
+		numRanks = cfg.Org.RanksPerDIMM
+	}
+	layout, err := buildLayout(cfg, localLevels, cfg.ORAM.LinesPerBucket(), numRanks)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		ch := dram.NewChannel(eng, fmt.Sprintf("sdimm%d", i), cfg.Org, cfg.Timing, cfg.Org.RanksPerDIMM)
+		b.chans = append(b.chans, ch)
+		tm, err := newTreeMem(eng, []*dram.Channel{ch}, cfg.Org, layout, cfg.LowPower)
+		if err != nil {
+			return nil, err
+		}
+		b.tms = append(b.tms, tm)
+		eng2, err := oram.NewEngine(oram.NewSparseStore(cfg.ORAM.Z), nil, oram.Options{
+			Geometry:       oram.MustGeometry(localLevels),
+			StashCapacity:  cfg.ORAM.StashCapacity,
+			EvictThreshold: cfg.ORAM.EvictThreshold,
+			Rand:           rng.New(cfg.Seed ^ uint64(0xd1*i+7)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		buf, err := sdimm.NewBuffer(fmt.Sprintf("sdimm-%d", i), eng2,
+			cfg.ORAM.TransferQueueCap, cfg.ORAM.DrainProb, rng.New(cfg.Seed^uint64(0xab*i+3)))
+		if err != nil {
+			return nil, err
+		}
+		b.buffers = append(b.buffers, buf)
+	}
+	b.demandQ = make([][]func(done func()), k)
+	b.postedQ = make([][]func(done func()), k)
+	b.workBusy = make([]bool, k)
+	b.ready = make([]int, k)
+	b.waiters = make([][]func(), k)
+	b.probing = make([]bool, k)
+	return b, nil
+}
+
+// Read implements Backend.
+func (b *IndependentBackend) Read(addr uint64, done func()) {
+	b.st.Reads++
+	start := b.eng.Now()
+	b.startMiss(addr, false, func() {
+		b.st.MissLatency.Add(uint64(b.eng.Now() - start))
+		done()
+	})
+}
+
+// Write implements Backend.
+func (b *IndependentBackend) Write(addr uint64) {
+	b.st.Writes++
+	b.startMiss(addr, true, nil)
+}
+
+func (b *IndependentBackend) startMiss(addr uint64, write bool, done func()) {
+	ops, err := b.fe.Resolve(addr % dataBlocks(b.cfg))
+	if err != nil {
+		panic(fmt.Sprintf("protocol: independent resolve: %v", err))
+	}
+	b.runOps(ops, 0, write, done)
+}
+
+func (b *IndependentBackend) runOps(ops []freecursive.Op, i int, write bool, done func()) {
+	if i == len(ops) {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	op := oram.OpRead
+	if write && i == len(ops)-1 {
+		op = oram.OpWrite
+	}
+	b.accessORAM(ops[i].Addr, op, write, func() {
+		b.runOps(ops, i+1, write, done)
+	})
+}
+
+// accessORAM runs one distributed accessORAM. All functional steps (the
+// SDIMM's local access, the response, the APPEND placement) execute now,
+// in submission order; the bus traffic replays on the timed queues.
+func (b *IndependentBackend) accessORAM(addr uint64, op oram.Op, posted bool, cont func()) {
+	b.st.AccessORAMs++
+	globalLeaves := uint64(1) << (b.cfg.ORAM.Levels - 1)
+	oldG, ok := b.pos.Get(addr)
+	if !ok {
+		oldG = b.rnd.Uint64n(globalLeaves)
+	}
+	newG := b.rnd.Uint64n(globalLeaves)
+	b.pos.Set(addr, newG)
+
+	mask := uint64(1)<<b.localBits - 1
+	sd := int(oldG >> b.localBits)
+	sdNew := int(newG >> b.localBits)
+	keep := sd == sdNew
+
+	// --- Functional execution (instantaneous, ordered) ---
+	req := sdimm.AccessRequest{
+		Addr:    addr,
+		Op:      op,
+		OldLeaf: oldG & mask,
+		NewLeaf: newG & mask,
+		Keep:    keep,
+	}
+	plan, extras, err := b.buffers[sd].HandleAccess(req)
+	if err != nil {
+		panic(fmt.Sprintf("protocol: independent access: %v", err))
+	}
+	b.st.BgEvictions += uint64(plan.BackgroundEvicts)
+	b.st.ExtraDrains += uint64(len(extras))
+	if !b.buffers[sd].HandleProbe() {
+		panic("protocol: independent access produced no response")
+	}
+	resp, err := b.buffers[sd].HandleFetchResult()
+	if err != nil {
+		panic(fmt.Sprintf("protocol: independent fetch: %v", err))
+	}
+	blk := resp.Block
+	blk.Leaf = newG & mask
+	appendForced := make([]*oram.AccessPlan, b.cfg.NumSDIMMs)
+	for j := 0; j < b.cfg.NumSDIMMs; j++ {
+		real := !keep && j == sdNew && !resp.Dummy
+		var forced *oram.AccessPlan
+		if real {
+			forced, err = b.buffers[j].HandleAppend(blk, false)
+		} else {
+			forced, err = b.buffers[j].HandleAppend(oram.Block{}, true)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("protocol: independent append: %v", err))
+		}
+		if forced != nil {
+			b.st.ExtraDrains++
+		}
+		appendForced[j] = forced
+	}
+
+	// --- Timing replay ---
+	paths := [][]uint64{plan.Path}
+	geom := b.buffers[sd].Engine().Geometry()
+	for _, l := range plan.BackgroundLeaves {
+		paths = append(paths, geom.Path(l, nil))
+	}
+	for _, ex := range extras {
+		paths = append(paths, ex.Path)
+	}
+
+	// 1. ACCESS command (always carries one block of data), then the
+	// SDIMM's controller performs the path access(es).
+	b.hostSend(sd, msgAccess, func() {
+		b.enqueueWork(sd, posted, func(workDone func()) {
+			b.tms[sd].accessPath(paths[0], func() {
+				b.eng.After(b.enc, func() { b.ready[sd]++ })
+				b.runLocalPaths(sd, paths[1:], 0, workDone)
+			})
+		})
+	})
+
+	// 2. The CPU polls and fetches, then broadcasts the APPENDs.
+	b.waiters[sd] = append(b.waiters[sd], func() {
+		for j := 0; j < b.cfg.NumSDIMMs; j++ {
+			j := j
+			forced := appendForced[j]
+			b.hostSend(j, msgAppend, func() {
+				if forced == nil {
+					return
+				}
+				b.enqueueWork(j, false, func(workDone func()) {
+					b.runLocalPaths(j, [][]uint64{forced.Path}, 0, workDone)
+				})
+			})
+		}
+		// The requested data reaches the CPU after decryption.
+		b.eng.After(b.enc, cont)
+	})
+	b.startProbing(sd)
+}
+
+// runLocalPaths chains path traffic on one SDIMM's internal channel.
+func (b *IndependentBackend) runLocalPaths(sd int, paths [][]uint64, i int, done func()) {
+	if i == len(paths) {
+		done()
+		return
+	}
+	b.tms[sd].accessPath(paths[i], func() {
+		b.runLocalPaths(sd, paths, i+1, done)
+	})
+}
+
+// hostSend models one host-link transfer to an SDIMM's channel.
+func (b *IndependentBackend) hostSend(sd int, bytes int, onArrive func()) {
+	b.st.HostBytes += uint64(bytes)
+	b.links[chanOf(sd, b.cfg.Org.DIMMsPerChannel)].Transfer(bytes, func(event.Time) { onArrive() })
+}
+
+// enqueueWork serializes traffic replay on one SDIMM's controller; demand
+// work bypasses posted work.
+func (b *IndependentBackend) enqueueWork(sd int, posted bool, work func(done func())) {
+	if posted {
+		b.postedQ[sd] = append(b.postedQ[sd], work)
+	} else {
+		b.demandQ[sd] = append(b.demandQ[sd], work)
+	}
+	b.pumpWork(sd)
+}
+
+func (b *IndependentBackend) pumpWork(sd int) {
+	if b.workBusy[sd] {
+		return
+	}
+	var w func(done func())
+	switch {
+	case len(b.demandQ[sd]) > 0:
+		w = b.demandQ[sd][0]
+		b.demandQ[sd] = b.demandQ[sd][1:]
+	case len(b.postedQ[sd]) > 0:
+		w = b.postedQ[sd][0]
+		b.postedQ[sd] = b.postedQ[sd][1:]
+	default:
+		return
+	}
+	b.workBusy[sd] = true
+	w(func() {
+		b.workBusy[sd] = false
+		b.pumpWork(sd)
+	})
+}
+
+// startProbing runs the PROBE loop for an SDIMM while fetchers wait.
+func (b *IndependentBackend) startProbing(sd int) {
+	if b.probing[sd] {
+		return
+	}
+	b.probing[sd] = true
+	b.eng.After(event.Time(b.cfg.ProbeInterval), func() { b.probe(sd) })
+}
+
+func (b *IndependentBackend) probe(sd int) {
+	if len(b.waiters[sd]) == 0 {
+		b.probing[sd] = false
+		return
+	}
+	b.st.Probes++
+	b.hostSend(sd, msgProbe, func() {
+		if b.ready[sd] > 0 && len(b.waiters[sd]) > 0 {
+			b.ready[sd]--
+			// FETCH_RESULT returns the block.
+			b.hostSend(sd, msgFetch, func() {
+				w := b.waiters[sd][0]
+				b.waiters[sd] = b.waiters[sd][1:]
+				w()
+				b.probeNext(sd)
+			})
+			return
+		}
+		b.probeNext(sd)
+	})
+}
+
+func (b *IndependentBackend) probeNext(sd int) {
+	if len(b.waiters[sd]) == 0 {
+		b.probing[sd] = false
+		return
+	}
+	b.eng.After(event.Time(b.cfg.ProbeInterval), func() { b.probe(sd) })
+}
+
+// Channels implements Backend: all channels are on-DIMM.
+func (b *IndependentBackend) Channels() ([]*dram.Channel, []bool) {
+	local := make([]bool, len(b.chans))
+	for i := range local {
+		local[i] = true
+	}
+	return b.chans, local
+}
+
+// Links implements Backend.
+func (b *IndependentBackend) Links() []*dram.Link { return b.links }
+
+// Stats implements Backend, aggregating per-buffer maxima.
+func (b *IndependentBackend) Stats() BackendStats {
+	s := b.st
+	for _, buf := range b.buffers {
+		bs := buf.Stats()
+		if bs.TransferPeak > s.TransferPeak {
+			s.TransferPeak = bs.TransferPeak
+		}
+		if p := buf.Engine().Stats().StashPeak; p > s.StashPeak {
+			s.StashPeak = p
+		}
+		s.TransferOverflows += bs.TransferOverflows
+	}
+	return s
+}
+
+// Frontend exposes the Freecursive frontend.
+func (b *IndependentBackend) Frontend() *freecursive.Frontend { return b.fe }
+
+// Buffers exposes the secure buffers (tests inspect transfer queues).
+func (b *IndependentBackend) Buffers() []*sdimm.Buffer { return b.buffers }

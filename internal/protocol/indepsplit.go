@@ -1,0 +1,184 @@
+package protocol
+
+import (
+	"fmt"
+
+	"sdimm/internal/config"
+	"sdimm/internal/dram"
+	"sdimm/internal/event"
+	"sdimm/internal/freecursive"
+	"sdimm/internal/oram"
+	"sdimm/internal/rng"
+	"sdimm/internal/stats"
+)
+
+// IndepSplitBackend combines both protocols (Figure 7e): the global ORAM
+// is cut into two Independent halves by the leaf MSB, and each half is
+// Split across half of the SDIMMs. Each access engages only two SDIMMs
+// (low latency, from Split) while the two halves serve accesses in
+// parallel (throughput, from Independent). Remapped blocks migrate between
+// halves via an APPEND broadcast of block shards.
+type IndepSplitBackend struct {
+	eng    *event.Engine
+	cfg    config.Config
+	fe     *freecursive.Frontend
+	pos    oram.PositionMap
+	rnd    *rng.Source
+	groups []*splitGroup
+	links  []*dram.Link
+
+	halfBits uint // leaf bits within one half
+
+	st BackendStats
+}
+
+// NewIndepSplit builds the combined backend. It requires ≥ 4 SDIMMs.
+func NewIndepSplit(eng *event.Engine, cfg config.Config) (*IndepSplitBackend, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumSDIMMs < 4 {
+		return nil, fmt.Errorf("protocol: indep-split needs ≥ 4 SDIMMs, got %d", cfg.NumSDIMMs)
+	}
+	fe, err := freecursive.New(dataBlocks(cfg), cfg.ORAM.RecursivePosMaps, cfg.ORAM.PosMapScale,
+		cfg.ORAM.PLBBytes/cfg.Org.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	b := &IndepSplitBackend{
+		eng:      eng,
+		cfg:      cfg,
+		fe:       fe,
+		pos:      oram.NewSparsePosMap(),
+		rnd:      rng.New(cfg.Seed ^ 0x1d59),
+		halfBits: uint(cfg.ORAM.Levels - 2), // half-tree has Levels-1 levels
+	}
+	b.st.MissLatency = *stats.NewHistogram(256, 4096)
+	for c := 0; c < cfg.Org.Channels; c++ {
+		b.links = append(b.links, dram.NewLink(eng, cfg.Org, cfg.Timing))
+	}
+	half := cfg.NumSDIMMs / 2
+	for h := 0; h < 2; h++ {
+		members := make([]int, half)
+		for i := range members {
+			members[i] = h*half + i
+		}
+		g, err := newSplitGroup(eng, cfg, cfg.ORAM.Levels-1, members, b.links, cfg.Seed^uint64(h*0x9191), &b.st)
+		if err != nil {
+			return nil, err
+		}
+		b.groups = append(b.groups, g)
+	}
+	return b, nil
+}
+
+// Read implements Backend.
+func (b *IndepSplitBackend) Read(addr uint64, done func()) {
+	b.st.Reads++
+	start := b.eng.Now()
+	b.startMiss(addr, false, func() {
+		b.st.MissLatency.Add(uint64(b.eng.Now() - start))
+		done()
+	})
+}
+
+// Write implements Backend.
+func (b *IndepSplitBackend) Write(addr uint64) {
+	b.st.Writes++
+	b.startMiss(addr, true, nil)
+}
+
+func (b *IndepSplitBackend) startMiss(addr uint64, write bool, done func()) {
+	ops, err := b.fe.Resolve(addr % dataBlocks(b.cfg))
+	if err != nil {
+		panic(fmt.Sprintf("protocol: indep-split resolve: %v", err))
+	}
+	b.runOps(ops, 0, write, done)
+}
+
+func (b *IndepSplitBackend) runOps(ops []freecursive.Op, i int, write bool, done func()) {
+	if i == len(ops) {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	o := oram.OpRead
+	if write && i == len(ops)-1 {
+		o = oram.OpWrite
+	}
+	b.accessORAM(ops[i].Addr, o, write, func() { b.runOps(ops, i+1, write, done) })
+}
+
+func (b *IndepSplitBackend) accessORAM(addr uint64, o oram.Op, posted bool, cont func()) {
+	globalLeaves := uint64(1) << (b.cfg.ORAM.Levels - 1)
+	oldG, ok := b.pos.Get(addr)
+	if !ok {
+		oldG = b.rnd.Uint64n(globalLeaves)
+	}
+	newG := b.rnd.Uint64n(globalLeaves)
+	b.pos.Set(addr, newG)
+
+	mask := uint64(1)<<b.halfBits - 1
+	h := int(oldG >> b.halfBits)
+	hNew := int(newG >> b.halfBits)
+	keep := h == hNew
+
+	blk := b.groups[h].submit(splitOp{
+		addr:    addr,
+		op:      o,
+		oldLeaf: oldG & mask,
+		newLeaf: newG & mask,
+		keep:    keep,
+		posted:  posted,
+		onData: func(oram.Block) {
+			// The data is at the CPU: the miss proceeds while the APPEND
+			// broadcast rides the links in the background.
+			cont()
+			b.appendBroadcast()
+		},
+	})
+	if !keep {
+		// Functional migration happens now, in submission order; the
+		// broadcast later carries only (timed) bytes.
+		ins := blk
+		ins.Leaf = newG & mask
+		if err := b.groups[hNew].insert(ins); err != nil {
+			panic(fmt.Sprintf("protocol: indep-split append: %v", err))
+		}
+	}
+}
+
+// appendBroadcast sends one shard-sized APPEND to every SDIMM (real shards
+// to the new half's members on migration, dummies elsewhere), preserving
+// the Independent protocol's destination obfuscation. Placement already
+// happened at submit; only the bus traffic is modelled here.
+func (b *IndepSplitBackend) appendBroadcast() {
+	shard := b.cfg.ORAM.BlockBytes/(b.cfg.NumSDIMMs/2) + 8
+	for sd := 0; sd < b.cfg.NumSDIMMs; sd++ {
+		b.st.HostBytes += uint64(shard)
+		b.links[chanOf(sd, b.cfg.Org.DIMMsPerChannel)].Transfer(shard, nil)
+	}
+}
+
+// Channels implements Backend: all bank-modelled channels are on-DIMM.
+func (b *IndepSplitBackend) Channels() ([]*dram.Channel, []bool) {
+	var chans []*dram.Channel
+	for _, g := range b.groups {
+		chans = append(chans, g.channels()...)
+	}
+	local := make([]bool, len(chans))
+	for i := range local {
+		local[i] = true
+	}
+	return chans, local
+}
+
+// Links implements Backend.
+func (b *IndepSplitBackend) Links() []*dram.Link { return b.links }
+
+// Stats implements Backend.
+func (b *IndepSplitBackend) Stats() BackendStats { return b.st }
+
+// Frontend exposes the Freecursive frontend.
+func (b *IndepSplitBackend) Frontend() *freecursive.Frontend { return b.fe }

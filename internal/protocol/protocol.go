@@ -1,0 +1,265 @@
+// Package protocol implements the five memory backends the paper evaluates
+// (Figure 7 plus the two baselines), each as a cpusim.Memory:
+//
+//   - NonSecure: LLC misses go straight to DRAM (the insecure reference).
+//   - FreecursiveBackend: CPU-side Freecursive ORAM striped over the host
+//     channels — the paper's baseline.
+//   - IndependentBackend: one whole ORAM per SDIMM; the host channel
+//     carries only ACCESS/PROBE/FETCH_RESULT/APPEND traffic (Section III-C).
+//   - SplitBackend: every bucket bit-sliced across the SDIMMs; the host
+//     carries metadata, the SDIMMs shuffle data locally (Section III-D).
+//   - IndepSplitBackend: two Independent halves, each Split across half
+//     the SDIMMs (Figure 7e).
+//
+// Each backend owns its DRAM channels/links and exposes them for energy
+// accounting. All functional ORAM state runs through package oram, so the
+// timing backends inherit the engine's correctness invariants.
+package protocol
+
+import (
+	"fmt"
+
+	"sdimm/internal/config"
+	"sdimm/internal/dram"
+	"sdimm/internal/event"
+	"sdimm/internal/oram"
+	"sdimm/internal/stats"
+)
+
+// Backend is a memory backend plus the introspection the simulator needs.
+type Backend interface {
+	// Read requests a line; done fires when data returns (cpusim.Memory).
+	Read(addr uint64, done func())
+	// Write posts a line writeback (cpusim.Memory).
+	Write(addr uint64)
+	// Channels returns (bank-modelled channels, whether each is on-DIMM).
+	Channels() ([]*dram.Channel, []bool)
+	// Links returns the host links (SDIMM protocols; empty otherwise).
+	Links() []*dram.Link
+	// Stats returns backend counters.
+	Stats() BackendStats
+}
+
+// BackendStats are protocol-level counters (bus-level numbers live in the
+// channel/link stats).
+type BackendStats struct {
+	Reads       uint64
+	Writes      uint64
+	AccessORAMs uint64
+	Probes      uint64
+	HostBytes   uint64 // protocol bytes moved over host links
+	MissLatency stats.Histogram
+	QueuePeak   int
+	ExtraDrains uint64 // Independent transfer-queue drain accesses
+	BgEvictions uint64
+	// StashPeak / TransferPeak are in-vivo maxima across all secure
+	// buffers (Independent protocol), validating the Section IV-C sizing.
+	StashPeak         int
+	TransferPeak      int
+	TransferOverflows uint64
+}
+
+// request is one pending line operation.
+type request struct {
+	addr  uint64
+	write bool
+	done  func()
+	start event.Time
+}
+
+// reqQueue is a two-priority queue: reads before posted writes.
+type reqQueue struct {
+	reads  []request
+	writes []request
+	peak   int
+}
+
+func (q *reqQueue) push(r request) {
+	if r.write {
+		q.writes = append(q.writes, r)
+	} else {
+		q.reads = append(q.reads, r)
+	}
+	if n := len(q.reads) + len(q.writes); n > q.peak {
+		q.peak = n
+	}
+}
+
+func (q *reqQueue) pop() (request, bool) {
+	if len(q.reads) > 0 {
+		r := q.reads[0]
+		q.reads = q.reads[1:]
+		return r, true
+	}
+	if len(q.writes) > 0 {
+		r := q.writes[0]
+		q.writes = q.writes[1:]
+		return r, true
+	}
+	return request{}, false
+}
+
+func (q *reqQueue) empty() bool { return len(q.reads) == 0 && len(q.writes) == 0 }
+
+// treeMem issues ORAM path traffic against one set of DRAM channels. For
+// the baseline the set is all host channels (bucket lines striped across
+// them); for an SDIMM it is the single on-DIMM channel.
+type treeMem struct {
+	eng      *event.Engine
+	chans    []*dram.Channel
+	mappers  []*dram.Mapper
+	layout   oram.Layout
+	lowPower bool
+}
+
+func newTreeMem(eng *event.Engine, chans []*dram.Channel, org config.Org, layout oram.Layout, lowPower bool) (*treeMem, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	tm := &treeMem{eng: eng, chans: chans, layout: layout, lowPower: lowPower}
+	for _, ch := range chans {
+		tm.mappers = append(tm.mappers, dram.NewMapper(org, ch.Ranks()))
+	}
+	return tm, nil
+}
+
+type placedLine struct {
+	chanIdx int
+	coord   dram.Coord
+}
+
+// placePath maps a path's buckets to physical lines. On-chip buckets are
+// skipped. With rank pinning (low-power layout) the lines stay in one rank
+// of one channel; otherwise lines stripe across channels.
+func (tm *treeMem) placePath(path []uint64) []placedLine {
+	var out []placedLine
+	for _, bucket := range path {
+		p := tm.layout.Place(bucket)
+		if p.OnChip {
+			continue
+		}
+		n := p.LineCount
+		if n == 0 {
+			n = tm.layout.LinesPerBucket
+		}
+		for i := 0; i < n; i++ {
+			line := p.FirstLine + uint64(i)
+			if p.Rank >= 0 {
+				// Rank-pinned: the whole subtree lives in one rank of
+				// channel 0 of this tree's channel set (an SDIMM has one).
+				out = append(out, placedLine{0, tm.mappers[0].MapToRank(line, p.Rank)})
+			} else {
+				ci := int(line % uint64(len(tm.chans)))
+				out = append(out, placedLine{ci, tm.mappers[ci].Map(line / uint64(len(tm.chans)))})
+			}
+		}
+	}
+	return out
+}
+
+// accessPath generates the DRAM traffic of one path access: read every
+// line, and once all reads complete invoke onReadsDone and post the
+// writeback of the same lines. With the low-power layout, other ranks are
+// nudged into power-down.
+func (tm *treeMem) accessPath(path []uint64, onReadsDone func()) {
+	tm.readPath(path, func() {
+		onReadsDone()
+		tm.writePath(path)
+	})
+}
+
+// readPath reads every line of the path; onDone fires when the last read
+// completes.
+func (tm *treeMem) readPath(path []uint64, onDone func()) {
+	lines := tm.placePath(path)
+	if len(lines) == 0 {
+		// Fully cached path: complete immediately.
+		tm.eng.After(0, onDone)
+		return
+	}
+	if tm.lowPower {
+		tm.powerSiblings(lines[0])
+	}
+	remaining := len(lines)
+	for _, pl := range lines {
+		tm.chans[pl.chanIdx].Submit(&dram.Request{
+			Coord: pl.coord,
+			OnComplete: func(event.Time) {
+				remaining--
+				if remaining == 0 {
+					onDone()
+				}
+			},
+		})
+	}
+}
+
+// writePath posts the writeback of every line of the path.
+func (tm *treeMem) writePath(path []uint64) {
+	for _, pl := range tm.placePath(path) {
+		tm.chans[pl.chanIdx].Submit(&dram.Request{Coord: pl.coord, Write: true})
+	}
+}
+
+// powerSiblings pushes the non-target ranks toward power-down.
+func (tm *treeMem) powerSiblings(target placedLine) {
+	ch := tm.chans[target.chanIdx]
+	for r := 0; r < ch.Ranks(); r++ {
+		if r != target.coord.Rank {
+			ch.PowerDown(r)
+		}
+	}
+}
+
+// chanOf returns the host link index serving SDIMM sd.
+func chanOf(sd, dimmsPerChannel int) int { return sd / dimmsPerChannel }
+
+// log2 returns log2(n) for power-of-two n.
+func log2(n int) uint {
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// buildLayout constructs the bucket layout for a tree of the given levels.
+func buildLayout(cfg config.Config, levels, linesPerBucket, numRanks int) (oram.Layout, error) {
+	l := oram.Layout{
+		Geom:           oram.MustGeometry(levels),
+		LinesPerBucket: linesPerBucket,
+		SubtreeLevels:  cfg.ORAM.SubtreeLevels,
+		CachedLevels:   cfg.ORAM.CachedLevels,
+		NumRanks:       numRanks,
+	}
+	if l.CachedLevels >= levels {
+		l.CachedLevels = levels - 1
+	}
+	if err := l.Validate(); err != nil {
+		return oram.Layout{}, fmt.Errorf("protocol: layout: %w", err)
+	}
+	return l, nil
+}
+
+// dataBlocks returns the data-ORAM address-space size in blocks.
+func dataBlocks(cfg config.Config) uint64 {
+	return cfg.Org.TotalBytes() / uint64(cfg.Org.LineBytes)
+}
+
+// New builds the backend selected by cfg.Protocol.
+func New(eng *event.Engine, cfg config.Config) (Backend, error) {
+	switch cfg.Protocol {
+	case config.NonSecure:
+		return NewNonSecure(eng, cfg)
+	case config.Freecursive:
+		return NewFreecursive(eng, cfg)
+	case config.Independent:
+		return NewIndependent(eng, cfg)
+	case config.Split:
+		return NewSplit(eng, cfg)
+	case config.IndepSplit:
+		return NewIndepSplit(eng, cfg)
+	}
+	return nil, fmt.Errorf("protocol: unknown protocol %v", cfg.Protocol)
+}

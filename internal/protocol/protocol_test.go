@@ -1,0 +1,387 @@
+package protocol
+
+import (
+	"testing"
+
+	"sdimm/internal/config"
+	"sdimm/internal/event"
+	"sdimm/internal/rng"
+)
+
+// drive pushes n reads (and writes per writeEvery) through a backend and
+// runs the engine until all reads complete. It returns the completion time.
+func drive(t *testing.T, eng *event.Engine, b Backend, n int, seed uint64) event.Time {
+	t.Helper()
+	r := rng.New(seed)
+	done := 0
+	for i := 0; i < n; i++ {
+		addr := r.Uint64n(1 << 20)
+		if i%4 == 3 {
+			b.Write(addr)
+			done++ // writes are posted; count them as issued work only
+			continue
+		}
+		b.Read(addr, func() { done++ })
+	}
+	eng.RunWhile(func() bool { return done < n })
+	if done != n {
+		t.Fatalf("completed %d/%d operations", done, n)
+	}
+	end := eng.Now()
+	// Let trailing posted work (APPEND broadcasts, writebacks) land.
+	eng.RunUntil(end + 500_000)
+	return end
+}
+
+// issueReads issues reads concurrently and runs until all complete,
+// returning the completion time of the last.
+func issueReads(t *testing.T, eng *event.Engine, b Backend, addrs []uint64) uint64 {
+	t.Helper()
+	done := 0
+	var last event.Time
+	for _, a := range addrs {
+		b.Read(a, func() { done++; last = eng.Now() })
+	}
+	eng.RunWhile(func() bool { return done < len(addrs) })
+	if done != len(addrs) {
+		t.Fatalf("completed %d/%d reads", done, len(addrs))
+	}
+	return uint64(last)
+}
+
+// chainReads issues reads one at a time (a dependent pointer chase) and
+// returns the completion time of the last.
+func chainReads(t *testing.T, eng *event.Engine, b Backend, addrs []uint64) uint64 {
+	t.Helper()
+	done := 0
+	var issue func()
+	issue = func() {
+		if done == len(addrs) {
+			return
+		}
+		b.Read(addrs[done], func() { done++; issue() })
+	}
+	issue()
+	eng.RunWhile(func() bool { return done < len(addrs) })
+	if done != len(addrs) {
+		t.Fatalf("completed %d/%d chained reads", done, len(addrs))
+	}
+	return uint64(eng.Now())
+}
+
+func cfgFor(p config.Protocol, channels, levels int) config.Config {
+	c := config.Default(p, channels)
+	c.ORAM.Levels = levels
+	c.WarmupAccesses = 0
+	c.MeasureAccesses = 0
+	return c
+}
+
+func TestNonSecureReadsComplete(t *testing.T) {
+	eng := &event.Engine{}
+	b, err := NewNonSecure(eng, cfgFor(config.NonSecure, 2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := drive(t, eng, b, 200, 1)
+	if end == 0 {
+		t.Fatal("zero time")
+	}
+	chans, local := b.Channels()
+	if len(chans) != 2 || local[0] {
+		t.Fatalf("channels: %d local=%v", len(chans), local)
+	}
+	total := uint64(0)
+	for _, ch := range chans {
+		s := ch.Stats()
+		total += s.Reads + s.Writes
+	}
+	if total == 0 {
+		t.Fatal("no DRAM traffic")
+	}
+	if b.Links() != nil {
+		t.Fatal("non-secure backend reported links")
+	}
+}
+
+func TestFreecursiveReadsComplete(t *testing.T) {
+	eng := &event.Engine{}
+	b, err := NewFreecursive(eng, cfgFor(config.Freecursive, 2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, eng, b, 60, 2)
+	st := b.Stats()
+	if st.AccessORAMs < st.Reads {
+		t.Fatalf("accessORAMs %d < reads %d", st.AccessORAMs, st.Reads)
+	}
+	// Cold PLB means recursion: more than one accessORAM per operation on
+	// average at first.
+	if got := b.Frontend().Stats().AccessesPerMiss(); got <= 1 {
+		t.Fatalf("accesses per miss = %v", got)
+	}
+	chans, _ := b.Channels()
+	var lines uint64
+	for _, ch := range chans {
+		s := ch.Stats()
+		lines += s.Reads + s.Writes
+	}
+	// Each accessORAM reads and writes a path of (levels-cached) buckets.
+	if lines < st.AccessORAMs*uint64(2*(20-7)) {
+		t.Fatalf("DRAM lines %d implausibly low for %d accessORAMs", lines, st.AccessORAMs)
+	}
+}
+
+func TestFreecursiveMuchSlowerThanNonSecure(t *testing.T) {
+	engN := &event.Engine{}
+	bn, _ := NewNonSecure(engN, cfgFor(config.NonSecure, 1, 20))
+	tN := drive(t, engN, bn, 100, 3)
+
+	engF := &event.Engine{}
+	bf, _ := NewFreecursive(engF, cfgFor(config.Freecursive, 1, 20))
+	tF := drive(t, engF, bf, 100, 3)
+
+	slowdown := float64(tF) / float64(tN)
+	if slowdown < 3 {
+		t.Fatalf("freecursive slowdown %.2fx, expected large (paper: ~8.8x)", slowdown)
+	}
+}
+
+func TestIndependentReadsComplete(t *testing.T) {
+	eng := &event.Engine{}
+	b, err := NewIndependent(eng, cfgFor(config.Independent, 2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, eng, b, 60, 4)
+	st := b.Stats()
+	if st.Probes == 0 {
+		t.Fatal("no PROBE polling happened")
+	}
+	if st.HostBytes == 0 {
+		t.Fatal("no host traffic")
+	}
+	// Every accessORAM broadcasts one APPEND per SDIMM.
+	var appends, dummies uint64
+	for _, buf := range b.Buffers() {
+		s := buf.Stats()
+		appends += s.Appends
+		dummies += s.DummyAppends
+	}
+	if appends+dummies != st.AccessORAMs*uint64(4) {
+		t.Fatalf("appends %d + dummies %d != 4*accesses %d", appends, dummies, 4*st.AccessORAMs)
+	}
+	chans, local := b.Channels()
+	if len(chans) != 4 || !local[0] {
+		t.Fatalf("want 4 on-DIMM channels, got %d local=%v", len(chans), local)
+	}
+}
+
+func TestIndependentHostTrafficTiny(t *testing.T) {
+	// The headline claim: the Independent protocol moves a few percent of
+	// the baseline's bytes over the host channel.
+	cfg := cfgFor(config.Freecursive, 1, 22)
+	engF := &event.Engine{}
+	bf, _ := NewFreecursive(engF, cfg)
+	drive(t, engF, bf, 80, 5)
+	chansF, _ := bf.Channels()
+	var baseBytes uint64
+	for _, ch := range chansF {
+		s := ch.Stats()
+		baseBytes += s.BytesRead + s.BytesWrite
+	}
+	baseAccesses := bf.Stats().AccessORAMs
+
+	engI := &event.Engine{}
+	bi, _ := NewIndependent(engI, cfgFor(config.Independent, 1, 22))
+	drive(t, engI, bi, 80, 5)
+	var hostBytes uint64
+	for _, l := range bi.Links() {
+		hostBytes += l.Stats().Bytes
+	}
+	indAccesses := bi.Stats().AccessORAMs
+
+	perBase := float64(baseBytes) / float64(baseAccesses)
+	perInd := float64(hostBytes) / float64(indAccesses)
+	frac := perInd / perBase
+	if frac > 0.15 {
+		t.Fatalf("independent host traffic fraction %.3f, paper says ~0.04", frac)
+	}
+}
+
+func TestSplitReadsComplete(t *testing.T) {
+	eng := &event.Engine{}
+	b, err := NewSplit(eng, cfgFor(config.Split, 1, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, eng, b, 60, 6)
+	st := b.Stats()
+	if st.AccessORAMs < st.Reads {
+		t.Fatalf("accessORAMs %d < reads %d", st.AccessORAMs, st.Reads)
+	}
+	if st.HostBytes == 0 {
+		t.Fatal("no host metadata traffic")
+	}
+	chans, _ := b.Channels()
+	if len(chans) != 2 {
+		t.Fatalf("want 2 member channels, got %d", len(chans))
+	}
+	// Both members must carry (identical shard) traffic.
+	a := chans[0].Stats()
+	c := chans[1].Stats()
+	if a.Reads == 0 || c.Reads == 0 {
+		t.Fatal("a member channel idle")
+	}
+	if a.Reads != c.Reads {
+		t.Fatalf("shard traffic diverged: %d vs %d", a.Reads, c.Reads)
+	}
+}
+
+func TestSplitLatencyBelowIndependent(t *testing.T) {
+	// A dependent chain of misses (no MLP): Split spreads each path over
+	// both internal channels, so the chain must finish faster than on the
+	// Independent protocol, whose per-access latency is single-channel
+	// (the paper's Section III-D motivation).
+	addrs := make([]uint64, 12)
+	for i := range addrs {
+		addrs[i] = uint64(i * 99991)
+	}
+	engI := &event.Engine{}
+	bi, _ := NewIndependent(engI, cfgFor(config.Independent, 1, 22))
+	tI := chainReads(t, engI, bi, addrs)
+
+	engS := &event.Engine{}
+	bs, _ := NewSplit(engS, cfgFor(config.Split, 1, 22))
+	tS := chainReads(t, engS, bs, addrs)
+
+	if tS >= tI {
+		t.Fatalf("split chained latency %d not below independent %d", tS, tI)
+	}
+}
+
+func TestIndependentThroughputBeatsSplitUnderMLP(t *testing.T) {
+	// The flip side: with many concurrent misses, Independent's per-SDIMM
+	// parallelism wins over Split's one-access-at-a-time group.
+	addrs := make([]uint64, 24)
+	for i := range addrs {
+		addrs[i] = uint64(i * 131071)
+	}
+	engI := &event.Engine{}
+	bi, _ := NewIndependent(engI, cfgFor(config.Independent, 1, 22))
+	tI := issueReads(t, engI, bi, addrs)
+
+	engS := &event.Engine{}
+	bs, _ := NewSplit(engS, cfgFor(config.Split, 1, 22))
+	tS := issueReads(t, engS, bs, addrs)
+
+	if tI >= tS {
+		t.Fatalf("independent concurrent completion %d not below split %d", tI, tS)
+	}
+}
+
+func TestIndepSplitReadsComplete(t *testing.T) {
+	eng := &event.Engine{}
+	b, err := NewIndepSplit(eng, cfgFor(config.IndepSplit, 2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, eng, b, 60, 7)
+	st := b.Stats()
+	if st.AccessORAMs == 0 || st.HostBytes == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	chans, _ := b.Channels()
+	if len(chans) != 4 {
+		t.Fatalf("want 4 member channels, got %d", len(chans))
+	}
+	// Both halves should see traffic (leaves split by MSB).
+	if chans[0].Stats().Reads == 0 || chans[2].Stats().Reads == 0 {
+		t.Fatal("one half idle")
+	}
+}
+
+func TestIndepSplitRejectsTwoSDIMMs(t *testing.T) {
+	eng := &event.Engine{}
+	cfg := cfgFor(config.IndepSplit, 1, 20)
+	cfg.Protocol = config.IndepSplit
+	if _, err := NewIndepSplit(eng, cfg); err == nil {
+		t.Fatal("2-SDIMM indep-split accepted")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	for _, p := range []config.Protocol{config.NonSecure, config.Freecursive,
+		config.Independent, config.Split} {
+		eng := &event.Engine{}
+		b, err := New(eng, cfgFor(p, 1, 20))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if b == nil {
+			t.Fatalf("%v: nil backend", p)
+		}
+	}
+	eng := &event.Engine{}
+	if _, err := New(eng, cfgFor(config.IndepSplit, 2, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(eng, config.Config{Protocol: config.Protocol(99)}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() event.Time {
+		eng := &event.Engine{}
+		b, err := NewIndependent(eng, cfgFor(config.Independent, 1, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drive(t, eng, b, 40, 9)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("replay diverged: %d vs %d", a, b)
+	}
+}
+
+func TestLowPowerTogglePreservesCompletion(t *testing.T) {
+	for _, lp := range []bool{true, false} {
+		eng := &event.Engine{}
+		cfg := cfgFor(config.Independent, 1, 20)
+		cfg.LowPower = lp
+		b, err := NewIndependent(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(t, eng, b, 30, 10)
+		chans, _ := b.Channels()
+		var pd uint64
+		for _, ch := range chans {
+			for _, r := range ch.Stats().PerRank {
+				pd += r.TPowerDown
+			}
+		}
+		if lp && pd == 0 {
+			t.Error("low-power mode recorded no power-down residency")
+		}
+	}
+}
+
+func TestObliviousnessPathDependsOnlyOnLeaf(t *testing.T) {
+	// Two backends fed different data values but the same address sequence
+	// must issue identical path traffic (the engine's plans depend only on
+	// the position map, which is seeded identically).
+	run := func() uint64 {
+		eng := &event.Engine{}
+		b, _ := NewFreecursive(eng, cfgFor(config.Freecursive, 1, 20))
+		addrs := []uint64{5, 5, 9, 5, 9, 13}
+		issueReads(t, eng, b, addrs)
+		chans, _ := b.Channels()
+		s := chans[0].Stats()
+		return s.Reads
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("traffic shape diverged: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,411 @@
+package protocol
+
+import (
+	"fmt"
+
+	"sdimm/internal/config"
+	"sdimm/internal/dram"
+	"sdimm/internal/event"
+	"sdimm/internal/freecursive"
+	"sdimm/internal/oram"
+	"sdimm/internal/rng"
+	"sdimm/internal/stats"
+)
+
+// splitOp is one accessORAM executed by a split group.
+type splitOp struct {
+	addr    uint64
+	op      oram.Op
+	oldLeaf uint64 // leaf within the group's tree
+	newLeaf uint64
+	keep    bool // false: the block migrates to another group (indep-split)
+	posted  bool // LLC writeback: yields to demand accesses
+	// onData fires when the CPU holds the (reassembled) block.
+	onData func(blk oram.Block)
+
+	// Functional outcome, captured at submit time so that queue
+	// reordering can never reorder ORAM state transitions.
+	blk  oram.Block
+	path []uint64
+}
+
+// splitGroup is one Split-protocol ORAM spread across a set of member
+// SDIMMs (Section III-D). Every bucket is bit-sliced: each member stores
+// 1/k of every block, 1/k of the metadata, and its own MAC. One logical
+// engine tracks placement (all shards evolve in lockstep — greedy eviction
+// is a pure function of stash contents); each member's internal channel
+// carries the shard-sized path traffic.
+type splitGroup struct {
+	eng     *event.Engine
+	cfg     config.Config
+	engine  *oram.Engine
+	tms     []*treeMem
+	links   []*dram.Link // global per-channel links
+	members []int        // global SDIMM indices
+	rnd     *rng.Source
+
+	metaShare int // metadata bytes per bucket per member on the host bus
+	fetchResp int // FETCH_STASH response bytes per member
+	listBytes int // RECEIVE_LIST payload per member
+
+	q          []splitOp
+	postedQ    []splitOp
+	stageABusy bool
+	drains     int // in-flight background-evict traffic generators
+
+	enc event.Time
+	st  *BackendStats
+}
+
+func newSplitGroup(eng *event.Engine, cfg config.Config, levels int, members []int,
+	links []*dram.Link, seed uint64, st *BackendStats) (*splitGroup, error) {
+	k := len(members)
+	if k < 2 {
+		return nil, fmt.Errorf("protocol: split group needs ≥ 2 members, got %d", k)
+	}
+	// Shard sizing: data Z*B/k + metadata share + an own MAC per shard.
+	metaBytes := cfg.ORAM.Z*8 + 16
+	metaShare := (metaBytes + k - 1) / k
+	shardBytes := cfg.ORAM.Z*cfg.ORAM.BlockBytes/k + metaShare + 8
+	shardLines := (shardBytes + cfg.Org.LineBytes - 1) / cfg.Org.LineBytes
+
+	engine, err := oram.NewEngine(oram.NewSparseStore(cfg.ORAM.Z), nil, oram.Options{
+		Geometry:         oram.MustGeometry(levels),
+		StashCapacity:    cfg.ORAM.StashCapacity,
+		EvictThreshold:   cfg.ORAM.EvictThreshold,
+		Rand:             rng.New(seed ^ 0x5b17),
+		DisableAutoDrain: true, // the CPU directs eviction for all shards
+	})
+	if err != nil {
+		return nil, err
+	}
+	numRanks := 0
+	if cfg.LowPower {
+		numRanks = cfg.Org.RanksPerDIMM
+	}
+	layout, err := buildLayout(cfg, levels, shardLines, numRanks)
+	if err != nil {
+		return nil, err
+	}
+	// Note: byte-granular packing (Layout.BucketBytes) does not pay here —
+	// a 160 B 2-way shard spans 3 lines wherever it starts — so shards are
+	// stored line-aligned.
+	g := &splitGroup{
+		eng:       eng,
+		cfg:       cfg,
+		engine:    engine,
+		links:     links,
+		members:   members,
+		rnd:       rng.New(seed ^ 0xe71c),
+		metaShare: metaShare,
+		fetchResp: cfg.ORAM.BlockBytes/k + 8,
+		listBytes: 16 + (levels-cfg.ORAM.CachedLevels)*(cfg.ORAM.Z+2),
+		enc:       event.Time(cfg.ORAM.EncLatency),
+		st:        st,
+	}
+	for _, m := range members {
+		ch := dram.NewChannel(eng, fmt.Sprintf("sdimm%d", m), cfg.Org, cfg.Timing, cfg.Org.RanksPerDIMM)
+		tm, err := newTreeMem(eng, []*dram.Channel{ch}, cfg.Org, layout, cfg.LowPower)
+		if err != nil {
+			return nil, err
+		}
+		g.tms = append(g.tms, tm)
+	}
+	return g, nil
+}
+
+func (g *splitGroup) channels() []*dram.Channel {
+	var out []*dram.Channel
+	for _, tm := range g.tms {
+		out = append(out, tm.chans...)
+	}
+	return out
+}
+
+// submit enqueues one accessORAM on the group's controller. Demand
+// accesses (read misses) bypass posted ones (LLC writebacks). The
+// functional state transition happens here, in submission order; the
+// pipeline replays it as bus traffic later. The accessed block (migrated
+// out when keep is false) is returned so an indep-split caller can place
+// it in the destination group immediately.
+func (g *splitGroup) submit(op splitOp) oram.Block {
+	blk, plan, err := g.engine.AccessAt(op.addr, op.op, nil, op.oldLeaf, op.newLeaf, op.keep)
+	if err != nil {
+		panic(fmt.Sprintf("protocol: split access: %v", err))
+	}
+	op.blk = blk
+	op.path = plan.Path
+	if op.posted {
+		g.postedQ = append(g.postedQ, op)
+	} else {
+		g.q = append(g.q, op)
+	}
+	g.pump()
+	return blk
+}
+
+// pump starts the next op when the fetch stage (internal shard reads +
+// metadata) is free; the host handshake and writeback stage of the
+// previous op overlaps with it, as a real controller would pipeline.
+func (g *splitGroup) pump() {
+	if g.stageABusy {
+		return
+	}
+	var op splitOp
+	switch {
+	case len(g.q) > 0:
+		op = g.q[0]
+		g.q = g.q[1:]
+	case len(g.postedQ) > 0:
+		op = g.postedQ[0]
+		g.postedQ = g.postedQ[1:]
+	default:
+		return
+	}
+	g.stageABusy = true
+	g.run(op)
+}
+
+// broadcast sends bytes to every member's host link; done fires when all
+// transfers complete.
+func (g *splitGroup) broadcast(bytes int, done func()) {
+	remaining := len(g.members)
+	for _, m := range g.members {
+		g.st.HostBytes += uint64(bytes)
+		g.links[chanOf(m, g.cfg.Org.DIMMsPerChannel)].Transfer(bytes, func(event.Time) {
+			remaining--
+			if remaining == 0 {
+				done()
+			}
+		})
+	}
+}
+
+// eachShard runs fn(path) against every member's internal channel, calling
+// done once all complete.
+func (g *splitGroup) readShards(path []uint64, done func()) {
+	remaining := len(g.tms)
+	for _, tm := range g.tms {
+		tm.readPath(path, func() {
+			remaining--
+			if remaining == 0 {
+				done()
+			}
+		})
+	}
+}
+
+func (g *splitGroup) writeShards(path []uint64) {
+	for _, tm := range g.tms {
+		tm.writePath(path)
+	}
+}
+
+// run executes one accessORAM over the group (the numbered steps of
+// Section III-D). Stage A: FETCH_DATA plus the metadata reads — the data
+// shards flow into the members' stashes over their internal channels while
+// the metadata crosses the host links concurrently (the two streams share
+// no resource). Stage B: reassembly, FETCH_STASH, RECEIVE_LIST, and the
+// local writeback; the next op's stage A overlaps with it.
+func (g *splitGroup) run(op splitOp) {
+	g.st.AccessORAMs++
+	effLevels := len(op.path) - g.cfg.ORAM.CachedLevels
+	if effLevels < 1 {
+		effLevels = 1
+	}
+	metaBytes := g.metaShare * effLevels
+
+	// Stage A: FETCH_DATA command, then data shards (internal) and path
+	// metadata (host) in parallel.
+	g.broadcast(16, func() {
+		remaining := 2
+		join := func() {
+			remaining--
+			if remaining != 0 {
+				return
+			}
+			// Stage A complete: free the fetch station for the next op.
+			g.stageABusy = false
+			g.pump()
+			g.stageB(op)
+		}
+		g.readShards(op.path, join)
+		g.broadcast(metaBytes, join)
+	})
+}
+
+// stageB finishes one access: metadata reassembly, FETCH_STASH,
+// RECEIVE_LIST, writeback, and any background eviction.
+func (g *splitGroup) stageB(op splitOp) {
+	g.eng.After(g.enc, func() {
+		g.broadcast(g.fetchResp, func() {
+			g.eng.After(g.enc, func() {
+				if op.onData != nil {
+					op.onData(op.blk)
+				}
+				g.broadcast(g.listBytes, func() {
+					g.writeShards(op.path)
+					g.maybeEvict(0)
+				})
+			})
+		})
+	})
+}
+
+// maybeEvict performs CPU-directed background evictions while the mirrored
+// stash runs hot. Eviction traffic rides alongside the pipeline (it
+// contends on the buses naturally); at most one eviction chain runs at a
+// time.
+func (g *splitGroup) maybeEvict(n int) {
+	if n >= 8 || !g.engine.NeedsDrain() || (n == 0 && g.drains > 0) {
+		return
+	}
+	if n == 0 {
+		g.drains++
+	}
+	leaf := g.rnd.Uint64n(g.engine.Geometry().Leaves())
+	if err := g.engine.EvictPath(leaf); err != nil {
+		panic(fmt.Sprintf("protocol: split eviction: %v", err))
+	}
+	g.st.BgEvictions++
+	path := g.engine.Geometry().Path(leaf, nil)
+	// Eviction command + list to every member, then the local read/write.
+	g.broadcast(g.listBytes, func() {
+		g.readShards(path, func() {
+			g.writeShards(path)
+			if g.engine.NeedsDrain() && n+1 < 8 {
+				g.maybeEvict(n + 1)
+				return
+			}
+			g.drains--
+			g.pump()
+		})
+	})
+}
+
+// insert adds a migrated block to the group's (mirrored) stash — the
+// indep-split APPEND path. A hot stash triggers a background drain.
+func (g *splitGroup) insert(blk oram.Block) error {
+	if err := g.engine.StashInsert(blk); err != nil {
+		return err
+	}
+	g.maybeEvict(0)
+	return nil
+}
+
+// SplitBackend implements the Split protocol: one group spanning all
+// SDIMMs, CPU-side Freecursive frontend and position map.
+type SplitBackend struct {
+	eng   *event.Engine
+	cfg   config.Config
+	fe    *freecursive.Frontend
+	pos   oram.PositionMap
+	rnd   *rng.Source
+	group *splitGroup
+	links []*dram.Link
+	st    BackendStats
+}
+
+// NewSplit builds the Split backend.
+func NewSplit(eng *event.Engine, cfg config.Config) (*SplitBackend, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fe, err := freecursive.New(dataBlocks(cfg), cfg.ORAM.RecursivePosMaps, cfg.ORAM.PosMapScale,
+		cfg.ORAM.PLBBytes/cfg.Org.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	b := &SplitBackend{
+		eng: eng,
+		cfg: cfg,
+		fe:  fe,
+		pos: oram.NewSparsePosMap(),
+		rnd: rng.New(cfg.Seed ^ 0x517a),
+	}
+	b.st.MissLatency = *stats.NewHistogram(256, 4096)
+	for c := 0; c < cfg.Org.Channels; c++ {
+		b.links = append(b.links, dram.NewLink(eng, cfg.Org, cfg.Timing))
+	}
+	members := make([]int, cfg.NumSDIMMs)
+	for i := range members {
+		members[i] = i
+	}
+	b.group, err = newSplitGroup(eng, cfg, cfg.ORAM.Levels, members, b.links, cfg.Seed, &b.st)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Read implements Backend.
+func (b *SplitBackend) Read(addr uint64, done func()) {
+	b.st.Reads++
+	start := b.eng.Now()
+	b.startMiss(addr, false, func() {
+		b.st.MissLatency.Add(uint64(b.eng.Now() - start))
+		done()
+	})
+}
+
+// Write implements Backend.
+func (b *SplitBackend) Write(addr uint64) {
+	b.st.Writes++
+	b.startMiss(addr, true, nil)
+}
+
+func (b *SplitBackend) startMiss(addr uint64, write bool, done func()) {
+	ops, err := b.fe.Resolve(addr % dataBlocks(b.cfg))
+	if err != nil {
+		panic(fmt.Sprintf("protocol: split resolve: %v", err))
+	}
+	b.runOps(ops, 0, write, done)
+}
+
+func (b *SplitBackend) runOps(ops []freecursive.Op, i int, write bool, done func()) {
+	if i == len(ops) {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	o := oram.OpRead
+	if write && i == len(ops)-1 {
+		o = oram.OpWrite
+	}
+	leaves := b.group.engine.Geometry().Leaves()
+	oldLeaf, ok := b.pos.Get(ops[i].Addr)
+	if !ok {
+		oldLeaf = b.rnd.Uint64n(leaves)
+	}
+	newLeaf := b.rnd.Uint64n(leaves)
+	b.pos.Set(ops[i].Addr, newLeaf)
+	b.group.submit(splitOp{
+		addr:    ops[i].Addr,
+		op:      o,
+		oldLeaf: oldLeaf,
+		newLeaf: newLeaf,
+		keep:    true,
+		posted:  write,
+		onData:  func(oram.Block) { b.runOps(ops, i+1, write, done) },
+	})
+}
+
+// Channels implements Backend: all bank-modelled channels are on-DIMM.
+func (b *SplitBackend) Channels() ([]*dram.Channel, []bool) {
+	chans := b.group.channels()
+	local := make([]bool, len(chans))
+	for i := range local {
+		local[i] = true
+	}
+	return chans, local
+}
+
+// Links implements Backend.
+func (b *SplitBackend) Links() []*dram.Link { return b.links }
+
+// Stats implements Backend.
+func (b *SplitBackend) Stats() BackendStats { return b.st }
+
+// Frontend exposes the Freecursive frontend.
+func (b *SplitBackend) Frontend() *freecursive.Frontend { return b.fe }

@@ -1,0 +1,167 @@
+// Package queueing implements the analytical models of Section IV-C used to
+// size the Independent protocol's transfer queue:
+//
+//   - a one-dimensional random walk (arrival probability 1/4, departure
+//     probability 1/4, stay 1/2 — a dual-SDIMM system with no active
+//     draining) whose first-passage probability past the queue limit is
+//     Figure 13a;
+//
+//   - an M/M/1/K queue where an extra accessORAM services a queued block
+//     with probability p, giving utilization ρ = 0.25/(0.25+p) and the
+//     overflow (full-queue) probability of Figure 13b.
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"sdimm/internal/rng"
+)
+
+// Walk describes the transfer-queue random walk. Probabilities must satisfy
+// Arrive + Depart <= 1; the remainder is the probability of no change.
+type Walk struct {
+	Arrive float64 // one block arrives (queue +1)
+	Depart float64 // one block is serviced (queue -1, floored at 0)
+}
+
+// DefaultWalk returns the paper's dual-SDIMM walk: 1/4 arrive, 1/4 depart.
+func DefaultWalk() Walk { return Walk{Arrive: 0.25, Depart: 0.25} }
+
+// Validate checks the walk probabilities.
+func (w Walk) Validate() error {
+	if w.Arrive < 0 || w.Depart < 0 || w.Arrive+w.Depart > 1 {
+		return fmt.Errorf("queueing: invalid walk probabilities %+v", w)
+	}
+	return nil
+}
+
+// OverflowProbability returns the probability that the walk's position
+// exceeds limit at least once within steps steps, starting from 0. This is
+// the paper's Figure 13a model: the net block balance is a walk on the
+// signed line (F(s,k) over all k, positive and negative), and "piling up
+// more than K blocks" is the first passage past +K. Small problems are
+// solved exactly by dynamic programming with +limit absorbing; large ones
+// use the reflection-principle normal approximation (the regime where the
+// paper itself reads values off a plot).
+func (w Walk) OverflowProbability(steps, limit int) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if steps < 0 || limit <= 0 {
+		return 0, fmt.Errorf("queueing: steps %d / limit %d invalid", steps, limit)
+	}
+	variance := w.Arrive + w.Depart // per-step variance of the ±1/0 walk
+	span := limit + int(6*math.Sqrt(variance*float64(steps))) + 2
+	const dpBudget = 2e8
+	if float64(steps)*float64(span+limit) > dpBudget {
+		return w.overflowApprox(steps, limit), nil
+	}
+	return w.overflowExact(steps, limit, span), nil
+}
+
+// overflowExact runs the absorbing-barrier DP over positions [-span, limit).
+func (w Walk) overflowExact(steps, limit, span int) float64 {
+	size := span + limit // index = position + span, positions -span..limit-1
+	dist := make([]float64, size)
+	next := make([]float64, size)
+	dist[span] = 1
+	absorbed := 0.0
+	stay := 1 - w.Arrive - w.Depart
+	for s := 0; s < steps; s++ {
+		for k := range next {
+			next[k] = 0
+		}
+		for k, p := range dist {
+			if p == 0 {
+				continue
+			}
+			if k == 0 {
+				// Truncation floor: hold (error negligible with 6σ span).
+				next[0] += p * (w.Depart + stay)
+			} else {
+				next[k-1] += p * w.Depart
+				next[k] += p * stay
+			}
+			if k+1 >= size {
+				absorbed += p * w.Arrive
+			} else {
+				next[k+1] += p * w.Arrive
+			}
+		}
+		dist, next = next, dist
+	}
+	return absorbed
+}
+
+// overflowApprox uses the reflection principle for the symmetric walk:
+// P(max S_t >= K) ≈ 2 P(S_n >= K), with S_n normal with variance
+// (Arrive+Depart)·n and drift (Arrive-Depart)·n.
+func (w Walk) overflowApprox(steps, limit int) float64 {
+	n := float64(steps)
+	sd := math.Sqrt((w.Arrive + w.Depart) * n)
+	if sd == 0 {
+		return 0
+	}
+	mean := (w.Arrive - w.Depart) * n
+	z := (float64(limit) - 0.5 - mean) / sd
+	p := math.Erfc(z / math.Sqrt2) // 2 * Φc(z)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// SimulateOverflow estimates the same first-passage probability by Monte
+// Carlo with trials independent walks (used to cross-validate the DP).
+func (w Walk) SimulateOverflow(steps, limit, trials int, r *rng.Source) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if trials <= 0 || r == nil {
+		return 0, fmt.Errorf("queueing: invalid simulation setup")
+	}
+	hits := 0
+	for t := 0; t < trials; t++ {
+		pos := 0
+		for s := 0; s < steps; s++ {
+			u := r.Float64()
+			switch {
+			case u < w.Arrive:
+				pos++
+			case u < w.Arrive+w.Depart:
+				pos--
+			}
+			if pos >= limit {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(trials), nil
+}
+
+// Utilization returns ρ = arrival / service for the actively drained queue:
+// arrivals at rate 1/4, service at rate 1/4 + p (a vacancy-driven service
+// plus an extra accessORAM with probability p).
+func Utilization(p float64) float64 {
+	return 0.25 / (0.25 + p)
+}
+
+// MM1KFullProbability returns the stationary probability that an M/M/1/K
+// queue with utilization ρ(p) is full: P_K = ρ^K (1-ρ) / (1-ρ^(K+1)).
+// This is the Figure 13b overflow rate.
+func MM1KFullProbability(p float64, k int) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("queueing: drain probability %v out of [0,1]", p)
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("queueing: queue size %d invalid", k)
+	}
+	rho := Utilization(p)
+	if math.Abs(rho-1) < 1e-12 {
+		// ρ = 1 degenerate case: uniform over K+1 states.
+		return 1 / float64(k+1), nil
+	}
+	return math.Pow(rho, float64(k)) * (1 - rho) / (1 - math.Pow(rho, float64(k+1))), nil
+}

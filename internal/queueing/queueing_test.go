@@ -1,0 +1,196 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"sdimm/internal/rng"
+)
+
+func TestWalkValidate(t *testing.T) {
+	if err := DefaultWalk().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []Walk{{-0.1, 0.2}, {0.2, -0.1}, {0.7, 0.7}} {
+		if err := w.Validate(); err == nil {
+			t.Errorf("walk %+v accepted", w)
+		}
+	}
+}
+
+func TestOverflowProbabilityInvalidArgs(t *testing.T) {
+	w := DefaultWalk()
+	if _, err := w.OverflowProbability(-1, 4); err == nil {
+		t.Error("negative steps accepted")
+	}
+	if _, err := w.OverflowProbability(10, 0); err == nil {
+		t.Error("zero limit accepted")
+	}
+}
+
+func TestOverflowZeroSteps(t *testing.T) {
+	p, err := DefaultWalk().OverflowProbability(0, 16)
+	if err != nil || p != 0 {
+		t.Fatalf("zero steps overflow = %v, %v", p, err)
+	}
+}
+
+func TestOverflowMonotoneInSteps(t *testing.T) {
+	w := DefaultWalk()
+	prev := 0.0
+	for _, s := range []int{100, 500, 2000, 8000} {
+		p, err := w.OverflowProbability(s, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev {
+			t.Fatalf("overflow decreased with more steps: %v -> %v", prev, p)
+		}
+		prev = p
+	}
+	if prev < 0.85 {
+		t.Fatalf("tiny queue should very likely overflow in 8000 steps: %v", prev)
+	}
+}
+
+func TestOverflowMonotoneInLimit(t *testing.T) {
+	w := DefaultWalk()
+	prev := 1.1
+	for _, k := range []int{4, 8, 16, 32} {
+		p, err := w.OverflowProbability(5000, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev {
+			t.Fatalf("overflow increased with larger queue: %v -> %v", prev, p)
+		}
+		prev = p
+	}
+}
+
+// TestPaperFigure13aValues checks the headline numbers the paper reads off
+// Figure 13a (generous tolerances: these are read off a plot).
+func TestPaperFigure13aValues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long DP")
+	}
+	w := DefaultWalk()
+	p16, err := w.OverflowProbability(100_000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p16 < 0.90 {
+		t.Errorf("P(>16 within 100K) = %v, paper says ≈ 0.97", p16)
+	}
+	p64, _ := w.OverflowProbability(800_000, 64)
+	if p64 < 0.85 || p64 > 0.99 {
+		t.Errorf("P(>64 within 800K) = %v, paper says ≈ 0.91", p64)
+	}
+}
+
+func TestSimulationMatchesDP(t *testing.T) {
+	w := DefaultWalk()
+	steps, limit := 5000, 12
+	dp, err := w.OverflowProbability(steps, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := w.SimulateOverflow(steps, limit, 4000, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dp-mc) > 0.05 {
+		t.Fatalf("DP %v vs Monte Carlo %v", dp, mc)
+	}
+}
+
+func TestSimulateInvalidArgs(t *testing.T) {
+	w := DefaultWalk()
+	if _, err := w.SimulateOverflow(10, 4, 0, rng.New(1)); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := w.SimulateOverflow(10, 4, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	if got := Utilization(0); got != 1 {
+		t.Fatalf("ρ(0) = %v, want 1 (saturated)", got)
+	}
+	if got := Utilization(0.25); got != 0.5 {
+		t.Fatalf("ρ(0.25) = %v, want 0.5", got)
+	}
+}
+
+func TestMM1KSaturatedQueue(t *testing.T) {
+	// p = 0 means ρ = 1: uniform stationary distribution, P_full = 1/(K+1).
+	p, err := MM1KFullProbability(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.1) > 1e-9 {
+		t.Fatalf("saturated P_full = %v, want 0.1", p)
+	}
+}
+
+func TestMM1KDrainingShrinksOverflow(t *testing.T) {
+	prev := 1.1
+	for _, p := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {
+		v, err := MM1KFullProbability(p, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= prev {
+			t.Fatalf("overflow not decreasing in p: %v at p=%v", v, p)
+		}
+		prev = v
+	}
+	// The paper's point: even a small queue almost never overflows with
+	// occasional draining.
+	v, _ := MM1KFullProbability(0.25, 32)
+	if v > 1e-8 {
+		t.Fatalf("P_full(p=0.25, K=32) = %v, should be negligible", v)
+	}
+}
+
+func TestMM1KLargerQueueShrinksOverflow(t *testing.T) {
+	prev := 1.1
+	for _, k := range []int{2, 4, 8, 16} {
+		v, err := MM1KFullProbability(0.1, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= prev {
+			t.Fatalf("overflow not decreasing in K")
+		}
+		prev = v
+	}
+}
+
+func TestMM1KInvalidArgs(t *testing.T) {
+	if _, err := MM1KFullProbability(-0.1, 4); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := MM1KFullProbability(2, 4); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	if _, err := MM1KFullProbability(0.5, 0); err == nil {
+		t.Error("K = 0 accepted")
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	// Absorbed + in-queue mass must equal 1 (checked indirectly: overflow
+	// probability in [0,1] always).
+	w := Walk{Arrive: 0.3, Depart: 0.1}
+	for _, s := range []int{0, 1, 10, 1000} {
+		p, err := w.OverflowProbability(s, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0 || p > 1+1e-12 {
+			t.Fatalf("overflow probability %v out of [0,1]", p)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package sdimm
+
+import (
+	"errors"
+	"fmt"
+
+	"sdimm/internal/oram"
+	"sdimm/internal/rng"
+)
+
+// AccessRequest is the decrypted body of an ACCESS command: one accessORAM
+// to perform locally. Leaves are local to this SDIMM's subtree; the
+// CPU-side frontend translates global leaves before sending.
+type AccessRequest struct {
+	Addr    uint64
+	Op      oram.Op
+	Data    []byte // payload for writes (always sent on the bus; dummy for reads)
+	OldLeaf uint64
+	NewLeaf uint64 // meaningful only when Keep
+	Keep    bool   // the remapped block stays in this SDIMM
+}
+
+// AccessResponse is what FETCH_RESULT returns: the requested block, or a
+// dummy when a written block stayed local (step 5 of Section III-C).
+type AccessResponse struct {
+	Addr  uint64
+	Block oram.Block
+	Dummy bool
+}
+
+// BufferStats counts secure-buffer activity.
+type BufferStats struct {
+	Accesses          uint64 // accessORAM operations served
+	ExtraAccesses     uint64 // transfer-queue drain accesses (probability p)
+	Appends           uint64 // non-dummy APPENDs accepted
+	DummyAppends      uint64
+	TransferPeak      int
+	TransferOverflows uint64 // forced drains because the queue was full
+	Probes            uint64
+}
+
+// Buffer is the behavioural model of one SDIMM secure buffer: a local ORAM
+// engine over the DIMM's own DRAM, the transfer queue of Section IV-C, and
+// the PROBE/FETCH_RESULT mailbox. Timing is layered on by package protocol;
+// Buffer defines what happens, not when.
+type Buffer struct {
+	id     string
+	engine *oram.Engine
+
+	transferQ   []oram.Block
+	transferCap int
+	drainProb   float64
+	rng         *rng.Source
+
+	mailbox []AccessResponse
+
+	stats BufferStats
+}
+
+// NewBuffer builds a secure buffer around a local ORAM engine.
+func NewBuffer(id string, engine *oram.Engine, transferCap int, drainProb float64, r *rng.Source) (*Buffer, error) {
+	if engine == nil {
+		return nil, errors.New("sdimm: nil engine")
+	}
+	if transferCap <= 0 {
+		return nil, errors.New("sdimm: non-positive transfer queue capacity")
+	}
+	if drainProb < 0 || drainProb > 1 {
+		return nil, errors.New("sdimm: drain probability out of [0,1]")
+	}
+	if r == nil {
+		return nil, errors.New("sdimm: nil randomness source")
+	}
+	return &Buffer{id: id, engine: engine, transferCap: transferCap, drainProb: drainProb, rng: r}, nil
+}
+
+// ID returns the buffer's identity string.
+func (b *Buffer) ID() string { return b.id }
+
+// Engine exposes the local ORAM engine (the protocol layer derives DRAM
+// traffic from its access plans).
+func (b *Buffer) Engine() *oram.Engine { return b.engine }
+
+// Stats returns a snapshot of buffer statistics.
+func (b *Buffer) Stats() BufferStats { return b.stats }
+
+// TransferQueueLen returns current transfer-queue occupancy.
+func (b *Buffer) TransferQueueLen() int { return len(b.transferQ) }
+
+// HandleAccess executes one ACCESS command: the local accessORAM, the
+// response enqueue, and the transfer-queue service policy of Section IV-C
+// (a departing block creates a vacancy filled from the queue; with
+// probability p an extra accessORAM drains one more queued block). It
+// returns the access plan plus any extra eviction plans for the timing
+// layer.
+func (b *Buffer) HandleAccess(req AccessRequest) (oram.AccessPlan, []oram.AccessPlan, error) {
+	// A block still sitting in the transfer queue must be visible to the
+	// access: promote it to the stash first.
+	for i, q := range b.transferQ {
+		if q.Addr == req.Addr {
+			b.transferQ = append(b.transferQ[:i], b.transferQ[i+1:]...)
+			if err := b.engine.StashInsert(q); err != nil {
+				return oram.AccessPlan{}, nil, fmt.Errorf("sdimm %s: promoting queued block: %w", b.id, err)
+			}
+			break
+		}
+	}
+	blk, plan, err := b.engine.AccessAt(req.Addr, req.Op, req.Data, req.OldLeaf, req.NewLeaf, req.Keep)
+	if err != nil {
+		return plan, nil, fmt.Errorf("sdimm %s: access %d: %w", b.id, req.Addr, err)
+	}
+	b.stats.Accesses++
+
+	resp := AccessResponse{Addr: req.Addr}
+	if req.Keep && req.Op == oram.OpWrite {
+		resp.Dummy = true
+	} else {
+		resp.Block = blk
+	}
+	b.mailbox = append(b.mailbox, resp)
+
+	var extra []oram.AccessPlan
+	// A departure created a stash vacancy: admit one queued block for free.
+	if !req.Keep {
+		if err := b.admitOne(); err != nil {
+			return plan, extra, err
+		}
+	}
+	// With probability p, spend an extra accessORAM to drain the queue.
+	if len(b.transferQ) > 0 && b.rng.Bool(b.drainProb) {
+		p2, err := b.drainOne()
+		if err != nil {
+			return plan, extra, err
+		}
+		extra = append(extra, p2)
+	}
+	return plan, extra, nil
+}
+
+// admitOne moves the head of the transfer queue into the normal stash.
+func (b *Buffer) admitOne() error {
+	if len(b.transferQ) == 0 {
+		return nil
+	}
+	blk := b.transferQ[0]
+	b.transferQ = b.transferQ[1:]
+	if err := b.engine.StashInsert(blk); err != nil {
+		return fmt.Errorf("sdimm %s: admitting transferred block: %w", b.id, err)
+	}
+	return nil
+}
+
+// drainOne admits a queued block and immediately performs an eviction
+// access along the block's own path so it finds a home in the tree.
+func (b *Buffer) drainOne() (oram.AccessPlan, error) {
+	blk := b.transferQ[0]
+	b.transferQ = b.transferQ[1:]
+	if err := b.engine.StashInsert(blk); err != nil {
+		return oram.AccessPlan{}, fmt.Errorf("sdimm %s: draining transferred block: %w", b.id, err)
+	}
+	leaf := blk.Leaf
+	if err := b.engine.EvictPath(leaf); err != nil {
+		return oram.AccessPlan{}, fmt.Errorf("sdimm %s: drain eviction: %w", b.id, err)
+	}
+	b.stats.ExtraAccesses++
+	return oram.AccessPlan{OldLeaf: leaf, NewLeaf: leaf, Path: b.engine.Geometry().Path(leaf, nil)}, nil
+}
+
+// HandleAppend executes an APPEND command. Dummies are discarded (their
+// only purpose is making every SDIMM receive one block per access). A full
+// transfer queue forces an immediate drain access, whose plan is returned
+// so the timing layer can charge it.
+func (b *Buffer) HandleAppend(blk oram.Block, dummy bool) (*oram.AccessPlan, error) {
+	if dummy {
+		b.stats.DummyAppends++
+		return nil, nil
+	}
+	var forced *oram.AccessPlan
+	if len(b.transferQ) >= b.transferCap {
+		b.stats.TransferOverflows++
+		p, err := b.drainOne()
+		if err != nil {
+			return nil, err
+		}
+		forced = &p
+	}
+	b.transferQ = append(b.transferQ, blk)
+	if len(b.transferQ) > b.stats.TransferPeak {
+		b.stats.TransferPeak = len(b.transferQ)
+	}
+	b.stats.Appends++
+	return forced, nil
+}
+
+// HandleProbe answers a PROBE command: is a response ready?
+func (b *Buffer) HandleProbe() bool {
+	b.stats.Probes++
+	return len(b.mailbox) > 0
+}
+
+// HandleFetchResult pops the oldest ready response.
+func (b *Buffer) HandleFetchResult() (AccessResponse, error) {
+	if len(b.mailbox) == 0 {
+		return AccessResponse{}, fmt.Errorf("sdimm %s: FETCH_RESULT with empty mailbox", b.id)
+	}
+	r := b.mailbox[0]
+	b.mailbox = b.mailbox[1:]
+	return r, nil
+}
+
+// ShardAccess executes this SDIMM's part of one Split-protocol access
+// (FETCH_DATA + FETCH_STASH + RECEIVE_LIST collapsed functionally: path
+// read, shard update, deterministic greedy writeback — identical across
+// shards because eviction is a pure function of stash contents).
+func (b *Buffer) ShardAccess(req AccessRequest) (oram.Block, oram.AccessPlan, error) {
+	blk, plan, err := b.engine.AccessAt(req.Addr, req.Op, req.Data, req.OldLeaf, req.NewLeaf, true)
+	if err != nil {
+		return oram.Block{}, plan, fmt.Errorf("sdimm %s: shard access %d: %w", b.id, req.Addr, err)
+	}
+	b.stats.Accesses++
+	return blk, plan, nil
+}
+
+// EvictLocal performs a CPU-directed eviction access (Split background
+// eviction; the CPU sends the same leaf to all shards).
+func (b *Buffer) EvictLocal(leaf uint64) error {
+	return b.engine.EvictPath(leaf)
+}

@@ -1,0 +1,152 @@
+// Package sdimm models the secure buffer that replaces the LRDIMM buffer
+// chip (Section III): the DDR-compatible command set of Table I, a wire
+// codec that shoehorns those commands into RAS/CAS sequences against the
+// DIMM's reserved block 0, and the behavioural Buffer that executes them —
+// a local ORAM controller, local stash, transfer queue, and a response
+// mailbox polled by the host through PROBE/FETCH_RESULT.
+package sdimm
+
+import "fmt"
+
+// Command identifies one of the Table I commands.
+type Command int
+
+// The Table I command set.
+const (
+	CmdSendPKey Command = iota
+	CmdReceiveSecret
+	CmdAccess
+	CmdProbe
+	CmdFetchResult
+	CmdAppend
+	CmdFetchData
+	CmdFetchStash
+	CmdReceiveList
+)
+
+var commandNames = map[Command]string{
+	CmdSendPKey:      "SEND_PKEY",
+	CmdReceiveSecret: "RECEIVE_SECRET",
+	CmdAccess:        "ACCESS",
+	CmdProbe:         "PROBE",
+	CmdFetchResult:   "FETCH_RESULT",
+	CmdAppend:        "APPEND",
+	CmdFetchData:     "FETCH_DATA",
+	CmdFetchStash:    "FETCH_STASH",
+	CmdReceiveList:   "RECEIVE_LIST",
+}
+
+// String returns the paper's name for the command.
+func (c Command) String() string {
+	if n, ok := commandNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("command(%d)", int(c))
+}
+
+// Encoding is how a command appears on the DDR bus (Table I): reads and
+// writes to reserved block 0 with the CAS offset selecting among short
+// commands. Long (write) commands carry their payload on the data bus; the
+// first payload byte is an opcode that disambiguates the WR commands
+// sharing RAS(0x0) CAS(0x0).
+type Encoding struct {
+	Long  bool // needs the data bus (a WR with payload)
+	Write bool // WR vs RD on the command bus
+	RAS   uint32
+	CAS   uint32
+}
+
+// Table returns the Table I encoding for a command.
+func Table(c Command) Encoding {
+	switch c {
+	case CmdSendPKey:
+		return Encoding{Long: false, Write: false, RAS: 0x0, CAS: 0x0}
+	case CmdReceiveSecret:
+		return Encoding{Long: true, Write: true, RAS: 0x0, CAS: 0x0}
+	case CmdAccess:
+		return Encoding{Long: true, Write: true, RAS: 0x0, CAS: 0x0}
+	case CmdProbe:
+		return Encoding{Long: false, Write: false, RAS: 0x0, CAS: 0x8}
+	case CmdFetchResult:
+		return Encoding{Long: false, Write: false, RAS: 0x0, CAS: 0x10}
+	case CmdAppend:
+		return Encoding{Long: true, Write: true, RAS: 0x0, CAS: 0x0}
+	case CmdFetchData:
+		return Encoding{Long: false, Write: false, RAS: 0x0, CAS: 0x18}
+	case CmdFetchStash:
+		return Encoding{Long: true, Write: true, RAS: 0x0, CAS: 0x18}
+	case CmdReceiveList:
+		return Encoding{Long: true, Write: true, RAS: 0x0, CAS: 0x0}
+	}
+	panic(fmt.Sprintf("sdimm: unknown command %d", int(c)))
+}
+
+// Wire is one bus transaction as the secure buffer's decoder sees it.
+type Wire struct {
+	Write   bool
+	RAS     uint32
+	CAS     uint32
+	Payload []byte // data-bus content for long commands (opcode-prefixed)
+}
+
+// Encode produces the wire form of a command with an optional payload.
+// Long commands get the command opcode prepended to the payload (this byte
+// travels encrypted in the real system; the codec operates on plaintext and
+// the session layer seals it).
+func Encode(c Command, payload []byte) Wire {
+	e := Table(c)
+	w := Wire{Write: e.Write, RAS: e.RAS, CAS: e.CAS}
+	if e.Long {
+		w.Payload = append([]byte{byte(c)}, payload...)
+	}
+	return w
+}
+
+// Decode recovers the command and payload from a wire transaction.
+func Decode(w Wire) (Command, []byte, error) {
+	if w.RAS != 0 {
+		return 0, nil, fmt.Errorf("sdimm: transaction outside reserved block (RAS %#x)", w.RAS)
+	}
+	if !w.Write {
+		switch w.CAS {
+		case 0x0:
+			return CmdSendPKey, nil, nil
+		case 0x8:
+			return CmdProbe, nil, nil
+		case 0x10:
+			return CmdFetchResult, nil, nil
+		case 0x18:
+			return CmdFetchData, nil, nil
+		}
+		return 0, nil, fmt.Errorf("sdimm: unknown short command CAS %#x", w.CAS)
+	}
+	if len(w.Payload) == 0 {
+		return 0, nil, fmt.Errorf("sdimm: long command with empty payload")
+	}
+	c := Command(w.Payload[0])
+	e := Table(c)
+	if !e.Long {
+		return 0, nil, fmt.Errorf("sdimm: opcode %v is not a long command", c)
+	}
+	if w.CAS != e.CAS {
+		return 0, nil, fmt.Errorf("sdimm: %v arrived at CAS %#x, want %#x", c, w.CAS, e.CAS)
+	}
+	return c, w.Payload[1:], nil
+}
+
+// AreaEstimate reports the secure buffer's silicon budget in mm² at 32 nm,
+// following the paper's Section IV-B accounting: the Tiny ORAM controller
+// (0.47 mm², Fletcher et al.) plus an 8 KB overflow buffer (0.42 mm² per
+// CACTI 6.5). The paper's claim is the total stays under 1 mm².
+type AreaEstimate struct {
+	ControllerMM2 float64
+	BufferMM2     float64
+}
+
+// Area returns the paper's estimate.
+func Area() AreaEstimate {
+	return AreaEstimate{ControllerMM2: 0.47, BufferMM2: 0.42}
+}
+
+// Total returns the summed area.
+func (a AreaEstimate) Total() float64 { return a.ControllerMM2 + a.BufferMM2 }

@@ -1,0 +1,114 @@
+package sdimm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sdimm/internal/oram"
+)
+
+// Wire marshalling for the message bodies that travel (sealed by package
+// seccomm) between the CPU and the secure buffers. Fixed-size layouts keep
+// every message of a given kind the same length on the bus — part of the
+// protocol's obliviousness argument.
+
+const wireHeader = 8 + 1 + 8 + 8 + 1 // addr, op, oldLeaf, newLeaf, keep
+
+// MarshalAccess encodes an AccessRequest with a blockBytes payload slot
+// (dummy data for reads, so reads and writes are indistinguishable).
+func MarshalAccess(req AccessRequest, blockBytes int) []byte {
+	out := make([]byte, wireHeader+blockBytes)
+	binary.BigEndian.PutUint64(out[0:], req.Addr)
+	if req.Op == oram.OpWrite {
+		out[8] = 1
+	}
+	binary.BigEndian.PutUint64(out[9:], req.OldLeaf)
+	binary.BigEndian.PutUint64(out[17:], req.NewLeaf)
+	if req.Keep {
+		out[25] = 1
+	}
+	copy(out[wireHeader:], req.Data)
+	return out
+}
+
+// UnmarshalAccess decodes an AccessRequest. The payload slot is attached
+// only for writes (reads carry a dummy block).
+func UnmarshalAccess(b []byte, blockBytes int) (AccessRequest, error) {
+	if len(b) != wireHeader+blockBytes {
+		return AccessRequest{}, fmt.Errorf("sdimm: ACCESS body %d bytes, want %d", len(b), wireHeader+blockBytes)
+	}
+	req := AccessRequest{
+		Addr:    binary.BigEndian.Uint64(b[0:]),
+		OldLeaf: binary.BigEndian.Uint64(b[9:]),
+		NewLeaf: binary.BigEndian.Uint64(b[17:]),
+		Keep:    b[25] == 1,
+	}
+	if b[8] == 1 {
+		req.Op = oram.OpWrite
+		req.Data = append([]byte(nil), b[wireHeader:]...)
+	}
+	return req, nil
+}
+
+const respHeader = 1 + 8 + 8 // dummy flag, addr, leaf
+
+// MarshalResponse encodes an AccessResponse with a blockBytes payload slot.
+func MarshalResponse(r AccessResponse, blockBytes int) []byte {
+	out := make([]byte, respHeader+blockBytes)
+	if r.Dummy {
+		out[0] = 1
+		return out
+	}
+	binary.BigEndian.PutUint64(out[1:], r.Block.Addr)
+	binary.BigEndian.PutUint64(out[9:], r.Block.Leaf)
+	copy(out[respHeader:], r.Block.Data)
+	return out
+}
+
+// UnmarshalResponse decodes an AccessResponse.
+func UnmarshalResponse(b []byte, blockBytes int) (AccessResponse, error) {
+	if len(b) != respHeader+blockBytes {
+		return AccessResponse{}, fmt.Errorf("sdimm: response body %d bytes, want %d", len(b), respHeader+blockBytes)
+	}
+	if b[0] == 1 {
+		return AccessResponse{Dummy: true}, nil
+	}
+	return AccessResponse{
+		Addr: binary.BigEndian.Uint64(b[1:]),
+		Block: oram.Block{
+			Addr: binary.BigEndian.Uint64(b[1:]),
+			Leaf: binary.BigEndian.Uint64(b[9:]),
+			Data: append([]byte(nil), b[respHeader:]...),
+		},
+	}, nil
+}
+
+const appendHeader = 1 + 8 + 8 // dummy flag, addr, leaf
+
+// MarshalAppend encodes an APPEND body (block or dummy).
+func MarshalAppend(blk oram.Block, dummy bool, blockBytes int) []byte {
+	out := make([]byte, appendHeader+blockBytes)
+	if dummy {
+		out[0] = 1
+		return out
+	}
+	binary.BigEndian.PutUint64(out[1:], blk.Addr)
+	binary.BigEndian.PutUint64(out[9:], blk.Leaf)
+	copy(out[appendHeader:], blk.Data)
+	return out
+}
+
+// UnmarshalAppend decodes an APPEND body.
+func UnmarshalAppend(b []byte, blockBytes int) (blk oram.Block, dummy bool, err error) {
+	if len(b) != appendHeader+blockBytes {
+		return oram.Block{}, false, fmt.Errorf("sdimm: APPEND body %d bytes, want %d", len(b), appendHeader+blockBytes)
+	}
+	if b[0] == 1 {
+		return oram.Block{}, true, nil
+	}
+	return oram.Block{
+		Addr: binary.BigEndian.Uint64(b[1:]),
+		Leaf: binary.BigEndian.Uint64(b[9:]),
+		Data: append([]byte(nil), b[appendHeader:]...),
+	}, false, nil
+}

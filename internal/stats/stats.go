@@ -1,0 +1,278 @@
+// Package stats collects and reports simulation statistics: scalar
+// counters, running means, latency histograms, and the tabular output used
+// by the experiment harness to print paper-style tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically growing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Mean accumulates samples and reports their running mean.
+type Mean struct {
+	sum float64
+	n   uint64
+}
+
+// Add records one sample.
+func (m *Mean) Add(v float64) {
+	m.sum += v
+	m.n++
+}
+
+// N returns the number of samples.
+func (m *Mean) N() uint64 { return m.n }
+
+// Sum returns the total of all samples.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Value returns the mean of the samples, or 0 with no samples.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Histogram is a latency histogram with fixed-width buckets plus an
+// overflow bucket, retaining enough information for mean and quantiles.
+type Histogram struct {
+	width   uint64
+	buckets []uint64
+	over    uint64
+	sum     uint64
+	n       uint64
+	max     uint64
+}
+
+// NewHistogram builds a histogram with nbuckets buckets of the given width.
+func NewHistogram(width uint64, nbuckets int) *Histogram {
+	if width == 0 || nbuckets <= 0 {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{width: width, buckets: make([]uint64, nbuckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	h.sum += v
+	h.n++
+	if v > h.max {
+		h.max = v
+	}
+	i := v / h.width
+	if i >= uint64(len(h.buckets)) {
+		h.over++
+		return
+	}
+	h.buckets[i]++
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Mean returns the mean sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the largest sample seen.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1), using
+// bucket upper edges. Samples in the overflow bucket report the observed max.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = math.SmallestNonzeroFloat64
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.n)))
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return (uint64(i) + 1) * h.width
+		}
+	}
+	return h.max
+}
+
+// Table is a simple named-rows/named-columns table of float64 cells used to
+// print figure data in the same layout as the paper.
+type Table struct {
+	Title string
+	Cols  []string
+	rows  []string
+	cells map[string]map[string]float64
+}
+
+// NewTable creates a table with the given title and column order.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols, cells: make(map[string]map[string]float64)}
+}
+
+// Set stores a cell, creating the row on first use (rows keep insertion order).
+func (t *Table) Set(row, col string, v float64) {
+	m, ok := t.cells[row]
+	if !ok {
+		m = make(map[string]float64)
+		t.cells[row] = m
+		t.rows = append(t.rows, row)
+	}
+	m[col] = v
+}
+
+// Get returns a cell value and whether it was set.
+func (t *Table) Get(row, col string) (float64, bool) {
+	m, ok := t.cells[row]
+	if !ok {
+		return 0, false
+	}
+	v, ok := m[col]
+	return v, ok
+}
+
+// Rows returns the row labels in insertion order.
+func (t *Table) Rows() []string { return append([]string(nil), t.rows...) }
+
+// ColMean returns the mean over all set cells in the column.
+func (t *Table) ColMean(col string) float64 {
+	var m Mean
+	for _, r := range t.rows {
+		if v, ok := t.Get(r, col); ok {
+			m.Add(v)
+		}
+	}
+	return m.Value()
+}
+
+// ColGeoMean returns the geometric mean over all set cells in the column.
+// Non-positive cells are skipped.
+func (t *Table) ColGeoMean(col string) float64 {
+	var logs Mean
+	for _, r := range t.rows {
+		if v, ok := t.Get(r, col); ok && v > 0 {
+			logs.Add(math.Log(v))
+		}
+	}
+	if logs.N() == 0 {
+		return 0
+	}
+	return math.Exp(logs.Value())
+}
+
+// String renders the table with a gmean summary row, fixed to 4 significant
+// decimals, in the row/column order given.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	w := 12
+	for _, r := range t.rows {
+		if len(r)+2 > w {
+			w = len(r) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", w, "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	writeRow := func(label string, get func(col string) (float64, bool)) {
+		fmt.Fprintf(&b, "%-*s", w, label)
+		for _, c := range t.Cols {
+			if v, ok := get(c); ok {
+				fmt.Fprintf(&b, "%14.4f", v)
+			} else {
+				fmt.Fprintf(&b, "%14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		r := r
+		writeRow(r, func(c string) (float64, bool) { return t.Get(r, c) })
+	}
+	if len(t.rows) > 1 {
+		writeRow("gmean", func(c string) (float64, bool) {
+			v := t.ColGeoMean(c)
+			return v, v != 0
+		})
+	}
+	return b.String()
+}
+
+// Series is an ordered (x, y) sequence used for figure-style curves.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// String renders the series as "name: (x,y) ..." with points in x order.
+func (s *Series) String() string {
+	type pt struct{ x, y float64 }
+	pts := make([]pt, len(s.X))
+	for i := range s.X {
+		pts[i] = pt{s.X[i], s.Y[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", s.Name)
+	for _, p := range pts {
+		fmt.Fprintf(&b, " (%g, %.5g)", p.x, p.y)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header row, then one
+// line per row label), for plotting outside the harness.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("name")
+	for _, c := range t.Cols {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(r)
+		for _, c := range t.Cols {
+			b.WriteByte(',')
+			if v, ok := t.Get(r, c); ok {
+				fmt.Fprintf(&b, "%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesAllValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 10 {
+		t.Fatalf("%d profiles, want 10 (paper uses 10 SPEC benchmarks)", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		names[p.Name] = true
+	}
+	// The narrative workloads must be present with the right MLP ordering.
+	g, _ := ProfileByName("gromacs")
+	o, _ := ProfileByName("omnetpp")
+	gem, _ := ProfileByName("GemsFDTD")
+	if g.Burst <= gem.Burst || o.Burst <= gem.Burst {
+		t.Error("gromacs/omnetpp must have higher MLP than GemsFDTD")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, err := ProfileByName("mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile found")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := Profiles()[0]
+	muts := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.MeanGap = 0 },
+		func(p *Profile) { p.Burst = 0 },
+		func(p *Profile) { p.StreamProb = 1.0 },
+		func(p *Profile) { p.HotProb = -0.1 },
+		func(p *Profile) { p.HotBlocks = 0 },
+		func(p *Profile) { p.Footprint = 0; p.HotBlocks = 0 },
+		func(p *Profile) { p.WriteFrac = 2 },
+		func(p *Profile) { p.HotBlocks = 1 << 30 },
+	}
+	for i, m := range muts {
+		p := base
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profiles()[0]
+	a, err := p.Generate(1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p.Generate(1000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("records diverged at %d", i)
+		}
+	}
+	c, _ := p.Generate(1000, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different seeds produced %d/1000 identical records", same)
+	}
+}
+
+func TestGenerateProperties(t *testing.T) {
+	for _, p := range Profiles() {
+		recs, err := p.Generate(20000, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		writes, gapSum := 0, 0.0
+		for _, r := range recs {
+			if r.Addr >= p.Footprint {
+				t.Fatalf("%s: address %d beyond footprint", p.Name, r.Addr)
+			}
+			if r.Write {
+				writes++
+			}
+			gapSum += float64(r.Gap)
+		}
+		wf := float64(writes) / float64(len(recs))
+		if wf < p.WriteFrac-0.05 || wf > p.WriteFrac+0.05 {
+			t.Errorf("%s: write fraction %v, want ≈ %v", p.Name, wf, p.WriteFrac)
+		}
+		meanGap := gapSum / float64(len(recs))
+		if meanGap < p.MeanGap*0.6 || meanGap > p.MeanGap*1.4 {
+			t.Errorf("%s: mean gap %v, want ≈ %v", p.Name, meanGap, p.MeanGap)
+		}
+	}
+}
+
+func TestStreamingProfileIsSequential(t *testing.T) {
+	p, _ := ProfileByName("libquantum")
+	recs, _ := p.Generate(10000, 3)
+	seq := 0
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Addr == recs[i-1].Addr+1 {
+			seq++
+		}
+	}
+	frac := float64(seq) / float64(len(recs))
+	if frac < 0.75 {
+		t.Fatalf("libquantum sequential fraction %v, want streaming-dominated", frac)
+	}
+}
+
+func TestHighMLPProfileIsBursty(t *testing.T) {
+	g, _ := ProfileByName("gromacs")
+	gem, _ := ProfileByName("GemsFDTD")
+	count := func(p Profile) float64 {
+		recs, _ := p.Generate(10000, 4)
+		tiny := 0
+		for _, r := range recs {
+			if r.Gap <= 2 {
+				tiny++
+			}
+		}
+		return float64(tiny) / float64(len(recs))
+	}
+	if count(g) <= count(gem) {
+		t.Fatal("gromacs not burstier than GemsFDTD")
+	}
+}
+
+func TestGenerateNegativeCount(t *testing.T) {
+	if _, err := Profiles()[0].Generate(-1, 1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	p := Profiles()[2]
+	recs, _ := p.Generate(5000, 11)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Right magic, wrong version.
+	bad := append([]byte("SDTR"), 99)
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	Write(&buf, []Record{{Gap: 1, Addr: 2}})
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v %v", got, err)
+	}
+}
+
+// Property: arbitrary records survive serialization.
+func TestPropertyFileRoundTrip(t *testing.T) {
+	f := func(gaps []uint32, addrs []uint64, writeBits []bool) bool {
+		n := len(gaps)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(writeBits) < n {
+			n = len(writeBits)
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{Gap: gaps[i], Addr: addrs[i], Write: writeBits[i]}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package sdimm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func newStore(t *testing.T) *ORAM {
+	t.Helper()
+	o, err := NewORAM(ORAMOptions{Levels: 10, Key: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestORAMDefaults(t *testing.T) {
+	o := newStore(t)
+	if o.BlockSize() != 64 {
+		t.Fatalf("block size %d", o.BlockSize())
+	}
+	if o.Capacity() == 0 {
+		t.Fatal("zero capacity")
+	}
+}
+
+func TestORAMValidation(t *testing.T) {
+	if _, err := NewORAM(ORAMOptions{Levels: 0}); err == nil {
+		t.Fatal("zero levels accepted")
+	}
+}
+
+func TestORAMReadYourWrites(t *testing.T) {
+	o := newStore(t)
+	if err := o.Write(3, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:5]) != "hello" {
+		t.Fatalf("read %q", got[:5])
+	}
+	// Unwritten block reads as zeros.
+	got, err = o.Read(999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 64)) {
+		t.Fatal("unwritten block not zero")
+	}
+}
+
+func TestORAMOversizedWriteRejected(t *testing.T) {
+	o := newStore(t)
+	if err := o.Write(1, make([]byte, 65)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestORAMPropertyRoundTrip(t *testing.T) {
+	o := newStore(t)
+	ref := map[uint64][]byte{}
+	f := func(addr uint64, data [32]byte) bool {
+		addr %= 200
+		if err := o.Write(addr, data[:]); err != nil {
+			return false
+		}
+		ref[addr] = append([]byte(nil), data[:]...)
+		got, err := o.Read(addr)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got[:32], ref[addr])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+	if o.StashLen() > 200 {
+		t.Fatalf("stash grew to %d", o.StashLen())
+	}
+}
+
+func TestWorkloadsListsTen(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 10 {
+		t.Fatalf("%d workloads", len(ws))
+	}
+}
+
+func TestSimulateSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	cfg := DefaultConfig(NonSecure, 1)
+	cfg.ORAM.Levels = 20
+	cfg.WarmupAccesses = 50
+	cfg.MeasureAccesses = 100
+	res, err := Simulate(cfg, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasuredCycles == 0 {
+		t.Fatal("no cycles measured")
+	}
+}
+
+func TestSimulateRejectsBadWorkload(t *testing.T) {
+	cfg := DefaultConfig(NonSecure, 1)
+	if _, err := Simulate(cfg, "nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRecursiveORAMRoundTrip(t *testing.T) {
+	r, err := NewRecursiveORAM(RecursiveORAMOptions{
+		DataBlocks: 2048,
+		Levels:     12,
+		Key:        []byte("k"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 32; i++ {
+		if err := r.Write(i, []byte{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 32; i++ {
+		got, err := r.Read(i)
+		if err != nil || got[0] != byte(i+1) {
+			t.Fatalf("read %d = %v, %v", i, got[0], err)
+		}
+	}
+	if r.AccessesPerOp() < 1 {
+		t.Fatalf("AccessesPerOp = %v", r.AccessesPerOp())
+	}
+}
+
+func TestRecursiveORAMValidation(t *testing.T) {
+	if _, err := NewRecursiveORAM(RecursiveORAMOptions{DataBlocks: 1 << 30, Levels: 8}); err == nil {
+		t.Fatal("overfull tree accepted")
+	}
+}
