@@ -1,0 +1,38 @@
+# Developer entry points. `make ci` is the gate a change must pass.
+
+GO ?= go
+
+.PHONY: all build vet test race short chaos fuzz ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Quick loop: skips the long chaos campaigns (they run reduced iterations).
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# Standalone fault-injection acceptance run (the same harness the chaos
+# tests drive, at CLI scale): Independent protocol under ~1.7% per-delivery
+# faults, then Split with a mid-run shard fail-stop surviving via parity.
+chaos:
+	$(GO) run ./cmd/sdimm-chaos -n 5000
+	$(GO) run ./cmd/sdimm-chaos -split -failshard 1 -n 2000
+
+# Wire-format decoders must never panic on hostile input.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalAccess -fuzztime=20s ./internal/sdimm
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalResponse -fuzztime=20s ./internal/sdimm
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalAppend -fuzztime=20s ./internal/sdimm
+
+ci: build vet race

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sdimm/internal/fault"
 	"sdimm/internal/oram"
 	"sdimm/internal/rng"
 	isdimm "sdimm/internal/sdimm"
@@ -26,19 +27,44 @@ type ClusterOptions struct {
 	Key []byte
 	// Seed drives leaf assignment (0 uses 1).
 	Seed uint64
+	// Faults optionally injects deterministic channel faults between
+	// seccomm Seal and Open (nil = perfect links).
+	Faults *fault.Injector
+	// Retry bounds per-exchange retransmission and backoff (zero value =
+	// defaults: 8 attempts, 50µs base backoff, 5ms cap).
+	Retry fault.RetryPolicy
+	// DegradeAfter marks a buffer Degraded after this many consecutive
+	// failed exchanges (default 3).
+	DegradeAfter int
+	// LinkTap, when set, observes every frame put on a link before fault
+	// injection (attempt 0 = original transmission, >0 = retransmission).
+	// The chaos harness uses it to assert retries never change the
+	// observable traffic.
+	LinkTap func(sd int, dir fault.Direction, attempt int, frame []byte)
 }
+
+// Command kinds for the 1-byte envelope prefixed to every sealed body, so
+// the secure buffer can dispatch without relying on message length.
+const (
+	msgKindAccess byte = 0x01
+	msgKindAppend byte = 0x02
+	appendAck     byte = 0x06
+)
 
 // Cluster is a functional distributed ORAM: the host side (position map,
 // request routing, APPEND broadcast) runs here; each SDIMM's secure buffer
 // executes whole accessORAM operations against its own encrypted tree. All
 // host<->buffer messages cross an (in-process) untrusted channel sealed
-// with the session cryptography of the paper's Section III-B, so the full
-// stack — handshake, counter-mode link encryption, bucket encryption,
-// PMMAC — is exercised on every access.
+// with the session cryptography of the paper's Section III-B — and, unlike
+// the seed implementation, that channel is allowed to fail: every exchange
+// runs through a fault.Transactor that retries transient faults with
+// byte-identical retransmissions, position-map updates commit only after
+// the owning buffer has executed the access, and per-SDIMM health tracking
+// degrades buffers instead of bricking addresses.
 type Cluster struct {
 	buffers   []*isdimm.Buffer
-	hostSess  []*seccomm.Session
-	devSess   []*seccomm.Session
+	links     []*fault.Transactor
+	health    []*fault.Health
 	pos       oram.PositionMap
 	rnd       *rng.Source
 	blockSize int
@@ -108,8 +134,25 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 			return nil, err
 		}
 		c.buffers = append(c.buffers, buf)
-		c.hostSess = append(c.hostSess, host)
-		c.devSess = append(c.devSess, devSide)
+		c.health = append(c.health, fault.NewHealth(opts.DegradeAfter, 0))
+
+		var link fault.Link = fault.Perfect{}
+		if opts.Faults != nil {
+			link = opts.Faults.Link(i)
+		}
+		sd := i
+		tr := &fault.Transactor{
+			Host:  host,
+			Dev:   devSide,
+			Link:  link,
+			Serve: func(body []byte) ([]byte, error) { return c.serve(sd, body) },
+			Retry: opts.Retry,
+		}
+		if opts.LinkTap != nil {
+			tap := opts.LinkTap
+			tr.Tap = func(dir fault.Direction, attempt int, frame []byte) { tap(sd, dir, attempt, frame) }
+		}
+		c.links = append(c.links, tr)
 	}
 	return c, nil
 }
@@ -145,20 +188,111 @@ func (c *Cluster) Write(addr uint64, data []byte) error {
 	return err
 }
 
+// serve is the device-side command dispatcher: it runs inside the
+// fault.Transactor with an opened (authenticated, decrypted) body, executes
+// the buffer operation, and returns the response body to seal. The
+// Transactor guarantees it runs at most once per exchange regardless of
+// link faults.
+func (c *Cluster) serve(sd int, body []byte) ([]byte, error) {
+	if len(body) == 0 {
+		return nil, fmt.Errorf("sdimm %d: empty command body", sd)
+	}
+	kind, payload := body[0], body[1:]
+	switch kind {
+	case msgKindAccess:
+		req, err := isdimm.UnmarshalAccess(payload, c.blockSize)
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := c.buffers[sd].HandleAccess(req); err != nil {
+			return nil, err
+		}
+		// PROBE until ready (functional: immediately), then FETCH_RESULT.
+		if !c.buffers[sd].HandleProbe() {
+			return nil, fmt.Errorf("sdimm: buffer %d has no response", sd)
+		}
+		resp, err := c.buffers[sd].HandleFetchResult()
+		if err != nil {
+			return nil, err
+		}
+		return isdimm.MarshalResponse(resp, c.blockSize), nil
+	case msgKindAppend:
+		blk, dummy, err := isdimm.UnmarshalAppend(payload, c.blockSize)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.buffers[sd].HandleAppend(blk, dummy); err != nil {
+			return nil, err
+		}
+		return []byte{appendAck}, nil
+	}
+	return nil, fmt.Errorf("sdimm %d: unknown command kind %#02x", sd, kind)
+}
+
+// exchange runs one sealed command/response transaction with buffer sd and
+// keeps its health record current. Every error leaving here carries the
+// buffer's index and ID.
+func (c *Cluster) exchange(sd int, op string, kind byte, payload []byte) ([]byte, error) {
+	body := make([]byte, 1+len(payload))
+	body[0] = kind
+	copy(body[1:], payload)
+	resp, err := c.links[sd].Exchange(body)
+	if err != nil {
+		c.health[sd].Failure(err)
+		return nil, c.wrapErr(sd, op, err)
+	}
+	c.health[sd].Success()
+	return resp, nil
+}
+
+func (c *Cluster) wrapErr(sd int, op string, err error) error {
+	return &fault.SDIMMError{Index: sd, ID: c.buffers[sd].ID(), Op: op, Err: err}
+}
+
+// pickHealthyLeaf draws a uniformly random global leaf whose owning SDIMM
+// has not failed, so blocks are never placed on (or dummies routed to) a
+// dead buffer. A failed SDIMM is public knowledge on the channel, so the
+// skew is not an access-pattern leak.
+func (c *Cluster) pickHealthyLeaf(globalLeaves uint64) (uint64, error) {
+	for try := 0; try < 8*len(c.buffers); try++ {
+		g := c.rnd.Uint64n(globalLeaves)
+		if c.health[int(g>>c.localBits)].State() != fault.Failed {
+			return g, nil
+		}
+	}
+	return 0, errors.New("sdimm: no healthy SDIMM available for placement")
+}
+
 // access runs one distributed accessORAM: route by old leaf, execute on the
-// owning SDIMM (over the encrypted link), fetch the result, and broadcast
-// the APPEND that carries the block to its new home.
+// owning SDIMM (over the encrypted, possibly faulty link), fetch the
+// result, and broadcast the APPEND that carries the block to its new home.
+//
+// Recovery semantics: the position map is committed only AFTER the owning
+// buffer has executed the access. A fault before that point (however the
+// retries end) leaves host and buffers exactly as they were, so the
+// address stays readable — the seed's map-first ordering permanently
+// bricked the address on any link error.
 func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
 	globalLeaves := uint64(1) << (c.levels - 1)
-	oldG, ok := c.pos.Get(addr)
-	if !ok {
-		oldG = c.rnd.Uint64n(globalLeaves)
+	oldG, mapped := c.pos.Get(addr)
+	if !mapped {
+		// The block exists nowhere yet; route the dummy access to a live
+		// buffer so a dead one cannot deny fresh writes.
+		var err error
+		if oldG, err = c.pickHealthyLeaf(globalLeaves); err != nil {
+			return nil, err
+		}
 	}
-	newG := c.rnd.Uint64n(globalLeaves)
-	c.pos.Set(addr, newG)
+	sd := int(oldG >> c.localBits)
+	if c.health[sd].State() == fault.Failed {
+		return nil, c.wrapErr(sd, "access", fault.ErrUnavailable)
+	}
+	newG, err := c.pickHealthyLeaf(globalLeaves)
+	if err != nil {
+		return nil, err
+	}
 
 	mask := uint64(1)<<c.localBits - 1
-	sd := int(oldG >> c.localBits)
 	sdNew := int(newG >> c.localBits)
 	keep := sd == sdNew
 
@@ -172,54 +306,48 @@ func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
 	}
 
 	// ACCESS over the sealed link (reads carry a dummy payload slot).
-	sealed := c.hostSess[sd].Seal(isdimm.MarshalAccess(req, c.blockSize))
-	body, err := c.devSess[sd].Open(sealed)
+	respBody, err := c.exchange(sd, "access", msgKindAccess, isdimm.MarshalAccess(req, c.blockSize))
 	if err != nil {
-		return nil, fmt.Errorf("sdimm: link to buffer %d: %w", sd, err)
-	}
-	devReq, err := isdimm.UnmarshalAccess(body, c.blockSize)
-	if err != nil {
+		// The buffer never executed the access (or its result is
+		// unreachable): the map still holds oldG, nothing desynchronized.
 		return nil, err
 	}
-	if _, _, err := c.buffers[sd].HandleAccess(devReq); err != nil {
-		return nil, err
+	// Staged commit point: the buffer has executed the access, so the
+	// block now lives under newG (locally when kept, or in flight in the
+	// response). Later append failures cannot move it again.
+	c.pos.Set(addr, newG)
+
+	resp, err := isdimm.UnmarshalResponse(respBody, c.blockSize)
+	if err != nil {
+		return nil, c.wrapErr(sd, "access response", err)
 	}
 
-	// PROBE until ready (functional: immediately), then FETCH_RESULT.
-	if !c.buffers[sd].HandleProbe() {
-		return nil, fmt.Errorf("sdimm: buffer %d has no response", sd)
-	}
-	resp, err := c.buffers[sd].HandleFetchResult()
-	if err != nil {
-		return nil, err
-	}
-	respBody, err := c.hostSess[sd].Open(c.devSess[sd].Seal(isdimm.MarshalResponse(resp, c.blockSize)))
-	if err != nil {
-		return nil, fmt.Errorf("sdimm: response link from buffer %d: %w", sd, err)
-	}
-	resp, err = isdimm.UnmarshalResponse(respBody, c.blockSize)
-	if err != nil {
-		return nil, err
-	}
-
-	// APPEND broadcast: one sealed block-sized message to every SDIMM;
+	// APPEND broadcast: one sealed block-sized message to every live SDIMM;
 	// only the new owner receives the real block (when it migrated).
 	blk := resp.Block
 	blk.Addr = addr
 	blk.Leaf = newG & mask
 	for j := range c.buffers {
 		real := !keep && j == sdNew && !resp.Dummy
-		wire := isdimm.MarshalAppend(blk, !real, c.blockSize)
-		opened, err := c.devSess[j].Open(c.hostSess[j].Seal(wire))
-		if err != nil {
-			return nil, fmt.Errorf("sdimm: append link to buffer %d: %w", j, err)
+		if !real && c.health[j].State() == fault.Failed {
+			// A dead buffer has no channel; its dummy is undeliverable.
+			continue
 		}
-		ablk, dummy, err := isdimm.UnmarshalAppend(opened, c.blockSize)
+		ack, err := c.exchange(j, "append", msgKindAppend, isdimm.MarshalAppend(blk, !real, c.blockSize))
 		if err != nil {
-			return nil, err
+			if real {
+				// The migrating block was in this exchange. Rather than
+				// losing the payload, re-home it to a different healthy
+				// SDIMM and repoint the position map.
+				if rerr := c.rehome(addr, blk, j, globalLeaves); rerr != nil {
+					return nil, rerr
+				}
+			}
+			// A lost dummy costs nothing beyond the health record.
+			continue
 		}
-		if _, err := c.buffers[j].HandleAppend(ablk, dummy); err != nil {
-			return nil, err
+		if len(ack) != 1 || ack[0] != appendAck {
+			return nil, c.wrapErr(j, "append", fmt.Errorf("sdimm: malformed append ack %x", ack))
 		}
 	}
 
@@ -232,11 +360,117 @@ func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
 	return nil, nil
 }
 
+// rehome places an in-flight real block on a healthy SDIMM other than the
+// one whose append just failed, then repoints the position map. It runs
+// only after an append was abandoned — a channel-visible event — so the
+// extra exchange leaks nothing the failure itself did not.
+func (c *Cluster) rehome(addr uint64, blk oram.Block, exclude int, globalLeaves uint64) error {
+	var lastErr error
+	for try := 0; try < 8*len(c.buffers); try++ {
+		g, err := c.pickHealthyLeaf(globalLeaves)
+		if err != nil {
+			return err
+		}
+		sd := int(g >> c.localBits)
+		if sd == exclude {
+			continue
+		}
+		nb := blk
+		nb.Leaf = g & (uint64(1)<<c.localBits - 1)
+		ack, err := c.exchange(sd, "rehome append", msgKindAppend, isdimm.MarshalAppend(nb, false, c.blockSize))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(ack) != 1 || ack[0] != appendAck {
+			return c.wrapErr(sd, "rehome append", fmt.Errorf("sdimm: malformed append ack %x", ack))
+		}
+		c.pos.Set(addr, g)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("sdimm: no alternative SDIMM for in-flight block")
+	}
+	return fmt.Errorf("sdimm: re-homing block %d failed: %w", addr, lastErr)
+}
+
 // StashLens reports each buffer's stash occupancy (monitoring).
 func (c *Cluster) StashLens() []int {
 	out := make([]int, len(c.buffers))
 	for i, b := range c.buffers {
 		out[i] = b.Engine().StashLen()
+	}
+	return out
+}
+
+// SDIMMHealth is one buffer's health as surfaced to operators.
+type SDIMMHealth struct {
+	Index               int
+	ID                  string
+	State               fault.State
+	ConsecutiveFailures int
+	Successes           uint64
+	Failures            uint64
+	// Link recovery activity (zero for clusters without sealed links).
+	Retries     uint64
+	Retransmits uint64
+	Resyncs     uint64
+	Abandoned   uint64
+	// LastError is the most recent failure cause ("" if none).
+	LastError string
+}
+
+// ClusterHealth is a point-in-time view of every buffer's health.
+type ClusterHealth struct {
+	SDIMMs []SDIMMHealth
+}
+
+// Healthy reports whether every buffer is in the Healthy state.
+func (h ClusterHealth) Healthy() bool {
+	for _, s := range h.SDIMMs {
+		if s.State != fault.Healthy {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed lists the indices of fail-stopped buffers.
+func (h ClusterHealth) Failed() []int {
+	var out []int
+	for _, s := range h.SDIMMs {
+		if s.State == fault.Failed {
+			out = append(out, s.Index)
+		}
+	}
+	return out
+}
+
+func healthEntry(i int, id string, h *fault.Health, ts fault.TransactorStats) SDIMMHealth {
+	succ, fail := h.Totals()
+	e := SDIMMHealth{
+		Index:               i,
+		ID:                  id,
+		State:               h.State(),
+		ConsecutiveFailures: h.Consecutive(),
+		Successes:           succ,
+		Failures:            fail,
+		Retries:             ts.Retries,
+		Retransmits:         ts.Retransmits,
+		Resyncs:             ts.Resyncs,
+		Abandoned:           ts.Abandoned,
+	}
+	if err := h.LastError(); err != nil {
+		e.LastError = err.Error()
+	}
+	return e
+}
+
+// Health returns the current per-SDIMM health view.
+func (c *Cluster) Health() ClusterHealth {
+	out := ClusterHealth{SDIMMs: make([]SDIMMHealth, len(c.buffers))}
+	for i, b := range c.buffers {
+		out.SDIMMs[i] = healthEntry(i, b.ID(), c.health[i], c.links[i].Stats())
 	}
 	return out
 }
@@ -255,6 +489,17 @@ type SplitClusterOptions struct {
 	Key []byte
 	// Seed drives leaf assignment (0 uses 1).
 	Seed uint64
+	// Parity adds one extra shard holder storing the XOR of all data
+	// shards, so a read can be reconstructed when exactly one member is
+	// down (fail-stop tolerance at 1/SDIMMs extra capacity).
+	Parity bool
+	// Faults optionally supplies an injector whose per-shard fail-stop
+	// state the cluster honours (shard index i; the parity shard is index
+	// SDIMMs).
+	Faults *fault.Injector
+	// DegradeAfter marks a shard Degraded after this many consecutive
+	// failures (default 3).
+	DegradeAfter int
 }
 
 // SplitCluster is the functional form of the Split protocol (Section
@@ -263,9 +508,14 @@ type SplitClusterOptions struct {
 // each access to all members, and reassembles the shards. Each shard tree
 // is independently encrypted and MACed (the n-MAC overhead the paper
 // accepts), and the members' placements never diverge because greedy
-// eviction is a pure function of (identical) stash contents.
+// eviction is a pure function of (identical) stash contents. With Parity
+// enabled an extra member holds the XOR of the data shards and evolves in
+// the same lockstep, so the loss of any single member is survivable.
 type SplitCluster struct {
-	buffers   []*isdimm.Buffer
+	buffers   []*isdimm.Buffer // data shards
+	parity    *isdimm.Buffer   // nil unless Parity
+	health    []*fault.Health  // data shards, then parity (if present)
+	faults    *fault.Injector
 	pos       oram.PositionMap
 	rnd       *rng.Source
 	blockSize int
@@ -297,9 +547,10 @@ func NewSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
 		blockSize: opts.BlockSize,
 		shard:     opts.BlockSize / opts.SDIMMs,
 		leaves:    geom.Leaves(),
+		faults:    opts.Faults,
 	}
-	for i := 0; i < opts.SDIMMs; i++ {
-		store, err := oram.NewMemStore(4, c.shard, append([]byte(fmt.Sprintf("shard%d|", i)), opts.Key...))
+	mkShard := func(id, keyPrefix string, seed uint64) (*isdimm.Buffer, error) {
+		store, err := oram.NewMemStore(4, c.shard, append([]byte(keyPrefix), opts.Key...))
 		if err != nil {
 			return nil, err
 		}
@@ -316,12 +567,24 @@ func NewSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		buf, err := isdimm.NewBuffer(fmt.Sprintf("shard-%d", i), engine, 64, 0,
-			rng.New(opts.Seed^uint64(0x99*i+1)))
+		return isdimm.NewBuffer(id, engine, 64, 0, rng.New(seed))
+	}
+	for i := 0; i < opts.SDIMMs; i++ {
+		buf, err := mkShard(fmt.Sprintf("shard-%d", i), fmt.Sprintf("shard%d|", i),
+			opts.Seed^uint64(0x99*i+1))
 		if err != nil {
 			return nil, err
 		}
 		c.buffers = append(c.buffers, buf)
+		c.health = append(c.health, fault.NewHealth(opts.DegradeAfter, 0))
+	}
+	if opts.Parity {
+		buf, err := mkShard("parity", "parity|", opts.Seed^uint64(0x99*opts.SDIMMs+1))
+		if err != nil {
+			return nil, err
+		}
+		c.parity = buf
+		c.health = append(c.health, fault.NewHealth(opts.DegradeAfter, 0))
 	}
 	return c, nil
 }
@@ -342,16 +605,64 @@ func (c *SplitCluster) Write(addr uint64, data []byte) error {
 	return err
 }
 
+// FailShard marks member i (data shards 0..SDIMMs-1; SDIMMs = parity)
+// fail-stopped. Tests and the chaos harness use it to model a member
+// dying mid-run.
+func (c *SplitCluster) FailShard(i int) {
+	if i >= 0 && i < len(c.health) {
+		c.health[i].MarkFailed(fault.ErrFailStop)
+	}
+}
+
+// memberDown reports whether member i is fail-stopped, folding in the
+// injector's fail-stop schedule on first observation.
+func (c *SplitCluster) memberDown(i int) bool {
+	h := c.health[i]
+	if h.State() != fault.Failed && c.faults != nil && c.faults.IsFailStopped(i) {
+		h.MarkFailed(fault.ErrFailStop)
+	}
+	return h.State() == fault.Failed
+}
+
+func (c *SplitCluster) parityIndex() int { return len(c.buffers) }
+
+func (c *SplitCluster) parityDown() bool {
+	if c.parity == nil {
+		return true
+	}
+	return c.memberDown(c.parityIndex())
+}
+
+// xorParity folds a full block into one parity slice: the XOR of its
+// SDIMMs data slices.
+func xorParity(data []byte, shard int) []byte {
+	p := make([]byte, shard)
+	for i := 0; i+shard <= len(data); i += shard {
+		for j := 0; j < shard; j++ {
+			p[j] ^= data[i+j]
+		}
+	}
+	return p
+}
+
 func (c *SplitCluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
 	oldLeaf, ok := c.pos.Get(addr)
 	if !ok {
 		oldLeaf = c.rnd.Uint64n(c.leaves)
 	}
 	newLeaf := c.rnd.Uint64n(c.leaves)
-	c.pos.Set(addr, newLeaf)
 
 	out := make([]byte, c.blockSize)
+	down := -1
 	for i, b := range c.buffers {
+		if c.memberDown(i) {
+			if down >= 0 {
+				return nil, &fault.SDIMMError{Index: i, ID: b.ID(), Op: "shard access",
+					Err: fmt.Errorf("sdimm: shards %d and %d both down: %w", down, i, fault.ErrUnavailable)}
+			}
+			down = i
+			continue
+		}
 		var shard []byte
 		if op == oram.OpWrite {
 			shard = data[i*c.shard : (i+1)*c.shard]
@@ -360,18 +671,82 @@ func (c *SplitCluster) access(addr uint64, op oram.Op, data []byte) ([]byte, err
 			Addr: addr, Op: op, Data: shard, OldLeaf: oldLeaf, NewLeaf: newLeaf,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("sdimm: shard %d: %w", i, err)
+			c.health[i].Failure(err)
+			return nil, &fault.SDIMMError{Index: i, ID: b.ID(), Op: "shard access", Err: err}
 		}
+		c.health[i].Success()
 		if op == oram.OpRead && blk.Data != nil {
 			copy(out[i*c.shard:], blk.Data)
 		}
 	}
-	// Host-directed background eviction, same leaf to every shard.
-	for n := 0; n < 8 && c.buffers[0].Engine().NeedsDrain(); n++ {
+
+	// The parity member participates in every access — also on reads — so
+	// its tree stays in lockstep with the data shards.
+	var parityData []byte
+	if c.parity != nil && !c.parityDown() {
+		pi := c.parityIndex()
+		var pdata []byte
+		if op == oram.OpWrite {
+			pdata = xorParity(data, c.shard)
+		}
+		pblk, _, err := c.parity.ShardAccess(isdimm.AccessRequest{
+			Addr: addr, Op: op, Data: pdata, OldLeaf: oldLeaf, NewLeaf: newLeaf,
+		})
+		if err != nil {
+			c.health[pi].Failure(err)
+			return nil, &fault.SDIMMError{Index: pi, ID: c.parity.ID(), Op: "parity access", Err: err}
+		}
+		c.health[pi].Success()
+		if pblk.Data != nil {
+			parityData = pblk.Data
+		}
+	}
+
+	if down >= 0 {
+		if c.parity == nil || c.parityDown() {
+			return nil, &fault.SDIMMError{Index: down, ID: c.buffers[down].ID(), Op: "shard access",
+				Err: fmt.Errorf("sdimm: shard down and no parity to reconstruct from: %w", fault.ErrUnavailable)}
+		}
+		if op == oram.OpRead {
+			// Reconstruct the missing slice: parity ⊕ every healthy slice.
+			slice := make([]byte, c.shard)
+			copy(slice, parityData)
+			for i := range c.buffers {
+				if i == down {
+					continue
+				}
+				for j := 0; j < c.shard; j++ {
+					slice[j] ^= out[i*c.shard+j]
+				}
+			}
+			copy(out[down*c.shard:], slice)
+		}
+		// Writes simply skip the dead member: the parity slice carries the
+		// missing shard's information for later reconstruction.
+	}
+
+	// Staged commit: the shard fan-out (and parity) succeeded, so newLeaf
+	// is now the truth everywhere.
+	c.pos.Set(addr, newLeaf)
+
+	// Host-directed background eviction, same leaf to every live member.
+	ref := c.refEngine()
+	for n := 0; n < 8 && ref != nil && ref.NeedsDrain(); n++ {
 		leaf := c.rnd.Uint64n(c.leaves)
 		for i, b := range c.buffers {
+			if c.memberDown(i) {
+				continue
+			}
 			if err := b.EvictLocal(leaf); err != nil {
-				return nil, fmt.Errorf("sdimm: shard %d eviction: %w", i, err)
+				c.health[i].Failure(err)
+				return nil, &fault.SDIMMError{Index: i, ID: b.ID(), Op: "shard eviction", Err: err}
+			}
+		}
+		if c.parity != nil && !c.parityDown() {
+			if err := c.parity.EvictLocal(leaf); err != nil {
+				pi := c.parityIndex()
+				c.health[pi].Failure(err)
+				return nil, &fault.SDIMMError{Index: pi, ID: c.parity.ID(), Op: "parity eviction", Err: err}
 			}
 		}
 	}
@@ -381,12 +756,43 @@ func (c *SplitCluster) access(addr uint64, op oram.Op, data []byte) ([]byte, err
 	return nil, nil
 }
 
-// StashLens reports each shard's stash occupancy; the Split invariant is
-// that they are always identical.
+// refEngine returns any live member's engine (they are in lockstep, so any
+// one of them answers NeedsDrain for the group).
+func (c *SplitCluster) refEngine() *oram.Engine {
+	for i, b := range c.buffers {
+		if !c.memberDown(i) {
+			return b.Engine()
+		}
+	}
+	if c.parity != nil && !c.parityDown() {
+		return c.parity.Engine()
+	}
+	return nil
+}
+
+// StashLens reports each data shard's stash occupancy; the Split invariant
+// is that they are always identical.
 func (c *SplitCluster) StashLens() []int {
 	out := make([]int, len(c.buffers))
 	for i, b := range c.buffers {
 		out[i] = b.Engine().StashLen()
+	}
+	return out
+}
+
+// HasParity reports whether the cluster carries a parity shard.
+func (c *SplitCluster) HasParity() bool { return c.parity != nil }
+
+// Health returns the current per-member health view (data shards first,
+// then the parity shard when present).
+func (c *SplitCluster) Health() ClusterHealth {
+	out := ClusterHealth{SDIMMs: make([]SDIMMHealth, len(c.health))}
+	for i, b := range c.buffers {
+		out.SDIMMs[i] = healthEntry(i, b.ID(), c.health[i], fault.TransactorStats{})
+	}
+	if c.parity != nil {
+		pi := c.parityIndex()
+		out.SDIMMs[pi] = healthEntry(pi, c.parity.ID(), c.health[pi], fault.TransactorStats{})
 	}
 	return out
 }

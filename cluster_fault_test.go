@@ -1,0 +1,404 @@
+package sdimm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"sdimm/internal/fault"
+	"sdimm/internal/rng"
+)
+
+func nop(time.Duration) {}
+
+func newFaultyCluster(t *testing.T, sdimms int, in *fault.Injector, attempts int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterOptions{
+		SDIMMs: sdimms,
+		Levels: 10,
+		Key:    []byte("faulty-cluster-key"),
+		Seed:   17,
+		Faults: in,
+		Retry:  fault.RetryPolicy{MaxAttempts: attempts, Sleep: nop},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestClusterSurvivesFaultyLinks runs a read/write workload over links with
+// a noticeable random fault rate and requires map-exact behaviour with zero
+// surfaced errors — every fault must be absorbed by the recovery layer.
+func TestClusterSurvivesFaultyLinks(t *testing.T) {
+	in := fault.NewInjector(fault.Config{
+		Seed: 99, BitFlip: 0.01, Drop: 0.01, Duplicate: 0.01, Replay: 0.005, Stall: 0.005, MACCorrupt: 0.005,
+	})
+	c := newFaultyCluster(t, 4, in, 8)
+	ref := map[uint64][]byte{}
+	r := rng.New(5)
+	for i := 0; i < 400; i++ {
+		addr := r.Uint64n(80)
+		if r.Bool(0.5) {
+			data := []byte(fmt.Sprintf("v%d-%d", i, addr))
+			if err := c.Write(addr, data); err != nil {
+				t.Fatalf("op %d write %d: %v", i, addr, err)
+			}
+			ref[addr] = data
+		} else {
+			got, err := c.Read(addr)
+			if err != nil {
+				t.Fatalf("op %d read %d: %v", i, addr, err)
+			}
+			want := ref[addr]
+			if !bytes.Equal(got[:len(want)], want) {
+				t.Fatalf("op %d read %d = %q, want %q", i, addr, got[:len(want)], want)
+			}
+		}
+	}
+	s := in.Stats()
+	if s.Drops+s.BitFlips+s.Duplicates+s.Replays+s.Stalls+s.MACCorruptions == 0 {
+		t.Fatalf("fault injector never fired: %+v", s)
+	}
+	for _, sd := range c.Health().SDIMMs {
+		if sd.State == fault.Failed {
+			t.Fatalf("sdimm %d failed under transient faults: %+v", sd.Index, sd)
+		}
+	}
+	t.Logf("faults absorbed: %+v", s)
+}
+
+// TestClusterStagedCommitSurvivesOutage pins the position-map recovery
+// semantics: an access that dies on the wire must leave the address fully
+// readable afterwards. The seed implementation committed the new leaf
+// BEFORE talking to any buffer, so a single failed exchange permanently
+// bricked the address.
+func TestClusterStagedCommitSurvivesOutage(t *testing.T) {
+	in := fault.NewInjector(fault.Config{Seed: 11})
+	c := newFaultyCluster(t, 4, in, 3)
+	payload := []byte("survives the outage")
+	if err := c.Write(5, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Wedge every link long enough to exhaust the retry budget.
+	for i := 0; i < 4; i++ {
+		in.StallFor(i, 3)
+	}
+	if _, err := c.Read(5); err == nil {
+		t.Fatal("read succeeded through a total link outage")
+	} else {
+		var se *fault.SDIMMError
+		if !errors.As(err, &se) {
+			t.Fatalf("outage error lacks SDIMM attribution: %v", err)
+		}
+		if !errors.Is(err, fault.ErrStalled) {
+			t.Fatalf("outage error hides its cause: %v", err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		in.ClearStall(i)
+	}
+	got, err := c.Read(5)
+	if err != nil {
+		t.Fatalf("read after outage: %v", err)
+	}
+	if !bytes.Equal(got[:len(payload)], payload) {
+		t.Fatalf("address corrupted by failed access: %q", got[:len(payload)])
+	}
+}
+
+// TestClusterErrorsCarrySDIMMIndex checks satellite 2: any error crossing
+// the cluster boundary names the buffer (index and ID) it came from.
+func TestClusterErrorsCarrySDIMMIndex(t *testing.T) {
+	in := fault.NewInjector(fault.Config{Seed: 4})
+	c := newFaultyCluster(t, 2, in, 2)
+	if err := c.Write(9, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	in.StallFor(0, 1<<20)
+	in.StallFor(1, 1<<20)
+	_, err := c.Read(9)
+	if err == nil {
+		t.Fatal("read succeeded with both links wedged")
+	}
+	var se *fault.SDIMMError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is not a SDIMMError: %v", err)
+	}
+	if se.Index != 0 && se.Index != 1 {
+		t.Fatalf("implausible SDIMM index %d", se.Index)
+	}
+	if want := fmt.Sprintf("sdimm-%d", se.Index); se.ID != want {
+		t.Fatalf("SDIMM ID %q does not match index %d", se.ID, se.Index)
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte(fmt.Sprintf("sdimm %d", se.Index))) {
+		t.Fatalf("error text omits the index: %v", err)
+	}
+}
+
+// TestClusterHealthDegradesAndRecovers drives one SDIMM through
+// Healthy → Degraded → Healthy using forced stalls.
+func TestClusterHealthDegradesAndRecovers(t *testing.T) {
+	in := fault.NewInjector(fault.Config{Seed: 8})
+	c := newFaultyCluster(t, 2, in, 2)
+	// Every access exchanges with SDIMM 0 at least once (access or append),
+	// so three wedged accesses produce three consecutive failures.
+	in.StallFor(0, 1<<20)
+	for i := uint64(0); i < 3; i++ {
+		c.Write(100+i, []byte("z")) //nolint:errcheck — errors expected while wedged
+	}
+	h := c.Health()
+	if h.SDIMMs[0].State != fault.Degraded {
+		t.Fatalf("sdimm 0 not degraded after repeated failures: %+v", h.SDIMMs[0])
+	}
+	if h.Healthy() {
+		t.Fatal("ClusterHealth.Healthy() true with a degraded member")
+	}
+	if h.SDIMMs[0].LastError == "" || h.SDIMMs[0].Retries == 0 {
+		t.Fatalf("health view missing diagnostics: %+v", h.SDIMMs[0])
+	}
+	in.ClearStall(0)
+	// One successful exchange recovers the state machine.
+	for i := uint64(0); i < 2; i++ {
+		if err := c.Write(200+i, []byte("y")); err != nil {
+			t.Fatalf("write after stall cleared: %v", err)
+		}
+	}
+	h = c.Health()
+	if h.SDIMMs[0].State != fault.Healthy {
+		t.Fatalf("sdimm 0 did not recover: %+v", h.SDIMMs[0])
+	}
+	if !h.Healthy() {
+		t.Fatalf("cluster not healthy after recovery: %+v", h)
+	}
+}
+
+// TestClusterFailStopIsolation kills one SDIMM and checks the cluster
+// detects it, stops routing to it, and keeps serving everything that does
+// not live there.
+func TestClusterFailStopIsolation(t *testing.T) {
+	in := fault.NewInjector(fault.Config{Seed: 21})
+	c := newFaultyCluster(t, 4, in, 3)
+	for a := uint64(0); a < 24; a++ {
+		if err := c.Write(a, []byte(fmt.Sprintf("pre-%d", a))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in.FailStop(1)
+	// The next accesses discover the corpse (via its dead link); at most the
+	// ones routed directly at it error.
+	for a := uint64(100); a < 110; a++ {
+		c.Write(a, []byte("probe")) //nolint:errcheck — detection phase
+	}
+	h := c.Health()
+	if got := h.Failed(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("failed set %v, want [1]", got)
+	}
+	// Post-detection: fresh writes and their reads must always succeed —
+	// placement avoids the dead SDIMM entirely.
+	for a := uint64(200); a < 230; a++ {
+		data := []byte(fmt.Sprintf("post-%d", a))
+		if err := c.Write(a, data); err != nil {
+			t.Fatalf("write %d after detection: %v", a, err)
+		}
+		got, err := c.Read(a)
+		if err != nil {
+			t.Fatalf("read %d after detection: %v", a, err)
+		}
+		if !bytes.Equal(got[:len(data)], data) {
+			t.Fatalf("read %d = %q", a, got[:len(data)])
+		}
+	}
+	// Pre-failure addresses either survive (they lived elsewhere or migrated
+	// off in the probe phase) or fail loudly with the dead SDIMM named —
+	// never silently return wrong data.
+	for a := uint64(0); a < 24; a++ {
+		got, err := c.Read(a)
+		if err != nil {
+			var se *fault.SDIMMError
+			if !errors.As(err, &se) || se.Index != 1 || !errors.Is(err, fault.ErrUnavailable) {
+				t.Fatalf("read %d: unexpected failure shape: %v", a, err)
+			}
+			continue
+		}
+		want := fmt.Sprintf("pre-%d", a)
+		if string(got[:len(want)]) != want {
+			t.Fatalf("read %d silently corrupted: %q", a, got[:len(want)])
+		}
+	}
+}
+
+// TestClusterRehomesInFlightBlock wedges the link of the non-owning SDIMM
+// so that every migration's real APPEND is abandoned; the block must be
+// re-homed to a healthy SDIMM instead of being lost.
+func TestClusterRehomesInFlightBlock(t *testing.T) {
+	in := fault.NewInjector(fault.Config{Seed: 31})
+	c := newFaultyCluster(t, 2, in, 2)
+	payload := []byte("in-flight")
+	if err := c.Write(3, payload); err != nil {
+		t.Fatal(err)
+	}
+	oldG, ok := c.pos.Get(3)
+	if !ok {
+		t.Fatal("written address unmapped")
+	}
+	owner := int(oldG >> c.localBits)
+	other := 1 - owner
+	in.StallFor(other, 1<<20)
+	// Hammer the address: every ~second access tries to migrate it to the
+	// wedged SDIMM, whose append must be abandoned and re-homed.
+	for i := 0; i < 20; i++ {
+		got, err := c.Read(3)
+		if err != nil {
+			t.Fatalf("read %d during wedge: %v", i, err)
+		}
+		if !bytes.Equal(got[:len(payload)], payload) {
+			t.Fatalf("read %d lost payload: %q", i, got[:len(payload)])
+		}
+		g, _ := c.pos.Get(3)
+		if int(g>>c.localBits) == other {
+			t.Fatalf("read %d left the block mapped to the wedged SDIMM", i)
+		}
+	}
+	in.ClearStall(other)
+	if got, err := c.Read(3); err != nil || !bytes.Equal(got[:len(payload)], payload) {
+		t.Fatalf("read after wedge: %q %v", got, err)
+	}
+}
+
+func newParityCluster(t *testing.T, k int) *SplitCluster {
+	t.Helper()
+	c, err := NewSplitCluster(SplitClusterOptions{
+		SDIMMs: k,
+		Levels: 10,
+		Key:    []byte("parity-key"),
+		Seed:   13,
+		Parity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSplitParityReconstruction fail-stops one data shard and checks every
+// payload — written before or after the failure — reads back exactly via
+// XOR reconstruction.
+func TestSplitParityReconstruction(t *testing.T) {
+	c := newParityCluster(t, 4)
+	if !c.HasParity() {
+		t.Fatal("parity shard missing")
+	}
+	for a := uint64(0); a < 20; a++ {
+		if err := c.Write(a, []byte(fmt.Sprintf("pre-fail-%02d", a))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.FailShard(2)
+	for a := uint64(0); a < 20; a++ {
+		got, err := c.Read(a)
+		if err != nil {
+			t.Fatalf("read %d with shard down: %v", a, err)
+		}
+		want := fmt.Sprintf("pre-fail-%02d", a)
+		if string(got[:len(want)]) != want {
+			t.Fatalf("reconstruction wrong for %d: %q", a, got[:len(want)])
+		}
+	}
+	// Writes after the failure also survive: the parity slice carries the
+	// dead shard's information.
+	full := make([]byte, 64)
+	for i := range full {
+		full[i] = byte(0xA0 ^ i)
+	}
+	if err := c.Write(50, full); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, full) {
+		t.Fatalf("post-failure write not reconstructed: %v", got)
+	}
+	h := c.Health()
+	if got := h.Failed(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("failed set %v, want [2]", got)
+	}
+}
+
+// TestSplitParityShardDownStillServes loses the parity shard itself: all
+// data shards remain, so nothing needs reconstruction.
+func TestSplitParityShardDownStillServes(t *testing.T) {
+	c := newParityCluster(t, 2)
+	if err := c.Write(7, []byte("no parity needed")); err != nil {
+		t.Fatal(err)
+	}
+	c.FailShard(2) // index SDIMMs = the parity member
+	if err := c.Write(8, []byte("still fine")); err != nil {
+		t.Fatalf("write with parity down: %v", err)
+	}
+	got, err := c.Read(7)
+	if err != nil || string(got[:16]) != "no parity needed" {
+		t.Fatalf("read with parity down: %q %v", got, err)
+	}
+}
+
+// TestSplitWithoutParityFailsClosed checks a shard loss without parity is a
+// loud, attributed error — never silent corruption.
+func TestSplitWithoutParityFailsClosed(t *testing.T) {
+	c := newSplitCluster(t, 2)
+	if err := c.Write(1, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	c.FailShard(1)
+	_, err := c.Read(1)
+	if err == nil {
+		t.Fatal("read served with a shard missing and no parity")
+	}
+	var se *fault.SDIMMError
+	if !errors.As(err, &se) || !errors.Is(err, fault.ErrUnavailable) {
+		t.Fatalf("failure shape: %v", err)
+	}
+}
+
+// TestSplitTwoShardsDownFailsClosed: XOR parity tolerates exactly one loss.
+func TestSplitTwoShardsDownFailsClosed(t *testing.T) {
+	c := newParityCluster(t, 4)
+	if err := c.Write(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.FailShard(0)
+	c.FailShard(3)
+	if _, err := c.Read(1); err == nil || !errors.Is(err, fault.ErrUnavailable) {
+		t.Fatalf("double loss not rejected: %v", err)
+	}
+}
+
+// TestSplitParityStaysInLockstep extends the seed lockstep invariant to the
+// parity member: its stash must track the data shards exactly.
+func TestSplitParityStaysInLockstep(t *testing.T) {
+	c := newParityCluster(t, 4)
+	r := rng.New(6)
+	for i := 0; i < 200; i++ {
+		addr := r.Uint64n(90)
+		if r.Bool(0.5) {
+			if err := c.Write(addr, []byte{byte(addr)}); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := c.Read(addr); err != nil {
+			t.Fatal(err)
+		}
+		lens := c.StashLens()
+		for _, n := range lens[1:] {
+			if n != lens[0] {
+				t.Fatalf("op %d: data shards diverged: %v", i, lens)
+			}
+		}
+		if p := c.parity.Engine().StashLen(); p != lens[0] {
+			t.Fatalf("op %d: parity stash %d, data shards %d", i, p, lens[0])
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package chaos is the fault-injection harness for distributed SDIMM
+// clusters: it drives a randomized read/write workload through a cluster
+// whose links misbehave on a deterministic schedule, and checks two things
+// the recovery layer promises:
+//
+//  1. Functional correctness — every completed read returns exactly what a
+//     reference map says it should, no matter how many frames were dropped,
+//     flipped, duplicated, replayed, or stalled along the way.
+//  2. Obliviousness under faults — retries never change the observable
+//     traffic: every retransmission is byte-identical to the original
+//     frame, and every error-free access puts the same number of exchanges
+//     on the wire (one ACCESS plus one APPEND per SDIMM).
+//
+// Both the `go test` chaos suite and the cmd/sdimm-chaos CLI drive this
+// package, so the acceptance run is reproducible from either entry point.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"sdimm"
+	"sdimm/internal/fault"
+	"sdimm/internal/rng"
+)
+
+// payloadLen is the number of payload bytes the harness writes and
+// verifies per block.
+const payloadLen = 24
+
+// Config sizes one chaos run against the Independent-protocol cluster.
+type Config struct {
+	// SDIMMs and Levels size the cluster (defaults 4 and 10).
+	SDIMMs int
+	Levels int
+	// Accesses is the number of read/write operations (default 5000).
+	Accesses int
+	// Addresses is the size of the address working set (default 96).
+	Addresses uint64
+	// Seed drives the workload and (xored) the cluster's leaf assignment.
+	Seed uint64
+	// Faults is the injector schedule; Faults.Rate() is the per-delivery
+	// fault probability.
+	Faults fault.Config
+	// Retry is the cluster's recovery budget (zero value = defaults).
+	Retry fault.RetryPolicy
+	// CheckTraffic enables the obliviousness invariant checks via the
+	// cluster's link tap.
+	CheckTraffic bool
+}
+
+// Result summarizes a chaos run.
+type Result struct {
+	// Accesses actually issued; Reads+Writes are the ones that completed.
+	Accesses int
+	Reads    int
+	Writes   int
+	// Errors is the number of accesses that surfaced an error (the retry
+	// budget was exhausted); their addresses drop out of verification.
+	Errors int
+	// Mismatches counts completed reads whose payload differed from the
+	// reference map — the harness's core failure signal, must be zero.
+	Mismatches int
+	// TrafficViolations counts breaches of the obliviousness invariant:
+	// a retransmitted frame that differed from the original, or an
+	// error-free access with an unexpected exchange count.
+	TrafficViolations int
+	// FaultRate is the configured per-delivery fault probability.
+	FaultRate float64
+	// FaultStats is what the injector actually did.
+	FaultStats fault.Stats
+	// Health is the cluster's final health view.
+	Health sdimm.ClusterHealth
+}
+
+// String renders a one-screen summary.
+func (r Result) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "chaos: %d accesses (%d reads, %d writes), %d errors\n",
+		r.Accesses, r.Reads, r.Writes, r.Errors)
+	fmt.Fprintf(&b, "  payload mismatches:  %d\n", r.Mismatches)
+	fmt.Fprintf(&b, "  traffic violations:  %d\n", r.TrafficViolations)
+	fmt.Fprintf(&b, "  fault rate %.2f%%: %+v\n", 100*r.FaultRate, r.FaultStats)
+	for _, sd := range r.Health.SDIMMs {
+		fmt.Fprintf(&b, "  %s: %s, %d/%d ok, retries=%d arq=%d resyncs=%d\n",
+			sd.ID, sd.State, sd.Successes, sd.Successes+sd.Failures, sd.Retries, sd.Retransmits, sd.Resyncs)
+	}
+	return b.String()
+}
+
+// trafficChecker enforces the obliviousness invariant from the link tap:
+// within one exchange, all frames per direction must be byte-identical
+// (attempt 0 opens the exchange on the host→device leg).
+type trafficChecker struct {
+	started    uint64 // exchanges opened (attempt-0 host→device frames)
+	violations int
+	curReq     [][]byte
+	curResp    [][]byte
+}
+
+func newTrafficChecker(sdimms int) *trafficChecker {
+	return &trafficChecker{curReq: make([][]byte, sdimms), curResp: make([][]byte, sdimms)}
+}
+
+func (t *trafficChecker) tap(sd int, dir fault.Direction, attempt int, frame []byte) {
+	if dir == fault.HostToDev {
+		if attempt == 0 {
+			t.started++
+			t.curReq[sd] = append([]byte(nil), frame...)
+			t.curResp[sd] = nil
+			return
+		}
+		if !bytes.Equal(frame, t.curReq[sd]) {
+			t.violations++
+		}
+		return
+	}
+	if t.curResp[sd] == nil {
+		t.curResp[sd] = append([]byte(nil), frame...)
+		return
+	}
+	if !bytes.Equal(frame, t.curResp[sd]) {
+		t.violations++
+	}
+}
+
+func withDefaults(cfg Config) Config {
+	if cfg.SDIMMs == 0 {
+		cfg.SDIMMs = 4
+	}
+	if cfg.Levels == 0 {
+		cfg.Levels = 10
+	}
+	if cfg.Accesses == 0 {
+		cfg.Accesses = 5000
+	}
+	if cfg.Addresses == 0 {
+		cfg.Addresses = 96
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+func abandonedTotal(h sdimm.ClusterHealth) uint64 {
+	var n uint64
+	for _, sd := range h.SDIMMs {
+		n += sd.Abandoned
+	}
+	return n
+}
+
+// Run executes one chaos campaign against an Independent cluster.
+func Run(cfg Config) (Result, error) {
+	cfg = withDefaults(cfg)
+	in := fault.NewInjector(cfg.Faults)
+	tc := newTrafficChecker(cfg.SDIMMs)
+	opts := sdimm.ClusterOptions{
+		SDIMMs: cfg.SDIMMs,
+		Levels: cfg.Levels,
+		Key:    []byte("chaos-campaign-key"),
+		Seed:   cfg.Seed ^ 0xc0ffee,
+		Faults: in,
+		Retry:  cfg.Retry,
+	}
+	if cfg.CheckTraffic {
+		opts.LinkTap = tc.tap
+	}
+	c, err := sdimm.NewCluster(opts)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{FaultRate: cfg.Faults.Rate()}
+	ref := map[uint64][]byte{}
+	unknown := map[uint64]bool{}
+	r := rng.New(cfg.Seed)
+	prevAbandoned := uint64(0)
+	wantExchanges := uint64(cfg.SDIMMs + 1) // one ACCESS + one APPEND per SDIMM
+
+	for i := 0; i < cfg.Accesses; i++ {
+		addr := r.Uint64n(cfg.Addresses)
+		startExchanges := tc.started
+		var opErr error
+		if r.Bool(0.5) {
+			data := make([]byte, payloadLen)
+			for j := range data {
+				data[j] = byte(r.Uint64n(256))
+			}
+			if opErr = c.Write(addr, data); opErr == nil {
+				ref[addr] = data
+				delete(unknown, addr)
+				res.Writes++
+			}
+		} else {
+			var got []byte
+			if got, opErr = c.Read(addr); opErr == nil {
+				res.Reads++
+				if !unknown[addr] {
+					want := ref[addr]
+					if want == nil {
+						want = make([]byte, payloadLen)
+					}
+					if !bytes.Equal(got[:payloadLen], want) {
+						res.Mismatches++
+					}
+				}
+			}
+		}
+		res.Accesses++
+		if opErr != nil {
+			// Exhausted retry budget: the address's state is unknown until
+			// the next successful write. At realistic fault rates this
+			// should never fire — the caller asserts Errors == 0.
+			res.Errors++
+			unknown[addr] = true
+		}
+		abandoned := abandonedTotal(c.Health())
+		if cfg.CheckTraffic && opErr == nil && abandoned == prevAbandoned {
+			if got := tc.started - startExchanges; got != wantExchanges {
+				res.TrafficViolations++
+			}
+		}
+		prevAbandoned = abandoned
+	}
+	res.TrafficViolations += tc.violations
+	res.FaultStats = in.Stats()
+	res.Health = c.Health()
+	return res, nil
+}
+
+// SplitConfig sizes a chaos run against the Split-protocol cluster. Split
+// members are exercised with fail-stop faults (the shard fan-out runs
+// in-process), checking that parity reconstruction keeps every payload
+// intact across a mid-run member loss.
+type SplitConfig struct {
+	SDIMMs    int
+	Levels    int
+	Accesses  int
+	Addresses uint64
+	Seed      uint64
+	// Parity adds the XOR parity member.
+	Parity bool
+	// FailShardAt is the access index at which FailShard fires (< 0 never).
+	FailShardAt int
+	// FailShard is the member index to kill (data shards 0..SDIMMs-1,
+	// SDIMMs = parity).
+	FailShard int
+}
+
+// RunSplit executes one chaos campaign against a Split cluster.
+func RunSplit(cfg SplitConfig) (Result, error) {
+	c0 := withDefaults(Config{SDIMMs: cfg.SDIMMs, Levels: cfg.Levels, Accesses: cfg.Accesses,
+		Addresses: cfg.Addresses, Seed: cfg.Seed})
+	c, err := sdimm.NewSplitCluster(sdimm.SplitClusterOptions{
+		SDIMMs: c0.SDIMMs,
+		Levels: c0.Levels,
+		Key:    []byte("chaos-split-key"),
+		Seed:   c0.Seed ^ 0x5eed,
+		Parity: cfg.Parity,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	ref := map[uint64][]byte{}
+	unknown := map[uint64]bool{}
+	r := rng.New(c0.Seed)
+	for i := 0; i < c0.Accesses; i++ {
+		if i == cfg.FailShardAt {
+			c.FailShard(cfg.FailShard)
+		}
+		addr := r.Uint64n(c0.Addresses)
+		var opErr error
+		if r.Bool(0.5) {
+			data := make([]byte, payloadLen)
+			for j := range data {
+				data[j] = byte(r.Uint64n(256))
+			}
+			if opErr = c.Write(addr, data); opErr == nil {
+				ref[addr] = data
+				delete(unknown, addr)
+				res.Writes++
+			}
+		} else {
+			var got []byte
+			if got, opErr = c.Read(addr); opErr == nil {
+				res.Reads++
+				if !unknown[addr] {
+					want := ref[addr]
+					if want == nil {
+						want = make([]byte, payloadLen)
+					}
+					if !bytes.Equal(got[:payloadLen], want) {
+						res.Mismatches++
+					}
+				}
+			}
+		}
+		res.Accesses++
+		if opErr != nil {
+			res.Errors++
+			unknown[addr] = true
+			// A second member loss without parity headroom is fatal for the
+			// whole run, not just this address.
+			if errors.Is(opErr, fault.ErrUnavailable) {
+				res.Health = c.Health()
+				return res, opErr
+			}
+		}
+	}
+	res.Health = c.Health()
+	return res, nil
+}

@@ -1,0 +1,116 @@
+// Package fault models the unreliable half of the paper's threat model:
+// the untrusted channel between the CPU and the SDIMM secure buffers. The
+// seed treated every sealed exchange as infallible; this package supplies
+// the pieces a production cluster needs to survive a hostile or merely
+// flaky channel without leaking access patterns:
+//
+//   - Link: where faults live — a transport for sealed frames that may
+//     corrupt, drop, duplicate, replay, stall, or fail-stop.
+//   - Injector: a deterministic, seedable fault generator producing per-
+//     SDIMM Links from one schedule, so chaos runs are reproducible.
+//   - Transactor: a replay-safe request/response ARQ over a Link, with
+//     bounded retry, exponential backoff, and counter resynchronization.
+//   - Health: per-SDIMM failure tracking (Healthy → Degraded → Failed).
+//
+// Faults are injected strictly between seccomm.Session.Seal and Open, so
+// every fault the injector produces is one the link cryptography must
+// detect; nothing in this package can bypass authentication.
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Direction labels which way a frame crosses the channel.
+type Direction int
+
+const (
+	// HostToDev carries CPU-sealed commands toward the secure buffer.
+	HostToDev Direction = iota
+	// DevToHost carries buffer-sealed responses toward the CPU.
+	DevToHost
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == HostToDev {
+		return "host->dev"
+	}
+	return "dev->host"
+}
+
+// Link is the untrusted transport for sealed frames between the host and
+// one SDIMM. Deliver carries a frame in the given direction and returns
+// the frames the receiver actually observes: zero (dropped), one, or more
+// (duplicated, or a stale frame replayed alongside). A stalled or
+// fail-stopped link returns an error instead of delivering.
+//
+// Implementations may corrupt the returned frames arbitrarily — they carry
+// sealed bytes, and anything a Link does must be caught by seccomm.Open.
+type Link interface {
+	Deliver(dir Direction, frame []byte) ([][]byte, error)
+}
+
+// Transport-level errors.
+var (
+	// ErrStalled reports a link that is temporarily not moving frames
+	// (a wedged buffer or contended bus); retrying later may succeed.
+	ErrStalled = errors.New("fault: link stalled")
+	// ErrFailStop reports a permanently dead SDIMM; retrying cannot help.
+	ErrFailStop = errors.New("fault: SDIMM fail-stopped")
+	// ErrNoResponse reports an exchange attempt in which no authentic
+	// response reached the host (request or response lost/corrupted).
+	ErrNoResponse = errors.New("fault: no authentic response received")
+	// ErrUnavailable reports an operation routed to an SDIMM already
+	// marked Failed; the data it holds is unreachable.
+	ErrUnavailable = errors.New("fault: SDIMM unavailable")
+)
+
+// Perfect is the fault-free Link: every frame is delivered exactly once,
+// unmodified. It is the default transport for clusters built without an
+// Injector.
+type Perfect struct{}
+
+// Deliver implements Link.
+func (Perfect) Deliver(_ Direction, frame []byte) ([][]byte, error) {
+	return [][]byte{frame}, nil
+}
+
+// SDIMMError attributes a failure to one specific secure buffer, so health
+// tracking and operators can tell which SDIMM misbehaved. It wraps the
+// underlying cause for errors.Is/As.
+type SDIMMError struct {
+	// Index is the buffer's position in its cluster.
+	Index int
+	// ID is the buffer's identity string.
+	ID string
+	// Op names the operation that failed ("access", "append", "shard",
+	// "evict", ...).
+	Op string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *SDIMMError) Error() string {
+	return fmt.Sprintf("sdimm %d (%s): %s: %v", e.Index, e.ID, e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *SDIMMError) Unwrap() error { return e.Err }
+
+// AppError marks a device-application failure: the frame crossed the link
+// intact and the handler ran, but processing failed (an engine or
+// integrity error, not a transport fault). The Transactor never retries an
+// AppError — the handler executed, and re-running it could double-apply a
+// non-idempotent operation.
+type AppError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *AppError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the handler's error.
+func (e *AppError) Unwrap() error { return e.Err }

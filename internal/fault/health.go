@@ -1,0 +1,102 @@
+package fault
+
+import "errors"
+
+// State is an SDIMM's health as seen by the host.
+type State int
+
+const (
+	// Healthy: recent exchanges succeed.
+	Healthy State = iota
+	// Degraded: DegradeAfter consecutive exchanges failed; the SDIMM is
+	// still addressed (the faults may be transient) but operators should
+	// look at it.
+	Degraded
+	// Failed: the SDIMM fail-stopped (or crossed FailAfter consecutive
+	// failures). Failed is sticky — the host stops routing to it.
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	default:
+		return "failed"
+	}
+}
+
+// Health tracks one SDIMM's consecutive-failure state machine:
+// Healthy → (DegradeAfter consecutive failures) → Degraded → (success) →
+// Healthy; ErrFailStop or FailAfter consecutive failures → Failed (sticky).
+type Health struct {
+	degradeAfter int
+	failAfter    int // 0: only ErrFailStop marks Failed
+	consecutive  int
+	state        State
+	successes    uint64
+	failures     uint64
+	lastErr      error
+}
+
+// NewHealth builds a tracker. degradeAfter ≤ 0 defaults to 3; failAfter 0
+// means only an explicit fail-stop marks the SDIMM Failed.
+func NewHealth(degradeAfter, failAfter int) *Health {
+	if degradeAfter <= 0 {
+		degradeAfter = 3
+	}
+	return &Health{degradeAfter: degradeAfter, failAfter: failAfter}
+}
+
+// Success records a completed exchange. A Degraded SDIMM recovers to
+// Healthy; a Failed one stays Failed.
+func (h *Health) Success() {
+	h.successes++
+	if h.state == Failed {
+		return
+	}
+	h.consecutive = 0
+	h.state = Healthy
+}
+
+// Failure records a failed exchange and advances the state machine.
+func (h *Health) Failure(err error) {
+	h.failures++
+	h.consecutive++
+	h.lastErr = err
+	if h.state == Failed {
+		return
+	}
+	switch {
+	case errors.Is(err, ErrFailStop):
+		h.state = Failed
+	case h.failAfter > 0 && h.consecutive >= h.failAfter:
+		h.state = Failed
+	case h.consecutive >= h.degradeAfter:
+		h.state = Degraded
+	}
+}
+
+// MarkFailed forces the sticky Failed state (fail-stop observed out of
+// band).
+func (h *Health) MarkFailed(err error) {
+	h.state = Failed
+	if err != nil {
+		h.lastErr = err
+	}
+}
+
+// State returns the current state.
+func (h *Health) State() State { return h.state }
+
+// Consecutive returns the current consecutive-failure streak.
+func (h *Health) Consecutive() int { return h.consecutive }
+
+// Totals returns lifetime success and failure counts.
+func (h *Health) Totals() (successes, failures uint64) { return h.successes, h.failures }
+
+// LastError returns the most recent failure cause (nil if none).
+func (h *Health) LastError() error { return h.lastErr }

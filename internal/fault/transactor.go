@@ -1,0 +1,199 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"sdimm/internal/seccomm"
+)
+
+// TransactorStats counts recovery activity on one link.
+type TransactorStats struct {
+	// Exchanges that completed (including ones resolved by a retry).
+	Exchanges uint64
+	// Retries is the number of extra attempts spent on faulted exchanges.
+	Retries uint64
+	// Retransmits counts device-side ARQ retransmissions of a cached
+	// response (the host re-sent a frame the device had already served).
+	Retransmits uint64
+	// Resyncs counts counter realignments after an abandoned exchange.
+	Resyncs uint64
+	// Abandoned counts exchanges that exhausted the retry budget.
+	Abandoned uint64
+}
+
+// Transactor runs sealed request/response exchanges between a host session
+// and a device handler across an unreliable Link, and owns all recovery:
+//
+//   - Bounded retry with exponential backoff on any transport fault.
+//   - Replay-safe retransmission: a retry rewinds the send counter
+//     (seccomm.ResendFrom) and re-seals the identical body, so the wire
+//     frame is byte-identical — an observer sees a retransmission, never a
+//     second, distinguishable message. Obliviousness is preserved under
+//     faults by construction.
+//   - Device-side ARQ: the device caches its last sealed response; when it
+//     sees a frame diagnosed as a retransmission of the frame it already
+//     served (seccomm.ErrReplayed), it re-emits the cached response instead
+//     of re-running the handler. Handlers therefore execute at most once
+//     per exchange no matter how often the link mangles traffic.
+//   - Abandonment resync: when the retry budget is exhausted,
+//     seccomm.Resync fast-forwards both receive counters so the next
+//     exchange starts clean; abandoned counters become permanently
+//     unacceptable (no pad reuse, no replay window).
+//
+// The exactly-once guarantee has one unavoidable distributed-systems hole:
+// if the device served the request but every response was lost until
+// abandonment, the host cannot know whether the handler ran. The caller
+// sees the exchange fail and must treat the device's state as unknown —
+// the cluster layer handles this by marking the SDIMM degraded/failed
+// before any further routing decision.
+type Transactor struct {
+	// Host is the CPU endpoint (seals requests, opens responses).
+	Host *seccomm.Session
+	// Dev is the device endpoint (opens requests, seals responses).
+	Dev *seccomm.Session
+	// Link transports sealed frames (Perfect{} if nil).
+	Link Link
+	// Serve is the device application handler: it receives the opened
+	// request body and returns the response body. A Serve error aborts the
+	// exchange without retry (see AppError).
+	Serve func(body []byte) ([]byte, error)
+	// Retry bounds the recovery effort (zero value = defaults).
+	Retry RetryPolicy
+	// Tap, when set, observes every frame put on the link before fault
+	// injection: attempt 0 is the original transmission, higher attempts
+	// are retransmissions. Tests use it to prove retries are
+	// byte-identical.
+	Tap func(dir Direction, attempt int, frame []byte)
+
+	lastResp []byte
+	stats    TransactorStats
+}
+
+// Stats returns a snapshot of recovery counters.
+func (t *Transactor) Stats() TransactorStats { return t.stats }
+
+// Exchange runs one request/response transaction: seal body, deliver,
+// serve, deliver the sealed response back, open it. On transport faults it
+// retries with backoff up to the policy budget, then realigns counters and
+// reports the last fault.
+func (t *Transactor) Exchange(body []byte) ([]byte, error) {
+	p := t.Retry.withDefaults()
+	base := t.Host.SendCounter()
+	var lastErr error
+	used := 0
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		used = attempt + 1
+		if attempt > 0 {
+			t.stats.Retries++
+			p.Sleep(p.backoff(attempt))
+			// Rewind so the retry re-seals the identical frame.
+			if err := t.Host.ResendFrom(base); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := t.attempt(body, attempt)
+		if err == nil {
+			t.stats.Exchanges++
+			return resp, nil
+		}
+		var app *AppError
+		if errors.As(err, &app) {
+			// The handler ran and failed; the link did its job.
+			t.stats.Exchanges++
+			return nil, err
+		}
+		lastErr = err
+		if errors.Is(err, ErrFailStop) {
+			break
+		}
+	}
+	// Abandon the exchange: realign both directions so the link is usable
+	// for the next one, and drop the cached response (its counter is now
+	// unacceptable to the host anyway).
+	seccomm.Resync(t.Host, t.Dev)
+	t.lastResp = nil
+	t.stats.Resyncs++
+	t.stats.Abandoned++
+	return nil, fmt.Errorf("fault: exchange abandoned after %d attempts: %w", used, lastErr)
+}
+
+func (t *Transactor) link() Link {
+	if t.Link == nil {
+		return Perfect{}
+	}
+	return t.Link
+}
+
+func (t *Transactor) tap(dir Direction, attempt int, frame []byte) {
+	if t.Tap != nil {
+		t.Tap(dir, attempt, frame)
+	}
+}
+
+// attempt performs one delivery round trip.
+func (t *Transactor) attempt(body []byte, attempt int) ([]byte, error) {
+	frame := t.Host.Seal(body)
+	t.tap(HostToDev, attempt, frame)
+	observed, err := t.link().Deliver(HostToDev, frame)
+	if err != nil {
+		return nil, err
+	}
+
+	// Device side: open every observed frame. Authentic fresh frames are
+	// served exactly once; retransmissions of the previously served frame
+	// re-emit the cached response; everything else is dropped on the
+	// floor (corruption, stale replays).
+	var outbound [][]byte
+	for _, f := range observed {
+		opened, err := t.Dev.Open(f)
+		if err != nil {
+			if errors.Is(err, seccomm.ErrReplayed) && t.lastResp != nil {
+				t.stats.Retransmits++
+				outbound = append(outbound, t.lastResp)
+			}
+			continue
+		}
+		respBody, err := t.Serve(opened)
+		if err != nil {
+			return nil, &AppError{Err: err}
+		}
+		sealed := t.Dev.Seal(respBody)
+		t.lastResp = sealed
+		outbound = append(outbound, sealed)
+	}
+
+	// Response leg: deliver each outbound frame; the host accepts the
+	// first one that authenticates and ignores duplicates.
+	var got []byte
+	ok := false
+	for _, rf := range outbound {
+		t.tap(DevToHost, attempt, rf)
+		frames, err := t.link().Deliver(DevToHost, rf)
+		if err != nil {
+			if ok {
+				// The host already authenticated a response; losing a
+				// surplus frame (ARQ duplicate) cannot fail the exchange.
+				// Treating it as a failure would wedge the exchange for
+				// good: the host's receive counter has moved on, so no
+				// retry could ever be answered.
+				break
+			}
+			return nil, err
+		}
+		for _, f := range frames {
+			opened, err := t.Host.Open(f)
+			if err != nil {
+				continue
+			}
+			if !ok {
+				got = opened
+				ok = true
+			}
+		}
+	}
+	if !ok {
+		return nil, ErrNoResponse
+	}
+	return got, nil
+}

@@ -197,16 +197,16 @@ func (b *IndependentBackend) accessORAM(addr uint64, op oram.Op, posted bool, co
 	}
 	plan, extras, err := b.buffers[sd].HandleAccess(req)
 	if err != nil {
-		panic(fmt.Sprintf("protocol: independent access: %v", err))
+		panic(fmt.Sprintf("protocol: independent access on sdimm %d (%s): %v", sd, b.buffers[sd].ID(), err))
 	}
 	b.st.BgEvictions += uint64(plan.BackgroundEvicts)
 	b.st.ExtraDrains += uint64(len(extras))
 	if !b.buffers[sd].HandleProbe() {
-		panic("protocol: independent access produced no response")
+		panic(fmt.Sprintf("protocol: independent access on sdimm %d (%s) produced no response", sd, b.buffers[sd].ID()))
 	}
 	resp, err := b.buffers[sd].HandleFetchResult()
 	if err != nil {
-		panic(fmt.Sprintf("protocol: independent fetch: %v", err))
+		panic(fmt.Sprintf("protocol: independent fetch on sdimm %d (%s): %v", sd, b.buffers[sd].ID(), err))
 	}
 	blk := resp.Block
 	blk.Leaf = newG & mask
@@ -220,7 +220,7 @@ func (b *IndependentBackend) accessORAM(addr uint64, op oram.Op, posted bool, co
 			forced, err = b.buffers[j].HandleAppend(oram.Block{}, true)
 		}
 		if err != nil {
-			panic(fmt.Sprintf("protocol: independent append: %v", err))
+			panic(fmt.Sprintf("protocol: independent append on sdimm %d (%s): %v", j, b.buffers[j].ID(), err))
 		}
 		if forced != nil {
 			b.st.ExtraDrains++

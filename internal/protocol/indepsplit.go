@@ -144,7 +144,7 @@ func (b *IndepSplitBackend) accessORAM(addr uint64, o oram.Op, posted bool, cont
 		ins := blk
 		ins.Leaf = newG & mask
 		if err := b.groups[hNew].insert(ins); err != nil {
-			panic(fmt.Sprintf("protocol: indep-split append: %v", err))
+			panic(fmt.Sprintf("protocol: indep-split append into group %d (members %v): %v", hNew, b.groups[hNew].members, err))
 		}
 	}
 }

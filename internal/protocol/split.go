@@ -131,7 +131,7 @@ func (g *splitGroup) channels() []*dram.Channel {
 func (g *splitGroup) submit(op splitOp) oram.Block {
 	blk, plan, err := g.engine.AccessAt(op.addr, op.op, nil, op.oldLeaf, op.newLeaf, op.keep)
 	if err != nil {
-		panic(fmt.Sprintf("protocol: split access: %v", err))
+		panic(fmt.Sprintf("protocol: split access (group members %v): %v", g.members, err))
 	}
 	op.blk = blk
 	op.path = plan.Path
@@ -265,7 +265,7 @@ func (g *splitGroup) maybeEvict(n int) {
 	}
 	leaf := g.rnd.Uint64n(g.engine.Geometry().Leaves())
 	if err := g.engine.EvictPath(leaf); err != nil {
-		panic(fmt.Sprintf("protocol: split eviction: %v", err))
+		panic(fmt.Sprintf("protocol: split eviction (group members %v): %v", g.members, err))
 	}
 	g.st.BgEvictions++
 	path := g.engine.Geometry().Path(leaf, nil)

@@ -28,12 +28,46 @@ import (
 // MACSize is the truncated MAC length appended to every sealed message.
 const MACSize = 8
 
-// Errors returned by the package.
+// Errors returned by the package. ErrOutOfOrder and ErrReplayed wrap
+// ErrAuth: both are authentication failures first, with a counter-based
+// diagnosis layered on top, so errors.Is(err, ErrAuth) holds for every
+// rejected frame.
 var (
 	ErrAuth         = errors.New("seccomm: message authentication failed")
 	ErrShortMessage = errors.New("seccomm: message shorter than MAC")
 	ErrUnknownID    = errors.New("seccomm: device not registered with authority")
+	// ErrOutOfOrder reports a frame that authenticates under a future
+	// counter: earlier frames were lost or the channel reordered traffic.
+	ErrOutOfOrder = fmt.Errorf("seccomm: frame from a future counter (lost or reordered traffic): %w", ErrAuth)
+	// ErrReplayed reports a frame that authenticates under an already
+	// consumed counter: a replay, or the peer retransmitting a frame whose
+	// response it never saw.
+	ErrReplayed = fmt.Errorf("seccomm: frame for an already-consumed counter (replay or retransmission): %w", ErrAuth)
 )
+
+// counterWindow bounds how far Open probes around the expected counter when
+// diagnosing a MAC failure. Probing is pure classification: no probe ever
+// advances cipher state, so a frame is only ever accepted at the exact
+// expected counter.
+const counterWindow = 16
+
+// CounterError carries the diagnosis of a counter-mismatched frame: it
+// wraps ErrOutOfOrder or ErrReplayed (and therefore ErrAuth) and records
+// both the expected counter and the counter the frame authenticated under.
+// The fault layer uses Got == Expected-1 to recognize a link-layer
+// retransmission of the last accepted frame.
+type CounterError struct {
+	Expected uint64
+	Got      uint64
+	kind     error
+}
+
+func (e *CounterError) Error() string {
+	return fmt.Sprintf("%v (expected counter %d, frame authenticates at %d)", e.kind, e.Expected, e.Got)
+}
+
+// Unwrap exposes ErrOutOfOrder or ErrReplayed (each of which wraps ErrAuth).
+func (e *CounterError) Unwrap() error { return e.kind }
 
 // Device is one trusted secure buffer with a long-term identity key.
 type Device struct {
@@ -207,6 +241,10 @@ func (s *Session) Seal(plaintext []byte) []byte {
 }
 
 // Open authenticates and decrypts a message produced by the peer's Seal.
+// A frame that fails at the expected counter is diagnosed against nearby
+// counters (±counterWindow) so callers can distinguish tampering (ErrAuth)
+// from reordering (ErrOutOfOrder) and replay/retransmission (ErrReplayed);
+// diagnosis never advances state and never accepts the frame.
 func (s *Session) Open(msg []byte) ([]byte, error) {
 	cs := &s.recv
 	if len(msg) < MACSize {
@@ -216,7 +254,7 @@ func (s *Session) Open(msg []byte) ([]byte, error) {
 	tag := msg[len(msg)-MACSize:]
 	want := cs.mac(cs.counter, ct)
 	if subtle.ConstantTimeCompare(tag, want) != 1 {
-		return nil, ErrAuth
+		return nil, cs.classify(ct, tag)
 	}
 	out := append([]byte(nil), ct...)
 	cs.pad(cs.counter, out)
@@ -224,6 +262,58 @@ func (s *Session) Open(msg []byte) ([]byte, error) {
 	return out, nil
 }
 
+// classify diagnoses a frame that failed authentication at the expected
+// counter by probing nearby counters. An attacker gains nothing from the
+// probing: forging any of the probed MACs is as hard as forging the
+// expected one, and the frame is rejected either way.
+func (cs *cipherState) classify(ct, tag []byte) error {
+	for j := uint64(1); j <= counterWindow; j++ {
+		if subtle.ConstantTimeCompare(tag, cs.mac(cs.counter+j, ct)) == 1 {
+			return &CounterError{Expected: cs.counter, Got: cs.counter + j, kind: ErrOutOfOrder}
+		}
+		if j <= cs.counter {
+			if subtle.ConstantTimeCompare(tag, cs.mac(cs.counter-j, ct)) == 1 {
+				return &CounterError{Expected: cs.counter, Got: cs.counter - j, kind: ErrReplayed}
+			}
+		}
+	}
+	return ErrAuth
+}
+
 // SendCounter exposes the next send counter (used by tests and by the
 // simulator's deterministic-traffic assertions).
 func (s *Session) SendCounter() uint64 { return s.send.counter }
+
+// RecvCounter exposes the next expected receive counter.
+func (s *Session) RecvCounter() uint64 { return s.recv.counter }
+
+// ResendFrom rewinds the send counter to ctr so an unacknowledged frame can
+// be retransmitted. SECURITY: the caller must re-Seal the exact bytes it
+// sealed at ctr the first time — sealing a different plaintext at a reused
+// counter reuses the CTR pad and leaks the XOR of the two plaintexts. The
+// counter can only move backwards (over frames the peer never accepted);
+// skipping ahead is rejected.
+func (s *Session) ResendFrom(ctr uint64) error {
+	if ctr > s.send.counter {
+		return fmt.Errorf("seccomm: ResendFrom(%d) would advance past send counter %d", ctr, s.send.counter)
+	}
+	s.send.counter = ctr
+	return nil
+}
+
+// Resync realigns a session pair after the host abandons an exchange (retry
+// budget exhausted with frames or responses lost in flight). It models the
+// short authenticated control transaction a real host performs on the
+// command bus before reusing the link. Receive counters only ever move
+// FORWARD, to the peer's send counter: abandoned frames become permanently
+// unacceptable and no counter can be consumed twice, so replay safety is
+// preserved. Send counters are untouched — the next Seal uses a fresh
+// counter and no pad is ever reused.
+func Resync(a, b *Session) {
+	if a.send.counter > b.recv.counter {
+		b.recv.counter = a.send.counter
+	}
+	if b.send.counter > a.recv.counter {
+		a.recv.counter = b.send.counter
+	}
+}
