@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short chaos fuzz ci
+.PHONY: all build vet test race short chaos fuzz telemetry-smoke ci
 
 all: ci
 
@@ -29,10 +29,19 @@ chaos:
 	$(GO) run ./cmd/sdimm-chaos -n 5000
 	$(GO) run ./cmd/sdimm-chaos -split -failshard 1 -n 2000
 
+# End-to-end telemetry smoke: a short Independent run with span tracing,
+# exporting Chrome trace-event JSON. sdimm-sim re-validates the written
+# file against the trace schema and exits nonzero if it is malformed; the
+# grep asserts the validation line actually appeared.
+telemetry-smoke:
+	@out=$$(mktemp -t sdimm-trace-XXXXXX.json) && \
+	$(GO) run ./cmd/sdimm-sim -protocol independent -levels 20 -warmup 100 -measure 300 -trace $$out | grep -E '^trace .*validated' && \
+	rm -f $$out
+
 # Wire-format decoders must never panic on hostile input.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalAccess -fuzztime=20s ./internal/sdimm
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalResponse -fuzztime=20s ./internal/sdimm
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalAppend -fuzztime=20s ./internal/sdimm
 
-ci: build vet race
+ci: build vet race telemetry-smoke

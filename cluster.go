@@ -3,12 +3,14 @@ package sdimm
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"sdimm/internal/fault"
 	"sdimm/internal/oram"
 	"sdimm/internal/rng"
 	isdimm "sdimm/internal/sdimm"
 	"sdimm/internal/seccomm"
+	"sdimm/internal/telemetry"
 )
 
 // ClusterOptions sizes a distributed functional ORAM (the Independent
@@ -41,6 +43,72 @@ type ClusterOptions struct {
 	// The chaos harness uses it to assert retries never change the
 	// observable traffic.
 	LinkTap func(sd int, dir fault.Direction, attempt int, frame []byte)
+	// Telemetry, when set, receives cluster.* access counters, fault.*
+	// link-recovery counters, seccomm.* crypto counters, and per-SDIMM
+	// health-state gauges with transition counts.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records one span per access plus instants for
+	// re-homing and health transitions (wall-clock microseconds — the
+	// functional cluster has no simulated clock).
+	Tracer *telemetry.Tracer
+}
+
+// clusterTelemetry bundles the handles a functional cluster updates. All
+// handles come from a (possibly nil) registry, so they are always valid —
+// with no registry they are unregistered orphans and updates are harmless.
+type clusterTelemetry struct {
+	accesses, reads, writes, errors *telemetry.Counter
+	rehomes, rehomeFailures         *telemetry.Counter
+	appendsLost                     *telemetry.Counter
+	reconstructions                 *telemetry.Counter
+	tracer                          *telemetry.Tracer
+}
+
+func newClusterTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) clusterTelemetry {
+	return clusterTelemetry{
+		accesses:        reg.Counter("cluster.accesses"),
+		reads:           reg.Counter("cluster.reads"),
+		writes:          reg.Counter("cluster.writes"),
+		errors:          reg.Counter("cluster.errors"),
+		rehomes:         reg.Counter("cluster.rehomes"),
+		rehomeFailures:  reg.Counter("cluster.rehome_failures"),
+		appendsLost:     reg.Counter("cluster.appends_lost"),
+		reconstructions: reg.Counter("cluster.reconstructions"),
+		tracer:          tr,
+	}
+}
+
+// observe records one completed top-level access.
+func (t *clusterTelemetry) observe(op oram.Op, err error) {
+	t.accesses.Inc()
+	if op == oram.OpRead {
+		t.reads.Inc()
+	} else {
+		t.writes.Inc()
+	}
+	if err != nil {
+		t.errors.Inc()
+	}
+}
+
+// watchHealth publishes h's state as a per-SDIMM gauge (values: 0 healthy,
+// 1 degraded, 2 failed) and counts every transition edge under
+// fault.health.transitions{from=...,to=...}. With neither a registry nor a
+// tracer it leaves the Health unobserved.
+func watchHealth(reg *telemetry.Registry, tr *telemetry.Tracer, h *fault.Health, idx int) {
+	if reg == nil && tr == nil {
+		return
+	}
+	g := reg.Gauge("fault.health.state", "sdimm", strconv.Itoa(idx))
+	g.Set(int64(fault.Healthy))
+	h.SetObserver(func(from, to fault.State) {
+		g.Set(int64(to))
+		reg.Counter("fault.health.transitions", "from", from.String(), "to", to.String()).Inc()
+		if tr != nil {
+			tr.Instant(0, "health."+to.String(), "fault",
+				map[string]any{"sdimm": idx, "from": from.String()})
+		}
+	})
 }
 
 // Command kinds for the 1-byte envelope prefixed to every sealed body, so
@@ -70,6 +138,7 @@ type Cluster struct {
 	blockSize int
 	levels    int
 	localBits uint
+	tm        clusterTelemetry
 }
 
 // NewCluster builds a cluster: it mints a device identity per SDIMM,
@@ -104,6 +173,18 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		blockSize: opts.BlockSize,
 		levels:    opts.Levels,
 		localBits: uint(localLevels - 1),
+		tm:        newClusterTelemetry(opts.Telemetry, opts.Tracer),
+	}
+	// Link-recovery and crypto counters aggregate across all SDIMMs, so the
+	// registry totals line up with the sums over Health().
+	var linkMetrics *fault.LinkMetrics
+	var commMetrics *seccomm.Metrics
+	if opts.Telemetry != nil {
+		linkMetrics = fault.NewLinkMetrics(opts.Telemetry)
+		commMetrics = seccomm.NewMetrics(opts.Telemetry)
+		if opts.Faults != nil {
+			opts.Faults.EnableTelemetry(opts.Telemetry)
+		}
 	}
 	for i := 0; i < opts.SDIMMs; i++ {
 		store, err := oram.NewMemStore(opts.Z, opts.BlockSize, append([]byte(fmt.Sprintf("sd%d|", i)), opts.Key...))
@@ -133,8 +214,12 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		host.SetMetrics(commMetrics)
+		devSide.SetMetrics(commMetrics)
 		c.buffers = append(c.buffers, buf)
-		c.health = append(c.health, fault.NewHealth(opts.DegradeAfter, 0))
+		h := fault.NewHealth(opts.DegradeAfter, 0)
+		watchHealth(opts.Telemetry, opts.Tracer, h, i)
+		c.health = append(c.health, h)
 
 		var link fault.Link = fault.Perfect{}
 		if opts.Faults != nil {
@@ -142,11 +227,12 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		}
 		sd := i
 		tr := &fault.Transactor{
-			Host:  host,
-			Dev:   devSide,
-			Link:  link,
-			Serve: func(body []byte) ([]byte, error) { return c.serve(sd, body) },
-			Retry: opts.Retry,
+			Host:    host,
+			Dev:     devSide,
+			Link:    link,
+			Serve:   func(body []byte) ([]byte, error) { return c.serve(sd, body) },
+			Retry:   opts.Retry,
+			Metrics: linkMetrics,
 		}
 		if opts.LinkTap != nil {
 			tap := opts.LinkTap
@@ -174,7 +260,9 @@ func (c *Cluster) BlockSize() int { return c.blockSize }
 
 // Read returns the payload of addr (zeros if never written).
 func (c *Cluster) Read(addr uint64) ([]byte, error) {
-	return c.access(addr, oram.OpRead, nil)
+	out, err := c.tracedAccess(addr, oram.OpRead, nil)
+	c.tm.observe(oram.OpRead, err)
+	return out, err
 }
 
 // Write stores up to BlockSize bytes at addr.
@@ -184,8 +272,23 @@ func (c *Cluster) Write(addr uint64, data []byte) error {
 	}
 	buf := make([]byte, c.blockSize)
 	copy(buf, data)
-	_, err := c.access(addr, oram.OpWrite, buf)
+	_, err := c.tracedAccess(addr, oram.OpWrite, buf)
+	c.tm.observe(oram.OpWrite, err)
 	return err
+}
+
+// tracedAccess wraps access in one tracer span per top-level operation.
+func (c *Cluster) tracedAccess(addr uint64, op oram.Op, data []byte) ([]byte, error) {
+	tr := c.tm.tracer
+	if tr == nil {
+		return c.access(addr, op, data)
+	}
+	lane := tr.Lane()
+	sp := tr.Begin(lane, "cluster.access", "cluster")
+	out, err := c.access(addr, op, data)
+	sp.EndArgs(map[string]any{"addr": addr, "write": op == oram.OpWrite, "err": err != nil})
+	tr.FreeLane(lane)
+	return out, err
 }
 
 // serve is the device-side command dispatcher: it runs inside the
@@ -335,6 +438,7 @@ func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
 		}
 		ack, err := c.exchange(j, "append", msgKindAppend, isdimm.MarshalAppend(blk, !real, c.blockSize))
 		if err != nil {
+			c.tm.appendsLost.Inc()
 			if real {
 				// The migrating block was in this exchange. Rather than
 				// losing the payload, re-home it to a different healthy
@@ -365,6 +469,10 @@ func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
 // only after an append was abandoned — a channel-visible event — so the
 // extra exchange leaks nothing the failure itself did not.
 func (c *Cluster) rehome(addr uint64, blk oram.Block, exclude int, globalLeaves uint64) error {
+	c.tm.rehomes.Inc()
+	if tr := c.tm.tracer; tr != nil {
+		tr.Instant(0, "cluster.rehome", "cluster", map[string]any{"addr": addr, "exclude": exclude})
+	}
 	var lastErr error
 	for try := 0; try < 8*len(c.buffers); try++ {
 		g, err := c.pickHealthyLeaf(globalLeaves)
@@ -391,6 +499,7 @@ func (c *Cluster) rehome(addr uint64, blk oram.Block, exclude int, globalLeaves 
 	if lastErr == nil {
 		lastErr = errors.New("sdimm: no alternative SDIMM for in-flight block")
 	}
+	c.tm.rehomeFailures.Inc()
 	return fmt.Errorf("sdimm: re-homing block %d failed: %w", addr, lastErr)
 }
 
@@ -500,6 +609,12 @@ type SplitClusterOptions struct {
 	// DegradeAfter marks a shard Degraded after this many consecutive
 	// failures (default 3).
 	DegradeAfter int
+	// Telemetry, when set, receives cluster.* access counters (including
+	// cluster.reconstructions) and per-member health-state gauges.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records one span per access plus reconstruction
+	// and health-transition instants.
+	Tracer *telemetry.Tracer
 }
 
 // SplitCluster is the functional form of the Split protocol (Section
@@ -521,6 +636,7 @@ type SplitCluster struct {
 	blockSize int
 	shard     int
 	leaves    uint64
+	tm        clusterTelemetry
 }
 
 // NewSplitCluster builds a functional split ORAM.
@@ -548,6 +664,10 @@ func NewSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
 		shard:     opts.BlockSize / opts.SDIMMs,
 		leaves:    geom.Leaves(),
 		faults:    opts.Faults,
+		tm:        newClusterTelemetry(opts.Telemetry, opts.Tracer),
+	}
+	if opts.Telemetry != nil && opts.Faults != nil {
+		opts.Faults.EnableTelemetry(opts.Telemetry)
 	}
 	mkShard := func(id, keyPrefix string, seed uint64) (*isdimm.Buffer, error) {
 		store, err := oram.NewMemStore(4, c.shard, append([]byte(keyPrefix), opts.Key...))
@@ -576,7 +696,9 @@ func NewSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
 			return nil, err
 		}
 		c.buffers = append(c.buffers, buf)
-		c.health = append(c.health, fault.NewHealth(opts.DegradeAfter, 0))
+		h := fault.NewHealth(opts.DegradeAfter, 0)
+		watchHealth(opts.Telemetry, opts.Tracer, h, i)
+		c.health = append(c.health, h)
 	}
 	if opts.Parity {
 		buf, err := mkShard("parity", "parity|", opts.Seed^uint64(0x99*opts.SDIMMs+1))
@@ -584,14 +706,18 @@ func NewSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
 			return nil, err
 		}
 		c.parity = buf
-		c.health = append(c.health, fault.NewHealth(opts.DegradeAfter, 0))
+		h := fault.NewHealth(opts.DegradeAfter, 0)
+		watchHealth(opts.Telemetry, opts.Tracer, h, opts.SDIMMs)
+		c.health = append(c.health, h)
 	}
 	return c, nil
 }
 
 // Read returns the payload of addr, reassembled from all shards.
 func (c *SplitCluster) Read(addr uint64) ([]byte, error) {
-	return c.access(addr, oram.OpRead, nil)
+	out, err := c.access(addr, oram.OpRead, nil)
+	c.tm.observe(oram.OpRead, err)
+	return out, err
 }
 
 // Write stores up to BlockSize bytes at addr, splitting it across shards.
@@ -602,6 +728,7 @@ func (c *SplitCluster) Write(addr uint64, data []byte) error {
 	buf := make([]byte, c.blockSize)
 	copy(buf, data)
 	_, err := c.access(addr, oram.OpWrite, buf)
+	c.tm.observe(oram.OpWrite, err)
 	return err
 }
 
@@ -709,6 +836,11 @@ func (c *SplitCluster) access(addr uint64, op oram.Op, data []byte) ([]byte, err
 		}
 		if op == oram.OpRead {
 			// Reconstruct the missing slice: parity ⊕ every healthy slice.
+			c.tm.reconstructions.Inc()
+			if tr := c.tm.tracer; tr != nil {
+				tr.Instant(0, "cluster.reconstruct", "cluster",
+					map[string]any{"addr": addr, "shard": down})
+			}
 			slice := make([]byte, c.shard)
 			copy(slice, parityData)
 			for i := range c.buffers {

@@ -17,6 +17,7 @@ import (
 
 	"sdimm/internal/experiments"
 	"sdimm/internal/stats"
+	"sdimm/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +30,9 @@ func main() {
 		loads    = flag.String("workloads", "", "comma-separated subset of workloads (default: all 10)")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (default: NumCPU)")
 		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		snapshot = flag.Bool("snapshot", false, "print the aggregate telemetry snapshot after all experiments")
+		telAddr  = flag.String("telemetry", "", "serve live telemetry JSON on this address (e.g. localhost:8080) while experiments run")
+		telLog   = flag.Duration("telemetry-log", 0, "log the telemetry snapshot to stderr at this interval (0 disables)")
 	)
 	flag.Parse()
 
@@ -41,6 +45,21 @@ func main() {
 	}
 	if *loads != "" {
 		opt.Workloads = strings.Split(*loads, ",")
+	}
+	if *snapshot || *telAddr != "" || *telLog != 0 {
+		opt.Telemetry = telemetry.NewRegistry()
+	}
+	if *telAddr != "" {
+		addr, stop, err := telemetry.Serve(*telAddr, opt.Telemetry)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "sdimm-bench: telemetry at http://%s (?text=1 for plain text)\n", addr)
+	}
+	if *telLog != 0 {
+		stop := telemetry.StartLogger(opt.Telemetry, os.Stderr, *telLog)
+		defer stop()
 	}
 
 	type tableExp struct {
@@ -112,6 +131,10 @@ func main() {
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	if *snapshot {
+		fmt.Println("== Aggregate telemetry ==")
+		opt.Telemetry.Snapshot().WriteText(os.Stdout)
 	}
 }
 

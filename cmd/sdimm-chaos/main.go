@@ -17,6 +17,7 @@ import (
 
 	"sdimm/internal/chaos"
 	"sdimm/internal/fault"
+	"sdimm/internal/telemetry"
 )
 
 func main() {
@@ -30,8 +31,16 @@ func main() {
 		attempts  = flag.Int("attempts", 8, "retry budget per exchange")
 		split     = flag.Bool("split", false, "run the Split protocol (with XOR parity) instead of Independent")
 		failShard = flag.Int("failshard", -1, "Split: member index to fail-stop a third of the way in (-1 = none)")
+		snapshot  = flag.Bool("snapshot", true, "print the final telemetry snapshot (cluster.*, fault.*, seccomm.*)")
+		traceOut  = flag.String("trace", "", "write cluster access spans as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	var tr *telemetry.Tracer
+	if *traceOut != "" {
+		tr = telemetry.NewTracer(nil)
+	}
 
 	if *split {
 		res, err := chaos.RunSplit(chaos.SplitConfig{
@@ -43,8 +52,11 @@ func main() {
 			Parity:      true,
 			FailShardAt: failAt(*failShard, *n),
 			FailShard:   *failShard,
+			Telemetry:   reg,
+			Tracer:      tr,
 		})
-		report(res, err)
+		finish(tr, *traceOut)
+		report(res, err, *snapshot)
 		return
 	}
 
@@ -68,8 +80,30 @@ func main() {
 		},
 		Retry:        fault.RetryPolicy{MaxAttempts: *attempts},
 		CheckTraffic: true,
+		Telemetry:    reg,
+		Tracer:       tr,
 	})
-	report(res, err)
+	finish(tr, *traceOut)
+	report(res, err, *snapshot)
+}
+
+// finish exports the span trace, if one was recorded.
+func finish(tr *telemetry.Tracer, path string) {
+	if tr == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = tr.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdimm-chaos: trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sdimm-chaos: wrote %d trace events to %s\n", tr.Len(), path)
 }
 
 func failAt(shard, n int) int {
@@ -79,12 +113,16 @@ func failAt(shard, n int) int {
 	return n / 3
 }
 
-func report(res chaos.Result, err error) {
+func report(res chaos.Result, err error, snapshot bool) {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sdimm-chaos: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Print(res)
+	if snapshot && res.Snapshot != nil {
+		fmt.Println("telemetry:")
+		res.Snapshot.WriteText(os.Stdout, "cluster.", "fault.", "seccomm.")
+	}
 	if res.Mismatches != 0 || res.TrafficViolations != 0 {
 		fmt.Println("RESULT: FAIL — the recovery layer leaked or corrupted")
 		os.Exit(1)

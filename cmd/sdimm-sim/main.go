@@ -5,6 +5,7 @@
 //
 //	sdimm-sim -protocol indep-split -channels 2 -workload mcf
 //	sdimm-sim -protocol freecursive -levels 24 -warmup 500 -measure 2000
+//	sdimm-sim -protocol independent -trace out.json -snapshot
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 
 	"sdimm/internal/config"
 	"sdimm/internal/sim"
+	"sdimm/internal/telemetry"
 	"sdimm/internal/trace"
 )
 
@@ -28,7 +30,11 @@ func main() {
 		measure   = flag.Int("measure", 2000, "measured LLC-miss records")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		lowPower  = flag.Bool("lowpower", true, "rank-per-subtree low-power layout")
-		traceFile = flag.String("trace", "", "drive the run from a trace file (see sdimm-trace) instead of a generated workload")
+		replay    = flag.String("replay", "", "drive the run from a trace file (see sdimm-trace) instead of a generated workload")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (open in Perfetto or chrome://tracing)")
+		snapshot  = flag.Bool("snapshot", false, "print the telemetry snapshot after the run")
+		telAddr   = flag.String("telemetry", "", "serve live telemetry JSON on this address (e.g. localhost:8080) during the run")
+		telLog    = flag.Duration("telemetry-log", 0, "log the telemetry snapshot to stderr at this interval (0 disables)")
 		list      = flag.Bool("list", false, "list workload profiles and exit")
 	)
 	flag.Parse()
@@ -53,9 +59,26 @@ func main() {
 	cfg.Seed = *seed
 	cfg.LowPower = *lowPower
 
+	var tel *sim.Telemetry
+	if *traceOut != "" || *snapshot || *telAddr != "" || *telLog != 0 {
+		tel = &sim.Telemetry{Registry: telemetry.NewRegistry(), Trace: *traceOut != ""}
+	}
+	if *telAddr != "" {
+		addr, stop, err := telemetry.Serve(*telAddr, tel.Registry)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "sdimm-sim: telemetry at http://%s (?text=1 for plain text)\n", addr)
+	}
+	if *telLog != 0 {
+		stop := telemetry.StartLogger(tel.Registry, os.Stderr, *telLog)
+		defer stop()
+	}
+
 	var res sim.Result
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+	if *replay != "" {
+		f, err := os.Open(*replay)
 		if err != nil {
 			fatal(err)
 		}
@@ -67,13 +90,13 @@ func main() {
 		if cfg.WarmupAccesses+cfg.MeasureAccesses > len(recs) {
 			fatal(fmt.Errorf("trace has %d records, need %d", len(recs), cfg.WarmupAccesses+cfg.MeasureAccesses))
 		}
-		res, err = sim.RunTrace(cfg, *traceFile, recs[:cfg.WarmupAccesses+cfg.MeasureAccesses])
+		res, err = sim.RunTraceInstrumented(cfg, *replay, recs[:cfg.WarmupAccesses+cfg.MeasureAccesses], nil, tel)
 		if err != nil {
 			fatal(err)
 		}
 	} else {
 		var err error
-		res, err = sim.Run(cfg, *workload)
+		res, err = sim.RunInstrumented(cfg, *workload, tel)
 		if err != nil {
 			fatal(err)
 		}
@@ -95,6 +118,45 @@ func main() {
 	fmt.Printf("energy / miss      %.4g J\n", res.EnergyPerMiss)
 	fmt.Printf("host bus util      %.3f\n", res.HostBusUtil)
 	fmt.Printf("on-DIMM bus util   %.3f\n", res.LocalBusUtil)
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tel.Tracer); err != nil {
+			fatal(err)
+		}
+	}
+	if *snapshot {
+		fmt.Println()
+		tel.Registry.Snapshot().WriteText(os.Stdout)
+	}
+}
+
+// writeTrace exports the collected spans as Chrome trace-event JSON and
+// re-validates the written file so a bad export fails loudly.
+func writeTrace(path string, tr *telemetry.Tracer) error {
+	if tr == nil {
+		return fmt.Errorf("no trace collected (protocol does not emit spans)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	n, err := telemetry.ValidateTrace(data)
+	if err != nil {
+		return fmt.Errorf("%s: invalid trace: %w", path, err)
+	}
+	fmt.Printf("trace              %s (%d events, validated)\n", path, n)
+	return nil
 }
 
 func parseProtocol(s string) (config.Protocol, error) {

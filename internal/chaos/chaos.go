@@ -23,6 +23,7 @@ import (
 	"sdimm"
 	"sdimm/internal/fault"
 	"sdimm/internal/rng"
+	"sdimm/internal/telemetry"
 )
 
 // payloadLen is the number of payload bytes the harness writes and
@@ -48,6 +49,12 @@ type Config struct {
 	// CheckTraffic enables the obliviousness invariant checks via the
 	// cluster's link tap.
 	CheckTraffic bool
+	// Telemetry, when set, receives the cluster's metrics (cluster.*,
+	// fault.*, seccomm.*); the run's final snapshot lands in
+	// Result.Snapshot.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records cluster access spans and health instants.
+	Tracer *telemetry.Tracer
 }
 
 // Result summarizes a chaos run.
@@ -72,6 +79,9 @@ type Result struct {
 	FaultStats fault.Stats
 	// Health is the cluster's final health view.
 	Health sdimm.ClusterHealth
+	// Snapshot is the final telemetry snapshot (nil unless the run was
+	// given a registry).
+	Snapshot *telemetry.Snapshot
 }
 
 // String renders a one-screen summary.
@@ -158,12 +168,14 @@ func Run(cfg Config) (Result, error) {
 	in := fault.NewInjector(cfg.Faults)
 	tc := newTrafficChecker(cfg.SDIMMs)
 	opts := sdimm.ClusterOptions{
-		SDIMMs: cfg.SDIMMs,
-		Levels: cfg.Levels,
-		Key:    []byte("chaos-campaign-key"),
-		Seed:   cfg.Seed ^ 0xc0ffee,
-		Faults: in,
-		Retry:  cfg.Retry,
+		SDIMMs:    cfg.SDIMMs,
+		Levels:    cfg.Levels,
+		Key:       []byte("chaos-campaign-key"),
+		Seed:      cfg.Seed ^ 0xc0ffee,
+		Faults:    in,
+		Retry:     cfg.Retry,
+		Telemetry: cfg.Telemetry,
+		Tracer:    cfg.Tracer,
 	}
 	if cfg.CheckTraffic {
 		opts.LinkTap = tc.tap
@@ -228,6 +240,10 @@ func Run(cfg Config) (Result, error) {
 	res.TrafficViolations += tc.violations
 	res.FaultStats = in.Stats()
 	res.Health = c.Health()
+	if cfg.Telemetry != nil {
+		s := cfg.Telemetry.Snapshot()
+		res.Snapshot = &s
+	}
 	return res, nil
 }
 
@@ -248,6 +264,9 @@ type SplitConfig struct {
 	// FailShard is the member index to kill (data shards 0..SDIMMs-1,
 	// SDIMMs = parity).
 	FailShard int
+	// Telemetry and Tracer mirror Config's fields for the Split cluster.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 }
 
 // RunSplit executes one chaos campaign against a Split cluster.
@@ -255,11 +274,13 @@ func RunSplit(cfg SplitConfig) (Result, error) {
 	c0 := withDefaults(Config{SDIMMs: cfg.SDIMMs, Levels: cfg.Levels, Accesses: cfg.Accesses,
 		Addresses: cfg.Addresses, Seed: cfg.Seed})
 	c, err := sdimm.NewSplitCluster(sdimm.SplitClusterOptions{
-		SDIMMs: c0.SDIMMs,
-		Levels: c0.Levels,
-		Key:    []byte("chaos-split-key"),
-		Seed:   c0.Seed ^ 0x5eed,
-		Parity: cfg.Parity,
+		SDIMMs:    c0.SDIMMs,
+		Levels:    c0.Levels,
+		Key:       []byte("chaos-split-key"),
+		Seed:      c0.Seed ^ 0x5eed,
+		Parity:    cfg.Parity,
+		Telemetry: cfg.Telemetry,
+		Tracer:    cfg.Tracer,
 	})
 	if err != nil {
 		return Result{}, err
@@ -312,5 +333,9 @@ func RunSplit(cfg SplitConfig) (Result, error) {
 		}
 	}
 	res.Health = c.Health()
+	if cfg.Telemetry != nil {
+		s := cfg.Telemetry.Snapshot()
+		res.Snapshot = &s
+	}
 	return res, nil
 }

@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"testing"
+
+	"sdimm/internal/fault"
+	"sdimm/internal/telemetry"
+)
+
+// TestTelemetryCountersMatchResult runs a faulted chaos campaign with a
+// registry and tracer attached and checks the acceptance property: every
+// cluster.* and fault.* counter agrees exactly with the harness's own
+// accounting (Result, FaultStats, and the per-SDIMM health view).
+func TestTelemetryCountersMatchResult(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(nil)
+	res, err := Run(Config{
+		Accesses: 1500,
+		Seed:     7,
+		Faults: fault.Config{
+			Seed:      3,
+			Drop:      0.01,
+			BitFlip:   0.01,
+			Duplicate: 0.005,
+			Replay:    0.005,
+			Stall:     0.005,
+		},
+		Telemetry: reg,
+		Tracer:    tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("payload mismatches: %d", res.Mismatches)
+	}
+	if res.Snapshot == nil {
+		t.Fatal("no telemetry snapshot on result")
+	}
+	c := res.Snapshot.Counters
+
+	// Cluster-level counters line up with the harness's own tally.
+	if got := c["cluster.accesses"]; got != uint64(res.Accesses) {
+		t.Fatalf("cluster.accesses = %d, harness counted %d", got, res.Accesses)
+	}
+	if got := c["cluster.errors"]; got != uint64(res.Errors) {
+		t.Fatalf("cluster.errors = %d, harness counted %d", got, res.Errors)
+	}
+	reads, writes := c["cluster.reads"], c["cluster.writes"]
+	if reads+writes != uint64(res.Accesses) {
+		t.Fatalf("reads %d + writes %d != accesses %d", reads, writes, res.Accesses)
+	}
+	// The cluster counts attempts; the harness counts completions. They
+	// differ by exactly the errored accesses.
+	if reads < uint64(res.Reads) || writes < uint64(res.Writes) {
+		t.Fatalf("attempt counters (r=%d w=%d) below completions (r=%d w=%d)",
+			reads, writes, res.Reads, res.Writes)
+	}
+	if (reads-uint64(res.Reads))+(writes-uint64(res.Writes)) != uint64(res.Errors) {
+		t.Fatalf("attempt/completion gap != errors: r=%d/%d w=%d/%d errors=%d",
+			reads, res.Reads, writes, res.Writes, res.Errors)
+	}
+
+	// Injected-fault counters mirror the injector's Stats field for field.
+	fs := res.FaultStats
+	for name, want := range map[string]uint64{
+		"fault.injected.deliveries":      fs.Deliveries,
+		"fault.injected.bitflips":        fs.BitFlips,
+		"fault.injected.mac_corruptions": fs.MACCorruptions,
+		"fault.injected.drops":           fs.Drops,
+		"fault.injected.duplicates":      fs.Duplicates,
+		"fault.injected.replays":         fs.Replays,
+		"fault.injected.stalls":          fs.Stalls,
+		"fault.injected.failstops":       fs.FailStopped,
+	} {
+		if got := c[name]; got != want {
+			t.Fatalf("%s = %d, injector counted %d", name, got, want)
+		}
+	}
+	if fs.Deliveries == 0 || fs.Drops+fs.BitFlips+fs.Duplicates == 0 {
+		t.Fatal("fault schedule injected nothing — test exercised no recovery")
+	}
+
+	// Recovery counters equal the sums over the per-SDIMM health view.
+	var retries, retransmits, resyncs, abandoned uint64
+	for _, sd := range res.Health.SDIMMs {
+		retries += sd.Retries
+		retransmits += sd.Retransmits
+		resyncs += sd.Resyncs
+		abandoned += sd.Abandoned
+	}
+	for name, want := range map[string]uint64{
+		"fault.retries":     retries,
+		"fault.retransmits": retransmits,
+		"fault.resyncs":     resyncs,
+		"fault.abandoned":   abandoned,
+	} {
+		if got := c[name]; got != want {
+			t.Fatalf("%s = %d, health view sums to %d", name, got, want)
+		}
+	}
+	if retries == 0 {
+		t.Fatal("no retries at this fault rate — schedule too gentle")
+	}
+
+	// seccomm activity was mirrored too.
+	if c["seccomm.seals"] == 0 || c["seccomm.opens"] == 0 {
+		t.Fatal("seccomm counters not wired")
+	}
+
+	// The tracer saw one cluster.access span per access.
+	var spans int
+	for _, e := range tr.Events() {
+		if e.Ph == "X" && e.Name == "cluster.access" {
+			spans++
+		}
+	}
+	if spans != res.Accesses {
+		t.Fatalf("cluster.access spans = %d, accesses = %d", spans, res.Accesses)
+	}
+}

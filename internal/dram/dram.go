@@ -17,9 +17,11 @@ package dram
 
 import (
 	"fmt"
+	"strconv"
 
 	"sdimm/internal/config"
 	"sdimm/internal/event"
+	"sdimm/internal/telemetry"
 )
 
 // Coord addresses one cache line within a channel.
@@ -47,6 +49,7 @@ type RankStats struct {
 	Activates  uint64
 	Reads      uint64
 	Writes     uint64
+	RowHits    uint64 // column commands that hit the open row
 	Refreshes  uint64
 	TActive    uint64 // cycles with ≥1 open bank, powered up
 	TPrecharge uint64 // cycles all banks closed, powered up
@@ -92,6 +95,7 @@ type bankList struct {
 }
 
 type rank struct {
+	idx        int
 	banks      []bank
 	actTimes   [4]int64 // ring buffer of recent ACT issue times (tFAW)
 	actIdx     int
@@ -206,6 +210,52 @@ type Channel struct {
 	drainHigh, drainLow int
 
 	stats Stats
+	tm    *channelMetrics
+}
+
+// channelMetrics holds the telemetry handles a Channel updates alongside
+// its Stats, resolved once in EnableTelemetry so the issue path stays
+// allocation-free.
+type channelMetrics struct {
+	reads, writes, rowHits         *telemetry.Counter
+	activates, precharges          *telemetry.Counter
+	refreshes                      *telemetry.Counter
+	refreshStallCycles             *telemetry.Counter
+	pending                        *telemetry.Gauge
+	readLatency                    *telemetry.Histogram
+	rankReads, rankWrites          []*telemetry.Counter
+	rankRowHits, rankActivates     []*telemetry.Counter
+	rankRefreshes, rankStallCycles []*telemetry.Counter
+}
+
+// EnableTelemetry mirrors channel and per-rank activity into reg under the
+// dram.* namespace, labelled with the channel name (and rank index for the
+// per-rank series). Call once, before or during simulation.
+func (c *Channel) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	tm := &channelMetrics{
+		reads:              reg.Counter("dram.reads", "chan", c.Name),
+		writes:             reg.Counter("dram.writes", "chan", c.Name),
+		rowHits:            reg.Counter("dram.row_hits", "chan", c.Name),
+		activates:          reg.Counter("dram.activates", "chan", c.Name),
+		precharges:         reg.Counter("dram.precharges", "chan", c.Name),
+		refreshes:          reg.Counter("dram.refreshes", "chan", c.Name),
+		refreshStallCycles: reg.Counter("dram.refresh_stall_cycles", "chan", c.Name),
+		pending:            reg.Gauge("dram.pending", "chan", c.Name),
+		readLatency:        reg.Histogram("dram.read_latency", 32, 2048, "chan", c.Name),
+	}
+	for i := range c.ranks {
+		r := strconv.Itoa(i)
+		tm.rankReads = append(tm.rankReads, reg.Counter("dram.reads", "chan", c.Name, "rank", r))
+		tm.rankWrites = append(tm.rankWrites, reg.Counter("dram.writes", "chan", c.Name, "rank", r))
+		tm.rankRowHits = append(tm.rankRowHits, reg.Counter("dram.row_hits", "chan", c.Name, "rank", r))
+		tm.rankActivates = append(tm.rankActivates, reg.Counter("dram.activates", "chan", c.Name, "rank", r))
+		tm.rankRefreshes = append(tm.rankRefreshes, reg.Counter("dram.refreshes", "chan", c.Name, "rank", r))
+		tm.rankStallCycles = append(tm.rankStallCycles, reg.Counter("dram.refresh_stall_cycles", "chan", c.Name, "rank", r))
+	}
+	c.tm = tm
 }
 
 // NewChannel builds a channel with ranksPerChannel ranks using the given
@@ -245,6 +295,7 @@ func NewChannel(eng *event.Engine, name string, org config.Org, tm config.Timing
 	c.bq = make([]bankList, ranksPerChannel*org.BanksPerRank)
 	for i := 0; i < ranksPerChannel; i++ {
 		rk := &rank{
+			idx:       i,
 			banks:     make([]bank, org.BanksPerRank),
 			poweredUp: true,
 			stats:     &c.stats.PerRank[i],
@@ -301,6 +352,9 @@ func (c *Channel) Submit(r *Request) {
 	} else {
 		bl.reads = append(bl.reads, r)
 		c.nReads++
+	}
+	if c.tm != nil {
+		c.tm.pending.Set(int64(c.Pending()))
 	}
 	c.wake(r.Coord.Rank)
 	c.kick(r.arrive)
@@ -509,6 +563,9 @@ func (c *Channel) removeAt(r *Request, pos int) {
 		bl.reads = append(bl.reads[:pos], bl.reads[pos+1:]...)
 		c.nReads--
 	}
+	if c.tm != nil {
+		c.tm.pending.Set(int64(c.Pending()))
+	}
 }
 
 func (c *Channel) colReady(rk *rank, b *bank, isWrite bool) int64 {
@@ -548,6 +605,15 @@ func (c *Channel) issueColumn(now int64, r *Request, rk *rank, b *bank, hit bool
 		rk.stats.Writes++
 		if hit {
 			c.stats.RowHits++
+			rk.stats.RowHits++
+		}
+		if c.tm != nil {
+			c.tm.writes.Inc()
+			c.tm.rankWrites[rankIdx].Inc()
+			if hit {
+				c.tm.rowHits.Inc()
+				c.tm.rankRowHits[rankIdx].Inc()
+			}
 		}
 		c.complete(r, end)
 	} else {
@@ -563,8 +629,18 @@ func (c *Channel) issueColumn(now int64, r *Request, rk *rank, b *bank, hit bool
 		rk.stats.Reads++
 		if hit {
 			c.stats.RowHits++
+			rk.stats.RowHits++
 		}
 		c.stats.ReadLatency += uint64(end - r.arrive)
+		if c.tm != nil {
+			c.tm.reads.Inc()
+			c.tm.rankReads[rankIdx].Inc()
+			if hit {
+				c.tm.rowHits.Inc()
+				c.tm.rankRowHits[rankIdx].Inc()
+			}
+			c.tm.readLatency.Add(uint64(end - r.arrive))
+		}
 		c.complete(r, end)
 	}
 	rk.lastUse = now
@@ -602,6 +678,10 @@ func (c *Channel) issueActivate(now int64, r *Request, rk *rank, b *bank) {
 	rk.pushAct(now, c.tFAW)
 	c.stats.Activates++
 	rk.stats.Activates++
+	if c.tm != nil {
+		c.tm.activates.Inc()
+		c.tm.rankActivates[rk.idx].Inc()
+	}
 	rk.lastUse = now
 }
 
@@ -614,6 +694,9 @@ func (c *Channel) issuePrecharge(now int64, rk *rank, b *bank) {
 	}
 	b.nextAct = maxi64(b.nextAct, now+c.tRP)
 	c.stats.Precharges++
+	if c.tm != nil {
+		c.tm.precharges.Inc()
+	}
 	rk.lastUse = now
 }
 
@@ -657,6 +740,14 @@ func (c *Channel) refresh(rk *rank, due int64) {
 		}
 		rk.stats.Refreshes++
 		c.stats.Refreshes++
+		if c.tm != nil {
+			c.tm.refreshes.Inc()
+			c.tm.rankRefreshes[rk.idx].Inc()
+			if stall := rk.refreshEnd - now; stall > 0 {
+				c.tm.refreshStallCycles.Add(uint64(stall))
+				c.tm.rankStallCycles[rk.idx].Add(uint64(stall))
+			}
+		}
 	}
 	c.scheduleRefresh(rk, due+c.tREFI)
 	c.kick(rk.refreshEnd)

@@ -21,6 +21,7 @@ import (
 	"sdimm/internal/sdimm"
 	"sdimm/internal/sim"
 	"sdimm/internal/stats"
+	"sdimm/internal/telemetry"
 	"sdimm/internal/trace"
 )
 
@@ -33,6 +34,10 @@ type Options struct {
 	Seed      uint64   // base seed (default 1)
 	Workloads []string // default: all 10 profiles
 	Parallel  int      // concurrent simulations (default NumCPU)
+	// Telemetry, when set, aggregates metrics from every simulation of
+	// the experiment into one registry (dram.*, protocol.*, sim.*).
+	// Runs execute concurrently, so counters are campaign-wide totals.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -76,11 +81,11 @@ type job struct {
 }
 
 // runAll executes jobs with bounded parallelism, returning results by key.
-func runAll(jobs []job, parallel int) (map[string]sim.Result, error) {
+func runAll(jobs []job, o Options) (map[string]sim.Result, error) {
 	results := make(map[string]sim.Result, len(jobs))
 	var mu sync.Mutex
 	var firstErr error
-	sem := make(chan struct{}, parallel)
+	sem := make(chan struct{}, o.Parallel)
 	var wg sync.WaitGroup
 	for _, j := range jobs {
 		wg.Add(1)
@@ -88,7 +93,11 @@ func runAll(jobs []job, parallel int) (map[string]sim.Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := sim.Run(j.cfg, j.workload)
+			var tel *sim.Telemetry
+			if o.Telemetry != nil {
+				tel = &sim.Telemetry{Registry: o.Telemetry}
+			}
+			res, err := sim.RunInstrumented(j.cfg, j.workload, tel)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -121,7 +130,7 @@ func Fig6(o Options) (*stats.Table, error) {
 				job{key(config.Freecursive, ch, w), w, o.configFor(config.Freecursive, ch)})
 		}
 	}
-	res, err := runAll(jobs, o.Parallel)
+	res, err := runAll(jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +173,7 @@ func normalizedTime(o Options, channels int, protos []config.Protocol, title str
 			jobs = append(jobs, job{key(p, channels, w), w, o.configFor(p, channels)})
 		}
 	}
-	res, err := runAll(jobs, o.Parallel)
+	res, err := runAll(jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +217,7 @@ func Fig10(o Options) (*stats.Table, error) {
 			jobs = append(jobs, job{key(r.p, r.ch, w), w, o.configFor(r.p, r.ch)})
 		}
 	}
-	res, err := runAll(jobs, o.Parallel)
+	res, err := runAll(jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +257,7 @@ func Fig11(o Options, levels []int) (*stats.Table, error) {
 			}
 		}
 	}
-	res, err := runAll(jobs, o.Parallel)
+	res, err := runAll(jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -334,7 +343,7 @@ func OffDIMM(o Options) (*stats.Table, error) {
 			job{key(config.Split, 1, w), w, o.configFor(config.Split, 1)},
 			job{key(config.Independent, 2, w), w, o.configFor(config.Independent, 2)})
 	}
-	res, err := runAll(jobs, o.Parallel)
+	res, err := runAll(jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -365,7 +374,7 @@ func Latency(o Options) (*stats.Table, error) {
 			job{key(config.Split, 2, w), w, o.configFor(config.Split, 2)},
 			job{key(config.IndepSplit, 2, w), w, o.configFor(config.IndepSplit, 2)})
 	}
-	res, err := runAll(jobs, o.Parallel)
+	res, err := runAll(jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -392,7 +401,7 @@ func LowPower(o Options) (*stats.Table, error) {
 			job{"lp-on/" + w, w, on},
 			job{"lp-off/" + w, w, off})
 	}
-	res, err := runAll(jobs, o.Parallel)
+	res, err := runAll(jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -420,7 +429,7 @@ func Overflow(o Options) (*stats.Table, error) {
 	for _, w := range o.Workloads {
 		jobs = append(jobs, job{key(config.Independent, 2, w), w, o.configFor(config.Independent, 2)})
 	}
-	res, err := runAll(jobs, o.Parallel)
+	res, err := runAll(jobs, o)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,9 @@
 package fault
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 // State is an SDIMM's health as seen by the host.
 type State int
@@ -32,7 +35,9 @@ func (s State) String() string {
 // Health tracks one SDIMM's consecutive-failure state machine:
 // Healthy → (DegradeAfter consecutive failures) → Degraded → (success) →
 // Healthy; ErrFailStop or FailAfter consecutive failures → Failed (sticky).
+// Health is safe for concurrent use.
 type Health struct {
+	mu           sync.Mutex
 	degradeAfter int
 	failAfter    int // 0: only ErrFailStop marks Failed
 	consecutive  int
@@ -40,6 +45,7 @@ type Health struct {
 	successes    uint64
 	failures     uint64
 	lastErr      error
+	observer     func(from, to State)
 }
 
 // NewHealth builds a tracker. degradeAfter ≤ 0 defaults to 3; failAfter 0
@@ -51,19 +57,45 @@ func NewHealth(degradeAfter, failAfter int) *Health {
 	return &Health{degradeAfter: degradeAfter, failAfter: failAfter}
 }
 
+// SetObserver registers a callback invoked on every state transition. It
+// runs under the tracker's lock, so observers see transitions in the exact
+// order they happened and must not call back into the Health.
+func (h *Health) SetObserver(fn func(from, to State)) {
+	h.mu.Lock()
+	h.observer = fn
+	h.mu.Unlock()
+}
+
+// setState transitions the machine and notifies the observer. Caller holds
+// the lock.
+func (h *Health) setState(to State) {
+	from := h.state
+	if from == to {
+		return
+	}
+	h.state = to
+	if h.observer != nil {
+		h.observer(from, to)
+	}
+}
+
 // Success records a completed exchange. A Degraded SDIMM recovers to
 // Healthy; a Failed one stays Failed.
 func (h *Health) Success() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.successes++
 	if h.state == Failed {
 		return
 	}
 	h.consecutive = 0
-	h.state = Healthy
+	h.setState(Healthy)
 }
 
 // Failure records a failed exchange and advances the state machine.
 func (h *Health) Failure(err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.failures++
 	h.consecutive++
 	h.lastErr = err
@@ -72,31 +104,49 @@ func (h *Health) Failure(err error) {
 	}
 	switch {
 	case errors.Is(err, ErrFailStop):
-		h.state = Failed
+		h.setState(Failed)
 	case h.failAfter > 0 && h.consecutive >= h.failAfter:
-		h.state = Failed
+		h.setState(Failed)
 	case h.consecutive >= h.degradeAfter:
-		h.state = Degraded
+		h.setState(Degraded)
 	}
 }
 
 // MarkFailed forces the sticky Failed state (fail-stop observed out of
 // band).
 func (h *Health) MarkFailed(err error) {
-	h.state = Failed
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.setState(Failed)
 	if err != nil {
 		h.lastErr = err
 	}
 }
 
 // State returns the current state.
-func (h *Health) State() State { return h.state }
+func (h *Health) State() State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
 
 // Consecutive returns the current consecutive-failure streak.
-func (h *Health) Consecutive() int { return h.consecutive }
+func (h *Health) Consecutive() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.consecutive
+}
 
 // Totals returns lifetime success and failure counts.
-func (h *Health) Totals() (successes, failures uint64) { return h.successes, h.failures }
+func (h *Health) Totals() (successes, failures uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.successes, h.failures
+}
 
 // LastError returns the most recent failure cause (nil if none).
-func (h *Health) LastError() error { return h.lastErr }
+func (h *Health) LastError() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastErr
+}

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"sdimm/internal/rng"
+	"sdimm/internal/telemetry"
 )
 
 // Config is a fault schedule: per-delivery probabilities for each fault
@@ -64,12 +65,52 @@ func (s *Stats) add(o Stats) {
 	s.FailStopped += o.FailStopped
 }
 
+// injectorMetrics mirrors Stats into telemetry counters under
+// fault.injected.*. The zero value (all-nil counters) records nothing;
+// bump guards every increment.
+type injectorMetrics struct {
+	deliveries     *telemetry.Counter
+	bitFlips       *telemetry.Counter
+	macCorruptions *telemetry.Counter
+	drops          *telemetry.Counter
+	duplicates     *telemetry.Counter
+	replays        *telemetry.Counter
+	stalls         *telemetry.Counter
+	failStopped    *telemetry.Counter
+}
+
+func bump(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
 // Injector manufactures per-SDIMM faulty Links from one deterministic
 // schedule and carries the runtime controls (fail-stop, forced stalls) the
 // chaos harness scripts against.
 type Injector struct {
 	cfg   Config
 	links map[int]*FaultyLink
+	tm    injectorMetrics
+}
+
+// EnableTelemetry mirrors injected-fault outcomes into reg under the
+// fault.injected.* namespace, aggregated across all links (existing and
+// future) so the totals line up with Injector.Stats.
+func (in *Injector) EnableTelemetry(reg *telemetry.Registry) {
+	in.tm = injectorMetrics{
+		deliveries:     reg.Counter("fault.injected.deliveries"),
+		bitFlips:       reg.Counter("fault.injected.bitflips"),
+		macCorruptions: reg.Counter("fault.injected.mac_corruptions"),
+		drops:          reg.Counter("fault.injected.drops"),
+		duplicates:     reg.Counter("fault.injected.duplicates"),
+		replays:        reg.Counter("fault.injected.replays"),
+		stalls:         reg.Counter("fault.injected.stalls"),
+		failStopped:    reg.Counter("fault.injected.failstops"),
+	}
+	for _, l := range in.links {
+		l.tm = in.tm
+	}
 }
 
 // NewInjector builds an injector for the given schedule.
@@ -96,6 +137,7 @@ func (in *Injector) Link(idx int) *FaultyLink {
 	l := &FaultyLink{
 		cfg: in.cfg,
 		rnd: rng.New(in.cfg.Seed ^ uint64(0x9e37*idx+0xb5)),
+		tm:  in.tm,
 	}
 	in.links[idx] = l
 	return l
@@ -137,6 +179,7 @@ type FaultyLink struct {
 	macOps  int // remaining deliveries in a MAC corruption window
 	dead    bool
 	stats   Stats
+	tm      injectorMetrics
 }
 
 const historyCap = 16
@@ -145,14 +188,17 @@ const historyCap = 16
 func (l *FaultyLink) Deliver(dir Direction, frame []byte) ([][]byte, error) {
 	if l.dead {
 		l.stats.FailStopped++
+		bump(l.tm.failStopped)
 		return nil, ErrFailStop
 	}
 	if l.stalled > 0 {
 		l.stalled--
 		l.stats.Stalls++
+		bump(l.tm.stalls)
 		return nil, ErrStalled
 	}
 	l.stats.Deliveries++
+	bump(l.tm.deliveries)
 
 	// The delivered frame is always a copy: corruption must never reach
 	// back into the sender's retained buffers (the Transactor caches its
@@ -164,22 +210,27 @@ func (l *FaultyLink) Deliver(dir Direction, frame []byte) ([][]byte, error) {
 	switch {
 	case r < l.cfg.Drop:
 		l.stats.Drops++
+		bump(l.tm.drops)
 	case r < l.cfg.Drop+l.cfg.BitFlip:
 		bit := l.rnd.Intn(len(f) * 8)
 		f[bit/8] ^= 1 << (bit % 8)
 		l.stats.BitFlips++
+		bump(l.tm.bitFlips)
 		out = [][]byte{f}
 	case r < l.cfg.Drop+l.cfg.BitFlip+l.cfg.Duplicate:
 		l.stats.Duplicates++
+		bump(l.tm.duplicates)
 		out = [][]byte{f, append([]byte(nil), f...)}
 	case r < l.cfg.Drop+l.cfg.BitFlip+l.cfg.Duplicate+l.cfg.Replay && len(l.history[dir]) > 0:
 		stale := l.history[dir][l.rnd.Intn(len(l.history[dir]))]
 		l.stats.Replays++
+		bump(l.tm.replays)
 		out = [][]byte{f, append([]byte(nil), stale...)}
 	case r < l.cfg.Drop+l.cfg.BitFlip+l.cfg.Duplicate+l.cfg.Replay+l.cfg.Stall:
 		// The stall swallows this frame and the next StallOps-1 deliveries.
 		l.stalled = l.cfg.StallOps - 1
 		l.stats.Stalls++
+		bump(l.tm.stalls)
 		return nil, ErrStalled
 	default:
 		out = [][]byte{f}
@@ -196,6 +247,7 @@ func (l *FaultyLink) Deliver(dir Direction, frame []byte) ([][]byte, error) {
 			if len(g) > 0 {
 				g[len(g)-1] ^= 0xa5
 				l.stats.MACCorruptions++
+				bump(l.tm.macCorruptions)
 			}
 		}
 	}

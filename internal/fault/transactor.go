@@ -5,7 +5,31 @@ import (
 	"fmt"
 
 	"sdimm/internal/seccomm"
+	"sdimm/internal/telemetry"
 )
+
+// LinkMetrics holds the telemetry counters a Transactor increments
+// alongside its local TransactorStats, under the fault.* namespace. A nil
+// *LinkMetrics is safe and records nothing.
+type LinkMetrics struct {
+	Exchanges   *telemetry.Counter
+	Retries     *telemetry.Counter
+	Retransmits *telemetry.Counter
+	Resyncs     *telemetry.Counter
+	Abandoned   *telemetry.Counter
+}
+
+// NewLinkMetrics resolves the fault.* link counters in reg (labels fold
+// into each name, e.g. "sdimm", "3").
+func NewLinkMetrics(reg *telemetry.Registry, labels ...string) *LinkMetrics {
+	return &LinkMetrics{
+		Exchanges:   reg.Counter("fault.exchanges", labels...),
+		Retries:     reg.Counter("fault.retries", labels...),
+		Retransmits: reg.Counter("fault.retransmits", labels...),
+		Resyncs:     reg.Counter("fault.resyncs", labels...),
+		Abandoned:   reg.Counter("fault.abandoned", labels...),
+	}
+}
 
 // TransactorStats counts recovery activity on one link.
 type TransactorStats struct {
@@ -65,6 +89,9 @@ type Transactor struct {
 	// are retransmissions. Tests use it to prove retries are
 	// byte-identical.
 	Tap func(dir Direction, attempt int, frame []byte)
+	// Metrics, when set, mirrors the recovery counters into a telemetry
+	// registry (see NewLinkMetrics).
+	Metrics *LinkMetrics
 
 	lastResp []byte
 	stats    TransactorStats
@@ -86,6 +113,9 @@ func (t *Transactor) Exchange(body []byte) ([]byte, error) {
 		used = attempt + 1
 		if attempt > 0 {
 			t.stats.Retries++
+			if t.Metrics != nil {
+				t.Metrics.Retries.Inc()
+			}
 			p.Sleep(p.backoff(attempt))
 			// Rewind so the retry re-seals the identical frame.
 			if err := t.Host.ResendFrom(base); err != nil {
@@ -95,12 +125,18 @@ func (t *Transactor) Exchange(body []byte) ([]byte, error) {
 		resp, err := t.attempt(body, attempt)
 		if err == nil {
 			t.stats.Exchanges++
+			if t.Metrics != nil {
+				t.Metrics.Exchanges.Inc()
+			}
 			return resp, nil
 		}
 		var app *AppError
 		if errors.As(err, &app) {
 			// The handler ran and failed; the link did its job.
 			t.stats.Exchanges++
+			if t.Metrics != nil {
+				t.Metrics.Exchanges.Inc()
+			}
 			return nil, err
 		}
 		lastErr = err
@@ -115,6 +151,10 @@ func (t *Transactor) Exchange(body []byte) ([]byte, error) {
 	t.lastResp = nil
 	t.stats.Resyncs++
 	t.stats.Abandoned++
+	if t.Metrics != nil {
+		t.Metrics.Resyncs.Inc()
+		t.Metrics.Abandoned.Inc()
+	}
 	return nil, fmt.Errorf("fault: exchange abandoned after %d attempts: %w", used, lastErr)
 }
 
@@ -150,6 +190,9 @@ func (t *Transactor) attempt(body []byte, attempt int) ([]byte, error) {
 		if err != nil {
 			if errors.Is(err, seccomm.ErrReplayed) && t.lastResp != nil {
 				t.stats.Retransmits++
+				if t.Metrics != nil {
+					t.Metrics.Retransmits.Inc()
+				}
 				outbound = append(outbound, t.lastResp)
 			}
 			continue

@@ -38,7 +38,7 @@ func NewTenantOnChannels(eng *event.Engine, org config.Org, chans []*dram.Channe
 		return nil, errors.New("protocol: tenant needs at least one channel")
 	}
 	t := &TenantMem{eng: eng, chans: chans}
-	t.st.MissLatency = *stats.NewHistogram(64, 4096)
+	t.st.MissLatency = stats.NewHistogram(64, 4096)
 	for _, ch := range chans {
 		t.mappers = append(t.mappers, dram.NewMapper(org, ch.Ranks()))
 	}
@@ -52,7 +52,7 @@ func NewTenantOnLinks(eng *event.Engine, cfg config.Config, links []*dram.Link) 
 		return nil, errors.New("protocol: tenant needs at least one link")
 	}
 	t := &TenantMem{eng: eng, links: links}
-	t.st.MissLatency = *stats.NewHistogram(64, 4096)
+	t.st.MissLatency = stats.NewHistogram(64, 4096)
 	for i := range links {
 		ch := dram.NewChannel(eng, "lrdimm"+string(rune('0'+i)), cfg.Org, cfg.Timing, cfg.Org.RanksPerDIMM)
 		t.chans = append(t.chans, ch)

@@ -63,7 +63,7 @@ func NewFreecursive(eng *event.Engine, cfg config.Config) (*FreecursiveBackend, 
 		engine: engine,
 		enc:    event.Time(cfg.ORAM.EncLatency),
 	}
-	b.st.MissLatency = *stats.NewHistogram(256, 4096)
+	b.st.MissLatency = stats.NewHistogram(256, 4096)
 	for c := 0; c < cfg.Org.Channels; c++ {
 		b.chans = append(b.chans, dram.NewChannel(eng, chName(c), cfg.Org, cfg.Timing, cfg.Org.RanksPerChannel()))
 	}

@@ -11,6 +11,7 @@ import (
 	"sdimm/internal/rng"
 	"sdimm/internal/sdimm"
 	"sdimm/internal/stats"
+	"sdimm/internal/telemetry"
 )
 
 // Sizes of host-link messages in bytes. Every long command carries one
@@ -56,8 +57,22 @@ type IndependentBackend struct {
 	waiters [][]func() // per SDIMM: FIFO of fetchers awaiting a response
 	probing []bool     // per SDIMM: probe loop active
 
-	enc event.Time
-	st  BackendStats
+	enc    event.Time
+	st     BackendStats
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+}
+
+// SetTelemetry attaches a metrics registry and an access tracer. The
+// registry gains the backend's miss-latency histogram (shared, not copied,
+// with the paper-table stats) under protocol.miss_latency; the tracer
+// receives one lane per in-flight miss carrying the per-phase spans
+// link.send → sdimm.queue → dram.path → buffer.seal → fetch.wait →
+// result.decrypt, whose durations tile the enclosing miss span.
+func (b *IndependentBackend) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	b.reg = reg
+	b.tracer = tr
+	reg.AddHistogram("protocol.miss_latency", b.st.MissLatency)
 }
 
 // NewIndependent builds the Independent backend.
@@ -84,7 +99,7 @@ func NewIndependent(eng *event.Engine, cfg config.Config) (*IndependentBackend, 
 		localBits: uint(localLevels - 1),
 		enc:       event.Time(cfg.ORAM.EncLatency),
 	}
-	b.st.MissLatency = *stats.NewHistogram(256, 4096)
+	b.st.MissLatency = stats.NewHistogram(256, 4096)
 	for c := 0; c < cfg.Org.Channels; c++ {
 		b.links = append(b.links, dram.NewLink(eng, cfg.Org, cfg.Timing))
 	}
@@ -133,8 +148,15 @@ func NewIndependent(eng *event.Engine, cfg config.Config) (*IndependentBackend, 
 func (b *IndependentBackend) Read(addr uint64, done func()) {
 	b.st.Reads++
 	start := b.eng.Now()
-	b.startMiss(addr, false, func() {
-		b.st.MissLatency.Add(uint64(b.eng.Now() - start))
+	lane := b.tracer.Lane()
+	b.startMiss(addr, lane, false, func() {
+		now := b.eng.Now()
+		b.st.MissLatency.Add(uint64(now - start))
+		if b.tracer != nil {
+			b.tracer.CompleteArgs(lane, "miss", "access", uint64(start), uint64(now),
+				map[string]any{"addr": addr})
+			b.tracer.FreeLane(lane)
+		}
 		done()
 	})
 }
@@ -142,18 +164,28 @@ func (b *IndependentBackend) Read(addr uint64, done func()) {
 // Write implements Backend.
 func (b *IndependentBackend) Write(addr uint64) {
 	b.st.Writes++
-	b.startMiss(addr, true, nil)
+	start := b.eng.Now()
+	lane := b.tracer.Lane()
+	var fin func()
+	if b.tracer != nil {
+		fin = func() {
+			b.tracer.CompleteArgs(lane, "writeback.miss", "access", uint64(start), uint64(b.eng.Now()),
+				map[string]any{"addr": addr})
+			b.tracer.FreeLane(lane)
+		}
+	}
+	b.startMiss(addr, lane, true, fin)
 }
 
-func (b *IndependentBackend) startMiss(addr uint64, write bool, done func()) {
+func (b *IndependentBackend) startMiss(addr uint64, lane int, write bool, done func()) {
 	ops, err := b.fe.Resolve(addr % dataBlocks(b.cfg))
 	if err != nil {
 		panic(fmt.Sprintf("protocol: independent resolve: %v", err))
 	}
-	b.runOps(ops, 0, write, done)
+	b.runOps(ops, 0, lane, write, done)
 }
 
-func (b *IndependentBackend) runOps(ops []freecursive.Op, i int, write bool, done func()) {
+func (b *IndependentBackend) runOps(ops []freecursive.Op, i, lane int, write bool, done func()) {
 	if i == len(ops) {
 		if done != nil {
 			done()
@@ -161,19 +193,31 @@ func (b *IndependentBackend) runOps(ops []freecursive.Op, i int, write bool, don
 		return
 	}
 	op := oram.OpRead
-	if write && i == len(ops)-1 {
-		op = oram.OpWrite
+	cat := "posmap"
+	if i == len(ops)-1 {
+		cat = "data"
+		if write {
+			op = oram.OpWrite
+		}
 	}
-	b.accessORAM(ops[i].Addr, op, write, func() {
-		b.runOps(ops, i+1, write, done)
+	b.accessORAM(ops[i].Addr, op, write, lane, cat, func() {
+		b.runOps(ops, i+1, lane, write, done)
 	})
 }
 
 // accessORAM runs one distributed accessORAM. All functional steps (the
 // SDIMM's local access, the response, the APPEND placement) execute now,
 // in submission order; the bus traffic replays on the timed queues.
-func (b *IndependentBackend) accessORAM(addr uint64, op oram.Op, posted bool, cont func()) {
+//
+// lane and cat drive tracing: phase boundary timestamps are captured per
+// access so the phase spans tile [t0, end] of the accessORAM span exactly
+// — link.send [t0,t1], sdimm.queue [t1,t1b], dram.path [t1b,t2],
+// buffer.seal [t2,t2e], fetch.wait [t2e,t3], result.decrypt [t3,end].
+func (b *IndependentBackend) accessORAM(addr uint64, op oram.Op, posted bool, lane int, cat string, cont func()) {
 	b.st.AccessORAMs++
+	tr := b.tracer
+	t0 := uint64(b.eng.Now())
+	var t1, t1b, t2, t2e, t3 uint64
 	globalLeaves := uint64(1) << (b.cfg.ORAM.Levels - 1)
 	oldG, ok := b.pos.Get(addr)
 	if !ok {
@@ -241,8 +285,19 @@ func (b *IndependentBackend) accessORAM(addr uint64, op oram.Op, posted bool, co
 	// 1. ACCESS command (always carries one block of data), then the
 	// SDIMM's controller performs the path access(es).
 	b.hostSend(sd, msgAccess, func() {
+		t1 = uint64(b.eng.Now())
+		tr.Complete(lane, "link.send", "link", t0, t1)
 		b.enqueueWork(sd, posted, func(workDone func()) {
+			t1b = uint64(b.eng.Now())
+			tr.Complete(lane, "sdimm.queue", "queue", t1, t1b)
 			b.tms[sd].accessPath(paths[0], func() {
+				t2 = uint64(b.eng.Now())
+				t2e = t2 + uint64(b.enc)
+				if tr != nil {
+					tr.CompleteArgs(lane, "dram.path", "dram", t1b, t2,
+						map[string]any{"sdimm": sd, "paths": len(paths)})
+					tr.Complete(lane, "buffer.seal", "seal", t2, t2e)
+				}
 				b.eng.After(b.enc, func() { b.ready[sd]++ })
 				b.runLocalPaths(sd, paths[1:], 0, workDone)
 			})
@@ -251,6 +306,8 @@ func (b *IndependentBackend) accessORAM(addr uint64, op oram.Op, posted bool, co
 
 	// 2. The CPU polls and fetches, then broadcasts the APPENDs.
 	b.waiters[sd] = append(b.waiters[sd], func() {
+		t3 = uint64(b.eng.Now())
+		tr.Complete(lane, "fetch.wait", "link", t2e, t3)
 		for j := 0; j < b.cfg.NumSDIMMs; j++ {
 			j := j
 			forced := appendForced[j]
@@ -264,7 +321,15 @@ func (b *IndependentBackend) accessORAM(addr uint64, op oram.Op, posted bool, co
 			})
 		}
 		// The requested data reaches the CPU after decryption.
-		b.eng.After(b.enc, cont)
+		b.eng.After(b.enc, func() {
+			end := uint64(b.eng.Now())
+			if tr != nil {
+				tr.Complete(lane, "result.decrypt", "seal", t3, end)
+				tr.CompleteArgs(lane, "accessORAM", cat, t0, end,
+					map[string]any{"sdimm": sd, "addr": addr})
+			}
+			cont()
+		})
 	})
 	b.startProbing(sd)
 }

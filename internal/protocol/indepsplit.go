@@ -53,7 +53,7 @@ func NewIndepSplit(eng *event.Engine, cfg config.Config) (*IndepSplitBackend, er
 		rnd:      rng.New(cfg.Seed ^ 0x1d59),
 		halfBits: uint(cfg.ORAM.Levels - 2), // half-tree has Levels-1 levels
 	}
-	b.st.MissLatency = *stats.NewHistogram(256, 4096)
+	b.st.MissLatency = stats.NewHistogram(256, 4096)
 	for c := 0; c < cfg.Org.Channels; c++ {
 		b.links = append(b.links, dram.NewLink(eng, cfg.Org, cfg.Timing))
 	}

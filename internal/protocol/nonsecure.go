@@ -22,7 +22,7 @@ func NewNonSecure(eng *event.Engine, cfg config.Config) (*NonSecure, error) {
 		return nil, err
 	}
 	ns := &NonSecure{eng: eng}
-	ns.st.MissLatency = *stats.NewHistogram(64, 512)
+	ns.st.MissLatency = stats.NewHistogram(64, 512)
 	for c := 0; c < cfg.Org.Channels; c++ {
 		ch := dram.NewChannel(eng, chName(c), cfg.Org, cfg.Timing, cfg.Org.RanksPerChannel())
 		ns.chans = append(ns.chans, ch)

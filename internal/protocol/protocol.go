@@ -48,7 +48,7 @@ type BackendStats struct {
 	AccessORAMs uint64
 	Probes      uint64
 	HostBytes   uint64 // protocol bytes moved over host links
-	MissLatency stats.Histogram
+	MissLatency *stats.Histogram
 	QueuePeak   int
 	ExtraDrains uint64 // Independent transfer-queue drain accesses
 	BgEvictions uint64

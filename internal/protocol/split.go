@@ -323,7 +323,7 @@ func NewSplit(eng *event.Engine, cfg config.Config) (*SplitBackend, error) {
 		pos: oram.NewSparsePosMap(),
 		rnd: rng.New(cfg.Seed ^ 0x517a),
 	}
-	b.st.MissLatency = *stats.NewHistogram(256, 4096)
+	b.st.MissLatency = stats.NewHistogram(256, 4096)
 	for c := 0; c < cfg.Org.Channels; c++ {
 		b.links = append(b.links, dram.NewLink(eng, cfg.Org, cfg.Timing))
 	}

@@ -23,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"sdimm/internal/telemetry"
 )
 
 // MACSize is the truncated MAC length appended to every sealed message.
@@ -121,13 +123,82 @@ func (a *Authority) Lookup(id string) ([]byte, error) {
 	return append([]byte(nil), k...), nil
 }
 
+// Metrics mirrors link-crypto activity into telemetry counters under the
+// seccomm.* namespace, splitting rejected frames by MAC-failure class. A
+// nil *Metrics records nothing, so sessions can stay uninstrumented.
+type Metrics struct {
+	Seals         *telemetry.Counter // frames sealed (sent)
+	Opens         *telemetry.Counter // frames authenticated and decrypted
+	AuthFailures  *telemetry.Counter // rejected: tag invalid at every probed counter (tampering)
+	Replayed      *telemetry.Counter // rejected: already-consumed counter (replay/retransmission)
+	OutOfOrder    *telemetry.Counter // rejected: future counter (loss or reorder)
+	ShortMessages *telemetry.Counter // rejected: shorter than the MAC
+	Resyncs       *telemetry.Counter // counter realignments after abandonment
+}
+
+// NewMetrics resolves the seccomm.* counters in reg (labels fold into each
+// name).
+func NewMetrics(reg *telemetry.Registry, labels ...string) *Metrics {
+	return &Metrics{
+		Seals:         reg.Counter("seccomm.seals", labels...),
+		Opens:         reg.Counter("seccomm.opens", labels...),
+		AuthFailures:  reg.Counter("seccomm.auth_failures", labels...),
+		Replayed:      reg.Counter("seccomm.replayed", labels...),
+		OutOfOrder:    reg.Counter("seccomm.out_of_order", labels...),
+		ShortMessages: reg.Counter("seccomm.short_messages", labels...),
+		Resyncs:       reg.Counter("seccomm.resyncs", labels...),
+	}
+}
+
+func bump(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func (m *Metrics) observeSeal() {
+	if m != nil {
+		bump(m.Seals)
+	}
+}
+
+// observeOpen classifies one Open outcome into the per-class counters.
+func (m *Metrics) observeOpen(err error) {
+	if m == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		bump(m.Opens)
+	case errors.Is(err, ErrShortMessage):
+		bump(m.ShortMessages)
+	case errors.Is(err, ErrReplayed):
+		bump(m.Replayed)
+	case errors.Is(err, ErrOutOfOrder):
+		bump(m.OutOfOrder)
+	default:
+		bump(m.AuthFailures)
+	}
+}
+
+func (m *Metrics) observeResync() {
+	if m != nil {
+		bump(m.Resyncs)
+	}
+}
+
 // Session is one endpoint of an established secure link. Each endpoint has
 // an upstream (CPU -> SDIMM) and downstream (SDIMM -> CPU) cipher state;
 // Seal uses the endpoint's send direction and Open its receive direction.
 type Session struct {
 	send cipherState
 	recv cipherState
+	m    *Metrics
 }
+
+// SetMetrics attaches telemetry counters to the session (nil detaches).
+// Both endpoints of a link may share one *Metrics to get link totals.
+func (s *Session) SetMetrics(m *Metrics) { s.m = m }
 
 type cipherState struct {
 	block   cipher.Block
@@ -231,6 +302,7 @@ func (cs *cipherState) mac(ctr uint64, ct []byte) []byte {
 // ciphertext || MAC. The per-direction counter advances; the peer's Open
 // must be called in the same order (the DDR bus guarantees ordering).
 func (s *Session) Seal(plaintext []byte) []byte {
+	s.m.observeSeal()
 	cs := &s.send
 	out := make([]byte, len(plaintext)+MACSize)
 	copy(out, plaintext)
@@ -246,6 +318,12 @@ func (s *Session) Seal(plaintext []byte) []byte {
 // from reordering (ErrOutOfOrder) and replay/retransmission (ErrReplayed);
 // diagnosis never advances state and never accepts the frame.
 func (s *Session) Open(msg []byte) ([]byte, error) {
+	out, err := s.open(msg)
+	s.m.observeOpen(err)
+	return out, err
+}
+
+func (s *Session) open(msg []byte) ([]byte, error) {
 	cs := &s.recv
 	if len(msg) < MACSize {
 		return nil, ErrShortMessage
@@ -310,6 +388,10 @@ func (s *Session) ResendFrom(ctr uint64) error {
 // preserved. Send counters are untouched — the next Seal uses a fresh
 // counter and no pad is ever reused.
 func Resync(a, b *Session) {
+	a.m.observeResync()
+	if b.m != a.m {
+		b.m.observeResync()
+	}
 	if a.send.counter > b.recv.counter {
 		b.recv.counter = a.send.counter
 	}

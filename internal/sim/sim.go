@@ -16,8 +16,26 @@ import (
 	"sdimm/internal/event"
 	"sdimm/internal/freecursive"
 	"sdimm/internal/protocol"
+	"sdimm/internal/telemetry"
 	"sdimm/internal/trace"
 )
+
+// Telemetry bundles the observability hooks threaded through a run. The
+// zero value disables everything; Registry alone enables metrics; Trace
+// additionally collects per-access spans.
+type Telemetry struct {
+	// Registry receives counters, gauges, and histograms from every
+	// instrumented layer (dram.*, protocol.*, and — when the backend
+	// supports it — per-phase access spans).
+	Registry *telemetry.Registry
+	// Trace asks the run to record span events. The tracer is built over
+	// the event engine's clock, so span timestamps are simulated CPU
+	// cycles (rendered as microseconds by Chrome trace viewers).
+	Trace bool
+	// Tracer is populated by the run when Trace is set; read it after the
+	// run returns to export the collected events.
+	Tracer *telemetry.Tracer
+}
 
 // Result is the outcome of one simulation run.
 type Result struct {
@@ -62,6 +80,11 @@ func (r Result) CyclesPerMiss() float64 {
 
 // Run executes one configuration against one workload profile.
 func Run(cfg config.Config, workload string) (Result, error) {
+	return RunInstrumented(cfg, workload, nil)
+}
+
+// RunInstrumented is Run with telemetry attached (see Telemetry).
+func RunInstrumented(cfg config.Config, workload string, tel *Telemetry) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -77,7 +100,7 @@ func Run(cfg config.Config, workload string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return RunTrace(cfg, workload, recs)
+	return RunTraceInstrumented(cfg, workload, recs, nil, tel)
 }
 
 // BusObserver sees every command on every modelled (untrusted) DRAM bus —
@@ -95,10 +118,37 @@ func RunTrace(cfg config.Config, name string, recs []trace.Record) (Result, erro
 // RunTraceObserved is RunTrace with a bus observer attached to every DRAM
 // channel (package attacker uses this to capture address traces).
 func RunTraceObserved(cfg config.Config, name string, recs []trace.Record, obs BusObserver) (Result, error) {
+	return RunTraceInstrumented(cfg, name, recs, obs, nil)
+}
+
+// RunTraceInstrumented is RunTraceObserved with telemetry attached: DRAM
+// channels mirror their stats into tel.Registry, the backend registers its
+// miss-latency histogram, and — when tel.Trace is set — a tracer over the
+// engine clock records per-phase access spans (backends that implement
+// SetTelemetry emit them; others run untraced).
+func RunTraceInstrumented(cfg config.Config, name string, recs []trace.Record, obs BusObserver, tel *Telemetry) (Result, error) {
 	eng := &event.Engine{}
 	backend, err := protocol.New(eng, cfg)
 	if err != nil {
 		return Result{}, err
+	}
+	if tel != nil {
+		if tel.Trace {
+			tel.Tracer = telemetry.NewTracer(func() uint64 { return uint64(eng.Now()) })
+		}
+		if tb, ok := backend.(interface {
+			SetTelemetry(*telemetry.Registry, *telemetry.Tracer)
+		}); ok {
+			tb.SetTelemetry(tel.Registry, tel.Tracer)
+		} else if tel.Registry != nil {
+			tel.Registry.AddHistogram("protocol.miss_latency", backend.Stats().MissLatency)
+		}
+		if tel.Registry != nil {
+			chans, _ := backend.Channels()
+			for _, ch := range chans {
+				ch.EnableTelemetry(tel.Registry)
+			}
+		}
 	}
 	if obs != nil {
 		chans, local := backend.Channels()
@@ -146,6 +196,11 @@ func RunTraceObserved(cfg config.Config, name string, recs []trace.Record, obs B
 	res.AccessORAMs = res.Backend.AccessORAMs
 	if fe, ok := backend.(interface{ Frontend() *freecursive.Frontend }); ok {
 		res.AccessesPerMiss = fe.Frontend().Stats().AccessesPerMiss()
+	}
+	if tel != nil && tel.Registry != nil {
+		tel.Registry.Gauge("sim.cycles").Set(int64(cs.Cycles))
+		tel.Registry.Gauge("sim.llc_misses").Set(int64(res.LLCMisses))
+		tel.Registry.Gauge("sim.records").Set(int64(cs.Records))
 	}
 
 	params := energy.Default()

@@ -1,6 +1,12 @@
-// Package stats collects and reports simulation statistics: scalar
-// counters, running means, latency histograms, and the tabular output used
-// by the experiment harness to print paper-style tables.
+// Package stats reports simulation statistics: scalar counters, running
+// means, latency histograms, and the tabular output used by the experiment
+// harness to print paper-style tables.
+//
+// The scalar primitives (Counter, Mean, Histogram) are aliases for the
+// concurrency-safe implementations in internal/telemetry, so a histogram
+// feeding a paper table can simultaneously be registered in a
+// telemetry.Registry without double bookkeeping. Table and Series remain
+// here as presentation-layer views.
 package stats
 
 import (
@@ -8,117 +14,23 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"sdimm/internal/telemetry"
 )
 
 // Counter is a monotonically growing event count.
-type Counter struct {
-	n uint64
-}
-
-// Add increments the counter by d.
-func (c *Counter) Add(d uint64) { c.n += d }
-
-// Inc increments the counter by one.
-func (c *Counter) Inc() { c.n++ }
-
-// Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n }
+type Counter = telemetry.Counter
 
 // Mean accumulates samples and reports their running mean.
-type Mean struct {
-	sum float64
-	n   uint64
-}
-
-// Add records one sample.
-func (m *Mean) Add(v float64) {
-	m.sum += v
-	m.n++
-}
-
-// N returns the number of samples.
-func (m *Mean) N() uint64 { return m.n }
-
-// Sum returns the total of all samples.
-func (m *Mean) Sum() float64 { return m.sum }
-
-// Value returns the mean of the samples, or 0 with no samples.
-func (m *Mean) Value() float64 {
-	if m.n == 0 {
-		return 0
-	}
-	return m.sum / float64(m.n)
-}
+type Mean = telemetry.Mean
 
 // Histogram is a latency histogram with fixed-width buckets plus an
 // overflow bucket, retaining enough information for mean and quantiles.
-type Histogram struct {
-	width   uint64
-	buckets []uint64
-	over    uint64
-	sum     uint64
-	n       uint64
-	max     uint64
-}
+type Histogram = telemetry.Histogram
 
 // NewHistogram builds a histogram with nbuckets buckets of the given width.
 func NewHistogram(width uint64, nbuckets int) *Histogram {
-	if width == 0 || nbuckets <= 0 {
-		panic("stats: invalid histogram shape")
-	}
-	return &Histogram{width: width, buckets: make([]uint64, nbuckets)}
-}
-
-// Add records one sample.
-func (h *Histogram) Add(v uint64) {
-	h.sum += v
-	h.n++
-	if v > h.max {
-		h.max = v
-	}
-	i := v / h.width
-	if i >= uint64(len(h.buckets)) {
-		h.over++
-		return
-	}
-	h.buckets[i]++
-}
-
-// N returns the number of samples.
-func (h *Histogram) N() uint64 { return h.n }
-
-// Mean returns the mean sample, or 0 with no samples.
-func (h *Histogram) Mean() float64 {
-	if h.n == 0 {
-		return 0
-	}
-	return float64(h.sum) / float64(h.n)
-}
-
-// Max returns the largest sample seen.
-func (h *Histogram) Max() uint64 { return h.max }
-
-// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1), using
-// bucket upper edges. Samples in the overflow bucket report the observed max.
-func (h *Histogram) Quantile(q float64) uint64 {
-	if h.n == 0 {
-		return 0
-	}
-	if q <= 0 {
-		q = math.SmallestNonzeroFloat64
-	}
-	if q > 1 {
-		q = 1
-	}
-	target := uint64(math.Ceil(q * float64(h.n)))
-	var cum uint64
-	for i, c := range h.buckets {
-		cum += c
-		if cum >= target {
-			return (uint64(i) + 1) * h.width
-		}
-	}
-	return h.max
+	return telemetry.NewHistogram(width, nbuckets)
 }
 
 // Table is a simple named-rows/named-columns table of float64 cells used to

@@ -80,6 +80,39 @@ func TestHistogramEmptyQuantile(t *testing.T) {
 	}
 }
 
+// Regression: quantile edge cases. Samples past the last bucket must
+// report the observed max (not a bucket edge or garbage), out-of-range q
+// clamps, and an empty histogram answers 0 everywhere.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram(4, 2) // covers [0, 8); both samples overflow
+	h.Add(100)
+	h.Add(900)
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := h.Quantile(q); got != 900 {
+			t.Fatalf("Quantile(%v) = %d, want observed max 900", q, got)
+		}
+	}
+
+	h2 := NewHistogram(1, 10)
+	h2.Add(3)
+	if got := h2.Quantile(-1); got != 4 {
+		t.Fatalf("Quantile(-1) = %d, want clamp to smallest quantile (4)", got)
+	}
+	if got := h2.Quantile(2); got != 4 {
+		t.Fatalf("Quantile(2) = %d, want clamp to p100 (4)", got)
+	}
+
+	h3 := NewHistogram(1, 1)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h3.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h3.Max() != 0 || h3.Mean() != 0 {
+		t.Fatal("empty histogram must report zero max and mean")
+	}
+}
+
 func TestHistogramInvalidShapePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler serves the registry as an expvar-style live endpoint:
+// GET / returns the JSON snapshot; GET /?text=1 returns the sorted text
+// rendering; a "prefix" query parameter filters metric names.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		q := req.URL.Query()
+		if q.Get("text") != "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if p := q.Get("prefix"); p != "" {
+				s.WriteText(w, p)
+			} else {
+				s.WriteText(w)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(s.JSON())
+	})
+}
+
+// Serve starts the live endpoint on addr (e.g. "localhost:0") in a
+// background goroutine. It returns the bound address and a stop function.
+func Serve(addr string, r *Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// StartLogger writes a text snapshot (optionally filtered by prefixes) to
+// w every interval until the returned stop function is called.
+func StartLogger(r *Registry, w io.Writer, interval time.Duration, prefixes ...string) func() {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				fmt.Fprintf(w, "-- telemetry %s --\n", now.Format(time.TimeOnly))
+				r.Snapshot().WriteText(w, prefixes...)
+			}
+		}
+	}()
+	return func() { close(done) }
+}

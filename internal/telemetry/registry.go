@@ -1,0 +1,303 @@
+// Package telemetry is the single metrics source of truth for SDIMM
+// clusters and the event-driven simulator: a concurrency-safe registry of
+// counters, gauges, means, and latency histograms (all allocation-free on
+// the update path), a span-based access tracer exporting Chrome
+// trace-event JSON (openable in Perfetto / chrome://tracing), a live
+// expvar-style HTTP endpoint, and a periodic snapshot logger.
+//
+// Metric handles are resolved once, at construction time, by name —
+// optionally with labels folded into the name via Name — and updated
+// through atomic operations afterwards, so instrumentation never shows up
+// in hot-path profiles. Every accessor is nil-receiver-safe: a component
+// built without a registry gets unregistered orphan metrics and the
+// instrumentation code stays unconditional.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically growing event count, safe for concurrent use.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { atomic.AddUint64(&c.n, d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { atomic.AddUint64(&c.n, 1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return atomic.LoadUint64(&c.n) }
+
+// Gauge is an instantaneous signed level (queue depth, health state),
+// safe for concurrent use.
+type Gauge struct {
+	v int64
+}
+
+// Set stores the current level.
+func (g *Gauge) Set(v int64) { atomic.StoreInt64(&g.v, v) }
+
+// Add moves the level by d (negative to decrease).
+func (g *Gauge) Add(d int64) { atomic.AddInt64(&g.v, d) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return atomic.LoadInt64(&g.v) }
+
+// Mean accumulates float64 samples and reports their running mean, safe
+// for concurrent use (the sum is maintained with a CAS loop).
+type Mean struct {
+	sumBits uint64
+	n       uint64
+}
+
+// Add records one sample.
+func (m *Mean) Add(v float64) {
+	for {
+		old := atomic.LoadUint64(&m.sumBits)
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&m.sumBits, old, next) {
+			break
+		}
+	}
+	atomic.AddUint64(&m.n, 1)
+}
+
+// N returns the number of samples.
+func (m *Mean) N() uint64 { return atomic.LoadUint64(&m.n) }
+
+// Sum returns the total of all samples.
+func (m *Mean) Sum() float64 { return math.Float64frombits(atomic.LoadUint64(&m.sumBits)) }
+
+// Value returns the mean of the samples, or 0 with no samples.
+func (m *Mean) Value() float64 {
+	n := m.N()
+	if n == 0 {
+		return 0
+	}
+	return m.Sum() / float64(n)
+}
+
+// Histogram is a latency histogram with fixed-width buckets plus an
+// overflow bucket, retaining enough information for mean and quantiles.
+// Updates are atomic and allocation-free; a concurrent Quantile sees a
+// near-point-in-time view.
+type Histogram struct {
+	width   uint64
+	buckets []uint64
+	over    uint64
+	sum     uint64
+	n       uint64
+	max     uint64
+}
+
+// NewHistogram builds a histogram with nbuckets buckets of the given width.
+func NewHistogram(width uint64, nbuckets int) *Histogram {
+	if width == 0 || nbuckets <= 0 {
+		panic("telemetry: invalid histogram shape")
+	}
+	return &Histogram{width: width, buckets: make([]uint64, nbuckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	atomic.AddUint64(&h.sum, v)
+	atomic.AddUint64(&h.n, 1)
+	for {
+		old := atomic.LoadUint64(&h.max)
+		if v <= old || atomic.CompareAndSwapUint64(&h.max, old, v) {
+			break
+		}
+	}
+	i := v / h.width
+	if i >= uint64(len(h.buckets)) {
+		atomic.AddUint64(&h.over, 1)
+		return
+	}
+	atomic.AddUint64(&h.buckets[i], 1)
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() uint64 { return atomic.LoadUint64(&h.n) }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() uint64 { return atomic.LoadUint64(&h.sum) }
+
+// Mean returns the mean sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	n := h.N()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Max returns the largest sample seen.
+func (h *Histogram) Max() uint64 { return atomic.LoadUint64(&h.max) }
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1), using
+// bucket upper edges. With no samples it returns 0; samples landing in the
+// overflow bucket report the observed max rather than the last bucket
+// boundary.
+func (h *Histogram) Quantile(q float64) uint64 {
+	n := h.N()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = math.SmallestNonzeroFloat64
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(n)))
+	var cum uint64
+	for i := range h.buckets {
+		cum += atomic.LoadUint64(&h.buckets[i])
+		if cum >= target {
+			return (uint64(i) + 1) * h.width
+		}
+	}
+	return h.Max()
+}
+
+// Name folds label key/value pairs into a metric name:
+// Name("dram.reads", "chan", "sdimm0") => "dram.reads{chan=sdimm0}".
+// Labels are sorted by key so the same set always produces the same name.
+func Name(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic("telemetry: Name needs key/value pairs")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteByte('=')
+		b.WriteString(p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry is a concurrency-safe named-metric store. Handles are resolved
+// under a mutex (get-or-create); updates through the returned handles are
+// lock-free. The zero value is not usable — call NewRegistry. All methods
+// tolerate a nil receiver by handing out unregistered orphan metrics, so
+// instrumented components work unchanged without telemetry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	means    map[string]*Mean
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		means:    make(map[string]*Mean),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name (with labels folded
+// in), creating it on first use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	name = Name(name, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	name = Name(name, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Mean returns the running mean registered under name, creating it on
+// first use.
+func (r *Registry) Mean(name string, labels ...string) *Mean {
+	if r == nil {
+		return &Mean{}
+	}
+	name = Name(name, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.means[name]
+	if !ok {
+		m = &Mean{}
+		r.means[name] = m
+	}
+	return m
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given shape on first use (the shape of an existing histogram wins).
+func (r *Registry) Histogram(name string, width uint64, nbuckets int, labels ...string) *Histogram {
+	if r == nil {
+		return NewHistogram(width, nbuckets)
+	}
+	name = Name(name, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(width, nbuckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// AddHistogram registers an existing histogram under name, so a component
+// that already owns one (e.g. the protocol backends' miss-latency
+// histogram feeding the paper tables) can expose it without double
+// bookkeeping. Registering over an existing name replaces the view.
+func (r *Registry) AddHistogram(name string, h *Histogram, labels ...string) {
+	if r == nil || h == nil {
+		return
+	}
+	name = Name(name, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = h
+}
