@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short chaos fuzz telemetry-smoke ci
+.PHONY: all build vet test race short chaos fuzz telemetry-smoke bench ci
 
 all: ci
 
@@ -38,10 +38,19 @@ telemetry-smoke:
 	$(GO) run ./cmd/sdimm-sim -protocol independent -levels 20 -warmup 100 -measure 300 -trace $$out | grep -E '^trace .*validated' && \
 	rm -f $$out
 
+# Parallel-engine throughput report: times the batched cluster pipeline at
+# 1/2/4/8 workers and the campaign runner at 1 vs 8 workers, then writes
+# BENCH_parallel.json (accesses/sec, speedups, NumCPU). On hosts with ≥4
+# CPUs the speedup gates are enforced (4-worker pipeline ≥1.5x; with ≥8
+# CPUs, 8-worker campaign ≥2x); smaller hosts record the curve without
+# enforcing, flagged by "gate_enforced": false in the JSON.
+bench:
+	$(GO) run ./cmd/sdimm-bench -exp parbench -parbench-out BENCH_parallel.json
+
 # Wire-format decoders must never panic on hostile input.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalAccess -fuzztime=20s ./internal/sdimm
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalResponse -fuzztime=20s ./internal/sdimm
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalAppend -fuzztime=20s ./internal/sdimm
 
-ci: build vet race telemetry-smoke
+ci: build vet race telemetry-smoke bench

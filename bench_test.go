@@ -7,6 +7,7 @@
 package sdimm
 
 import (
+	"fmt"
 	"testing"
 
 	"sdimm/internal/config"
@@ -274,6 +275,40 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkClusterAccess drives the batched access pipeline over an
+// 8-SDIMM Independent cluster at increasing worker counts. The work per
+// access is identical at every parallelism (results are bit-identical by
+// construction), so accesses/sec isolates the fan-out overhead and — on
+// multi-core hosts — the speedup. cmd/sdimm-bench -exp parbench runs the
+// same loop and writes BENCH_parallel.json with the speedup gate.
+func BenchmarkClusterAccess(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 8} {
+		par := par
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			c, err := NewCluster(ClusterOptions{SDIMMs: 8, Levels: 12, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pipe := c.Pipeline(PipelineOptions{Window: 8, Parallelism: par})
+			defer pipe.Close()
+			ops := make([]BatchOp, 64)
+			payload := make([]byte, 64)
+			for i := range ops {
+				ops[i] = BatchOp{Addr: uint64(i), Write: i%2 == 0, Data: payload}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range pipe.Do(ops) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*len(ops))/b.Elapsed().Seconds(), "accesses/s")
+		})
+	}
 }
 
 // BenchmarkCoTenant evaluates the co-residency claim of Section III-A: a

@@ -503,6 +503,14 @@ func (c *Cluster) rehome(addr uint64, blk oram.Block, exclude int, globalLeaves 
 	return fmt.Errorf("sdimm: re-homing block %d failed: %w", addr, lastErr)
 }
 
+// Positions snapshots the position map as addr → global leaf. The
+// determinism-equivalence harness compares these across engines.
+func (c *Cluster) Positions() map[uint64]uint64 {
+	out := make(map[uint64]uint64, c.pos.Len())
+	c.pos.Each(func(a, l uint64) { out[a] = l })
+	return out
+}
+
 // StashLens reports each buffer's stash occupancy (monitoring).
 func (c *Cluster) StashLens() []int {
 	out := make([]int, len(c.buffers))
@@ -609,6 +617,14 @@ type SplitClusterOptions struct {
 	// DegradeAfter marks a shard Degraded after this many consecutive
 	// failures (default 3).
 	DegradeAfter int
+	// Parallelism, when > 1, fans each access's per-bucket shard slices out
+	// to persistent per-member worker goroutines and joins on a barrier
+	// instead of walking the members in a loop. Every member still executes
+	// exactly the same operation sequence in the same order, so a
+	// Parallelism: 1 cluster and a Parallelism: N cluster with the same
+	// seed evolve bit-identically (see DESIGN.md, Concurrency model). Call
+	// Close when done to stop the workers.
+	Parallelism int
 	// Telemetry, when set, receives cluster.* access counters (including
 	// cluster.reconstructions) and per-member health-state gauges.
 	Telemetry *telemetry.Registry
@@ -637,6 +653,7 @@ type SplitCluster struct {
 	shard     int
 	leaves    uint64
 	tm        clusterTelemetry
+	workers   *workerPool // nil: member fan-out runs inline
 }
 
 // NewSplitCluster builds a functional split ORAM.
@@ -710,7 +727,38 @@ func NewSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
 		watchHealth(opts.Telemetry, opts.Tracer, h, opts.SDIMMs)
 		c.health = append(c.health, h)
 	}
+	if opts.Parallelism > 1 {
+		c.workers = newWorkerPool(len(c.health), opts.Parallelism, 4)
+	}
 	return c, nil
+}
+
+// Close stops the fan-out workers. No-op for Parallelism ≤ 1 clusters;
+// idempotent otherwise.
+func (c *SplitCluster) Close() {
+	if c.workers != nil {
+		c.workers.close()
+	}
+}
+
+// runMember executes fn as member i's share of the current fan-out: on the
+// member's worker goroutine when the cluster is parallel, inline otherwise.
+// Either way member i's operation sequence is identical — join must be
+// called before reading any state fn wrote.
+func (c *SplitCluster) runMember(i int, fn func()) {
+	if c.workers != nil {
+		c.workers.submit(i, fn)
+		return
+	}
+	fn()
+}
+
+// join is the fan-out barrier: after it returns the coordinator observes
+// every write made by runMember closures.
+func (c *SplitCluster) join() {
+	if c.workers != nil {
+		c.workers.barrier()
+	}
 }
 
 // Read returns the payload of addr, reassembled from all shards.
@@ -779,7 +827,9 @@ func (c *SplitCluster) access(addr uint64, op oram.Op, data []byte) ([]byte, err
 	}
 	newLeaf := c.rnd.Uint64n(c.leaves)
 
-	out := make([]byte, c.blockSize)
+	// Coordinator phase: fold the injector's fail-stop schedule into the
+	// health records and find the (at most one) tolerable down member
+	// before any shard work is fanned out.
 	down := -1
 	for i, b := range c.buffers {
 		if c.memberDown(i) {
@@ -788,49 +838,73 @@ func (c *SplitCluster) access(addr uint64, op oram.Op, data []byte) ([]byte, err
 					Err: fmt.Errorf("sdimm: shards %d and %d both down: %w", down, i, fault.ErrUnavailable)}
 			}
 			down = i
-			continue
-		}
-		var shard []byte
-		if op == oram.OpWrite {
-			shard = data[i*c.shard : (i+1)*c.shard]
-		}
-		blk, _, err := b.ShardAccess(isdimm.AccessRequest{
-			Addr: addr, Op: op, Data: shard, OldLeaf: oldLeaf, NewLeaf: newLeaf,
-		})
-		if err != nil {
-			c.health[i].Failure(err)
-			return nil, &fault.SDIMMError{Index: i, ID: b.ID(), Op: "shard access", Err: err}
-		}
-		c.health[i].Success()
-		if op == oram.OpRead && blk.Data != nil {
-			copy(out[i*c.shard:], blk.Data)
 		}
 	}
+	pLive := c.parity != nil && !c.parityDown()
 
-	// The parity member participates in every access — also on reads — so
-	// its tree stays in lockstep with the data shards.
+	// Shard fan-out: every live member (data shards and parity — the parity
+	// member participates in every access, also reads, so its tree stays in
+	// lockstep) executes its slice of the access. Each closure touches only
+	// member-owned state plus its own slots in out/errs, so the fan-out is
+	// race-free; the lowest-index error wins after the barrier, at any
+	// parallelism.
+	out := make([]byte, c.blockSize)
+	errs := make([]error, len(c.health))
 	var parityData []byte
-	if c.parity != nil && !c.parityDown() {
-		pi := c.parityIndex()
-		var pdata []byte
-		if op == oram.OpWrite {
-			pdata = xorParity(data, c.shard)
+	for i, b := range c.buffers {
+		if i == down {
+			continue
 		}
-		pblk, _, err := c.parity.ShardAccess(isdimm.AccessRequest{
-			Addr: addr, Op: op, Data: pdata, OldLeaf: oldLeaf, NewLeaf: newLeaf,
+		i, b := i, b
+		c.runMember(i, func() {
+			var shard []byte
+			if op == oram.OpWrite {
+				shard = data[i*c.shard : (i+1)*c.shard]
+			}
+			blk, _, err := b.ShardAccess(isdimm.AccessRequest{
+				Addr: addr, Op: op, Data: shard, OldLeaf: oldLeaf, NewLeaf: newLeaf,
+			})
+			if err != nil {
+				c.health[i].Failure(err)
+				errs[i] = &fault.SDIMMError{Index: i, ID: b.ID(), Op: "shard access", Err: err}
+				return
+			}
+			c.health[i].Success()
+			if op == oram.OpRead && blk.Data != nil {
+				copy(out[i*c.shard:], blk.Data)
+			}
 		})
-		if err != nil {
-			c.health[pi].Failure(err)
-			return nil, &fault.SDIMMError{Index: pi, ID: c.parity.ID(), Op: "parity access", Err: err}
-		}
-		c.health[pi].Success()
-		if pblk.Data != nil {
-			parityData = pblk.Data
+	}
+	if pLive {
+		pi := c.parityIndex()
+		c.runMember(pi, func() {
+			var pdata []byte
+			if op == oram.OpWrite {
+				pdata = xorParity(data, c.shard)
+			}
+			pblk, _, err := c.parity.ShardAccess(isdimm.AccessRequest{
+				Addr: addr, Op: op, Data: pdata, OldLeaf: oldLeaf, NewLeaf: newLeaf,
+			})
+			if err != nil {
+				c.health[pi].Failure(err)
+				errs[pi] = &fault.SDIMMError{Index: pi, ID: c.parity.ID(), Op: "parity access", Err: err}
+				return
+			}
+			c.health[pi].Success()
+			if pblk.Data != nil {
+				parityData = pblk.Data
+			}
+		})
+	}
+	c.join()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
 		}
 	}
 
 	if down >= 0 {
-		if c.parity == nil || c.parityDown() {
+		if !pLive {
 			return nil, &fault.SDIMMError{Index: down, ID: c.buffers[down].ID(), Op: "shard access",
 				Err: fmt.Errorf("sdimm: shard down and no parity to reconstruct from: %w", fault.ErrUnavailable)}
 		}
@@ -861,24 +935,38 @@ func (c *SplitCluster) access(addr uint64, op oram.Op, data []byte) ([]byte, err
 	// is now the truth everywhere.
 	c.pos.Set(addr, newLeaf)
 
-	// Host-directed background eviction, same leaf to every live member.
+	// Host-directed background eviction: the leaf is drawn once on the
+	// coordinator, then every live member evicts it — fanned out with a
+	// barrier per round, since NeedsDrain must observe the finished round.
 	ref := c.refEngine()
 	for n := 0; n < 8 && ref != nil && ref.NeedsDrain(); n++ {
 		leaf := c.rnd.Uint64n(c.leaves)
+		evErrs := make([]error, len(c.health))
 		for i, b := range c.buffers {
 			if c.memberDown(i) {
 				continue
 			}
-			if err := b.EvictLocal(leaf); err != nil {
-				c.health[i].Failure(err)
-				return nil, &fault.SDIMMError{Index: i, ID: b.ID(), Op: "shard eviction", Err: err}
-			}
+			i, b := i, b
+			c.runMember(i, func() {
+				if err := b.EvictLocal(leaf); err != nil {
+					c.health[i].Failure(err)
+					evErrs[i] = &fault.SDIMMError{Index: i, ID: b.ID(), Op: "shard eviction", Err: err}
+				}
+			})
 		}
 		if c.parity != nil && !c.parityDown() {
-			if err := c.parity.EvictLocal(leaf); err != nil {
-				pi := c.parityIndex()
-				c.health[pi].Failure(err)
-				return nil, &fault.SDIMMError{Index: pi, ID: c.parity.ID(), Op: "parity eviction", Err: err}
+			pi := c.parityIndex()
+			c.runMember(pi, func() {
+				if err := c.parity.EvictLocal(leaf); err != nil {
+					c.health[pi].Failure(err)
+					evErrs[pi] = &fault.SDIMMError{Index: pi, ID: c.parity.ID(), Op: "parity eviction", Err: err}
+				}
+			})
+		}
+		c.join()
+		for _, e := range evErrs {
+			if e != nil {
+				return nil, e
 			}
 		}
 	}
@@ -900,6 +988,14 @@ func (c *SplitCluster) refEngine() *oram.Engine {
 		return c.parity.Engine()
 	}
 	return nil
+}
+
+// Positions snapshots the position map as addr → leaf. The
+// determinism-equivalence harness compares these across engines.
+func (c *SplitCluster) Positions() map[uint64]uint64 {
+	out := make(map[uint64]uint64, c.pos.Len())
+	c.pos.Each(func(a, l uint64) { out[a] = l })
+	return out
 }
 
 // StashLens reports each data shard's stash occupancy; the Split invariant

@@ -1,11 +1,13 @@
 package sdimm_test
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
 	"sdimm/internal/chaos"
 	"sdimm/internal/fault"
+	"sdimm/internal/telemetry"
 )
 
 // chaosFaults is the acceptance schedule: ~1.7% of deliveries fault (the
@@ -62,6 +64,152 @@ func TestChaosClusterUnderRandomFaults(t *testing.T) {
 		t.Fatalf("some fault class never fired — the run proved nothing: %+v", s)
 	}
 	t.Logf("\n%s", res)
+}
+
+// TestChaosClusterUnderRandomFaultsParallel re-runs the acceptance scenario
+// through the batched access pipeline with four concurrent SDIMM workers:
+// zero mismatches, zero traffic-invariant violations (whole-run exchange
+// accounting), and the telemetry fault counters must agree exactly with the
+// harness's own accounting.
+func TestChaosClusterUnderRandomFaultsParallel(t *testing.T) {
+	accesses := 6000
+	if testing.Short() {
+		accesses = 600
+	}
+	reg := telemetry.NewRegistry()
+	res, err := chaos.Run(chaos.Config{
+		SDIMMs:       4,
+		Levels:       10,
+		Accesses:     accesses,
+		Addresses:    96,
+		Seed:         42,
+		Faults:       chaosFaults,
+		Retry:        fault.RetryPolicy{MaxAttempts: 8, Sleep: func(time.Duration) {}},
+		CheckTraffic: true,
+		Parallelism:  4,
+		Batch:        8,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("%d payload mismatches under parallel chaos:\n%s", res.Mismatches, res)
+	}
+	if res.TrafficViolations != 0 {
+		t.Fatalf("%d traffic-pattern violations — retries leaked:\n%s", res.TrafficViolations, res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d accesses exhausted the retry budget:\n%s", res.Errors, res)
+	}
+	s := res.FaultStats
+	if s.Drops == 0 || s.BitFlips == 0 || s.Duplicates == 0 || s.Replays == 0 || s.Stalls == 0 {
+		t.Fatalf("some fault class never fired — the run proved nothing: %+v", s)
+	}
+
+	// Fault counters must match the harness accounting exactly.
+	snap := res.Snapshot
+	if snap == nil {
+		t.Fatal("run with a registry returned no snapshot")
+	}
+	counterChecks := map[string]uint64{
+		"fault.injected.bitflips":        s.BitFlips,
+		"fault.injected.drops":           s.Drops,
+		"fault.injected.duplicates":      s.Duplicates,
+		"fault.injected.replays":         s.Replays,
+		"fault.injected.stalls":          s.Stalls,
+		"fault.injected.mac_corruptions": s.MACCorruptions,
+		"cluster.accesses":               uint64(res.Accesses),
+		"cluster.errors":                 uint64(res.Errors),
+	}
+	for name, want := range counterChecks {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("telemetry %s = %d, harness accounting says %d", name, got, want)
+		}
+	}
+	var retries, retransmits uint64
+	for _, sd := range res.Health.SDIMMs {
+		retries += sd.Retries
+		retransmits += sd.Retransmits
+	}
+	if got := snap.Counters["fault.retries"]; got != retries {
+		t.Errorf("telemetry fault.retries = %d, health view sums to %d", got, retries)
+	}
+	if got := snap.Counters["fault.retransmits"]; got != retransmits {
+		t.Errorf("telemetry fault.retransmits = %d, health view sums to %d", got, retransmits)
+	}
+	t.Logf("\n%s", res)
+}
+
+// TestChaosDeterminismAcrossParallelism pins the harness-level determinism
+// claims: (a) a Batch: 1 parallel run degenerates to exactly the sequential
+// execution, so the entire Result matches the sequential driver's; (b) two
+// batched runs that differ only in Parallelism are identical to each other.
+func TestChaosDeterminismAcrossParallelism(t *testing.T) {
+	base := chaos.Config{
+		SDIMMs:       4,
+		Levels:       10,
+		Accesses:     900,
+		Addresses:    96,
+		Seed:         42,
+		Faults:       chaosFaults,
+		Retry:        fault.RetryPolicy{MaxAttempts: 8, Sleep: func(time.Duration) {}},
+		CheckTraffic: true,
+	}
+	run := func(parallelism, batch int) chaos.Result {
+		cfg := base
+		cfg.Parallelism = parallelism
+		cfg.Batch = batch
+		res, err := chaos.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Snapshot = nil
+		return res
+	}
+	seq := run(0, 0)
+	if got := run(4, 1); !reflect.DeepEqual(seq, got) {
+		t.Errorf("batch-1 parallel run diverged from sequential:\n--- seq ---\n%s--- par ---\n%s", seq, got)
+	}
+	b2 := run(2, 8)
+	if b4 := run(4, 8); !reflect.DeepEqual(b2, b4) {
+		t.Errorf("parallelism 2 vs 4 diverged at batch 8:\n--- p2 ---\n%s--- p4 ---\n%s", b2, b4)
+	}
+}
+
+// TestChaosSplitParityFailStopParallel re-runs the Split member-loss
+// campaign with the per-member fan-out workers enabled; the result must be
+// identical to the inline run.
+func TestChaosSplitParityFailStopParallel(t *testing.T) {
+	accesses := 1800
+	if testing.Short() {
+		accesses = 300
+	}
+	cfg := chaos.SplitConfig{
+		SDIMMs:      4,
+		Levels:      10,
+		Accesses:    accesses,
+		Addresses:   64,
+		Seed:        7,
+		Parity:      true,
+		FailShardAt: accesses / 3,
+		FailShard:   1,
+	}
+	inline, err := chaos.RunSplit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	par, err := chaos.RunSplit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Mismatches != 0 || par.Errors != 0 {
+		t.Fatalf("parallel split chaos: %d mismatches, %d errors:\n%s", par.Mismatches, par.Errors, par)
+	}
+	if !reflect.DeepEqual(inline, par) {
+		t.Errorf("split fan-out diverged from inline run:\n--- inline ---\n%s--- parallel ---\n%s", inline, par)
+	}
 }
 
 // TestChaosSplitParityFailStop kills one Split data shard a third of the

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6|fig8|fig9|fig10|fig11|fig13a|fig13b|offdimm|latency|lowpower|cotenant|overflow|area|all")
+		exp      = flag.String("exp", "all", "experiment: fig6|fig8|fig9|fig10|fig11|fig13a|fig13b|offdimm|latency|lowpower|cotenant|overflow|area|all, or parbench (not part of all)")
 		warmup   = flag.Int("warmup", 400, "warmup records per run")
 		measure  = flag.Int("measure", 800, "measured records per run")
 		levels   = flag.Int("levels", 28, "ORAM tree levels")
@@ -33,8 +33,20 @@ func main() {
 		snapshot = flag.Bool("snapshot", false, "print the aggregate telemetry snapshot after all experiments")
 		telAddr  = flag.String("telemetry", "", "serve live telemetry JSON on this address (e.g. localhost:8080) while experiments run")
 		telLog   = flag.Duration("telemetry-log", 0, "log the telemetry snapshot to stderr at this interval (0 disables)")
+		parOut   = flag.String("parbench-out", "BENCH_parallel.json", "output path for -exp parbench")
 	)
 	flag.Parse()
+
+	// parbench is the parallel-engine throughput report, not a paper
+	// table: it times the cluster pipeline and the campaign runner at
+	// several worker counts, writes BENCH_parallel.json, and enforces the
+	// CI speedup gates on hosts with enough cores.
+	if *exp == "parbench" {
+		if err := runParBench(*parOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	opt := experiments.Options{
 		Warmup:   *warmup,

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sdimm"
+	"sdimm/internal/config"
+	"sdimm/internal/experiments"
+)
+
+// parBenchReport is the BENCH_parallel.json schema: the cluster-pipeline
+// throughput curve, the campaign wall-clock comparison, and whether the
+// speedup gates were actually enforced (they only mean anything on a
+// multi-core host; a 1-CPU CI container records the numbers but cannot
+// demand a speedup from extra workers).
+type parBenchReport struct {
+	NumCPU       int                 `json:"num_cpu"`
+	GateEnforced bool                `json:"gate_enforced"`
+	Cluster      []clusterBenchPoint `json:"cluster"`
+	Campaign     campaignBench       `json:"campaign"`
+}
+
+type clusterBenchPoint struct {
+	Parallelism    int     `json:"parallelism"`
+	AccessesPerSec float64 `json:"accesses_per_sec"`
+	Speedup        float64 `json:"speedup_vs_1"`
+}
+
+type campaignBench struct {
+	Sims        int     `json:"sims"`
+	Workers1Sec float64 `json:"workers1_sec"`
+	Workers8Sec float64 `json:"workers8_sec"`
+	Speedup     float64 `json:"speedup_vs_1"`
+}
+
+// clusterThroughput measures the batched pipeline at one worker count:
+// a fresh 8-SDIMM Independent cluster, the same deterministic op sequence
+// every time, accesses per wall-clock second.
+func clusterThroughput(parallelism int) (float64, error) {
+	const (
+		batches  = 30
+		batchLen = 64
+	)
+	c, err := sdimm.NewCluster(sdimm.ClusterOptions{SDIMMs: 8, Levels: 12, Seed: 1})
+	if err != nil {
+		return 0, err
+	}
+	pipe := c.Pipeline(sdimm.PipelineOptions{Window: 8, Parallelism: parallelism})
+	defer pipe.Close()
+	ops := make([]sdimm.BatchOp, batchLen)
+	payload := make([]byte, 64)
+	for i := range ops {
+		ops[i] = sdimm.BatchOp{Addr: uint64(i), Write: i%2 == 0, Data: payload}
+	}
+	start := time.Now()
+	for b := 0; b < batches; b++ {
+		for _, r := range pipe.Do(ops) {
+			if r.Err != nil {
+				return 0, r.Err
+			}
+		}
+	}
+	return float64(batches*batchLen) / time.Since(start).Seconds(), nil
+}
+
+// campaignWallClock times the full workload × backend grid at one worker
+// count. The grid and results are identical at every Parallel setting (the
+// equivalence suite pins that); only the wall-clock may differ.
+func campaignWallClock(workers int) (int, float64, error) {
+	o := experiments.Options{Warmup: 100, Measure: 250, Levels: 22, Seed: 1, Parallel: workers}
+	protos := []config.Protocol{config.NonSecure, config.Freecursive,
+		config.Independent, config.Split, config.IndepSplit}
+	start := time.Now()
+	res, err := experiments.Campaign(o, protos, 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(res), time.Since(start).Seconds(), nil
+}
+
+// runParBench produces BENCH_parallel.json and applies the CI speedup
+// gates: 4 pipeline workers must beat 1 worker by ≥1.5× and an 8-worker
+// campaign must halve the 1-worker wall clock — but only on hosts with
+// enough cores for the comparison to be meaningful.
+func runParBench(outPath string) error {
+	rep := parBenchReport{NumCPU: runtime.NumCPU(), GateEnforced: runtime.NumCPU() >= 4}
+
+	var base float64
+	for _, par := range []int{1, 2, 4, 8} {
+		rate, err := clusterThroughput(par)
+		if err != nil {
+			return fmt.Errorf("cluster bench (parallelism %d): %w", par, err)
+		}
+		if par == 1 {
+			base = rate
+		}
+		rep.Cluster = append(rep.Cluster, clusterBenchPoint{
+			Parallelism: par, AccessesPerSec: rate, Speedup: rate / base,
+		})
+		fmt.Fprintf(os.Stderr, "parbench: cluster parallelism=%d %.0f accesses/s (%.2fx)\n",
+			par, rate, rate/base)
+	}
+
+	sims, sec1, err := campaignWallClock(1)
+	if err != nil {
+		return err
+	}
+	_, sec8, err := campaignWallClock(8)
+	if err != nil {
+		return err
+	}
+	rep.Campaign = campaignBench{Sims: sims, Workers1Sec: sec1, Workers8Sec: sec8, Speedup: sec1 / sec8}
+	fmt.Fprintf(os.Stderr, "parbench: campaign %d sims: %.2fs @1 worker, %.2fs @8 workers (%.2fx)\n",
+		sims, sec1, sec8, sec1/sec8)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "parbench: wrote %s\n", outPath)
+
+	if !rep.GateEnforced {
+		fmt.Fprintf(os.Stderr, "parbench: %d CPU(s) — speedup gate recorded but not enforced\n", rep.NumCPU)
+		return nil
+	}
+	for _, p := range rep.Cluster {
+		if p.Parallelism == 4 && p.Speedup < 1.5 {
+			return fmt.Errorf("cluster speedup at 4 workers is %.2fx, below the 1.5x gate", p.Speedup)
+		}
+	}
+	if runtime.NumCPU() >= 8 && rep.Campaign.Speedup < 2.0 {
+		return fmt.Errorf("campaign speedup at 8 workers is %.2fx, below the 2x gate", rep.Campaign.Speedup)
+	}
+	return nil
+}

@@ -33,6 +33,8 @@ func main() {
 		failShard = flag.Int("failshard", -1, "Split: member index to fail-stop a third of the way in (-1 = none)")
 		snapshot  = flag.Bool("snapshot", true, "print the final telemetry snapshot (cluster.*, fault.*, seccomm.*)")
 		traceOut  = flag.String("trace", "", "write cluster access spans as Chrome trace-event JSON to this file")
+		parallel  = flag.Int("parallel", 1, "concurrent SDIMM workers (>1 drives the batched pipeline; results are bit-identical at any value)")
+		batch     = flag.Int("batch", 8, "pipeline window for -parallel > 1 runs")
 	)
 	flag.Parse()
 
@@ -52,6 +54,7 @@ func main() {
 			Parity:      true,
 			FailShardAt: failAt(*failShard, *n),
 			FailShard:   *failShard,
+			Parallelism: *parallel,
 			Telemetry:   reg,
 			Tracer:      tr,
 		})
@@ -80,6 +83,8 @@ func main() {
 		},
 		Retry:        fault.RetryPolicy{MaxAttempts: *attempts},
 		CheckTraffic: true,
+		Parallelism:  *parallel,
+		Batch:        *batch,
 		Telemetry:    reg,
 		Tracer:       tr,
 	})

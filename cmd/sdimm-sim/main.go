@@ -6,12 +6,16 @@
 //	sdimm-sim -protocol indep-split -channels 2 -workload mcf
 //	sdimm-sim -protocol freecursive -levels 24 -warmup 500 -measure 2000
 //	sdimm-sim -protocol independent -trace out.json -snapshot
+//	sdimm-sim -workload milc,gromacs,mcf -parallel 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
+	"time"
 
 	"sdimm/internal/config"
 	"sdimm/internal/sim"
@@ -23,7 +27,8 @@ func main() {
 	var (
 		protoName = flag.String("protocol", "freecursive", "non-secure | freecursive | independent | split | indep-split")
 		channels  = flag.Int("channels", 2, "host memory channels (1 or 2)")
-		workload  = flag.String("workload", "mcf", "benchmark profile (see -list)")
+		workload  = flag.String("workload", "mcf", "benchmark profile, or a comma-separated list to shard (see -list)")
+		parallel  = flag.Int("parallel", 1, "concurrent simulations when -workload lists several profiles (output order and merged telemetry are identical at any value)")
 		levels    = flag.Int("levels", 28, "ORAM tree levels")
 		cached    = flag.Int("cached", 7, "on-chip ORAM cache levels (0 disables)")
 		warmup    = flag.Int("warmup", 500, "warmup LLC-miss records")
@@ -63,6 +68,18 @@ func main() {
 	if *traceOut != "" || *snapshot || *telAddr != "" || *telLog != 0 {
 		tel = &sim.Telemetry{Registry: telemetry.NewRegistry(), Trace: *traceOut != ""}
 	}
+
+	// A comma-separated -workload list shards the runs across -parallel
+	// workers. Each run gets a private registry; the shards are merged in
+	// list order, so output and telemetry match a sequential run exactly.
+	if names := strings.Split(*workload, ","); len(names) > 1 {
+		if *replay != "" || *traceOut != "" {
+			fatal(fmt.Errorf("-replay and -trace need a single workload"))
+		}
+		runSharded(cfg, names, *parallel, tel, *telAddr, *telLog, *snapshot)
+		return
+	}
+
 	if *telAddr != "" {
 		addr, stop, err := telemetry.Serve(*telAddr, tel.Registry)
 		if err != nil {
@@ -102,6 +119,20 @@ func main() {
 		}
 	}
 
+	printResult(res)
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tel.Tracer); err != nil {
+			fatal(err)
+		}
+	}
+	if *snapshot {
+		fmt.Println()
+		tel.Registry.Snapshot().WriteText(os.Stdout)
+	}
+}
+
+func printResult(res sim.Result) {
 	fmt.Printf("protocol           %s\n", res.Protocol)
 	fmt.Printf("workload           %s\n", res.Workload)
 	fmt.Printf("measured cycles    %d\n", res.MeasuredCycles)
@@ -118,13 +149,63 @@ func main() {
 	fmt.Printf("energy / miss      %.4g J\n", res.EnergyPerMiss)
 	fmt.Printf("host bus util      %.3f\n", res.HostBusUtil)
 	fmt.Printf("on-DIMM bus util   %.3f\n", res.LocalBusUtil)
+}
 
-	if *traceOut != "" {
-		if err := writeTrace(*traceOut, tel.Tracer); err != nil {
-			fatal(err)
+// runSharded executes one configuration against several workloads across a
+// bounded worker pool. Per-shard results and registries land in
+// list-indexed slots and are printed/merged in list order after the pool
+// drains, so -parallel changes only the wall clock.
+func runSharded(cfg config.Config, names []string, parallel int, tel *sim.Telemetry, telAddr string, telLog time.Duration, snapshot bool) {
+	if tel != nil {
+		if telAddr != "" {
+			addr, stop, err := telemetry.Serve(telAddr, tel.Registry)
+			if err != nil {
+				fatal(err)
+			}
+			defer stop()
+			fmt.Fprintf(os.Stderr, "sdimm-sim: telemetry at http://%s (?text=1 for plain text)\n", addr)
+		}
+		if telLog != 0 {
+			stop := telemetry.StartLogger(tel.Registry, os.Stderr, telLog)
+			defer stop()
 		}
 	}
-	if *snapshot {
+	if parallel < 1 {
+		parallel = 1
+	}
+	results := make([]sim.Result, len(names))
+	errs := make([]error, len(names))
+	regs := make([]*telemetry.Registry, len(names))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var shard *sim.Telemetry
+			if tel != nil {
+				regs[i] = telemetry.NewRegistry()
+				shard = &sim.Telemetry{Registry: regs[i]}
+			}
+			results[i], errs[i] = sim.RunInstrumented(cfg, strings.TrimSpace(names[i]), shard)
+		}(i)
+	}
+	wg.Wait()
+	for i, name := range names {
+		if errs[i] != nil {
+			fatal(fmt.Errorf("%s: %w", name, errs[i]))
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		printResult(results[i])
+		if tel != nil {
+			tel.Registry.Merge(regs[i])
+		}
+	}
+	if snapshot {
 		fmt.Println()
 		tel.Registry.Snapshot().WriteText(os.Stdout)
 	}

@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"sdimm"
 	"sdimm/internal/fault"
@@ -49,6 +50,15 @@ type Config struct {
 	// CheckTraffic enables the obliviousness invariant checks via the
 	// cluster's link tap.
 	CheckTraffic bool
+	// Parallelism, when > 1, drives the workload through the cluster's
+	// batched access pipeline with this many concurrent SDIMM workers
+	// instead of the sequential Read/Write loop. The workload, the cluster
+	// seed, and every invariant stay the same; a parallel run must match a
+	// sequential run bit-for-bit on all of them.
+	Parallelism int
+	// Batch is the pipeline window for parallel runs (default 8). Ignored
+	// when Parallelism ≤ 1.
+	Batch int
 	// Telemetry, when set, receives the cluster's metrics (cluster.*,
 	// fault.*, seccomm.*); the run's final snapshot lands in
 	// Result.Snapshot.
@@ -102,9 +112,14 @@ func (r Result) String() string {
 // trafficChecker enforces the obliviousness invariant from the link tap:
 // within one exchange, all frames per direction must be byte-identical
 // (attempt 0 opens the exchange on the host→device leg).
+//
+// It is safe under the parallel engine: the aggregate counters are atomic,
+// and the per-SDIMM frame state is only ever touched by the single
+// goroutine currently driving that SDIMM's link (worker i owns link i;
+// the coordinator only uses links between barriers).
 type trafficChecker struct {
-	started    uint64 // exchanges opened (attempt-0 host→device frames)
-	violations int
+	started    atomic.Uint64 // exchanges opened (attempt-0 host→device frames)
+	violations atomic.Uint64
 	curReq     [][]byte
 	curResp    [][]byte
 }
@@ -116,13 +131,13 @@ func newTrafficChecker(sdimms int) *trafficChecker {
 func (t *trafficChecker) tap(sd int, dir fault.Direction, attempt int, frame []byte) {
 	if dir == fault.HostToDev {
 		if attempt == 0 {
-			t.started++
+			t.started.Add(1)
 			t.curReq[sd] = append([]byte(nil), frame...)
 			t.curResp[sd] = nil
 			return
 		}
 		if !bytes.Equal(frame, t.curReq[sd]) {
-			t.violations++
+			t.violations.Add(1)
 		}
 		return
 	}
@@ -131,7 +146,7 @@ func (t *trafficChecker) tap(sd int, dir fault.Direction, attempt int, frame []b
 		return
 	}
 	if !bytes.Equal(frame, t.curResp[sd]) {
-		t.violations++
+		t.violations.Add(1)
 	}
 }
 
@@ -162,7 +177,67 @@ func abandonedTotal(h sdimm.ClusterHealth) uint64 {
 	return n
 }
 
-// Run executes one chaos campaign against an Independent cluster.
+// chaosOp is one pre-drawn workload operation. The workload is generated up
+// front — with exactly the RNG draw sequence the historical per-access loop
+// used — so the sequential and batched drivers replay identical streams.
+type chaosOp struct {
+	addr  uint64
+	write bool
+	data  []byte
+}
+
+func buildWorkload(cfg Config) []chaosOp {
+	r := rng.New(cfg.Seed)
+	ops := make([]chaosOp, cfg.Accesses)
+	for i := range ops {
+		ops[i].addr = r.Uint64n(cfg.Addresses)
+		if r.Bool(0.5) {
+			ops[i].write = true
+			ops[i].data = make([]byte, payloadLen)
+			for j := range ops[i].data {
+				ops[i].data[j] = byte(r.Uint64n(256))
+			}
+		}
+	}
+	return ops
+}
+
+// verify folds one completed operation into the result: reference-map
+// bookkeeping, mismatch detection, and error accounting. Must be called in
+// logical-op order (the pipeline preserves per-address ordering, so replaying
+// its results in submission order is exact).
+func verify(res *Result, ref map[uint64][]byte, unknown map[uint64]bool,
+	op chaosOp, got []byte, opErr error) {
+	res.Accesses++
+	if opErr != nil {
+		// Exhausted retry budget: the address's state is unknown until the
+		// next successful write. At realistic fault rates this should never
+		// fire — the caller asserts Errors == 0.
+		res.Errors++
+		unknown[op.addr] = true
+		return
+	}
+	if op.write {
+		ref[op.addr] = op.data
+		delete(unknown, op.addr)
+		res.Writes++
+		return
+	}
+	res.Reads++
+	if !unknown[op.addr] {
+		want := ref[op.addr]
+		if want == nil {
+			want = make([]byte, payloadLen)
+		}
+		if !bytes.Equal(got[:payloadLen], want) {
+			res.Mismatches++
+		}
+	}
+}
+
+// Run executes one chaos campaign against an Independent cluster. With
+// Parallelism > 1 the same workload goes through the cluster's batched
+// access pipeline; every Result field must come out identical either way.
 func Run(cfg Config) (Result, error) {
 	cfg = withDefaults(cfg)
 	in := fault.NewInjector(cfg.Faults)
@@ -186,58 +261,13 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	res := Result{FaultRate: cfg.Faults.Rate()}
-	ref := map[uint64][]byte{}
-	unknown := map[uint64]bool{}
-	r := rng.New(cfg.Seed)
-	prevAbandoned := uint64(0)
-	wantExchanges := uint64(cfg.SDIMMs + 1) // one ACCESS + one APPEND per SDIMM
-
-	for i := 0; i < cfg.Accesses; i++ {
-		addr := r.Uint64n(cfg.Addresses)
-		startExchanges := tc.started
-		var opErr error
-		if r.Bool(0.5) {
-			data := make([]byte, payloadLen)
-			for j := range data {
-				data[j] = byte(r.Uint64n(256))
-			}
-			if opErr = c.Write(addr, data); opErr == nil {
-				ref[addr] = data
-				delete(unknown, addr)
-				res.Writes++
-			}
-		} else {
-			var got []byte
-			if got, opErr = c.Read(addr); opErr == nil {
-				res.Reads++
-				if !unknown[addr] {
-					want := ref[addr]
-					if want == nil {
-						want = make([]byte, payloadLen)
-					}
-					if !bytes.Equal(got[:payloadLen], want) {
-						res.Mismatches++
-					}
-				}
-			}
-		}
-		res.Accesses++
-		if opErr != nil {
-			// Exhausted retry budget: the address's state is unknown until
-			// the next successful write. At realistic fault rates this
-			// should never fire — the caller asserts Errors == 0.
-			res.Errors++
-			unknown[addr] = true
-		}
-		abandoned := abandonedTotal(c.Health())
-		if cfg.CheckTraffic && opErr == nil && abandoned == prevAbandoned {
-			if got := tc.started - startExchanges; got != wantExchanges {
-				res.TrafficViolations++
-			}
-		}
-		prevAbandoned = abandoned
+	ops := buildWorkload(cfg)
+	if cfg.Parallelism > 1 {
+		runBatched(cfg, c, tc, ops, &res)
+	} else {
+		runSequential(cfg, c, tc, ops, &res)
 	}
-	res.TrafficViolations += tc.violations
+	res.TrafficViolations += int(tc.violations.Load())
 	res.FaultStats = in.Stats()
 	res.Health = c.Health()
 	if cfg.Telemetry != nil {
@@ -245,6 +275,65 @@ func Run(cfg Config) (Result, error) {
 		res.Snapshot = &s
 	}
 	return res, nil
+}
+
+// runSequential is the one-access-at-a-time driver with the per-access
+// exchange-count form of the obliviousness invariant.
+func runSequential(cfg Config, c *sdimm.Cluster, tc *trafficChecker, ops []chaosOp, res *Result) {
+	ref := map[uint64][]byte{}
+	unknown := map[uint64]bool{}
+	prevAbandoned := uint64(0)
+	wantExchanges := uint64(cfg.SDIMMs + 1) // one ACCESS + one APPEND per SDIMM
+	for _, op := range ops {
+		startExchanges := tc.started.Load()
+		var got []byte
+		var opErr error
+		if op.write {
+			opErr = c.Write(op.addr, op.data)
+		} else {
+			got, opErr = c.Read(op.addr)
+		}
+		verify(res, ref, unknown, op, got, opErr)
+		abandoned := abandonedTotal(c.Health())
+		if cfg.CheckTraffic && opErr == nil && abandoned == prevAbandoned {
+			if got := tc.started.Load() - startExchanges; got != wantExchanges {
+				res.TrafficViolations++
+			}
+		}
+		prevAbandoned = abandoned
+	}
+}
+
+// runBatched drives the same workload through the access pipeline. Accesses
+// interleave on the wire, so the obliviousness invariant takes its whole-run
+// form: with zero errors and zero abandoned exchanges, the total exchange
+// count must be exactly accesses × (SDIMMs + 1) — any retry that added or
+// mutated traffic shows up as a violation, same as the per-access check.
+func runBatched(cfg Config, c *sdimm.Cluster, tc *trafficChecker, ops []chaosOp, res *Result) {
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 8
+	}
+	pipe := c.Pipeline(sdimm.PipelineOptions{Window: batch, Parallelism: cfg.Parallelism})
+	defer pipe.Close()
+
+	bops := make([]sdimm.BatchOp, len(ops))
+	for i, op := range ops {
+		bops[i] = sdimm.BatchOp{Addr: op.addr, Write: op.write, Data: op.data}
+	}
+	results := pipe.Do(bops)
+
+	ref := map[uint64][]byte{}
+	unknown := map[uint64]bool{}
+	for i, op := range ops {
+		verify(res, ref, unknown, op, results[i].Data, results[i].Err)
+	}
+	if cfg.CheckTraffic && res.Errors == 0 && abandonedTotal(c.Health()) == 0 {
+		want := uint64(len(ops)) * uint64(cfg.SDIMMs+1)
+		if got := tc.started.Load(); got != want {
+			res.TrafficViolations++
+		}
+	}
 }
 
 // SplitConfig sizes a chaos run against the Split-protocol cluster. Split
@@ -264,6 +353,9 @@ type SplitConfig struct {
 	// FailShard is the member index to kill (data shards 0..SDIMMs-1,
 	// SDIMMs = parity).
 	FailShard int
+	// Parallelism, when > 1, fans each access's shard slices out to
+	// per-member workers (see sdimm.SplitClusterOptions.Parallelism).
+	Parallelism int
 	// Telemetry and Tracer mirror Config's fields for the Split cluster.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
@@ -274,17 +366,19 @@ func RunSplit(cfg SplitConfig) (Result, error) {
 	c0 := withDefaults(Config{SDIMMs: cfg.SDIMMs, Levels: cfg.Levels, Accesses: cfg.Accesses,
 		Addresses: cfg.Addresses, Seed: cfg.Seed})
 	c, err := sdimm.NewSplitCluster(sdimm.SplitClusterOptions{
-		SDIMMs:    c0.SDIMMs,
-		Levels:    c0.Levels,
-		Key:       []byte("chaos-split-key"),
-		Seed:      c0.Seed ^ 0x5eed,
-		Parity:    cfg.Parity,
-		Telemetry: cfg.Telemetry,
-		Tracer:    cfg.Tracer,
+		SDIMMs:      c0.SDIMMs,
+		Levels:      c0.Levels,
+		Key:         []byte("chaos-split-key"),
+		Seed:        c0.Seed ^ 0x5eed,
+		Parity:      cfg.Parity,
+		Parallelism: cfg.Parallelism,
+		Telemetry:   cfg.Telemetry,
+		Tracer:      cfg.Tracer,
 	})
 	if err != nil {
 		return Result{}, err
 	}
+	defer c.Close()
 	var res Result
 	ref := map[uint64][]byte{}
 	unknown := map[uint64]bool{}

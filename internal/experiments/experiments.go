@@ -35,8 +35,10 @@ type Options struct {
 	Workloads []string // default: all 10 profiles
 	Parallel  int      // concurrent simulations (default NumCPU)
 	// Telemetry, when set, aggregates metrics from every simulation of
-	// the experiment into one registry (dram.*, protocol.*, sim.*).
-	// Runs execute concurrently, so counters are campaign-wide totals.
+	// the experiment into one registry (dram.*, protocol.*, sim.*). Each
+	// simulation runs against its own private registry; the shards are
+	// merged into this one in job order after all runs complete, so the
+	// aggregate is bit-identical at any Parallel setting.
 	Telemetry *telemetry.Registry
 }
 
@@ -80,37 +82,70 @@ type job struct {
 	cfg      config.Config
 }
 
-// runAll executes jobs with bounded parallelism, returning results by key.
+// runAll executes jobs across a bounded worker pool, returning results by
+// key. Determinism does not depend on scheduling: every simulation is
+// single-threaded over its own state and its own private telemetry
+// registry, and the per-job shards — results, errors, registries — land in
+// job-indexed slots that are folded together in job order after the pool
+// drains. A Parallel: 1 campaign and a Parallel: N campaign therefore
+// return identical results and an identical merged registry.
 func runAll(jobs []job, o Options) (map[string]sim.Result, error) {
-	results := make(map[string]sim.Result, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
+	results := make([]sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	regs := make([]*telemetry.Registry, len(jobs))
 	sem := make(chan struct{}, o.Parallel)
 	var wg sync.WaitGroup
-	for _, j := range jobs {
+	for i := range jobs {
 		wg.Add(1)
-		go func(j job) {
+		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			var tel *sim.Telemetry
 			if o.Telemetry != nil {
-				tel = &sim.Telemetry{Registry: o.Telemetry}
+				regs[i] = telemetry.NewRegistry()
+				tel = &sim.Telemetry{Registry: regs[i]}
 			}
-			res, err := sim.RunInstrumented(j.cfg, j.workload, tel)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s: %w", j.key, err)
-				}
-				return
-			}
-			results[j.key] = res
-		}(j)
+			results[i], errs[i] = sim.RunInstrumented(jobs[i].cfg, jobs[i].workload, tel)
+		}(i)
 	}
 	wg.Wait()
-	return results, firstErr
+	// Deterministic merge barrier: fold shards in job order.
+	out := make(map[string]sim.Result, len(jobs))
+	var firstErr error
+	for i, j := range jobs {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", j.key, errs[i])
+			}
+			continue
+		}
+		out[j.key] = results[i]
+		o.Telemetry.Merge(regs[i])
+	}
+	return out, firstErr
+}
+
+// Campaign runs the full workload × backend grid — every configured
+// workload against every protocol at the given channel count — across the
+// worker pool and returns the per-run results keyed by Key. It is the
+// building block the determinism-equivalence suite compares across
+// Parallel settings, and the unit sdimm-bench shards when regenerating the
+// paper tables.
+func Campaign(o Options, protos []config.Protocol, channels int) (map[string]sim.Result, error) {
+	o = o.withDefaults()
+	var jobs []job
+	for _, w := range o.Workloads {
+		for _, p := range protos {
+			jobs = append(jobs, job{key(p, channels, w), w, o.configFor(p, channels)})
+		}
+	}
+	return runAll(jobs, o)
+}
+
+// Key names one campaign run: protocol, channel count, workload.
+func Key(p config.Protocol, channels int, workload string) string {
+	return key(p, channels, workload)
 }
 
 func key(p config.Protocol, ch int, w string) string {

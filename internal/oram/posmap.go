@@ -11,6 +11,10 @@ type PositionMap interface {
 	Set(addr uint64, leaf uint64)
 	// Len returns the number of mapped addresses.
 	Len() int
+	// Each calls fn for every mapped address, in unspecified order. The
+	// determinism-equivalence harness uses it to compare final position
+	// maps across engines.
+	Each(fn func(addr, leaf uint64))
 }
 
 // DensePosMap is an array-backed position map for small functional trees.
@@ -49,6 +53,15 @@ func (m *DensePosMap) Set(addr uint64, leaf uint64) {
 // Len implements PositionMap.
 func (m *DensePosMap) Len() int { return m.n }
 
+// Each implements PositionMap.
+func (m *DensePosMap) Each(fn func(addr, leaf uint64)) {
+	for a, ok := range m.set {
+		if ok {
+			fn(uint64(a), m.leaves[a])
+		}
+	}
+}
+
 // SparsePosMap is a map-backed position map: memory grows with the touched
 // working set, so paper-scale address spaces (2^29 blocks) are cheap as
 // long as the trace touches a bounded set. Untouched blocks are
@@ -74,3 +87,10 @@ func (m *SparsePosMap) Set(addr uint64, leaf uint64) { m.m[addr] = leaf }
 
 // Len implements PositionMap.
 func (m *SparsePosMap) Len() int { return len(m.m) }
+
+// Each implements PositionMap.
+func (m *SparsePosMap) Each(fn func(addr, leaf uint64)) {
+	for a, l := range m.m {
+		fn(a, l)
+	}
+}

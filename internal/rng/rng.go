@@ -129,3 +129,19 @@ func (r *Source) Perm(out []int) {
 func (r *Source) Fork() *Source {
 	return New(r.Uint64())
 }
+
+// Stream derives an independent generator from (seed, domain, index) — the
+// seed-derivation scheme of the parallel engines. The domain string keeps
+// unrelated subsystems (worker RNGs, benchmark workloads, shard schedules)
+// off each other's streams even at equal indices, and the whole derivation
+// is a pure function of its arguments, so a Parallelism: 1 run and a
+// Parallelism: N run hand every worker exactly the same stream.
+func Stream(seed uint64, domain string, index int) *Source {
+	st := seed
+	for _, b := range []byte(domain) {
+		st ^= uint64(b)
+		SplitMix64(&st)
+	}
+	st ^= uint64(index)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	return New(SplitMix64(&st))
+}

@@ -143,6 +143,27 @@ func TestPermIsPermutation(t *testing.T) {
 	}
 }
 
+func TestStreamDerivation(t *testing.T) {
+	a := Stream(42, "worker", 3)
+	b := Stream(42, "worker", 3)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Stream is not a pure function of (seed, domain, index)")
+		}
+	}
+	// Different index, domain, or seed must decorrelate the first outputs.
+	base := Stream(42, "worker", 3).Uint64()
+	for name, s := range map[string]*Source{
+		"index":  Stream(42, "worker", 4),
+		"domain": Stream(42, "shard", 3),
+		"seed":   Stream(43, "worker", 3),
+	} {
+		if s.Uint64() == base {
+			t.Errorf("Stream variation %q produced the same first output", name)
+		}
+	}
+}
+
 func TestForkIndependence(t *testing.T) {
 	r := New(23)
 	f := r.Fork()

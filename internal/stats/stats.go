@@ -10,6 +10,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -164,6 +165,55 @@ func (s *Series) String() string {
 		fmt.Fprintf(&b, " (%g, %.5g)", p.x, p.y)
 	}
 	return b.String()
+}
+
+// tableJSON is Table's serialized form: rows stay in insertion order, cell
+// maps serialize with sorted keys (encoding/json), so equal tables always
+// marshal to identical bytes — the golden regression suite relies on that.
+type tableJSON struct {
+	Title string         `json:"title"`
+	Cols  []string       `json:"cols"`
+	Rows  []tableRowJSON `json:"rows"`
+}
+
+type tableRowJSON struct {
+	Name  string             `json:"name"`
+	Cells map[string]float64 `json:"cells"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{Title: t.Title, Cols: t.Cols, Rows: make([]tableRowJSON, 0, len(t.rows))}
+	for _, r := range t.rows {
+		cells := make(map[string]float64, len(t.cells[r]))
+		for c, v := range t.cells[r] {
+			cells[c] = v
+		}
+		out.Rows = append(out.Rows, tableRowJSON{Name: r, Cells: cells})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring row order.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	t.Title = in.Title
+	t.Cols = in.Cols
+	t.rows = nil
+	t.cells = make(map[string]map[string]float64)
+	for _, r := range in.Rows {
+		for c, v := range r.Cells {
+			t.Set(r.Name, c, v)
+		}
+		if len(r.Cells) == 0 {
+			t.rows = append(t.rows, r.Name)
+			t.cells[r.Name] = make(map[string]float64)
+		}
+	}
+	return nil
 }
 
 // CSV renders the table as comma-separated values (header row, then one

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestTableJSONRoundTrip pins the property the golden regression suite
+// depends on: marshal → unmarshal → marshal yields identical bytes, and
+// the restored table preserves row insertion order and every cell.
+func TestTableJSONRoundTrip(t *testing.T) {
+	tab := NewTable("fig-demo", "base", "secure", "overhead")
+	tab.Set("milc", "base", 1.0)
+	tab.Set("milc", "secure", 3.25)
+	tab.Set("gromacs", "secure", 2.5)
+	tab.Set("gromacs", "base", 1.0)
+	tab.Set("aaa-last", "overhead", 0.125) // sorts before the others; order must survive anyway
+
+	b1, err := json.MarshalIndent(tab, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(b1, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != tab.Title || !reflect.DeepEqual(got.Cols, tab.Cols) {
+		t.Fatalf("header mangled: %q %v", got.Title, got.Cols)
+	}
+	if !reflect.DeepEqual(got.Rows(), []string{"milc", "gromacs", "aaa-last"}) {
+		t.Fatalf("row order not preserved: %v", got.Rows())
+	}
+	for _, r := range tab.Rows() {
+		for _, c := range tab.Cols {
+			want, okW := tab.Get(r, c)
+			have, okH := got.Get(r, c)
+			if okW != okH || want != have {
+				t.Fatalf("cell (%s,%s): got %v/%v want %v/%v", r, c, have, okH, want, okW)
+			}
+		}
+	}
+	b2, err := json.MarshalIndent(&got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("re-marshal not byte-stable:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+// TestTableJSONEmptyRow keeps rows that have a label but no cells.
+func TestTableJSONEmptyRow(t *testing.T) {
+	blob := []byte(`{"title":"t","cols":["a"],"rows":[{"name":"empty","cells":{}},{"name":"full","cells":{"a":1}}]}`)
+	var tab Table
+	if err := json.Unmarshal(blob, &tab); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab.Rows(), []string{"empty", "full"}) {
+		t.Fatalf("rows = %v", tab.Rows())
+	}
+	if _, ok := tab.Get("empty", "a"); ok {
+		t.Fatal("phantom cell appeared in empty row")
+	}
+}

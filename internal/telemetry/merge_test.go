@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHistogramMergeAndDump(t *testing.T) {
+	a := NewHistogram(10, 4)
+	b := NewHistogram(10, 4)
+	for _, v := range []uint64{1, 11, 39, 100} {
+		a.Add(v)
+	}
+	for _, v := range []uint64{5, 25, 200} {
+		b.Add(v)
+	}
+	a.Merge(b)
+	want := NewHistogram(10, 4)
+	for _, v := range []uint64{1, 11, 39, 100, 5, 25, 200} {
+		want.Add(v)
+	}
+	if got, w := a.Dump(), want.Dump(); !reflect.DeepEqual(got, w) {
+		t.Fatalf("merged dump %+v, want %+v", got, w)
+	}
+	if a.N() != 7 || a.Max() != 200 {
+		t.Fatalf("n=%d max=%d after merge", a.N(), a.Max())
+	}
+}
+
+func TestHistogramMergeShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched shapes did not panic")
+		}
+	}()
+	NewHistogram(10, 4).Merge(NewHistogram(20, 4))
+}
+
+func TestRegistryMerge(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("c").Add(3)
+	dst.Gauge("g").Set(1)
+	dst.Mean("m").Add(2)
+	dst.Histogram("h", 10, 4).Add(15)
+
+	src := NewRegistry()
+	src.Counter("c").Add(4)
+	src.Counter("only-src").Inc()
+	src.Gauge("g").Set(9)
+	src.Mean("m").Add(4)
+	src.Histogram("h", 10, 4).Add(25)
+
+	dst.Merge(src)
+
+	if v := dst.Counter("c").Value(); v != 7 {
+		t.Errorf("counter c = %d, want 7", v)
+	}
+	if v := dst.Counter("only-src").Value(); v != 1 {
+		t.Errorf("counter only-src = %d, want 1", v)
+	}
+	if v := dst.Gauge("g").Value(); v != 9 {
+		t.Errorf("gauge g = %d, want 9 (src wins)", v)
+	}
+	m := dst.Mean("m")
+	if m.N() != 2 || m.Value() != 3 {
+		t.Errorf("mean m: n=%d value=%v, want 2 samples mean 3", m.N(), m.Value())
+	}
+	h := dst.Histogram("h", 10, 4)
+	if h.N() != 2 || h.Sum() != 40 {
+		t.Errorf("hist h: n=%d sum=%d", h.N(), h.Sum())
+	}
+
+	// Merging nil or into nil must be a safe no-op.
+	dst.Merge(nil)
+	(*Registry)(nil).Merge(src)
+}
+
+// TestRegistryMergeDeterministic proves the property the parallel campaign
+// runner depends on: merging the same per-shard registries in the same
+// order yields bit-identical snapshots, regardless of how the shards were
+// populated concurrently.
+func TestRegistryMergeDeterministic(t *testing.T) {
+	build := func() []*Registry {
+		var shards []*Registry
+		for i := 0; i < 5; i++ {
+			r := NewRegistry()
+			r.Counter("c").Add(uint64(i * 3))
+			r.Gauge("last").Set(int64(i))
+			r.Mean("m").Add(float64(i) * 0.1)
+			r.Histogram("h", 5, 8).Add(uint64(i * 7))
+			shards = append(shards, r)
+		}
+		return shards
+	}
+	agg := func(shards []*Registry) Snapshot {
+		a := NewRegistry()
+		for _, s := range shards {
+			a.Merge(s)
+		}
+		return a.Snapshot()
+	}
+	s1 := agg(build())
+	s2 := agg(build())
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("merge not deterministic:\n%v\nvs\n%v", s1, s2)
+	}
+	if s1.Gauges["last"] != 4 {
+		t.Fatalf("gauge merge order broken: %d", s1.Gauges["last"])
+	}
+}

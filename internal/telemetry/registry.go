@@ -72,6 +72,18 @@ func (m *Mean) Add(v float64) {
 // N returns the number of samples.
 func (m *Mean) N() uint64 { return atomic.LoadUint64(&m.n) }
 
+// merge folds another mean's accumulated sum and count into this one.
+func (m *Mean) merge(sum float64, n uint64) {
+	for {
+		old := atomic.LoadUint64(&m.sumBits)
+		next := math.Float64bits(math.Float64frombits(old) + sum)
+		if atomic.CompareAndSwapUint64(&m.sumBits, old, next) {
+			break
+		}
+	}
+	atomic.AddUint64(&m.n, n)
+}
+
 // Sum returns the total of all samples.
 func (m *Mean) Sum() float64 { return math.Float64frombits(atomic.LoadUint64(&m.sumBits)) }
 
@@ -140,6 +152,61 @@ func (h *Histogram) Mean() float64 {
 
 // Max returns the largest sample seen.
 func (h *Histogram) Max() uint64 { return atomic.LoadUint64(&h.max) }
+
+// HistogramDump is the full bucket-level content of a histogram — unlike
+// HistogramSnapshot it loses nothing, so two dumps are equal exactly when
+// the histograms would answer every query identically. Equivalence tests
+// compare dumps to prove bitwise-identical stats.
+type HistogramDump struct {
+	Width   uint64   `json:"width"`
+	Buckets []uint64 `json:"buckets"`
+	Over    uint64   `json:"over"`
+	Sum     uint64   `json:"sum"`
+	N       uint64   `json:"n"`
+	Max     uint64   `json:"max"`
+}
+
+// Dump returns the histogram's complete state. Concurrent updates yield a
+// near-point-in-time view; quiesce writers for an exact one.
+func (h *Histogram) Dump() HistogramDump {
+	d := HistogramDump{
+		Width:   h.width,
+		Buckets: make([]uint64, len(h.buckets)),
+		Over:    atomic.LoadUint64(&h.over),
+		Sum:     atomic.LoadUint64(&h.sum),
+		N:       atomic.LoadUint64(&h.n),
+		Max:     atomic.LoadUint64(&h.max),
+	}
+	for i := range h.buckets {
+		d.Buckets[i] = atomic.LoadUint64(&h.buckets[i])
+	}
+	return d
+}
+
+// Merge folds another histogram's samples into this one, bucket by bucket.
+// Both histograms must have the same shape (width and bucket count); Merge
+// panics otherwise, because silently re-bucketing would corrupt quantiles.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if h.width != o.width || len(h.buckets) != len(o.buckets) {
+		panic("telemetry: merging histograms of different shapes")
+	}
+	atomic.AddUint64(&h.sum, atomic.LoadUint64(&o.sum))
+	atomic.AddUint64(&h.n, atomic.LoadUint64(&o.n))
+	atomic.AddUint64(&h.over, atomic.LoadUint64(&o.over))
+	om := atomic.LoadUint64(&o.max)
+	for {
+		old := atomic.LoadUint64(&h.max)
+		if om <= old || atomic.CompareAndSwapUint64(&h.max, old, om) {
+			break
+		}
+	}
+	for i := range h.buckets {
+		atomic.AddUint64(&h.buckets[i], atomic.LoadUint64(&o.buckets[i]))
+	}
+}
 
 // Quantile returns an upper bound for the q-quantile (0 < q ≤ 1), using
 // bucket upper edges. With no samples it returns 0; samples landing in the
@@ -286,6 +353,60 @@ func (r *Registry) Histogram(name string, width uint64, nbuckets int, labels ...
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Merge folds every metric of src into r: counters and histograms add,
+// means pool their samples, and gauges take src's level (a gauge is an
+// instantaneous reading, so the most recently merged source wins). Missing
+// metrics are created; histograms adopt src's shape on first sight.
+//
+// Merging registries in a fixed order is deterministic: each name's result
+// depends only on the sequence of sources that carried it, never on map
+// iteration order within one source. The parallel campaign runner relies on
+// this — per-shard registries merged in job order produce a bit-identical
+// aggregate no matter how many workers ran the shards.
+//
+// A nil receiver or nil src is a no-op. src must be quiescent (no
+// concurrent writers) for an exact merge.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	counters := make(map[string]uint64, len(src.counters))
+	for k, v := range src.counters {
+		counters[k] = v.Value()
+	}
+	gauges := make(map[string]int64, len(src.gauges))
+	for k, v := range src.gauges {
+		gauges[k] = v.Value()
+	}
+	type meanState struct {
+		sum float64
+		n   uint64
+	}
+	means := make(map[string]meanState, len(src.means))
+	for k, v := range src.means {
+		means[k] = meanState{v.Sum(), v.N()}
+	}
+	hists := make(map[string]*Histogram, len(src.hists))
+	for k, v := range src.hists {
+		hists[k] = v
+	}
+	src.mu.Unlock()
+
+	for k, v := range counters {
+		r.Counter(k).Add(v)
+	}
+	for k, v := range gauges {
+		r.Gauge(k).Set(v)
+	}
+	for k, v := range means {
+		r.Mean(k).merge(v.sum, v.n)
+	}
+	for k, h := range hists {
+		r.Histogram(k, h.width, len(h.buckets)).Merge(h)
+	}
 }
 
 // AddHistogram registers an existing histogram under name, so a component

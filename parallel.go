@@ -1,0 +1,387 @@
+package sdimm
+
+import (
+	"fmt"
+	"sync"
+
+	"sdimm/internal/fault"
+	"sdimm/internal/oram"
+	isdimm "sdimm/internal/sdimm"
+)
+
+// This file is the parallel execution engine for functional clusters: a
+// pool of persistent per-SDIMM worker goroutines and, on top of it, a
+// batched access pipeline that keeps a window of independent ORAM accesses
+// in flight behind the existing fault.Transactor links.
+//
+// Determinism is preserved by construction, not by luck:
+//
+//   - Every draw from the cluster's shared RNG (leaf picks, re-homing)
+//     happens on the coordinator goroutine, in logical-access order, at
+//     barrier-protected points. Workers never touch shared randomness.
+//   - Each worker owns exactly one SDIMM's link, buffer, and health record,
+//     and drains its task queue FIFO in submission (= logical) order, so
+//     every buffer observes the same operation sequence at any parallelism.
+//   - Position-map updates commit on the coordinator in logical-access
+//     order at the wave's merge barrier.
+//   - The wave schedule depends only on the configured window, never on
+//     Parallelism, which bounds worker concurrency and nothing else.
+//
+// A Parallelism: 1 pipeline and a Parallelism: N pipeline therefore produce
+// bitwise-identical position maps, stash contents, and telemetry counters
+// from the same seed — the equivalence suite in parallel_test.go proves it.
+
+// workerPool runs tasks on persistent per-member goroutines. Tasks
+// submitted to one member execute FIFO in submission order; tasks across
+// members run concurrently, up to the pool's parallelism bound.
+type workerPool struct {
+	tasks []chan func()
+	sem   chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// newWorkerPool starts n workers whose aggregate concurrency is capped at
+// parallelism (values < 1 are clamped to 1). queue bounds how many tasks
+// can be pending per worker before submit blocks.
+func newWorkerPool(n, parallelism, queue int) *workerPool {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	p := &workerPool{
+		tasks: make([]chan func(), n),
+		sem:   make(chan struct{}, parallelism),
+	}
+	for i := range p.tasks {
+		ch := make(chan func(), queue)
+		p.tasks[i] = ch
+		go func() {
+			for fn := range ch {
+				p.sem <- struct{}{}
+				fn()
+				<-p.sem
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// submit queues fn on member w's worker. Pair with barrier.
+func (p *workerPool) submit(w int, fn func()) {
+	p.wg.Add(1)
+	p.tasks[w] <- fn
+}
+
+// barrier blocks until every submitted task has completed. After barrier
+// returns the coordinator observes all worker writes (the WaitGroup
+// establishes the happens-before edge).
+func (p *workerPool) barrier() { p.wg.Wait() }
+
+// close stops the workers after the submitted tasks drain. Idempotent.
+func (p *workerPool) close() {
+	p.once.Do(func() {
+		p.wg.Wait()
+		for _, ch := range p.tasks {
+			close(ch)
+		}
+	})
+}
+
+// BatchOp is one operation submitted to a Pipeline: a read (Write false) or
+// a write of Data (padded to the cluster block size).
+type BatchOp struct {
+	Addr  uint64
+	Write bool
+	Data  []byte
+}
+
+// BatchResult is the outcome of one BatchOp. Data is the payload for reads
+// (zeros if the address was never written); Err reports a failed access.
+type BatchResult struct {
+	Data []byte
+	Err  error
+}
+
+// PipelineOptions size a Cluster access pipeline.
+type PipelineOptions struct {
+	// Window is the logical batch window: up to this many accesses are
+	// scheduled into one wave. The wave schedule is a pure function of the
+	// submitted operations and the window — never of Parallelism — so runs
+	// that differ only in Parallelism stay bitwise identical. Default 8.
+	Window int
+	// Parallelism bounds how many SDIMM workers execute concurrently
+	// (default = Window). 1 degenerates to sequential execution of the
+	// exact same logical schedule.
+	Parallelism int
+}
+
+func (o PipelineOptions) withDefaults() PipelineOptions {
+	if o.Window <= 0 {
+		o.Window = 8
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = o.Window
+	}
+	return o
+}
+
+// Pipeline is a batched access engine over a Cluster: it keeps up to Window
+// independent accesses in flight, fanning whole accessORAM operations out
+// to the owning SDIMMs' workers (the Independent protocol's unit of
+// distribution) and committing all host-side state in logical-access order
+// at a deterministic merge barrier.
+//
+// The pipeline owns the cluster's request stream while in use: do not call
+// Read/Write on the underlying Cluster concurrently with Do. Close stops
+// the workers.
+type Pipeline struct {
+	c    *Cluster
+	opts PipelineOptions
+	pool *workerPool
+}
+
+// Pipeline builds a batched access pipeline over the cluster.
+func (c *Cluster) Pipeline(opts PipelineOptions) *Pipeline {
+	opts = opts.withDefaults()
+	return &Pipeline{
+		c:    c,
+		opts: opts,
+		pool: newWorkerPool(len(c.buffers), opts.Parallelism, 2*opts.Window),
+	}
+}
+
+// Close stops the per-SDIMM workers. The pipeline must not be used after.
+func (p *Pipeline) Close() { p.pool.close() }
+
+// pipeOp is one access moving through a wave.
+type pipeOp struct {
+	idx  int // index into the submitted batch
+	addr uint64
+	op   oram.Op
+	data []byte // padded write payload (nil for reads)
+
+	oldG, newG uint64
+	sd, sdNew  int
+	keep       bool
+
+	err      error  // first error on the access (scheduling, exchange, ack)
+	skip     bool   // scheduling failed: no exchanges at all
+	respBody []byte // sealed-exchange response (phase A, written by owner worker)
+	resp     isdimm.AccessResponse
+	blk      oram.Block
+
+	appendErr []error  // per-SDIMM failed append exchange (phase B)
+	appendBad [][]byte // per-SDIMM malformed append ack (phase B)
+}
+
+// Do executes ops through the pipeline and returns one result per op, in
+// order. Semantics match issuing the same operations through Read/Write one
+// at a time, with one deliberate difference: accesses in the same wave
+// observe the position map and health state as of the wave's start. A wave
+// never contains two operations on the same address (the schedule breaks
+// there), so per-address read/write ordering is preserved exactly.
+func (p *Pipeline) Do(ops []BatchOp) []BatchResult {
+	res := make([]BatchResult, len(ops))
+	for start := 0; start < len(ops); {
+		start += p.runWave(ops, start, res)
+	}
+	return res
+}
+
+// runWave schedules, executes, and commits one wave beginning at ops[start],
+// returning how many operations it consumed (≥ 1).
+func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
+	c := p.c
+	globalLeaves := uint64(1) << (c.levels - 1)
+
+	// Schedule (coordinator, logical order): admit up to Window ops with
+	// distinct addresses, drawing all shared randomness here. An address
+	// repeat ends the wave — the second op must observe the first's commit.
+	var wave []*pipeOp
+	seen := make(map[uint64]bool, p.opts.Window)
+	for i := start; i < len(ops) && len(wave) < p.opts.Window; i++ {
+		if seen[ops[i].Addr] {
+			break
+		}
+		seen[ops[i].Addr] = true
+		wave = append(wave, p.schedule(ops[i], i, globalLeaves))
+	}
+
+	tr := c.tm.tracer
+	lane := -1
+	var endWave func(map[string]any)
+	if tr != nil {
+		lane = tr.Lane()
+		sp := tr.Begin(lane, "cluster.wave", "cluster")
+		endWave = sp.EndArgs
+	}
+
+	// Phase A: fan the ACCESS exchanges out to the owning SDIMMs' workers.
+	for _, po := range wave {
+		if po.skip {
+			continue
+		}
+		po := po
+		p.pool.submit(po.sd, func() {
+			mask := uint64(1)<<c.localBits - 1
+			req := isdimm.AccessRequest{
+				Addr:    po.addr,
+				Op:      po.op,
+				Data:    po.data,
+				OldLeaf: po.oldG & mask,
+				NewLeaf: po.newG & mask,
+				Keep:    po.keep,
+			}
+			po.respBody, po.err = c.exchange(po.sd, "access", msgKindAccess,
+				isdimm.MarshalAccess(req, c.blockSize))
+		})
+	}
+	p.pool.barrier()
+
+	// Merge barrier 1 (coordinator, logical order): commit position-map
+	// updates for every access whose owning buffer executed it, and decode
+	// the responses. A failed exchange leaves the map untouched — exactly
+	// the staged-commit rule of the sequential path.
+	for _, po := range wave {
+		if po.skip || po.err != nil {
+			continue
+		}
+		c.pos.Set(po.addr, po.newG)
+		resp, err := isdimm.UnmarshalResponse(po.respBody, c.blockSize)
+		if err != nil {
+			po.err = c.wrapErr(po.sd, "access response", err)
+			continue
+		}
+		po.resp = resp
+		po.blk = resp.Block
+		po.blk.Addr = po.addr
+		po.blk.Leaf = po.newG & (uint64(1)<<c.localBits - 1)
+	}
+
+	// Phase B: APPEND broadcast. One task per SDIMM walks the wave in
+	// logical order, so each buffer sees its appends in the same sequence
+	// at any parallelism. Outcomes land in per-(op, SDIMM) slots and are
+	// resolved after the barrier.
+	for _, po := range wave {
+		po.appendErr = make([]error, len(c.buffers))
+		po.appendBad = make([][]byte, len(c.buffers))
+	}
+	for j := range c.buffers {
+		j := j
+		p.pool.submit(j, func() {
+			for _, po := range wave {
+				if po.skip || po.err != nil {
+					continue
+				}
+				real := !po.keep && j == po.sdNew && !po.resp.Dummy
+				if !real && c.health[j].State() == fault.Failed {
+					// A dead buffer has no channel; its dummy is undeliverable.
+					continue
+				}
+				ack, err := c.exchange(j, "append", msgKindAppend,
+					isdimm.MarshalAppend(po.blk, !real, c.blockSize))
+				switch {
+				case err != nil:
+					po.appendErr[j] = err
+				case len(ack) != 1 || ack[0] != appendAck:
+					po.appendBad[j] = append([]byte(nil), ack...)
+				}
+			}
+		})
+	}
+	p.pool.barrier()
+
+	// Merge barrier 2 (coordinator, logical order): account lost appends,
+	// re-home in-flight real blocks, and finalize results.
+	for _, po := range wave {
+		p.finalize(po, globalLeaves, res)
+	}
+	if tr != nil {
+		endWave(map[string]any{"ops": len(wave)})
+		tr.FreeLane(lane)
+	}
+	return len(wave)
+}
+
+// schedule prepares one access: position lookup and every shared-RNG draw,
+// in logical order on the coordinator.
+func (p *Pipeline) schedule(op BatchOp, idx int, globalLeaves uint64) *pipeOp {
+	c := p.c
+	po := &pipeOp{idx: idx, addr: op.Addr, op: oram.OpRead}
+	if op.Write {
+		po.op = oram.OpWrite
+		if len(op.Data) > c.blockSize {
+			po.err = fmt.Errorf("sdimm: payload %d exceeds block size %d", len(op.Data), c.blockSize)
+			po.skip = true
+			return po
+		}
+		po.data = make([]byte, c.blockSize)
+		copy(po.data, op.Data)
+	}
+
+	oldG, mapped := c.pos.Get(po.addr)
+	if !mapped {
+		var err error
+		if oldG, err = c.pickHealthyLeaf(globalLeaves); err != nil {
+			po.err, po.skip = err, true
+			return po
+		}
+	}
+	po.oldG = oldG
+	po.sd = int(oldG >> c.localBits)
+	if c.health[po.sd].State() == fault.Failed {
+		po.err = c.wrapErr(po.sd, "access", fault.ErrUnavailable)
+		po.skip = true
+		return po
+	}
+	newG, err := c.pickHealthyLeaf(globalLeaves)
+	if err != nil {
+		po.err, po.skip = err, true
+		return po
+	}
+	po.newG = newG
+	po.sdNew = int(newG >> c.localBits)
+	po.keep = po.sd == po.sdNew
+	return po
+}
+
+// finalize resolves one access after the append barrier: lost-append
+// accounting, re-homing, malformed-ack detection, read payload extraction,
+// and the cluster.* observation.
+func (p *Pipeline) finalize(po *pipeOp, globalLeaves uint64, res []BatchResult) {
+	c := p.c
+	if po.err == nil {
+		for j := range c.buffers {
+			if po.appendErr[j] != nil {
+				c.tm.appendsLost.Inc()
+				if !po.keep && j == po.sdNew && !po.resp.Dummy {
+					// The migrating block was in this exchange: re-home it
+					// (coordinator-side, so its RNG draws stay in logical
+					// order) instead of losing the payload.
+					if rerr := c.rehome(po.addr, po.blk, j, globalLeaves); rerr != nil && po.err == nil {
+						po.err = rerr
+					}
+				}
+				continue
+			}
+			if po.appendBad[j] != nil && po.err == nil {
+				po.err = c.wrapErr(j, "append", fmt.Errorf("sdimm: malformed append ack %x", po.appendBad[j]))
+			}
+		}
+	}
+
+	out := BatchResult{Err: po.err}
+	if po.err == nil && po.op == oram.OpRead {
+		if po.resp.Dummy || po.resp.Block.Data == nil {
+			out.Data = make([]byte, c.blockSize)
+		} else {
+			out.Data = append([]byte(nil), po.resp.Block.Data...)
+		}
+	}
+	c.tm.observe(po.op, po.err)
+	res[po.idx] = out
+}
