@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short chaos fuzz telemetry-smoke bench ci
+.PHONY: all build vet test race short chaos crash fuzz telemetry-smoke bench ci
 
 all: ci
 
@@ -29,6 +29,18 @@ chaos:
 	$(GO) run ./cmd/sdimm-chaos -n 5000
 	$(GO) run ./cmd/sdimm-chaos -split -failshard 1 -n 2000
 
+# Crash-recovery equivalence sweep (bounded runtime, fully seeded): restart
+# points tear the journal mid-record, the cluster restarts from disk, and the
+# recovered run must be bitwise-equivalent to an uncrashed reference. The
+# -corrupt legs persist a flipped sealed-bucket bit into a checkpoint, so the
+# PMMAC scrub — not the journal — has to catch it: Independent must poison
+# the lost addresses, Split must repair from parity.
+crash:
+	$(GO) run ./cmd/sdimm-chaos -crash -n 1200 -crashes 4 -interval 64
+	$(GO) run ./cmd/sdimm-chaos -crash -n 1200 -crashes 4 -parallel 4
+	$(GO) run ./cmd/sdimm-chaos -crash -n 800 -crashes 3 -corrupt
+	$(GO) run ./cmd/sdimm-chaos -crash -split -n 800 -crashes 3 -corrupt
+
 # End-to-end telemetry smoke: a short Independent run with span tracing,
 # exporting Chrome trace-event JSON. sdimm-sim re-validates the written
 # file against the trace schema and exits nonzero if it is malformed; the
@@ -46,11 +58,16 @@ telemetry-smoke:
 # enforcing, flagged by "gate_enforced": false in the JSON.
 bench:
 	$(GO) run ./cmd/sdimm-bench -exp parbench -parbench-out BENCH_parallel.json
+	$(GO) run ./cmd/sdimm-bench -exp recbench -recbench-out BENCH_recovery.json
 
-# Wire-format decoders must never panic on hostile input.
+# Wire-format decoders must never panic on hostile input. The durable-state
+# decoders (journal records, checkpoints) must additionally fail closed:
+# anything they accept is chain-authenticated and canonical.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalAccess -fuzztime=20s ./internal/sdimm
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalResponse -fuzztime=20s ./internal/sdimm
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalAppend -fuzztime=20s ./internal/sdimm
+	$(GO) test -run=NONE -fuzz=FuzzJournalDecode -fuzztime=20s ./internal/durable
+	$(GO) test -run=NONE -fuzz=FuzzCheckpointDecode -fuzztime=20s ./internal/durable
 
-ci: build vet race telemetry-smoke bench
+ci: build vet race telemetry-smoke bench crash

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"sdimm/internal/durable"
 	"sdimm/internal/fault"
 	"sdimm/internal/oram"
 	"sdimm/internal/rng"
@@ -51,6 +52,26 @@ type ClusterOptions struct {
 	// re-homing and health transitions (wall-clock microseconds — the
 	// functional cluster has no simulated clock).
 	Tracer *telemetry.Tracer
+	// Durability, when set, gives the cluster crash consistency: every
+	// committed access is journaled, state is checkpointed every Interval
+	// accesses, and RecoverCluster can rebuild the cluster from the state
+	// directory after a crash (see DESIGN.md, Durability & crash recovery).
+	Durability *DurabilityOptions
+}
+
+// withDefaults normalizes the option fields that have defaults, so every
+// consumer (construction, fingerprinting, recovery) sees the same values.
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.BlockSize == 0 {
+		o.BlockSize = 64
+	}
+	if o.Z == 0 {
+		o.Z = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
 }
 
 // clusterTelemetry bundles the handles a functional cluster updates. All
@@ -61,20 +82,31 @@ type clusterTelemetry struct {
 	rehomes, rehomeFailures         *telemetry.Counter
 	appendsLost                     *telemetry.Counter
 	reconstructions                 *telemetry.Counter
+	checkpoints                     *telemetry.Counter
+	replayed                        *telemetry.Counter
+	scrubScanned, scrubRepaired     *telemetry.Counter
+	scrubUnrecoverable              *telemetry.Counter
+	poisonedReads                   *telemetry.Counter
 	tracer                          *telemetry.Tracer
 }
 
 func newClusterTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) clusterTelemetry {
 	return clusterTelemetry{
-		accesses:        reg.Counter("cluster.accesses"),
-		reads:           reg.Counter("cluster.reads"),
-		writes:          reg.Counter("cluster.writes"),
-		errors:          reg.Counter("cluster.errors"),
-		rehomes:         reg.Counter("cluster.rehomes"),
-		rehomeFailures:  reg.Counter("cluster.rehome_failures"),
-		appendsLost:     reg.Counter("cluster.appends_lost"),
-		reconstructions: reg.Counter("cluster.reconstructions"),
-		tracer:          tr,
+		accesses:           reg.Counter("cluster.accesses"),
+		reads:              reg.Counter("cluster.reads"),
+		writes:             reg.Counter("cluster.writes"),
+		errors:             reg.Counter("cluster.errors"),
+		rehomes:            reg.Counter("cluster.rehomes"),
+		rehomeFailures:     reg.Counter("cluster.rehome_failures"),
+		appendsLost:        reg.Counter("cluster.appends_lost"),
+		reconstructions:    reg.Counter("cluster.reconstructions"),
+		checkpoints:        reg.Counter("cluster.checkpoints"),
+		replayed:           reg.Counter("cluster.recovery.replayed"),
+		scrubScanned:       reg.Counter("cluster.scrub.scanned"),
+		scrubRepaired:      reg.Counter("cluster.scrub.repaired"),
+		scrubUnrecoverable: reg.Counter("cluster.scrub.unrecoverable"),
+		poisonedReads:      reg.Counter("cluster.poisoned_reads"),
+		tracer:             tr,
 	}
 }
 
@@ -92,7 +124,7 @@ func (t *clusterTelemetry) observe(op oram.Op, err error) {
 }
 
 // watchHealth publishes h's state as a per-SDIMM gauge (values: 0 healthy,
-// 1 degraded, 2 failed) and counts every transition edge under
+// 1 degraded, 2 failed, 3 recovering) and counts every transition edge under
 // fault.health.transitions{from=...,to=...}. With neither a registry nor a
 // tracer it leaves the Health unobserved.
 func watchHealth(reg *telemetry.Registry, tr *telemetry.Tracer, h *fault.Health, idx int) {
@@ -139,23 +171,40 @@ type Cluster struct {
 	levels    int
 	localBits uint
 	tm        clusterTelemetry
+	durableState
 }
 
 // NewCluster builds a cluster: it mints a device identity per SDIMM,
 // registers them with an authority, and performs the SEND_PKEY /
-// RECEIVE_SECRET handshake for each.
+// RECEIVE_SECRET handshake for each. With Durability set the state
+// directory must be empty (recovering an existing one is RecoverCluster's
+// job — silently reinitializing it would clobber recoverable state) and a
+// genesis checkpoint is written before the cluster accepts traffic.
 func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	opts = opts.withDefaults()
+	c, err := buildCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Durability != nil {
+		if err := c.attachDurability(opts.Durability, independentFingerprint(opts), opts.Key); err != nil {
+			return nil, err
+		}
+		if c.dur.HasState() {
+			return nil, fmt.Errorf("sdimm: state directory %s already holds checkpoints; use RecoverCluster", opts.Durability.Dir)
+		}
+		if err := c.ForceCheckpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// newCluster builds the cluster core (buffers, links, health) with no
+// durability attached. opts must already be defaulted.
+func buildCluster(opts ClusterOptions) (*Cluster, error) {
 	if opts.SDIMMs < 2 || opts.SDIMMs&(opts.SDIMMs-1) != 0 {
 		return nil, errors.New("sdimm: SDIMM count must be a power of two ≥ 2")
-	}
-	if opts.BlockSize == 0 {
-		opts.BlockSize = 64
-	}
-	if opts.Z == 0 {
-		opts.Z = 4
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
 	}
 	localLevels := opts.Levels - log2int(opts.SDIMMs)
 	if localLevels < 2 {
@@ -175,6 +224,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		localBits: uint(localLevels - 1),
 		tm:        newClusterTelemetry(opts.Telemetry, opts.Tracer),
 	}
+	c.poisoned = make(map[uint64]bool)
 	// Link-recovery and crypto counters aggregate across all SDIMMs, so the
 	// registry totals line up with the sums over Health().
 	var linkMetrics *fault.LinkMetrics
@@ -258,10 +308,14 @@ func (c *Cluster) SDIMMs() int { return len(c.buffers) }
 // BlockSize returns the payload size per block.
 func (c *Cluster) BlockSize() int { return c.blockSize }
 
-// Read returns the payload of addr (zeros if never written).
+// Read returns the payload of addr (zeros if never written). A read of an
+// address lost to unrecoverable corruption returns ErrUnrecoverable.
 func (c *Cluster) Read(addr uint64) ([]byte, error) {
 	out, err := c.tracedAccess(addr, oram.OpRead, nil)
 	c.tm.observe(oram.OpRead, err)
+	if err == nil {
+		err = c.maybeCheckpoint(c.ForceCheckpoint)
+	}
 	return out, err
 }
 
@@ -274,7 +328,18 @@ func (c *Cluster) Write(addr uint64, data []byte) error {
 	copy(buf, data)
 	_, err := c.tracedAccess(addr, oram.OpWrite, buf)
 	c.tm.observe(oram.OpWrite, err)
+	if err == nil {
+		err = c.maybeCheckpoint(c.ForceCheckpoint)
+	}
 	return err
+}
+
+// Close releases the durability manager (no-op without one).
+func (c *Cluster) Close() error {
+	if c.dur != nil {
+		return c.dur.Close()
+	}
+	return nil
 }
 
 // tracedAccess wraps access in one tracer span per top-level operation.
@@ -376,6 +441,9 @@ func (c *Cluster) pickHealthyLeaf(globalLeaves uint64) (uint64, error) {
 // address stays readable — the seed's map-first ordering permanently
 // bricked the address on any link error.
 func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
+	if c.crashedNow() {
+		return nil, durable.ErrCrashed
+	}
 	globalLeaves := uint64(1) << (c.levels - 1)
 	oldG, mapped := c.pos.Get(addr)
 	if !mapped {
@@ -417,8 +485,13 @@ func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
 	}
 	// Staged commit point: the buffer has executed the access, so the
 	// block now lives under newG (locally when kept, or in flight in the
-	// response). Later append failures cannot move it again.
+	// response). Later append failures cannot move it again. The journal
+	// record lands here — a crash before this append means the access never
+	// happened; after it, recovery replays it.
 	c.pos.Set(addr, newG)
+	if err := c.commitRecord(addr, op, data); err != nil {
+		return nil, err
+	}
 
 	resp, err := isdimm.UnmarshalResponse(respBody, c.blockSize)
 	if err != nil {
@@ -456,6 +529,15 @@ func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
 	}
 
 	if op == oram.OpRead {
+		// Poison veto at delivery: the access itself ran normally (keeping
+		// every RNG draw and placement identical to an uncorrupted run), but
+		// a payload lost to unrecoverable corruption must not be served as
+		// zeros. Replay is exempt — it re-executes history, and the poisoned
+		// result was never delivered anyway.
+		if !c.replaying && c.poisoned[addr] {
+			c.tm.poisonedReads.Inc()
+			return nil, fmt.Errorf("sdimm: read %d: %w", addr, ErrUnrecoverable)
+		}
 		if resp.Dummy || resp.Block.Data == nil {
 			return make([]byte, c.blockSize), nil
 		}
@@ -631,6 +713,21 @@ type SplitClusterOptions struct {
 	// Tracer, when set, records one span per access plus reconstruction
 	// and health-transition instants.
 	Tracer *telemetry.Tracer
+	// Durability, when set, journals committed accesses and checkpoints
+	// shard state for RecoverSplitCluster (see DESIGN.md, Durability &
+	// crash recovery).
+	Durability *DurabilityOptions
+}
+
+// withDefaults normalizes the option fields that have defaults.
+func (o SplitClusterOptions) withDefaults() SplitClusterOptions {
+	if o.BlockSize == 0 {
+		o.BlockSize = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
 }
 
 // SplitCluster is the functional form of the Split protocol (Section
@@ -654,21 +751,40 @@ type SplitCluster struct {
 	leaves    uint64
 	tm        clusterTelemetry
 	workers   *workerPool // nil: member fan-out runs inline
+	durableState
 }
 
-// NewSplitCluster builds a functional split ORAM.
+// NewSplitCluster builds a functional split ORAM. With Durability set the
+// state directory must be empty (RecoverSplitCluster owns non-empty ones)
+// and a genesis checkpoint is written before the cluster accepts traffic.
 func NewSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
+	opts = opts.withDefaults()
+	c, err := buildSplitCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Durability != nil {
+		if err := c.attachDurability(opts.Durability, splitFingerprint(opts), opts.Key); err != nil {
+			return nil, err
+		}
+		if c.dur.HasState() {
+			return nil, fmt.Errorf("sdimm: state directory %s already holds checkpoints; use RecoverSplitCluster", opts.Durability.Dir)
+		}
+		if err := c.ForceCheckpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// newSplitCluster builds the cluster core with no durability attached.
+// opts must already be defaulted.
+func buildSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
 	if opts.SDIMMs < 2 || opts.SDIMMs&(opts.SDIMMs-1) != 0 {
 		return nil, errors.New("sdimm: SDIMM count must be a power of two ≥ 2")
 	}
-	if opts.BlockSize == 0 {
-		opts.BlockSize = 64
-	}
 	if opts.BlockSize%opts.SDIMMs != 0 {
 		return nil, fmt.Errorf("sdimm: block size %d not divisible by %d shards", opts.BlockSize, opts.SDIMMs)
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
 	}
 	geom, err := oram.NewGeometry(opts.Levels)
 	if err != nil {
@@ -683,6 +799,7 @@ func NewSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
 		faults:    opts.Faults,
 		tm:        newClusterTelemetry(opts.Telemetry, opts.Tracer),
 	}
+	c.poisoned = make(map[uint64]bool)
 	if opts.Telemetry != nil && opts.Faults != nil {
 		opts.Faults.EnableTelemetry(opts.Telemetry)
 	}
@@ -733,11 +850,14 @@ func NewSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
 	return c, nil
 }
 
-// Close stops the fan-out workers. No-op for Parallelism ≤ 1 clusters;
-// idempotent otherwise.
+// Close stops the fan-out workers and releases the durability manager.
+// Idempotent.
 func (c *SplitCluster) Close() {
 	if c.workers != nil {
 		c.workers.close()
+	}
+	if c.dur != nil {
+		c.dur.Close()
 	}
 }
 
@@ -765,6 +885,9 @@ func (c *SplitCluster) join() {
 func (c *SplitCluster) Read(addr uint64) ([]byte, error) {
 	out, err := c.access(addr, oram.OpRead, nil)
 	c.tm.observe(oram.OpRead, err)
+	if err == nil {
+		err = c.maybeCheckpoint(c.ForceCheckpoint)
+	}
 	return out, err
 }
 
@@ -777,6 +900,9 @@ func (c *SplitCluster) Write(addr uint64, data []byte) error {
 	copy(buf, data)
 	_, err := c.access(addr, oram.OpWrite, buf)
 	c.tm.observe(oram.OpWrite, err)
+	if err == nil {
+		err = c.maybeCheckpoint(c.ForceCheckpoint)
+	}
 	return err
 }
 
@@ -821,6 +947,9 @@ func xorParity(data []byte, shard int) []byte {
 }
 
 func (c *SplitCluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
+	if c.crashedNow() {
+		return nil, durable.ErrCrashed
+	}
 	oldLeaf, ok := c.pos.Get(addr)
 	if !ok {
 		oldLeaf = c.rnd.Uint64n(c.leaves)
@@ -932,8 +1061,12 @@ func (c *SplitCluster) access(addr uint64, op oram.Op, data []byte) ([]byte, err
 	}
 
 	// Staged commit: the shard fan-out (and parity) succeeded, so newLeaf
-	// is now the truth everywhere.
+	// is now the truth everywhere. The journal record lands at the same
+	// point — a crash before it means the access never happened.
 	c.pos.Set(addr, newLeaf)
+	if err := c.commitRecord(addr, op, data); err != nil {
+		return nil, err
+	}
 
 	// Host-directed background eviction: the leaf is drawn once on the
 	// coordinator, then every live member evicts it — fanned out with a

@@ -1,0 +1,287 @@
+package sdimm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"sdimm/internal/durable"
+	"sdimm/internal/rng"
+)
+
+// recOp is one deterministic workload operation for the recovery tests.
+type recOp struct {
+	addr  uint64
+	write bool
+	data  []byte
+}
+
+func recWorkload(seed uint64, n int, addrs uint64) []recOp {
+	r := rng.New(seed)
+	ops := make([]recOp, n)
+	for i := range ops {
+		ops[i].addr = r.Uint64n(addrs)
+		if r.Bool(0.5) {
+			ops[i].write = true
+			ops[i].data = make([]byte, 24)
+			for j := range ops[i].data {
+				ops[i].data[j] = byte(r.Uint64n(256))
+			}
+		}
+	}
+	return ops
+}
+
+// driveCluster runs ops[from:to] sequentially, returning each op's result.
+func driveCluster(t *testing.T, c *Cluster, ops []recOp, from, to int) [][]byte {
+	t.Helper()
+	out := make([][]byte, to-from)
+	for i := from; i < to; i++ {
+		if ops[i].write {
+			if err := c.Write(ops[i].addr, ops[i].data); err != nil {
+				t.Fatalf("write op %d: %v", i, err)
+			}
+		} else {
+			got, err := c.Read(ops[i].addr)
+			if err != nil {
+				t.Fatalf("read op %d: %v", i, err)
+			}
+			out[i-from] = got
+		}
+	}
+	return out
+}
+
+// TestRecoverClusterMatchesReference crashes a durable cluster mid-workload,
+// recovers it from disk, finishes the workload, and checks the recovered run
+// against an undisturbed reference cluster: identical read results and an
+// identical position map. The post-recovery segment runs sequentially and
+// through the pipeline at parallelism 4 — both must match the sequential
+// reference bit-for-bit (run under -race via `make race`).
+func TestRecoverClusterMatchesReference(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("parallelism-%d", par), func(t *testing.T) {
+			opts := ClusterOptions{SDIMMs: 2, Levels: 7, Key: []byte("rec-test-key"), Seed: 9}
+			ops := recWorkload(5, 240, 48)
+			const crashAt = 150
+
+			ref, err := NewCluster(opts)
+			if err != nil {
+				t.Fatalf("NewCluster (reference): %v", err)
+			}
+			refRes := driveCluster(t, ref, ops, 0, len(ops))
+
+			dopts := opts
+			dopts.Durability = &DurabilityOptions{Dir: t.TempDir(), Interval: 32}
+			dc, err := NewCluster(dopts)
+			if err != nil {
+				t.Fatalf("NewCluster (durable): %v", err)
+			}
+			if err := dc.PlanCrash(crashAt, 7); err != nil {
+				t.Fatalf("PlanCrash: %v", err)
+			}
+			for i := 0; i < len(ops); i++ {
+				var opErr error
+				if ops[i].write {
+					opErr = dc.Write(ops[i].addr, ops[i].data)
+				} else {
+					_, opErr = dc.Read(ops[i].addr)
+				}
+				if errors.Is(opErr, durable.ErrCrashed) {
+					if i != crashAt {
+						t.Fatalf("crash fired at op %d, planned %d", i, crashAt)
+					}
+					break
+				}
+				if opErr != nil {
+					t.Fatalf("op %d: %v", i, opErr)
+				}
+			}
+			dc.Close()
+
+			rc, report, err := RecoverCluster(dopts)
+			if err != nil {
+				t.Fatalf("RecoverCluster: %v", err)
+			}
+			defer rc.Close()
+			if got := rc.Seq(); got != crashAt {
+				t.Fatalf("recovered Seq = %d, want %d (the torn access must not commit)", got, crashAt)
+			}
+			if report.RecordsReplayed == 0 {
+				t.Fatalf("no records replayed (checkpoint cadence 32, crash at %d): %+v", crashAt, report)
+			}
+			if !report.TornTail {
+				t.Fatalf("mid-record tear not reported: %+v", report)
+			}
+
+			// Finish the workload on the recovered cluster.
+			var got [][]byte
+			if par > 1 {
+				pipe := rc.Pipeline(PipelineOptions{Window: 8, Parallelism: par})
+				bops := make([]BatchOp, len(ops)-crashAt)
+				for j, op := range ops[crashAt:] {
+					bops[j] = BatchOp{Addr: op.addr, Write: op.write, Data: op.data}
+				}
+				rs := pipe.Do(bops)
+				pipe.Close()
+				got = make([][]byte, len(rs))
+				for j, r := range rs {
+					if r.Err != nil {
+						t.Fatalf("pipeline op %d: %v", crashAt+j, r.Err)
+					}
+					got[j] = r.Data
+				}
+			} else {
+				got = driveCluster(t, rc, ops, crashAt, len(ops))
+			}
+			for j, want := range refRes[crashAt:] {
+				if ops[crashAt+j].write {
+					continue
+				}
+				if !bytes.Equal(got[j], want) {
+					t.Fatalf("read op %d diverged after recovery", crashAt+j)
+				}
+			}
+
+			refPos, gotPos := ref.Positions(), rc.Positions()
+			if len(refPos) != len(gotPos) {
+				t.Fatalf("position map sizes diverged: %d vs %d", len(refPos), len(gotPos))
+			}
+			for a, l := range refPos {
+				if gotPos[a] != l {
+					t.Fatalf("position of addr %d diverged: %d vs %d", a, gotPos[a], l)
+				}
+			}
+		})
+	}
+}
+
+// TestNewClusterRefusesRecoverableState pins the clobber guard: a state
+// directory that already holds checkpoints belongs to RecoverCluster, not
+// NewCluster.
+func TestNewClusterRefusesRecoverableState(t *testing.T) {
+	opts := ClusterOptions{SDIMMs: 2, Levels: 7, Key: []byte("rec-test-key"), Seed: 9,
+		Durability: &DurabilityOptions{Dir: t.TempDir()}}
+	c, err := NewCluster(opts)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	c.Close()
+	if _, err := NewCluster(opts); err == nil {
+		t.Fatal("NewCluster reinitialized a directory holding recoverable state")
+	}
+}
+
+// TestSplitScrubRepairsCorruptBucket persists a flipped ciphertext bit into
+// a Split checkpoint and recovers: the scrub must rebuild the bucket from
+// the other shards plus parity, and every payload must survive intact.
+func TestSplitScrubRepairsCorruptBucket(t *testing.T) {
+	// Member 1 is a data shard; the parity member (index SDIMMs) is repaired
+	// by the identical XOR, which TestCrashRecoveryCorruptSplit* sweeps hit.
+	opts := SplitClusterOptions{SDIMMs: 2, Levels: 7, Key: []byte("split-rec-key"), Seed: 3,
+		Parity: true, Durability: &DurabilityOptions{Dir: t.TempDir(), Interval: 64}}
+	c, err := NewSplitCluster(opts)
+	if err != nil {
+		t.Fatalf("NewSplitCluster: %v", err)
+	}
+	ops := recWorkload(11, 120, 32)
+	final := map[uint64][]byte{}
+	for i, op := range ops {
+		if op.write {
+			if err := c.Write(op.addr, op.data); err != nil {
+				t.Fatalf("write op %d: %v", i, err)
+			}
+			final[op.addr] = op.data
+		} else if _, err := c.Read(op.addr); err != nil {
+			t.Fatalf("read op %d: %v", i, err)
+		}
+	}
+	if _, ok := c.CorruptBucket(1, 5); !ok {
+		t.Fatal("CorruptBucket found no materialized buckets")
+	}
+	if err := c.ForceCheckpoint(); err != nil {
+		t.Fatalf("ForceCheckpoint: %v", err)
+	}
+	c.Close()
+
+	rc, report, err := RecoverSplitCluster(opts)
+	if err != nil {
+		t.Fatalf("RecoverSplitCluster: %v", err)
+	}
+	defer rc.Close()
+	if report.BucketsRepaired != 1 || report.BucketsUnrecoverable != 0 || len(report.Poisoned) != 0 {
+		t.Fatalf("scrub did not repair cleanly: %+v", report)
+	}
+	for addr, want := range final {
+		got, err := rc.Read(addr)
+		if err != nil {
+			t.Fatalf("read %d after repair: %v", addr, err)
+		}
+		if !bytes.Equal(got[:len(want)], want) {
+			t.Fatalf("payload of addr %d corrupted despite parity repair", addr)
+		}
+	}
+}
+
+// TestIndependentScrubPoisonsAndWriteHeals: with no cross-SDIMM redundancy a
+// corrupt bucket is unrecoverable — the scrub must quarantine it and poison
+// the addresses provably lost with it, reads of those addresses must fail
+// with ErrUnrecoverable (never silently return zeros), and a fresh write
+// must heal the address. Which bucket loses a block depends on the seeded
+// stash state, so the test scans corruption targets until one poisons.
+func TestIndependentScrubPoisonsAndWriteHeals(t *testing.T) {
+	ops := recWorkload(17, 160, 40)
+	for attempt := 0; attempt < 12; attempt++ {
+		opts := ClusterOptions{SDIMMs: 2, Levels: 7, Key: []byte("poison-test-key"), Seed: 13,
+			Durability: &DurabilityOptions{Dir: t.TempDir(), Interval: 64}}
+		c, err := NewCluster(opts)
+		if err != nil {
+			t.Fatalf("NewCluster: %v", err)
+		}
+		driveCluster(t, c, ops, 0, len(ops))
+		if _, ok := c.CorruptBucket(attempt%2, attempt); !ok {
+			t.Fatal("CorruptBucket found no materialized buckets")
+		}
+		if err := c.ForceCheckpoint(); err != nil {
+			t.Fatalf("ForceCheckpoint: %v", err)
+		}
+		c.Close()
+
+		rc, report, err := RecoverCluster(opts)
+		if err != nil {
+			t.Fatalf("RecoverCluster: %v", err)
+		}
+		if report.BucketsUnrecoverable != 1 {
+			rc.Close()
+			t.Fatalf("corrupt bucket not quarantined: %+v", report)
+		}
+		if len(report.Poisoned) == 0 {
+			rc.Close()
+			continue // lost bucket held only dummies this time; try another
+		}
+
+		addr := report.Poisoned[0]
+		if _, err := rc.Read(addr); !errors.Is(err, ErrUnrecoverable) {
+			rc.Close()
+			t.Fatalf("read of poisoned addr %d = %v, want ErrUnrecoverable", addr, err)
+		}
+		heal := bytes.Repeat([]byte{0x77}, 24)
+		if err := rc.Write(addr, heal); err != nil {
+			rc.Close()
+			t.Fatalf("healing write: %v", err)
+		}
+		got, err := rc.Read(addr)
+		if err != nil {
+			rc.Close()
+			t.Fatalf("read after healing write: %v", err)
+		}
+		if !bytes.Equal(got[:len(heal)], heal) {
+			rc.Close()
+			t.Fatalf("healed payload mismatch for addr %d", addr)
+		}
+		rc.Close()
+		return
+	}
+	t.Fatal("no corruption target produced a poisoned address in 12 attempts")
+}

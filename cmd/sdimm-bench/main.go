@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6|fig8|fig9|fig10|fig11|fig13a|fig13b|offdimm|latency|lowpower|cotenant|overflow|area|all, or parbench (not part of all)")
+		exp      = flag.String("exp", "all", "experiment: fig6|fig8|fig9|fig10|fig11|fig13a|fig13b|offdimm|latency|lowpower|cotenant|overflow|area|all, or parbench/recbench (not part of all)")
 		warmup   = flag.Int("warmup", 400, "warmup records per run")
 		measure  = flag.Int("measure", 800, "measured records per run")
 		levels   = flag.Int("levels", 28, "ORAM tree levels")
@@ -34,8 +34,18 @@ func main() {
 		telAddr  = flag.String("telemetry", "", "serve live telemetry JSON on this address (e.g. localhost:8080) while experiments run")
 		telLog   = flag.Duration("telemetry-log", 0, "log the telemetry snapshot to stderr at this interval (0 disables)")
 		parOut   = flag.String("parbench-out", "BENCH_parallel.json", "output path for -exp parbench")
+		recOut   = flag.String("recbench-out", "BENCH_recovery.json", "output path for -exp recbench")
 	)
 	flag.Parse()
+
+	// recbench times checkpoint save/restore and journal replay for the
+	// durability layer, writing BENCH_recovery.json.
+	if *exp == "recbench" {
+		if err := runRecBench(*recOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	// parbench is the parallel-engine throughput report, not a paper
 	// table: it times the cluster pipeline and the campaign runner at

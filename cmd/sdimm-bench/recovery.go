@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"sdimm"
+	"sdimm/internal/rng"
+)
+
+// recBenchReport is the BENCH_recovery.json schema: checkpoint save cost
+// (wall clock and bytes at a populated tree), and the full restart cost —
+// restore + scrub + journal replay — with the replay rate broken out. These
+// are report numbers, not gated: recovery happens once per restart, so the
+// interesting question is "how far is it from interactive", not a speedup.
+type recBenchReport struct {
+	NumCPU            int     `json:"num_cpu"`
+	SDIMMs            int     `json:"sdimms"`
+	Levels            int     `json:"levels"`
+	Accesses          int     `json:"accesses"`
+	CheckpointWriteMs float64 `json:"checkpoint_write_ms"`
+	CheckpointBytes   int64   `json:"checkpoint_bytes"`
+	JournalRecords    int     `json:"journal_records"`
+	RecoverMs         float64 `json:"recover_ms"`
+	ReplayPerSec      float64 `json:"replay_records_per_sec"`
+}
+
+// runRecBench populates a durable Independent cluster, times ForceCheckpoint
+// over several rotations, appends a journal segment, and times the full
+// RecoverCluster restart. Writes the report to outPath.
+func runRecBench(outPath string) error {
+	const (
+		populate  = 2000
+		replayLen = 512
+		ckptIters = 5
+	)
+	dir, err := os.MkdirTemp("", "sdimm-recbench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	rep := recBenchReport{NumCPU: runtime.NumCPU(), SDIMMs: 4, Levels: 14, Accesses: populate}
+	opts := sdimm.ClusterOptions{
+		SDIMMs: rep.SDIMMs,
+		Levels: rep.Levels,
+		Key:    []byte("recbench-key"),
+		Seed:   7,
+		// A huge interval disables automatic checkpoints; the bench rotates
+		// explicitly so the timed journal segment has a known length.
+		Durability: &sdimm.DurabilityOptions{Dir: dir, Interval: 1 << 30},
+	}
+	c, err := sdimm.NewCluster(opts)
+	if err != nil {
+		return err
+	}
+	r := rng.New(7)
+	drive := func(n int) error {
+		payload := make([]byte, 64)
+		for i := 0; i < n; i++ {
+			addr := r.Uint64n(256)
+			if r.Bool(0.5) {
+				for j := range payload {
+					payload[j] = byte(r.Uint64n(256))
+				}
+				if err := c.Write(addr, payload); err != nil {
+					return err
+				}
+			} else if _, err := c.Read(addr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := drive(populate); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	for i := 0; i < ckptIters; i++ {
+		if err := c.ForceCheckpoint(); err != nil {
+			return err
+		}
+	}
+	rep.CheckpointWriteMs = float64(time.Since(start).Milliseconds()) / ckptIters
+
+	ckpts, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.ckpt"))
+	if err != nil || len(ckpts) == 0 {
+		return fmt.Errorf("recbench: no checkpoint files in %s", dir)
+	}
+	if fi, err := os.Stat(ckpts[len(ckpts)-1]); err == nil {
+		rep.CheckpointBytes = fi.Size()
+	}
+
+	if err := drive(replayLen); err != nil {
+		return err
+	}
+	rep.JournalRecords = replayLen
+	c.Close()
+
+	start = time.Now()
+	rc, report, err := sdimm.RecoverCluster(opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	rc.Close()
+	if report.RecordsReplayed != replayLen {
+		return fmt.Errorf("recbench: replayed %d records, want %d", report.RecordsReplayed, replayLen)
+	}
+	rep.RecoverMs = float64(elapsed.Microseconds()) / 1e3
+	rep.ReplayPerSec = float64(replayLen) / elapsed.Seconds()
+
+	fmt.Fprintf(os.Stderr, "recbench: checkpoint %.1fms / %d bytes, recover %.1fms (%d records, %.0f replayed/s)\n",
+		rep.CheckpointWriteMs, rep.CheckpointBytes, rep.RecoverMs, replayLen, rep.ReplayPerSec)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recbench: wrote %s\n", outPath)
+	return nil
+}

@@ -8,6 +8,16 @@
 //	sdimm-chaos                       # 5000 accesses, ~1.7% fault rate
 //	sdimm-chaos -n 20000 -rate 0.05   # longer and nastier
 //	sdimm-chaos -split -failshard 1   # Split protocol, kill shard 1 mid-run
+//
+// With -crash it instead runs the crash-recovery equivalence sweep: seeded
+// restart points tear the journal mid-record (or, with -corrupt, flip a
+// sealed-bucket bit and checkpoint the damage), the cluster restarts from
+// its state directory, and the recovered run must be bitwise-equivalent to
+// an uncrashed reference:
+//
+//	sdimm-chaos -crash -n 1200 -crashes 4
+//	sdimm-chaos -crash -corrupt           # exercise the scrub pass
+//	sdimm-chaos -crash -split -corrupt    # parity must repair every flip
 package main
 
 import (
@@ -35,8 +45,41 @@ func main() {
 		traceOut  = flag.String("trace", "", "write cluster access spans as Chrome trace-event JSON to this file")
 		parallel  = flag.Int("parallel", 1, "concurrent SDIMM workers (>1 drives the batched pipeline; results are bit-identical at any value)")
 		batch     = flag.Int("batch", 8, "pipeline window for -parallel > 1 runs")
+		crash     = flag.Bool("crash", false, "run the crash-recovery equivalence sweep instead of the fault campaign")
+		crashes   = flag.Int("crashes", 4, "crash: number of seeded restart points")
+		stateDir  = flag.String("statedir", "", "crash: state directory (default: a fresh temp dir, removed afterwards)")
+		interval  = flag.Int("interval", 64, "crash: checkpoint cadence in committed accesses")
+		corrupt   = flag.Bool("corrupt", false, "crash: flip a sealed-bucket bit at each point (scrub pass) instead of tearing the journal")
 	)
 	flag.Parse()
+
+	if *crash {
+		res, err := chaos.RunCrash(chaos.CrashConfig{
+			SDIMMs:      *sdimms,
+			Levels:      *levels,
+			Accesses:    *n,
+			Addresses:   *addrs,
+			Seed:        *seed,
+			Crashes:     *crashes,
+			Parallelism: *parallel,
+			Batch:       *batch,
+			Dir:         *stateDir,
+			Interval:    *interval,
+			Corrupt:     *corrupt,
+			Split:       *split,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdimm-chaos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res)
+		if !res.Equivalent() {
+			fmt.Println("RESULT: FAIL — recovered cluster diverged from the uncrashed reference")
+			os.Exit(1)
+		}
+		fmt.Println("RESULT: PASS — every restart recovered bitwise-equivalent")
+		return
+	}
 
 	reg := telemetry.NewRegistry()
 	var tr *telemetry.Tracer

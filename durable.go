@@ -1,0 +1,698 @@
+package sdimm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sdimm/internal/durable"
+	"sdimm/internal/fault"
+	"sdimm/internal/oram"
+	isdimm "sdimm/internal/sdimm"
+)
+
+// This file wires crash consistency (internal/durable) into both cluster
+// flavours: journaling at the commit point, periodic checkpoints, and the
+// recovery sequence restore → scrub → replay → probation. See DESIGN.md,
+// "Durability & crash recovery", for the invariants.
+
+// ErrUnrecoverable marks a block whose payload was lost to on-disk
+// corruption that no redundancy could repair. Reads of such a block fail
+// with this error (never silently return zeros); a successful write heals
+// the address.
+var ErrUnrecoverable = errors.New("sdimm: block lost to unrecoverable corruption")
+
+// DurabilityOptions configures a cluster's crash consistency.
+type DurabilityOptions struct {
+	// Dir is the state directory (checkpoints + journal). One directory
+	// belongs to one cluster shape; recovery refuses mismatches.
+	Dir string
+	// Key authenticates every durable file (HMAC). Empty derives a key from
+	// the cluster key — fine for simulation, but state then shares trust
+	// with the bucket keys.
+	Key []byte
+	// Interval is the checkpoint cadence in committed accesses (default
+	// 256). Recovery replays at most this many journal records.
+	Interval int
+	// Sync fsyncs every commit. Off by default: the chaos harness simulates
+	// crashes by tearing the journal itself, and seeded sweeps stay fast.
+	Sync bool
+}
+
+func (o *DurabilityOptions) withDefaults(clusterKey []byte) DurabilityOptions {
+	d := *o
+	if len(d.Key) == 0 {
+		d.Key = append([]byte("durable|"), clusterKey...)
+	}
+	if d.Interval <= 0 {
+		d.Interval = 256
+	}
+	return d
+}
+
+// independentFingerprint pins an Independent cluster's shape. opts must be
+// defaulted.
+func independentFingerprint(opts ClusterOptions) durable.Fingerprint {
+	return durable.Fingerprint{
+		Kind:      "independent",
+		Members:   opts.SDIMMs,
+		Levels:    opts.Levels,
+		BlockSize: opts.BlockSize,
+		Z:         opts.Z,
+		Seed:      opts.Seed,
+	}
+}
+
+// splitFingerprint pins a Split cluster's shape. opts must be defaulted.
+func splitFingerprint(opts SplitClusterOptions) durable.Fingerprint {
+	return durable.Fingerprint{
+		Kind:      "split",
+		Members:   opts.SDIMMs,
+		Levels:    opts.Levels,
+		BlockSize: opts.BlockSize,
+		Z:         4,
+		Seed:      opts.Seed,
+		Parity:    opts.Parity,
+	}
+}
+
+// durableState is the durability bookkeeping embedded in both cluster
+// flavours. seq counts committed logical accesses; poisoned tracks
+// addresses lost to unrecoverable corruption (always allocated, usually
+// empty).
+type durableState struct {
+	dur       *durable.Manager
+	interval  int
+	seq       uint64
+	lastCkpt  uint64
+	replaying bool
+	poisoned  map[uint64]bool
+}
+
+// Seq returns the number of committed logical accesses. With durability
+// attached, every access with sequence number ≤ Seq survives a crash.
+func (d *durableState) Seq() uint64 { return d.seq }
+
+// crashedNow reports whether a planned crash point has fired — the cluster
+// is "dead" and refuses further work.
+func (d *durableState) crashedNow() bool { return d.dur != nil && d.dur.Crashed() }
+
+// attachDurability opens the state directory. Shared by construction and
+// recovery.
+func (d *durableState) attachDurability(opts *DurabilityOptions, fp durable.Fingerprint, clusterKey []byte) error {
+	do := opts.withDefaults(clusterKey)
+	m, err := durable.Open(do.Dir, do.Key, fp, fp.BlockSize, do.Sync)
+	if err != nil {
+		return err
+	}
+	d.dur = m
+	d.interval = do.Interval
+	return nil
+}
+
+// makeRecord advances the committed sequence for one access and returns its
+// journal record. A committed write heals a poisoned address — the lost
+// payload is fully overwritten.
+func (d *durableState) makeRecord(addr uint64, op oram.Op, data []byte) durable.Record {
+	d.seq++
+	if op == oram.OpWrite {
+		delete(d.poisoned, addr)
+	}
+	return durable.Record{Seq: d.seq, Addr: addr, Write: op == oram.OpWrite, Data: data}
+}
+
+// appendRecords journals a batch of records made by makeRecord. No-op
+// without durability and during replay (replay re-executes history that is
+// already on disk).
+func (d *durableState) appendRecords(recs []durable.Record) error {
+	if d.dur == nil || d.replaying || len(recs) == 0 {
+		return nil
+	}
+	return d.dur.Append(recs)
+}
+
+// commitRecord journals one access at its commit point.
+func (d *durableState) commitRecord(addr uint64, op oram.Op, data []byte) error {
+	rec := d.makeRecord(addr, op, data)
+	if d.dur == nil || d.replaying {
+		return nil
+	}
+	return d.dur.Append([]durable.Record{rec})
+}
+
+// maybeCheckpoint runs force when the checkpoint interval has elapsed.
+func (d *durableState) maybeCheckpoint(force func() error) error {
+	if d.dur == nil || d.replaying || d.seq-d.lastCkpt < uint64(d.interval) {
+		return nil
+	}
+	return force()
+}
+
+// PlanCrash arms a simulated crash after afterRecords more journal records,
+// tearing the next record at tearBytes bytes (chaos harness hook).
+func (d *durableState) PlanCrash(afterRecords, tearBytes int) error {
+	if d.dur == nil {
+		return errors.New("sdimm: PlanCrash without durability")
+	}
+	d.dur.PlanCrash(afterRecords, tearBytes)
+	return nil
+}
+
+// capturePositions snapshots a position map sorted by address.
+func capturePositions(pos oram.PositionMap) []durable.PosEntry {
+	out := make([]durable.PosEntry, 0, pos.Len())
+	pos.Each(func(a, l uint64) { out = append(out, durable.PosEntry{Addr: a, Value: l}) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// capturePoisoned snapshots the poison set sorted.
+func capturePoisoned(p map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(p))
+	for a := range p {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// captureBlocks converts engine/buffer blocks into checkpoint form.
+func captureBlocks(blocks []oram.Block) []durable.BlockState {
+	out := make([]durable.BlockState, len(blocks))
+	for i, b := range blocks {
+		out[i] = durable.BlockState{Addr: b.Addr, Leaf: b.Leaf, Data: b.Data}
+	}
+	return out
+}
+
+// restoreBlocks is captureBlocks' inverse.
+func restoreBlocks(blocks []durable.BlockState) []oram.Block {
+	out := make([]oram.Block, len(blocks))
+	for i, b := range blocks {
+		out[i] = oram.Block{Addr: b.Addr, Leaf: b.Leaf, Data: b.Data}
+	}
+	return out
+}
+
+// memStore unwraps a buffer's functional store.
+func memStore(b *isdimm.Buffer) *oram.MemStore {
+	return b.Engine().Store().(*oram.MemStore)
+}
+
+// captureMember snapshots one buffer (and its health record) into
+// checkpoint form.
+func captureMember(b *isdimm.Buffer, h *fault.Health) durable.MemberState {
+	m := durable.MemberState{
+		EngineRNG: b.Engine().RandState(),
+		BufferRNG: b.RandState(),
+		Stash:     captureBlocks(b.Engine().StashBlocks()),
+		Transfer:  captureBlocks(b.TransferBlocks()),
+	}
+	ms := memStore(b)
+	for _, idx := range ms.BucketIndices() {
+		raw, _ := ms.RawBucket(idx)
+		m.Buckets = append(m.Buckets, durable.BucketState{Idx: idx, Raw: raw})
+	}
+	succ, fail := h.Totals()
+	m.Health = durable.HealthState{
+		State:       int(h.State()),
+		Consecutive: h.Consecutive(),
+		Successes:   succ,
+		Failures:    fail,
+	}
+	return m
+}
+
+// restoreMember loads one buffer (and its health record) from checkpoint
+// form.
+func restoreMember(b *isdimm.Buffer, h *fault.Health, m durable.MemberState) error {
+	b.Engine().RestoreRandState(m.EngineRNG)
+	b.RestoreRandState(m.BufferRNG)
+	if err := b.Engine().RestoreStash(restoreBlocks(m.Stash)); err != nil {
+		return err
+	}
+	if err := b.RestoreTransfer(restoreBlocks(m.Transfer)); err != nil {
+		return err
+	}
+	ms := memStore(b)
+	for _, bk := range m.Buckets {
+		if err := ms.RestoreRaw(bk.Idx, bk.Raw); err != nil {
+			return err
+		}
+	}
+	h.Restore(fault.State(m.Health.State), m.Health.Consecutive, m.Health.Successes, m.Health.Failures)
+	return nil
+}
+
+// --- Independent cluster ---
+
+// ForceCheckpoint captures the cluster's full state and persists it,
+// rotating the journal. Callable any time the cluster is quiescent.
+func (c *Cluster) ForceCheckpoint() error {
+	if c.dur == nil {
+		return errors.New("sdimm: ForceCheckpoint without durability")
+	}
+	cp := &durable.Checkpoint{
+		Seq:       c.seq,
+		RNG:       c.rnd.State(),
+		Positions: capturePositions(c.pos),
+		Poisoned:  capturePoisoned(c.poisoned),
+	}
+	for i, b := range c.buffers {
+		m := captureMember(b, c.health[i])
+		m.HostSend = c.links[i].Host.SendCounter()
+		m.HostRecv = c.links[i].Host.RecvCounter()
+		m.DevSend = c.links[i].Dev.SendCounter()
+		m.DevRecv = c.links[i].Dev.RecvCounter()
+		cp.Members = append(cp.Members, m)
+	}
+	if err := c.dur.WriteCheckpoint(cp); err != nil {
+		return err
+	}
+	c.lastCkpt = c.seq
+	c.tm.checkpoints.Inc()
+	return nil
+}
+
+// CorruptBucket flips a ciphertext bit in the k-th materialized bucket
+// (sorted by index) of member sd's store and returns the bucket index
+// (chaos harness hook for scrub testing). False when the member has no
+// materialized buckets.
+func (c *Cluster) CorruptBucket(sd, k int) (uint64, bool) {
+	if sd < 0 || sd >= len(c.buffers) {
+		return 0, false
+	}
+	ms := memStore(c.buffers[sd])
+	idxs := ms.BucketIndices()
+	if len(idxs) == 0 {
+		return 0, false
+	}
+	idx := idxs[k%len(idxs)]
+	return idx, ms.Corrupt(idx)
+}
+
+// restoreCheckpoint loads cp into the (freshly constructed) cluster.
+func (c *Cluster) restoreCheckpoint(cp *durable.Checkpoint) error {
+	if len(cp.Members) != len(c.buffers) {
+		return fmt.Errorf("sdimm: checkpoint has %d members, cluster has %d", len(cp.Members), len(c.buffers))
+	}
+	c.seq = cp.Seq
+	c.lastCkpt = cp.Seq
+	c.rnd.Restore(cp.RNG)
+	for _, p := range cp.Positions {
+		c.pos.Set(p.Addr, p.Value)
+	}
+	c.poisoned = make(map[uint64]bool, len(cp.Poisoned))
+	for _, a := range cp.Poisoned {
+		c.poisoned[a] = true
+	}
+	for i, m := range cp.Members {
+		if err := restoreMember(c.buffers[i], c.health[i], m); err != nil {
+			return err
+		}
+		// The links run fresh post-restart ECDH sessions (new keys, so
+		// restored counters can never reuse a pad); restoring the counters
+		// forward keeps both endpoints in lockstep and the counters
+		// monotonic across the crash.
+		if err := c.links[i].Host.RestoreCounters(m.HostSend, m.HostRecv); err != nil {
+			return err
+		}
+		if err := c.links[i].Dev.RestoreCounters(m.DevSend, m.DevRecv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scrub runs the post-restore PMMAC pass over every member's tree: verify
+// every materialized bucket, quarantine the ones whose tag fails, and
+// poison any mapped address whose block can no longer be found anywhere
+// (corrupt bucket on its path, not in the stash or transfer queue). The
+// Independent protocol has no cross-SDIMM redundancy, so a corrupt bucket
+// is always unrecoverable — the pass bounds the damage to provably-lost
+// addresses and keeps the tree navigable.
+func (c *Cluster) scrub(report *durable.RecoveryReport) error {
+	corrupt := make([]map[uint64]bool, len(c.buffers))
+	for i, b := range c.buffers {
+		ms := memStore(b)
+		for _, idx := range ms.BucketIndices() {
+			report.BucketsScanned++
+			if _, err := ms.ReadBucket(idx); err != nil {
+				if !errors.Is(err, oram.ErrIntegrity) {
+					return err
+				}
+				if corrupt[i] == nil {
+					corrupt[i] = make(map[uint64]bool)
+				}
+				corrupt[i][idx] = true
+			}
+		}
+	}
+	for i, set := range corrupt {
+		if len(set) == 0 {
+			continue
+		}
+		ms := memStore(c.buffers[i])
+		idxs := make([]uint64, 0, len(set))
+		for idx := range set {
+			idxs = append(idxs, idx)
+		}
+		sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+		for _, idx := range idxs {
+			// Quarantine: overwrite with an all-dummy bucket so path reads
+			// stay serviceable. The lost contents are handled by poisoning.
+			if err := ms.WriteBucket(idx, oram.NewBucket(ms.Z())); err != nil {
+				return err
+			}
+			report.BucketsUnrecoverable++
+		}
+	}
+
+	// Poison pass, in sorted address order (no RNG, so recovery stays
+	// deterministic): an address is lost iff a corrupt bucket lay on its
+	// path and the block is in neither the stash, the transfer queue, nor a
+	// healthy path bucket.
+	mask := uint64(1)<<c.localBits - 1
+	for _, e := range capturePositions(c.pos) {
+		sd := int(e.Value >> c.localBits)
+		set := corrupt[sd]
+		if len(set) == 0 {
+			continue
+		}
+		b := c.buffers[sd]
+		path := b.Engine().Geometry().Path(e.Value&mask, nil)
+		touched := false
+		for _, idx := range path {
+			if set[idx] {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		if _, ok := b.Engine().StashGet(e.Addr); ok {
+			continue
+		}
+		if _, ok := b.TransferQueueSearch(e.Addr); ok {
+			continue
+		}
+		found := false
+		ms := memStore(b)
+		for _, idx := range path {
+			if set[idx] {
+				continue
+			}
+			bkt, err := ms.ReadBucket(idx)
+			if err != nil {
+				return err
+			}
+			for _, slot := range bkt.Slots {
+				if slot.Addr == e.Addr {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			c.poisoned[e.Addr] = true
+			report.Poisoned = append(report.Poisoned, e.Addr)
+		}
+	}
+	return nil
+}
+
+// RecoverCluster rebuilds a durable Independent cluster from its state
+// directory: construct fresh (new link sessions), load the newest valid
+// checkpoint, scrub every bucket's PMMAC tag, replay the journal to the
+// last committed access, put all members into Recovering probation, and
+// persist a post-recovery checkpoint — only then is traffic admitted.
+//
+// The scrub runs before replay on purpose: replay re-executes accesses
+// against the restored image, so the image must be navigable first, and a
+// replayed write to a poisoned address heals it exactly as the original
+// execution did.
+func RecoverCluster(opts ClusterOptions) (*Cluster, *durable.RecoveryReport, error) {
+	opts = opts.withDefaults()
+	if opts.Durability == nil {
+		return nil, nil, errors.New("sdimm: RecoverCluster requires Durability options")
+	}
+	c, err := buildCluster(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.attachDurability(opts.Durability, independentFingerprint(opts), opts.Key); err != nil {
+		return nil, nil, err
+	}
+	cp, recs, report, err := c.dur.Recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.restoreCheckpoint(cp); err != nil {
+		return nil, nil, err
+	}
+	if err := c.scrub(report); err != nil {
+		return nil, nil, err
+	}
+	c.replaying = true
+	for _, rec := range recs {
+		if rec.Seq != c.seq+1 {
+			c.replaying = false
+			return nil, nil, fmt.Errorf("sdimm: replay record %d does not follow committed seq %d", rec.Seq, c.seq)
+		}
+		op, data := oram.OpRead, []byte(nil)
+		if rec.Write {
+			op, data = oram.OpWrite, rec.Data
+		}
+		if _, err := c.access(rec.Addr, op, data); err != nil {
+			c.replaying = false
+			return nil, nil, fmt.Errorf("sdimm: replay access %d (seq %d): %w", rec.Addr, rec.Seq, err)
+		}
+		c.tm.replayed.Inc()
+	}
+	c.replaying = false
+	for _, h := range c.health {
+		h.MarkRecovering()
+	}
+	if err := c.ForceCheckpoint(); err != nil {
+		return nil, nil, err
+	}
+	c.tm.scrubScanned.Add(uint64(report.BucketsScanned))
+	c.tm.scrubRepaired.Add(uint64(report.BucketsRepaired))
+	c.tm.scrubUnrecoverable.Add(uint64(report.BucketsUnrecoverable))
+	return c, report, nil
+}
+
+// --- Split cluster ---
+
+// allMembers returns the data shards followed by the parity member (when
+// present) — index-aligned with c.health.
+func (c *SplitCluster) allMembers() []*isdimm.Buffer {
+	out := append([]*isdimm.Buffer(nil), c.buffers...)
+	if c.parity != nil {
+		out = append(out, c.parity)
+	}
+	return out
+}
+
+// ForceCheckpoint captures the cluster's full state and persists it,
+// rotating the journal.
+func (c *SplitCluster) ForceCheckpoint() error {
+	if c.dur == nil {
+		return errors.New("sdimm: ForceCheckpoint without durability")
+	}
+	cp := &durable.Checkpoint{
+		Seq:       c.seq,
+		RNG:       c.rnd.State(),
+		Positions: capturePositions(c.pos),
+		Poisoned:  capturePoisoned(c.poisoned),
+	}
+	for i, b := range c.allMembers() {
+		cp.Members = append(cp.Members, captureMember(b, c.health[i]))
+	}
+	if err := c.dur.WriteCheckpoint(cp); err != nil {
+		return err
+	}
+	c.lastCkpt = c.seq
+	c.tm.checkpoints.Inc()
+	return nil
+}
+
+// CorruptBucket flips a ciphertext bit in the k-th materialized bucket of
+// member i (data shards 0..SDIMMs-1; SDIMMs = parity) and returns the
+// bucket index.
+func (c *SplitCluster) CorruptBucket(member, k int) (uint64, bool) {
+	members := c.allMembers()
+	if member < 0 || member >= len(members) {
+		return 0, false
+	}
+	ms := memStore(members[member])
+	idxs := ms.BucketIndices()
+	if len(idxs) == 0 {
+		return 0, false
+	}
+	idx := idxs[k%len(idxs)]
+	return idx, ms.Corrupt(idx)
+}
+
+// restoreCheckpoint loads cp into the (freshly constructed) cluster.
+func (c *SplitCluster) restoreCheckpoint(cp *durable.Checkpoint) error {
+	members := c.allMembers()
+	if len(cp.Members) != len(members) {
+		return fmt.Errorf("sdimm: checkpoint has %d members, cluster has %d", len(cp.Members), len(members))
+	}
+	c.seq = cp.Seq
+	c.lastCkpt = cp.Seq
+	c.rnd.Restore(cp.RNG)
+	for _, p := range cp.Positions {
+		c.pos.Set(p.Addr, p.Value)
+	}
+	c.poisoned = make(map[uint64]bool, len(cp.Poisoned))
+	for _, a := range cp.Poisoned {
+		c.poisoned[a] = true
+	}
+	for i, m := range cp.Members {
+		if err := restoreMember(members[i], c.health[i], m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scrub verifies every member's buckets and repairs corrupt ones from the
+// other shards. Shard trees evolve in lockstep, so for any bucket index the
+// slot headers and write counter agree across members, and the parity
+// member's data is the XOR of the data shards' — a single corrupt member's
+// bucket is rebuilt bit-exactly (XOR of all healthy members' slot data,
+// resealed under the sibling counter). With no parity, or more than one
+// corrupt member for the same bucket, the affected members are marked
+// Failed and the damage is reported unrecoverable.
+func (c *SplitCluster) scrub(report *durable.RecoveryReport) error {
+	members := c.allMembers()
+	idxSet := make(map[uint64]bool)
+	for _, b := range members {
+		for _, idx := range memStore(b).BucketIndices() {
+			idxSet[idx] = true
+		}
+	}
+	idxs := make([]uint64, 0, len(idxSet))
+	for idx := range idxSet {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+
+	for _, idx := range idxs {
+		buckets := make([]oram.Bucket, len(members))
+		var bad, good []int
+		for mi, b := range members {
+			report.BucketsScanned++
+			bkt, err := memStore(b).ReadBucket(idx)
+			if err != nil {
+				if !errors.Is(err, oram.ErrIntegrity) {
+					return err
+				}
+				bad = append(bad, mi)
+				continue
+			}
+			buckets[mi] = bkt
+			good = append(good, mi)
+		}
+		if len(bad) == 0 {
+			continue
+		}
+		if c.parity == nil || len(bad) > 1 || len(good) == 0 {
+			report.BucketsUnrecoverable += len(bad)
+			for _, mi := range bad {
+				c.health[mi].MarkFailed(fmt.Errorf("sdimm: bucket %d unrecoverable on member %d: %w", idx, mi, oram.ErrIntegrity))
+			}
+			continue
+		}
+		target := bad[0]
+		tpl := buckets[good[0]]
+		rebuilt := oram.NewBucket(len(tpl.Slots))
+		for s := range tpl.Slots {
+			rebuilt.Slots[s].Addr = tpl.Slots[s].Addr
+			rebuilt.Slots[s].Leaf = tpl.Slots[s].Leaf
+			if rebuilt.Slots[s].IsDummy() {
+				continue
+			}
+			data := make([]byte, c.shard)
+			for _, mi := range good {
+				d := buckets[mi].Slots[s].Data
+				for j := range data {
+					data[j] ^= d[j]
+				}
+			}
+			rebuilt.Slots[s].Data = data
+		}
+		counter := memStore(members[good[0]]).Counter(idx)
+		if err := memStore(members[target]).PutBucketAt(idx, rebuilt, counter); err != nil {
+			return err
+		}
+		report.BucketsRepaired++
+	}
+	return nil
+}
+
+// RecoverSplitCluster rebuilds a durable Split cluster from its state
+// directory, mirroring RecoverCluster: restore → parity scrub → journal
+// replay → probation → post-recovery checkpoint.
+func RecoverSplitCluster(opts SplitClusterOptions) (*SplitCluster, *durable.RecoveryReport, error) {
+	opts = opts.withDefaults()
+	if opts.Durability == nil {
+		return nil, nil, errors.New("sdimm: RecoverSplitCluster requires Durability options")
+	}
+	c, err := buildSplitCluster(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.attachDurability(opts.Durability, splitFingerprint(opts), opts.Key); err != nil {
+		return nil, nil, err
+	}
+	cp, recs, report, err := c.dur.Recover()
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	if err := c.restoreCheckpoint(cp); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	if err := c.scrub(report); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	c.replaying = true
+	for _, rec := range recs {
+		if rec.Seq != c.seq+1 {
+			c.replaying = false
+			c.Close()
+			return nil, nil, fmt.Errorf("sdimm: replay record %d does not follow committed seq %d", rec.Seq, c.seq)
+		}
+		op, data := oram.OpRead, []byte(nil)
+		if rec.Write {
+			op, data = oram.OpWrite, rec.Data
+		}
+		if _, err := c.access(rec.Addr, op, data); err != nil {
+			c.replaying = false
+			c.Close()
+			return nil, nil, fmt.Errorf("sdimm: replay access %d (seq %d): %w", rec.Addr, rec.Seq, err)
+		}
+		c.tm.replayed.Inc()
+	}
+	c.replaying = false
+	for _, h := range c.health {
+		h.MarkRecovering()
+	}
+	if err := c.ForceCheckpoint(); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	c.tm.scrubScanned.Add(uint64(report.BucketsScanned))
+	c.tm.scrubRepaired.Add(uint64(report.BucketsRepaired))
+	c.tm.scrubUnrecoverable.Add(uint64(report.BucketsUnrecoverable))
+	return c, report, nil
+}

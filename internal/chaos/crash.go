@@ -1,0 +1,463 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"sdimm"
+	"sdimm/internal/durable"
+	"sdimm/internal/rng"
+	"sdimm/internal/telemetry"
+)
+
+// This file is the crash-point chaos mode: the same seeded workload runs
+// twice, once on an uncrashed reference cluster and once on a durable
+// cluster that is killed at seeded points and restarted from disk. The
+// recovered run must be bitwise-equivalent to the reference — per-operation
+// results, final payloads, the position map, and the final incarnation's
+// telemetry deltas. Links are fault-free here on purpose: the sweep isolates
+// the durability layer, while the link-fault campaign (Run/RunSplit) covers
+// the channel.
+
+// CrashConfig sizes one crash-recovery equivalence campaign.
+type CrashConfig struct {
+	// SDIMMs and Levels size the cluster (defaults 4 and 8).
+	SDIMMs int
+	Levels int
+	// Accesses is the workload length (default 1200).
+	Accesses int
+	// Addresses is the address working-set size (default 96).
+	Addresses uint64
+	// Seed drives the workload, the cluster leaf assignment (xored, same
+	// derivation as the link-fault campaign), and the crash points.
+	Seed uint64
+	// Crashes is the number of seeded restart points, drawn uniquely from
+	// (0, Accesses) (default 4).
+	Crashes int
+	// Parallelism > 1 drives Independent segments through the batched access
+	// pipeline (crash points then land mid-wave); Split clusters use it for
+	// intra-access shard fan-out. Results must be identical at any value.
+	Parallelism int
+	// Batch is the pipeline window for parallel Independent runs (default 8).
+	Batch int
+	// Dir is the state directory; empty uses a fresh temp dir removed when
+	// the sweep finishes.
+	Dir string
+	// Interval is the checkpoint cadence in committed accesses (default 64).
+	Interval int
+	// Corrupt switches the restart points from journal tears to on-disk
+	// damage: one member's sealed bucket gets a ciphertext bit flipped and
+	// the damage is checkpointed before the restart, so the recovery scrub —
+	// not the journal — has to catch it. Independent clusters may then
+	// poison provably-lost addresses (reads fail with ErrUnrecoverable
+	// instead of returning wrong bytes); Split clusters must repair from
+	// parity and stay fully equivalent.
+	Corrupt bool
+	// Split runs the Split protocol with the XOR parity member.
+	Split bool
+}
+
+// CrashResult summarizes one crash sweep. The sweep passes iff Equivalent().
+type CrashResult struct {
+	Accesses   int
+	Crashes    int // restart points exercised
+	Recoveries int
+	Replayed   int // journal records replayed across all recoveries
+	TornTails  int // recoveries that found a mid-record tear
+
+	Repaired      int // buckets rebuilt from parity by the scrub
+	Unrecoverable int // buckets quarantined with no redundancy left
+	PoisonedAddrs int // addresses poisoned by the scrub
+	PoisonedReads int // reads refused with ErrUnrecoverable (Corrupt mode only)
+
+	// SkippedResults counts operations whose only observed result was the
+	// crash itself (committed in the dying wave); their effects are verified
+	// by the final payload sweep instead.
+	SkippedResults int
+
+	ResultMismatches    int // per-operation result diverged from the reference
+	PayloadMismatches   int // final payload sweep diverged
+	PositionMismatches  int // final position map diverged
+	TelemetryMismatches int // final incarnation's access counters diverged
+}
+
+// Equivalent reports whether the recovered run matched the uncrashed
+// reference on every compared surface.
+func (r CrashResult) Equivalent() bool {
+	return r.ResultMismatches == 0 && r.PayloadMismatches == 0 &&
+		r.PositionMismatches == 0 && r.TelemetryMismatches == 0
+}
+
+// String renders a one-screen summary.
+func (r CrashResult) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "crash: %d accesses, %d restart points, %d recoveries, %d records replayed\n",
+		r.Accesses, r.Crashes, r.Recoveries, r.Replayed)
+	fmt.Fprintf(&b, "  torn tails: %d, repaired: %d, unrecoverable: %d, poisoned addrs: %d, poisoned reads: %d\n",
+		r.TornTails, r.Repaired, r.Unrecoverable, r.PoisonedAddrs, r.PoisonedReads)
+	fmt.Fprintf(&b, "  mismatches: results=%d payloads=%d positions=%d telemetry=%d (crash-wave results skipped: %d)\n",
+		r.ResultMismatches, r.PayloadMismatches, r.PositionMismatches, r.TelemetryMismatches, r.SkippedResults)
+	return b.String()
+}
+
+func withCrashDefaults(cfg CrashConfig) CrashConfig {
+	if cfg.SDIMMs == 0 {
+		cfg.SDIMMs = 4
+	}
+	if cfg.Levels == 0 {
+		cfg.Levels = 8
+	}
+	if cfg.Accesses == 0 {
+		cfg.Accesses = 1200
+	}
+	if cfg.Addresses == 0 {
+		cfg.Addresses = 96
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Crashes == 0 {
+		cfg.Crashes = 4
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 8
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 64
+	}
+	return cfg
+}
+
+// crashDriver is the cluster surface the sweep drives; both protocol
+// flavours satisfy it.
+type crashDriver interface {
+	Read(addr uint64) ([]byte, error)
+	Write(addr uint64, data []byte) error
+	Seq() uint64
+	PlanCrash(afterRecords, tearBytes int) error
+	ForceCheckpoint() error
+	CorruptBucket(member, k int) (uint64, bool)
+	Positions() map[uint64]uint64
+}
+
+func crashIndOpts(cfg CrashConfig, reg *telemetry.Registry, dur *sdimm.DurabilityOptions) sdimm.ClusterOptions {
+	return sdimm.ClusterOptions{
+		SDIMMs:     cfg.SDIMMs,
+		Levels:     cfg.Levels,
+		Key:        []byte("chaos-campaign-key"),
+		Seed:       cfg.Seed ^ 0xc0ffee,
+		Telemetry:  reg,
+		Durability: dur,
+	}
+}
+
+func crashSplitOpts(cfg CrashConfig, reg *telemetry.Registry, dur *sdimm.DurabilityOptions) sdimm.SplitClusterOptions {
+	return sdimm.SplitClusterOptions{
+		SDIMMs:      cfg.SDIMMs,
+		Levels:      cfg.Levels,
+		Key:         []byte("chaos-split-key"),
+		Seed:        cfg.Seed ^ 0x5eed,
+		Parity:      true,
+		Parallelism: cfg.Parallelism,
+		Telemetry:   reg,
+		Durability:  dur,
+	}
+}
+
+// buildCrashCluster constructs a fresh cluster. dir == "" means no
+// durability (the reference run). ind is non-nil only for Independent
+// clusters — the pipeline driver needs the concrete type.
+func buildCrashCluster(cfg CrashConfig, reg *telemetry.Registry, dir string) (c crashDriver, ind *sdimm.Cluster, closeFn func(), err error) {
+	var dur *sdimm.DurabilityOptions
+	if dir != "" {
+		dur = &sdimm.DurabilityOptions{Dir: dir, Interval: cfg.Interval}
+	}
+	if cfg.Split {
+		sc, err := sdimm.NewSplitCluster(crashSplitOpts(cfg, reg, dur))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return sc, nil, sc.Close, nil
+	}
+	ic, err := sdimm.NewCluster(crashIndOpts(cfg, reg, dur))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return ic, ic, func() { ic.Close() }, nil
+}
+
+// recoverCrashCluster rebuilds the cluster from the state directory.
+func recoverCrashCluster(cfg CrashConfig, reg *telemetry.Registry, dir string) (c crashDriver, ind *sdimm.Cluster, closeFn func(), report *durable.RecoveryReport, err error) {
+	dur := &sdimm.DurabilityOptions{Dir: dir, Interval: cfg.Interval}
+	if cfg.Split {
+		sc, rep, err := sdimm.RecoverSplitCluster(crashSplitOpts(cfg, reg, dur))
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		return sc, nil, sc.Close, rep, nil
+	}
+	ic, rep, err := sdimm.RecoverCluster(crashIndOpts(cfg, reg, dur))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return ic, ic, func() { ic.Close() }, rep, nil
+}
+
+// crashOut is one operation's observed result.
+type crashOut struct {
+	data  []byte
+	err   error
+	valid bool
+}
+
+// driveRef runs the whole workload on an undisturbed cluster, recording
+// per-operation results and the final payload per address.
+func driveRef(c crashDriver, ops []chaosOp) ([]crashOut, map[uint64][]byte, error) {
+	out := make([]crashOut, len(ops))
+	final := map[uint64][]byte{}
+	for i, op := range ops {
+		var got []byte
+		var err error
+		if op.write {
+			if err = c.Write(op.addr, op.data); err == nil {
+				final[op.addr] = op.data
+			}
+		} else {
+			got, err = c.Read(op.addr)
+		}
+		if err != nil {
+			// The reference run has no faults and no crashes; any error here
+			// invalidates the whole comparison.
+			return nil, nil, fmt.Errorf("chaos: reference op %d: %w", i, err)
+		}
+		out[i] = crashOut{data: append([]byte(nil), got...), valid: true}
+	}
+	return out, final, nil
+}
+
+// RunCrash executes one crash-recovery equivalence sweep. It returns an
+// error only for harness-level failures (the cluster could not be built or
+// recovered); divergence from the reference is reported in the result.
+func RunCrash(cfg CrashConfig) (CrashResult, error) {
+	cfg = withCrashDefaults(cfg)
+	if cfg.Crashes >= cfg.Accesses {
+		return CrashResult{}, fmt.Errorf("chaos: %d crash points need more than %d accesses", cfg.Crashes, cfg.Accesses)
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "sdimm-crash-*")
+		if err != nil {
+			return CrashResult{}, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	ops := buildWorkload(Config{Accesses: cfg.Accesses, Addresses: cfg.Addresses, Seed: cfg.Seed})
+
+	refC, _, refClose, err := buildCrashCluster(cfg, nil, "")
+	if err != nil {
+		return CrashResult{}, err
+	}
+	refRes, refFinal, err := driveRef(refC, ops)
+	if err != nil {
+		refClose()
+		return CrashResult{}, err
+	}
+	refPos := refC.Positions()
+	refClose()
+
+	// Seeded restart points, unique in (0, Accesses), ascending. The same
+	// stream also draws the tear offsets and corruption targets, so the whole
+	// sweep is reproducible from cfg.Seed.
+	pr := rng.New(cfg.Seed ^ 0xcfa54ed)
+	ptSet := map[int]bool{}
+	for len(ptSet) < cfg.Crashes {
+		ptSet[1+int(pr.Uint64n(uint64(cfg.Accesses-1)))] = true
+	}
+	pts := make([]int, 0, len(ptSet))
+	for p := range ptSet {
+		pts = append(pts, p)
+	}
+	sort.Ints(pts)
+
+	members := cfg.SDIMMs
+	if cfg.Split {
+		members++ // the parity member is a corruption target too
+	}
+
+	res := CrashResult{Accesses: cfg.Accesses}
+	results := make([]crashOut, len(ops))
+
+	reg := telemetry.NewRegistry()
+	c, ind, closeC, err := buildCrashCluster(cfg, reg, dir)
+	if err != nil {
+		return res, err
+	}
+
+	pi := 0
+	segStart := 0
+	for {
+		start := int(c.Seq())
+		stop := len(ops)
+		if pi < len(pts) {
+			if cfg.Corrupt {
+				// Corrupt points stop cleanly at the point, persist the
+				// damage, and restart — the scrub has to catch it.
+				stop = pts[pi]
+			} else {
+				// Tear points kill the journal mid-record at the point's
+				// logical access, at a seeded byte offset within the record.
+				if err := c.PlanCrash(pts[pi]-start, int(pr.Uint64n(160))); err != nil {
+					closeC()
+					return res, err
+				}
+			}
+		}
+		segStart = start
+		crashed := false
+		if ind != nil && cfg.Parallelism > 1 {
+			pipe := ind.Pipeline(sdimm.PipelineOptions{Window: cfg.Batch, Parallelism: cfg.Parallelism})
+			bops := make([]sdimm.BatchOp, stop-start)
+			for j, op := range ops[start:stop] {
+				bops[j] = sdimm.BatchOp{Addr: op.addr, Write: op.write, Data: op.data}
+			}
+			rs := pipe.Do(bops)
+			pipe.Close()
+			for j, r := range rs {
+				if errors.Is(r.Err, durable.ErrCrashed) {
+					crashed = true
+					continue
+				}
+				results[start+j] = crashOut{data: append([]byte(nil), r.Data...), err: r.Err, valid: true}
+			}
+		} else {
+			for i := start; i < stop; i++ {
+				op := ops[i]
+				var got []byte
+				var opErr error
+				if op.write {
+					opErr = c.Write(op.addr, op.data)
+				} else {
+					got, opErr = c.Read(op.addr)
+				}
+				if errors.Is(opErr, durable.ErrCrashed) {
+					crashed = true
+					break
+				}
+				results[i] = crashOut{data: append([]byte(nil), got...), err: opErr, valid: true}
+			}
+		}
+
+		if !crashed && stop == len(ops) {
+			break
+		}
+		if !crashed {
+			// Clean stop at a corrupt point: flip a ciphertext bit in a
+			// seeded member's sealed bucket, checkpoint the damage, restart.
+			c.CorruptBucket(int(pr.Uint64n(uint64(members))), int(pr.Uint64n(1<<16)))
+			if err := c.ForceCheckpoint(); err != nil {
+				closeC()
+				return res, err
+			}
+		}
+		closeC()
+		res.Crashes++
+		pi++
+
+		reg = telemetry.NewRegistry() // each incarnation is a fresh process
+		var report *durable.RecoveryReport
+		c, ind, closeC, report, err = recoverCrashCluster(cfg, reg, dir)
+		if err != nil {
+			return res, err
+		}
+		res.Recoveries++
+		res.Replayed += report.RecordsReplayed
+		if report.TornTail {
+			res.TornTails++
+		}
+		res.Repaired += report.BucketsRepaired
+		res.Unrecoverable += report.BucketsUnrecoverable
+		res.PoisonedAddrs += len(report.Poisoned)
+	}
+
+	// Telemetry equivalence: the final incarnation ran its segment crash-free
+	// on a fresh registry, so its access counters must equal the segment's
+	// op counts exactly (replayed accesses land in cluster.recovery.replayed,
+	// never in cluster.accesses).
+	var segReads, segWrites uint64
+	for _, op := range ops[segStart:] {
+		if op.write {
+			segWrites++
+		} else {
+			segReads++
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["cluster.accesses"] != segReads+segWrites ||
+		snap.Counters["cluster.reads"] != segReads ||
+		snap.Counters["cluster.writes"] != segWrites {
+		res.TelemetryMismatches++
+	}
+
+	// Per-operation results. Operations whose only result was the crash are
+	// skipped (their committed effects are covered by the payload sweep); in
+	// Corrupt mode an Independent read may fail with ErrUnrecoverable where
+	// the reference succeeded — that is the poison contract working, counted
+	// separately.
+	allowPoison := cfg.Corrupt && !cfg.Split
+	for i, r := range results {
+		if !r.valid {
+			res.SkippedResults++
+			continue
+		}
+		ref := refRes[i]
+		switch {
+		case allowPoison && errors.Is(r.err, sdimm.ErrUnrecoverable):
+			res.PoisonedReads++
+		case (r.err == nil) != (ref.err == nil):
+			res.ResultMismatches++
+		case r.err == nil && !ops[i].write && !bytes.Equal(r.data, ref.data):
+			res.ResultMismatches++
+		}
+	}
+
+	// Position-map equivalence, before the sweep below disturbs it.
+	gotPos := c.Positions()
+	for a, l := range refPos {
+		if gl, ok := gotPos[a]; !ok || gl != l {
+			res.PositionMismatches++
+		}
+	}
+	for a := range gotPos {
+		if _, ok := refPos[a]; !ok {
+			res.PositionMismatches++
+		}
+	}
+
+	// Final payload sweep: every address in the working set must read back
+	// exactly what the reference run left there (zeros if never written).
+	for addr := uint64(0); addr < cfg.Addresses; addr++ {
+		want := refFinal[addr]
+		if want == nil {
+			want = make([]byte, payloadLen)
+		}
+		got, err := c.Read(addr)
+		if err != nil {
+			if allowPoison && errors.Is(err, sdimm.ErrUnrecoverable) {
+				res.PoisonedReads++
+				continue
+			}
+			res.PayloadMismatches++
+			continue
+		}
+		if !bytes.Equal(got[:payloadLen], want) {
+			res.PayloadMismatches++
+		}
+	}
+	closeC()
+	return res, nil
+}

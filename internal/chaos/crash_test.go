@@ -1,0 +1,84 @@
+package chaos
+
+import "testing"
+
+// checkCrash runs one sweep and asserts the core contract: every seeded
+// restart point fired, every recovery happened, and the recovered run is
+// bitwise-equivalent to the uncrashed reference.
+func checkCrash(t *testing.T, cfg CrashConfig) CrashResult {
+	t.Helper()
+	res, err := RunCrash(cfg)
+	if err != nil {
+		t.Fatalf("RunCrash: %v", err)
+	}
+	if res.Crashes != cfg.Crashes || res.Recoveries != cfg.Crashes {
+		t.Fatalf("exercised %d crashes / %d recoveries, want %d\n%s", res.Crashes, res.Recoveries, cfg.Crashes, res)
+	}
+	if !res.Equivalent() {
+		t.Fatalf("recovered cluster diverged from reference:\n%s", res)
+	}
+	return res
+}
+
+func crashCfg(t *testing.T) CrashConfig {
+	cfg := CrashConfig{Accesses: 600, Crashes: 3, Seed: 11, Interval: 48}
+	if testing.Short() {
+		cfg.Accesses, cfg.Crashes = 200, 1
+	}
+	return cfg
+}
+
+func TestCrashRecoveryEquivalenceSequential(t *testing.T) {
+	cfg := crashCfg(t)
+	res := checkCrash(t, cfg)
+	// Checkpoint cadence 48 with uniform crash points makes replay work all
+	// but certain; a zero here means the journal path went untested.
+	if res.Replayed == 0 {
+		t.Fatalf("no journal records replayed:\n%s", res)
+	}
+	if res.TornTails == 0 {
+		t.Fatalf("no torn journal tail observed across %d tears:\n%s", cfg.Crashes, res)
+	}
+}
+
+func TestCrashRecoveryEquivalenceParallel(t *testing.T) {
+	cfg := crashCfg(t)
+	cfg.Parallelism = 4
+	res := checkCrash(t, cfg)
+	if res.Replayed == 0 {
+		t.Fatalf("no journal records replayed:\n%s", res)
+	}
+}
+
+func TestCrashRecoveryEquivalenceSplit(t *testing.T) {
+	cfg := crashCfg(t)
+	cfg.Split = true
+	checkCrash(t, cfg)
+}
+
+func TestCrashRecoveryCorruptIndependent(t *testing.T) {
+	cfg := crashCfg(t)
+	cfg.Corrupt = true
+	res := checkCrash(t, cfg)
+	// Every corrupt point flips one sealed bucket; with no cross-SDIMM
+	// redundancy the scrub must quarantine each rather than serve it.
+	if res.Unrecoverable != cfg.Crashes {
+		t.Fatalf("scrub quarantined %d buckets, want %d:\n%s", res.Unrecoverable, cfg.Crashes, res)
+	}
+	if res.Repaired != 0 {
+		t.Fatalf("independent scrub claims %d parity repairs:\n%s", res.Repaired, res)
+	}
+}
+
+func TestCrashRecoveryCorruptSplitRepairsFromParity(t *testing.T) {
+	cfg := crashCfg(t)
+	cfg.Split = true
+	cfg.Corrupt = true
+	res := checkCrash(t, cfg)
+	if res.Repaired != cfg.Crashes {
+		t.Fatalf("parity scrub repaired %d buckets, want %d:\n%s", res.Repaired, cfg.Crashes, res)
+	}
+	if res.Unrecoverable != 0 || res.PoisonedAddrs != 0 || res.PoisonedReads != 0 {
+		t.Fatalf("split recovery lost data despite parity:\n%s", res)
+	}
+}

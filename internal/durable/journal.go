@@ -1,0 +1,143 @@
+// Package durable provides crash consistency for the secure-buffer
+// simulator: a write-ahead journal of logical accesses, periodic whole-state
+// checkpoints, and a recovery loader that reassembles the last committed
+// state from disk. The design is redo-only — a journal record is appended
+// strictly after the in-memory commit point of its access (the position-map
+// update), so replaying the journal against the checkpointed image
+// re-executes exactly the committed suffix and nothing else.
+//
+// Both on-disk formats fail closed: every byte is authenticated (HMAC-SHA256
+// for checkpoints, a per-record hash chain for the journal), truncation and
+// bit flips are detected rather than consumed, and a torn journal tail
+// yields the valid prefix — never a partial record.
+package durable
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sdimm/internal/integrity"
+)
+
+// journalMagic identifies a journal file (write-ahead log, version 1).
+const journalMagic = "SDIMMWL1"
+
+// journalHeaderSize is magic(8) + fingerprint(8) + baseSeq(8) +
+// blockSize(4) + headerMAC(ChainTagSize).
+const journalHeaderSize = 8 + 8 + 8 + 4 + integrity.ChainTagSize
+
+// maxJournalBlockSize bounds the per-record payload a decoder will believe,
+// so a corrupted header cannot drive allocation (fuzzing hits this).
+const maxJournalBlockSize = 1 << 20
+
+// Record is one committed logical access. Data is the written payload for
+// writes and empty for reads (reads still consume a record so the sequence
+// number is the count of committed accesses).
+type Record struct {
+	Seq   uint64
+	Addr  uint64
+	Write bool
+	Data  []byte
+}
+
+// journalHeader is the decoded fixed prefix of a journal file.
+type journalHeader struct {
+	FP        [8]byte
+	BaseSeq   uint64
+	BlockSize uint32
+}
+
+// recordSize returns the on-disk size of one record for a payload size.
+func recordSize(blockSize int) int {
+	return 8 + 8 + 1 + blockSize + integrity.ChainTagSize
+}
+
+// encodeJournalHeader serializes and MACs the header. The returned mac (the
+// trailing ChainTagSize bytes) seeds the record hash chain, binding every
+// record to this specific file.
+func encodeJournalHeader(key []byte, fp [8]byte, baseSeq uint64, blockSize int) (hdr, mac []byte) {
+	hdr = make([]byte, journalHeaderSize)
+	copy(hdr[:8], journalMagic)
+	copy(hdr[8:16], fp[:])
+	binary.BigEndian.PutUint64(hdr[16:24], baseSeq)
+	binary.BigEndian.PutUint32(hdr[24:28], uint32(blockSize))
+	m := hmac.New(sha256.New, key)
+	m.Write(hdr[:28])
+	mac = m.Sum(nil)[:integrity.ChainTagSize]
+	copy(hdr[28:], mac)
+	return hdr, mac
+}
+
+// encodeRecord serializes one record body (without its chain tag). The
+// payload region is exactly blockSize bytes, zero-padded.
+func encodeRecord(rec Record, blockSize int) ([]byte, error) {
+	if len(rec.Data) > blockSize {
+		return nil, fmt.Errorf("durable: record %d payload %d exceeds block size %d", rec.Seq, len(rec.Data), blockSize)
+	}
+	body := make([]byte, 8+8+1+blockSize)
+	binary.BigEndian.PutUint64(body[0:8], rec.Seq)
+	binary.BigEndian.PutUint64(body[8:16], rec.Addr)
+	if rec.Write {
+		body[16] = 1
+	}
+	copy(body[17:], rec.Data)
+	return body, nil
+}
+
+// decodeJournal parses a journal file. It returns the header, the longest
+// valid record prefix, and whether the file ended mid-record or at a broken
+// chain link (torn). Header corruption is an error: with an unauthenticated
+// header nothing after it can be trusted, so the whole file is rejected.
+func decodeJournal(key, data []byte) (hdr journalHeader, recs []Record, torn bool, err error) {
+	if len(data) < journalHeaderSize {
+		return hdr, nil, false, errors.New("durable: journal shorter than header")
+	}
+	if string(data[:8]) != journalMagic {
+		return hdr, nil, false, errors.New("durable: bad journal magic")
+	}
+	m := hmac.New(sha256.New, key)
+	m.Write(data[:28])
+	headerMAC := m.Sum(nil)[:integrity.ChainTagSize]
+	if !hmac.Equal(headerMAC, data[28:journalHeaderSize]) {
+		return hdr, nil, false, errors.New("durable: journal header failed authentication")
+	}
+	copy(hdr.FP[:], data[8:16])
+	hdr.BaseSeq = binary.BigEndian.Uint64(data[16:24])
+	hdr.BlockSize = binary.BigEndian.Uint32(data[24:28])
+	if hdr.BlockSize == 0 || hdr.BlockSize > maxJournalBlockSize {
+		return hdr, nil, false, fmt.Errorf("durable: journal block size %d out of range", hdr.BlockSize)
+	}
+
+	chain := integrity.NewChain(key, headerMAC)
+	recSize := recordSize(int(hdr.BlockSize))
+	rest := data[journalHeaderSize:]
+	for len(rest) >= recSize {
+		body := rest[:recSize-integrity.ChainTagSize]
+		tag := rest[recSize-integrity.ChainTagSize : recSize]
+		// On mismatch the chain has advanced past a record we discard, but
+		// decoding stops here so the stale chain state is never reused.
+		want := chain.Next(body)
+		if !hmac.Equal(want, tag) {
+			return hdr, recs, true, nil
+		}
+		rec := Record{
+			Seq:  binary.BigEndian.Uint64(body[0:8]),
+			Addr: binary.BigEndian.Uint64(body[8:16]),
+		}
+		rec.Write = body[16] == 1
+		if rec.Seq != hdr.BaseSeq+1+uint64(len(recs)) {
+			// A record authenticated under this chain can only be out of
+			// sequence if the writer was broken; stop trusting the tail.
+			return hdr, recs, true, nil
+		}
+		if rec.Write {
+			rec.Data = append([]byte(nil), body[17:]...)
+		}
+		recs = append(recs, rec)
+		rest = rest[recSize:]
+	}
+	return hdr, recs, len(rest) != 0, nil
+}

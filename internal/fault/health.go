@@ -18,6 +18,11 @@ const (
 	// Failed: the SDIMM fail-stopped (or crossed FailAfter consecutive
 	// failures). Failed is sticky — the host stops routing to it.
 	Failed
+	// Recovering: the SDIMM came back from a restart and is in post-recovery
+	// probation. It is addressed normally (it is not Failed), but operators
+	// can tell restart probation apart from in-flight link backoff
+	// (Degraded). The first successful exchange promotes it to Healthy.
+	Recovering
 )
 
 // String implements fmt.Stringer.
@@ -27,6 +32,8 @@ func (s State) String() string {
 		return "healthy"
 	case Degraded:
 		return "degraded"
+	case Recovering:
+		return "recovering"
 	default:
 		return "failed"
 	}
@@ -110,6 +117,32 @@ func (h *Health) Failure(err error) {
 	case h.consecutive >= h.degradeAfter:
 		h.setState(Degraded)
 	}
+}
+
+// MarkRecovering puts a non-Failed SDIMM into post-restart probation: the
+// consecutive-failure streak resets (the pre-crash streak says nothing
+// about the restarted process) and the state machine reports Recovering
+// until the first successful exchange. Failed stays sticky.
+func (h *Health) MarkRecovering() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state == Failed {
+		return
+	}
+	h.consecutive = 0
+	h.setState(Recovering)
+}
+
+// Restore loads a state snapshot from a durability checkpoint. The
+// transition to the restored state fires the observer, so gauges and
+// transition counters attached after construction stay exact.
+func (h *Health) Restore(st State, consecutive int, successes, failures uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consecutive = consecutive
+	h.successes = successes
+	h.failures = failures
+	h.setState(st)
 }
 
 // MarkFailed forces the sticky Failed state (fail-stop observed out of

@@ -67,6 +67,37 @@ func (p *PMMAC) tag(bucket uint64, shard uint32, counter uint64, data []byte) []
 	return m.Sum(nil)[:TagSize]
 }
 
+// ChainTagSize is the per-record MAC size of a journal hash chain.
+const ChainTagSize = 16
+
+// Chain authenticates an append-only record sequence (the durability
+// journal): each record's tag is an HMAC over the previous tag and the
+// record bytes, so truncating, reordering, or splicing records breaks the
+// chain at the first tampered point and the decoder fails closed there.
+type Chain struct {
+	key  []byte
+	last []byte
+}
+
+// NewChain starts a chain under key, seeded with an initial link (the
+// journal header's MAC), which binds every record to its file's identity.
+func NewChain(key, seed []byte) *Chain {
+	return &Chain{
+		key:  append([]byte(nil), key...),
+		last: append([]byte(nil), seed...),
+	}
+}
+
+// Next absorbs one record and returns its ChainTagSize-byte tag. The tag
+// becomes the chain state for the following record.
+func (c *Chain) Next(record []byte) []byte {
+	m := hmac.New(sha256.New, c.key)
+	m.Write(c.last)
+	m.Write(record)
+	c.last = m.Sum(nil)[:ChainTagSize]
+	return append([]byte(nil), c.last...)
+}
+
 // SplitOverheadBytes returns the extra MAC bytes per bucket that n-way
 // splitting costs relative to the unsplit bucket (n MACs instead of 1).
 func SplitOverheadBytes(n int) int {

@@ -367,5 +367,49 @@ func (e *Engine) StashInsert(b Block) error {
 // StashRemove removes and returns the block for addr if present.
 func (e *Engine) StashRemove(addr uint64) (Block, bool) { return e.stash.Remove(addr) }
 
+// RandState snapshots the engine's randomness stream for a durability
+// checkpoint; restoring it makes post-recovery eviction draws replay the
+// crashed run's exactly.
+func (e *Engine) RandState() [4]uint64 { return e.rand.State() }
+
+// RestoreRandState loads a RandState snapshot.
+func (e *Engine) RestoreRandState(s [4]uint64) { e.rand.Restore(s) }
+
+// StashBlocks returns a deep copy of the stash contents sorted by address
+// (checkpoint capture; the sort makes the snapshot byte-stable).
+func (e *Engine) StashBlocks() []Block {
+	out := make([]Block, 0, e.stash.Len())
+	e.stash.Range(func(b Block) bool {
+		b.Data = append([]byte(nil), b.Data...)
+		out = append(out, b)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// RestoreStash replaces the stash contents with blocks (checkpoint
+// restore). The engine must be quiescent (no pending path writeback).
+func (e *Engine) RestoreStash(blocks []Block) error {
+	if e.pending {
+		return fmt.Errorf("oram: RestoreStash while path %d is pending writeback", e.pendingLeaf)
+	}
+	var addrs []uint64
+	e.stash.Range(func(b Block) bool {
+		addrs = append(addrs, b.Addr)
+		return true
+	})
+	for _, a := range addrs {
+		e.stash.Remove(a)
+	}
+	for _, b := range blocks {
+		b.Data = append([]byte(nil), b.Data...)
+		if err := e.stash.Put(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // StashGet returns the block for addr without removing it.
 func (e *Engine) StashGet(addr uint64) (Block, bool) { return e.stash.Get(addr) }

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"sdimm/internal/integrity"
 )
@@ -179,14 +180,22 @@ func (s *MemStore) ReadBucket(idx uint64) (Bucket, error) {
 // re-MACs the bucket (every Path ORAM writeback re-encrypts). The counter
 // is owned by the store and advances monotonically.
 func (s *MemStore) WriteBucket(idx uint64, b Bucket) error {
-	if len(b.Slots) != s.z {
-		return fmt.Errorf("oram: bucket with %d slots written to Z=%d store", len(b.Slots), s.z)
-	}
 	var counter uint64
 	if old, ok := s.buckets[idx]; ok {
 		counter = binary.BigEndian.Uint64(old[:8])
 	}
-	counter++
+	return s.PutBucketAt(idx, b, counter+1)
+}
+
+// PutBucketAt seals b at idx under an explicit write counter instead of
+// bumping the stored one. The scrub pass uses it to reconstruct a corrupted
+// shard bucket bit-exactly: with the sibling shards' (identical, lockstep)
+// counter and the parity-recovered plaintext, the re-encryption reproduces
+// the exact pre-corruption ciphertext and tag.
+func (s *MemStore) PutBucketAt(idx uint64, b Bucket, counter uint64) error {
+	if len(b.Slots) != s.z {
+		return fmt.Errorf("oram: bucket with %d slots written to Z=%d store", len(b.Slots), s.z)
+	}
 	pt := make([]byte, s.plainSize())
 	for i, slot := range b.Slots {
 		off := i * (slotHeader + s.blockBytes)
@@ -207,6 +216,53 @@ func (s *MemStore) WriteBucket(idx uint64, b Bucket) error {
 	copy(raw[8+len(ct):], s.mac.Tag(idx, counter, ct))
 	s.buckets[idx] = raw
 	return nil
+}
+
+// BucketIndices returns the indices of every bucket ever written, sorted
+// ascending. Checkpoint capture and the recovery scrub pass iterate it so
+// their work (and any RNG-free repair decisions) is deterministic.
+func (s *MemStore) BucketIndices() []uint64 {
+	idxs := make([]uint64, 0, len(s.buckets))
+	for idx := range s.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	return idxs
+}
+
+// RawBucket returns a copy of the sealed on-"DRAM" bytes of a bucket
+// (counter || ciphertext || tag) and whether the bucket exists. Checkpoints
+// persist the sealed form verbatim so a restore is bit-exact and the
+// stored MACs keep protecting the payload at rest.
+func (s *MemStore) RawBucket(idx uint64) ([]byte, bool) {
+	raw, ok := s.buckets[idx]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), raw...), true
+}
+
+// RestoreRaw installs sealed bucket bytes captured by RawBucket. Only the
+// length is validated here; authenticity is checked by ReadBucket (and the
+// post-restore scrub pass) via the embedded PMMAC tag.
+func (s *MemStore) RestoreRaw(idx uint64, raw []byte) error {
+	want := 8 + s.plainSize() + integrity.TagSize
+	if len(raw) != want {
+		return fmt.Errorf("oram: restored bucket %d is %d bytes, want %d", idx, len(raw), want)
+	}
+	s.buckets[idx] = append([]byte(nil), raw...)
+	return nil
+}
+
+// Counter returns the stored write counter of a bucket (0 if the bucket was
+// never written). The Split scrub pass reads a healthy sibling's counter to
+// reseal a reconstructed shard bucket bit-exactly.
+func (s *MemStore) Counter(idx uint64) uint64 {
+	raw, ok := s.buckets[idx]
+	if !ok {
+		return 0
+	}
+	return binary.BigEndian.Uint64(raw[:8])
 }
 
 // Corrupt flips a ciphertext bit in a stored bucket (test hook for

@@ -124,6 +124,21 @@ func (r *Source) Perm(out []int) {
 	}
 }
 
+// State snapshots the generator's internal state. Together with Restore it
+// lets a checkpoint capture every randomness stream in the system, so a
+// recovered run replays exactly the draws the crashed run would have made.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// Restore overwrites the generator's internal state with a snapshot taken
+// by State. The all-zero state is invalid for xoshiro and is coerced to a
+// minimal non-zero state rather than wedging the generator.
+func (r *Source) Restore(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 1
+	}
+	r.s = s
+}
+
 // Fork derives an independent generator from this one. Streams forked at
 // different points are statistically independent for simulation purposes.
 func (r *Source) Fork() *Source {

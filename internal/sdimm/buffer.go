@@ -208,6 +208,50 @@ func (b *Buffer) HandleFetchResult() (AccessResponse, error) {
 	return r, nil
 }
 
+// RandState snapshots the buffer's drain-decision RNG for checkpointing.
+func (b *Buffer) RandState() [4]uint64 { return b.rng.State() }
+
+// RestoreRandState reloads a drain-decision RNG snapshot.
+func (b *Buffer) RestoreRandState(s [4]uint64) { b.rng.Restore(s) }
+
+// TransferBlocks returns a deep copy of the transfer queue in queue order
+// (checkpoint capture). Order matters: admits and drains pop the head.
+func (b *Buffer) TransferBlocks() []oram.Block {
+	out := make([]oram.Block, len(b.transferQ))
+	for i, blk := range b.transferQ {
+		out[i] = blk
+		out[i].Data = append([]byte(nil), blk.Data...)
+	}
+	return out
+}
+
+// RestoreTransfer replaces the transfer queue with checkpointed contents.
+func (b *Buffer) RestoreTransfer(blocks []oram.Block) error {
+	if len(blocks) > b.transferCap {
+		return fmt.Errorf("sdimm %s: restoring %d queued blocks into capacity %d", b.id, len(blocks), b.transferCap)
+	}
+	q := make([]oram.Block, len(blocks))
+	for i, blk := range blocks {
+		q[i] = blk
+		q[i].Data = append([]byte(nil), blk.Data...)
+	}
+	b.transferQ = q
+	return nil
+}
+
+// TransferQueueSearch returns a copy of the queued block for addr, if any
+// (the recovery scrub checks the queue before declaring a block lost).
+func (b *Buffer) TransferQueueSearch(addr uint64) (oram.Block, bool) {
+	for _, q := range b.transferQ {
+		if q.Addr == addr {
+			cp := q
+			cp.Data = append([]byte(nil), q.Data...)
+			return cp, true
+		}
+	}
+	return oram.Block{}, false
+}
+
 // ShardAccess executes this SDIMM's part of one Split-protocol access
 // (FETCH_DATA + FETCH_STASH + RECEIVE_LIST collapsed functionally: path
 // read, shard update, deterministic greedy writeback — identical across

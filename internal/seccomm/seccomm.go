@@ -365,6 +365,24 @@ func (s *Session) SendCounter() uint64 { return s.send.counter }
 // RecvCounter exposes the next expected receive counter.
 func (s *Session) RecvCounter() uint64 { return s.recv.counter }
 
+// RestoreCounters loads persisted send/receive counters onto the session
+// (crash recovery: the durability checkpoint carries each link's logical
+// message indices). SECURITY: this is only safe on a freshly handshaken
+// session — the restart derives new ephemeral session keys, so no counter
+// value can reuse a pad from the pre-crash keys. Counters may only move
+// forward from the session's current position; rewinding (which on a
+// long-lived session would reuse pads and reopen the replay window) is
+// rejected.
+func (s *Session) RestoreCounters(send, recv uint64) error {
+	if send < s.send.counter || recv < s.recv.counter {
+		return fmt.Errorf("seccomm: RestoreCounters(%d, %d) would rewind counters (%d, %d)",
+			send, recv, s.send.counter, s.recv.counter)
+	}
+	s.send.counter = send
+	s.recv.counter = recv
+	return nil
+}
+
 // ResendFrom rewinds the send counter to ctr so an unacknowledged frame can
 // be retransmitted. SECURITY: the caller must re-Seal the exact bytes it
 // sealed at ctr the first time — sealing a different plaintext at a reused

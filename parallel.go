@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sdimm/internal/durable"
 	"sdimm/internal/fault"
 	"sdimm/internal/oram"
 	isdimm "sdimm/internal/sdimm"
@@ -187,7 +188,22 @@ type pipeOp struct {
 func (p *Pipeline) Do(ops []BatchOp) []BatchResult {
 	res := make([]BatchResult, len(ops))
 	for start := 0; start < len(ops); {
+		if p.c.crashedNow() {
+			// The cluster died at a planned crash point: nothing further
+			// commits, so fail the remaining operations instead of running
+			// them against state that will not survive.
+			for i := start; i < len(ops); i++ {
+				res[i] = BatchResult{Err: durable.ErrCrashed}
+			}
+			return res
+		}
 		start += p.runWave(ops, start, res)
+		if err := p.c.maybeCheckpoint(p.c.ForceCheckpoint); err != nil {
+			for i := start; i < len(ops); i++ {
+				res[i] = BatchResult{Err: err}
+			}
+			return res
+		}
 	}
 	return res
 }
@@ -243,14 +259,19 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 	p.pool.barrier()
 
 	// Merge barrier 1 (coordinator, logical order): commit position-map
-	// updates for every access whose owning buffer executed it, and decode
-	// the responses. A failed exchange leaves the map untouched — exactly
-	// the staged-commit rule of the sequential path.
+	// updates for every access whose owning buffer executed it, journal the
+	// wave's committed accesses as one batch, and decode the responses. A
+	// failed exchange leaves the map untouched — exactly the staged-commit
+	// rule of the sequential path.
+	var recs []durable.Record
+	var committed []*pipeOp
 	for _, po := range wave {
 		if po.skip || po.err != nil {
 			continue
 		}
 		c.pos.Set(po.addr, po.newG)
+		recs = append(recs, c.makeRecord(po.addr, po.op, po.data))
+		committed = append(committed, po)
 		resp, err := isdimm.UnmarshalResponse(po.respBody, c.blockSize)
 		if err != nil {
 			po.err = c.wrapErr(po.sd, "access response", err)
@@ -260,6 +281,24 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 		po.blk = resp.Block
 		po.blk.Addr = po.addr
 		po.blk.Leaf = po.newG & (uint64(1)<<c.localBits - 1)
+	}
+	if err := c.appendRecords(recs); err != nil {
+		// The journal append died mid-wave (a planned crash point, or real
+		// I/O failure). Some records may be durable, but acknowledging any
+		// result now could acknowledge an access the journal lost — fail the
+		// whole wave and skip the append broadcast; recovery re-drives from
+		// the journal's valid prefix.
+		for _, po := range committed {
+			po.err = err
+		}
+		for _, po := range wave {
+			p.finalize(po, globalLeaves, res)
+		}
+		if tr != nil {
+			endWave(map[string]any{"ops": len(wave), "err": true})
+			tr.FreeLane(lane)
+		}
+		return len(wave)
 	}
 
 	// Phase B: APPEND broadcast. One task per SDIMM walks the wave in
@@ -372,6 +411,14 @@ func (p *Pipeline) finalize(po *pipeOp, globalLeaves uint64, res []BatchResult) 
 				po.err = c.wrapErr(j, "append", fmt.Errorf("sdimm: malformed append ack %x", po.appendBad[j]))
 			}
 		}
+	}
+
+	// Poison veto at delivery (same rule as the sequential path): the access
+	// ran normally, but a payload lost to unrecoverable corruption is an
+	// error, not zeros.
+	if po.err == nil && po.op == oram.OpRead && c.poisoned[po.addr] {
+		c.tm.poisonedReads.Inc()
+		po.err = fmt.Errorf("sdimm: read %d: %w", po.addr, ErrUnrecoverable)
 	}
 
 	out := BatchResult{Err: po.err}
