@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short chaos crash fuzz telemetry-smoke bench ci
+.PHONY: all build vet test race short chaos crash fuzz telemetry-smoke bench alloc-gates profile ci
 
 all: ci
 
@@ -56,9 +56,25 @@ telemetry-smoke:
 # CPUs the speedup gates are enforced (4-worker pipeline ≥1.5x; with ≥8
 # CPUs, 8-worker campaign ≥2x); smaller hosts record the curve without
 # enforcing, flagged by "gate_enforced": false in the JSON.
-bench:
+bench: alloc-gates
 	$(GO) run ./cmd/sdimm-bench -exp parbench -parbench-out BENCH_parallel.json
 	$(GO) run ./cmd/sdimm-bench -exp recbench -recbench-out BENCH_recovery.json
+	$(GO) run ./cmd/sdimm-bench -exp hotpath -hotpath-out BENCH_hotpath.json
+
+# Allocation-regression gates for the steady-state access loop: seal/open,
+# Engine.Access, and the journal commit must stay at 0 allocs/op. These run
+# without -race on purpose — race instrumentation allocates, so the gate
+# tests skip themselves under it (see internal/raceflag).
+alloc-gates:
+	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/seccomm ./internal/oram ./internal/durable
+
+# CPU and heap profiles of the access hot path, for digging into a
+# regression the alloc gates or BENCH_hotpath.json surfaced. Inspect with
+# `go tool pprof hotpath.cpu.pprof` (then `top`, `list <func>`, `web`).
+profile:
+	$(GO) run ./cmd/sdimm-bench -exp hotpath -hotpath-out BENCH_hotpath.json \
+		-cpuprofile hotpath.cpu.pprof -memprofile hotpath.heap.pprof
+	@echo "profiles: hotpath.cpu.pprof hotpath.heap.pprof (go tool pprof <file>)"
 
 # Wire-format decoders must never panic on hostile input. The durable-state
 # decoders (journal records, checkpoints) must additionally fail closed:

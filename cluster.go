@@ -151,6 +151,11 @@ const (
 	appendAck     byte = 0x06
 )
 
+// appendAckBody is the shared APPEND acknowledgement body. It is read-only
+// (the transactor copies it into the seal buffer), so one instance serves
+// every SDIMM.
+var appendAckBody = []byte{appendAck}
+
 // Cluster is a functional distributed ORAM: the host side (position map,
 // request routing, APPEND broadcast) runs here; each SDIMM's secure buffer
 // executes whole accessORAM operations against its own encrypted tree. All
@@ -172,6 +177,15 @@ type Cluster struct {
 	localBits uint
 	tm        clusterTelemetry
 	durableState
+
+	// Per-SDIMM reusable message scratch. Commands to (and the serve
+	// response for) SDIMM i are only ever built on the goroutine currently
+	// driving link i — the coordinator on the sequential path, worker i
+	// under a Pipeline — so per-SDIMM buffers are race-free by the same
+	// argument as the links themselves.
+	cmdBufs   [][]byte // kind byte + marshalled command body
+	serveBufs [][]byte // device-side response body
+	writeBuf  []byte   // Write's zero-padded payload staging
 }
 
 // NewCluster builds a cluster: it mints a device identity per SDIMM,
@@ -225,6 +239,8 @@ func buildCluster(opts ClusterOptions) (*Cluster, error) {
 		tm:        newClusterTelemetry(opts.Telemetry, opts.Tracer),
 	}
 	c.poisoned = make(map[uint64]bool)
+	c.cmdBufs = make([][]byte, opts.SDIMMs)
+	c.serveBufs = make([][]byte, opts.SDIMMs)
 	// Link-recovery and crypto counters aggregate across all SDIMMs, so the
 	// registry totals line up with the sums over Health().
 	var linkMetrics *fault.LinkMetrics
@@ -324,7 +340,11 @@ func (c *Cluster) Write(addr uint64, data []byte) error {
 	if len(data) > c.blockSize {
 		return fmt.Errorf("sdimm: payload %d exceeds block size %d", len(data), c.blockSize)
 	}
-	buf := make([]byte, c.blockSize)
+	if cap(c.writeBuf) < c.blockSize {
+		c.writeBuf = make([]byte, c.blockSize)
+	}
+	buf := c.writeBuf[:c.blockSize]
+	clear(buf)
 	copy(buf, data)
 	_, err := c.tracedAccess(addr, oram.OpWrite, buf)
 	c.tm.observe(oram.OpWrite, err)
@@ -368,7 +388,9 @@ func (c *Cluster) serve(sd int, body []byte) ([]byte, error) {
 	kind, payload := body[0], body[1:]
 	switch kind {
 	case msgKindAccess:
-		req, err := isdimm.UnmarshalAccess(payload, c.blockSize)
+		// Zero-copy decode: req.Data aliases the opened frame, which stays
+		// valid through HandleAccess (the engine copies write payloads in).
+		req, err := isdimm.UnmarshalAccessView(payload, c.blockSize)
 		if err != nil {
 			return nil, err
 		}
@@ -383,27 +405,46 @@ func (c *Cluster) serve(sd int, body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return isdimm.MarshalResponse(resp, c.blockSize), nil
+		// The body is sealed (copied) by the transactor before serve's next
+		// invocation on this SDIMM, so per-SDIMM scratch is safe to hand out.
+		c.serveBufs[sd] = isdimm.AppendResponse(c.serveBufs[sd][:0], resp, c.blockSize)
+		return c.serveBufs[sd], nil
 	case msgKindAppend:
-		blk, dummy, err := isdimm.UnmarshalAppend(payload, c.blockSize)
+		blk, dummy, err := isdimm.UnmarshalAppendView(payload, c.blockSize)
 		if err != nil {
 			return nil, err
 		}
 		if _, err := c.buffers[sd].HandleAppend(blk, dummy); err != nil {
 			return nil, err
 		}
-		return []byte{appendAck}, nil
+		return appendAckBody, nil
 	}
 	return nil, fmt.Errorf("sdimm %d: unknown command kind %#02x", sd, kind)
 }
 
+// accessBody marshals an ACCESS command into SDIMM sd's command scratch.
+// The body is consumed (copied into the link's seal buffer) before the next
+// command to the same SDIMM is built.
+func (c *Cluster) accessBody(sd int, req isdimm.AccessRequest) []byte {
+	b := append(c.cmdBufs[sd][:0], msgKindAccess)
+	b = isdimm.AppendAccess(b, req, c.blockSize)
+	c.cmdBufs[sd] = b
+	return b
+}
+
+// appendBody marshals an APPEND command into SDIMM sd's command scratch.
+func (c *Cluster) appendBody(sd int, blk oram.Block, dummy bool) []byte {
+	b := append(c.cmdBufs[sd][:0], msgKindAppend)
+	b = isdimm.AppendAppend(b, blk, dummy, c.blockSize)
+	c.cmdBufs[sd] = b
+	return b
+}
+
 // exchange runs one sealed command/response transaction with buffer sd and
 // keeps its health record current. Every error leaving here carries the
-// buffer's index and ID.
-func (c *Cluster) exchange(sd int, op string, kind byte, payload []byte) ([]byte, error) {
-	body := make([]byte, 1+len(payload))
-	body[0] = kind
-	copy(body[1:], payload)
+// buffer's index and ID. The response is the transactor's scratch: valid
+// only until the next exchange on the same SDIMM.
+func (c *Cluster) exchange(sd int, op string, body []byte) ([]byte, error) {
 	resp, err := c.links[sd].Exchange(body)
 	if err != nil {
 		c.health[sd].Failure(err)
@@ -477,7 +518,7 @@ func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
 	}
 
 	// ACCESS over the sealed link (reads carry a dummy payload slot).
-	respBody, err := c.exchange(sd, "access", msgKindAccess, isdimm.MarshalAccess(req, c.blockSize))
+	respBody, err := c.exchange(sd, "access", c.accessBody(sd, req))
 	if err != nil {
 		// The buffer never executed the access (or its result is
 		// unreachable): the map still holds oldG, nothing desynchronized.
@@ -509,7 +550,7 @@ func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
 			// A dead buffer has no channel; its dummy is undeliverable.
 			continue
 		}
-		ack, err := c.exchange(j, "append", msgKindAppend, isdimm.MarshalAppend(blk, !real, c.blockSize))
+		ack, err := c.exchange(j, "append", c.appendBody(j, blk, !real))
 		if err != nil {
 			c.tm.appendsLost.Inc()
 			if real {
@@ -567,7 +608,7 @@ func (c *Cluster) rehome(addr uint64, blk oram.Block, exclude int, globalLeaves 
 		}
 		nb := blk
 		nb.Leaf = g & (uint64(1)<<c.localBits - 1)
-		ack, err := c.exchange(sd, "rehome append", msgKindAppend, isdimm.MarshalAppend(nb, false, c.blockSize))
+		ack, err := c.exchange(sd, "rehome append", c.appendBody(sd, nb, false))
 		if err != nil {
 			lastErr = err
 			continue
@@ -751,6 +792,7 @@ type SplitCluster struct {
 	leaves    uint64
 	tm        clusterTelemetry
 	workers   *workerPool // nil: member fan-out runs inline
+	writeBuf  []byte      // Write's zero-padded payload staging
 	durableState
 }
 
@@ -896,7 +938,11 @@ func (c *SplitCluster) Write(addr uint64, data []byte) error {
 	if len(data) > c.blockSize {
 		return fmt.Errorf("sdimm: payload %d exceeds block size %d", len(data), c.blockSize)
 	}
-	buf := make([]byte, c.blockSize)
+	if cap(c.writeBuf) < c.blockSize {
+		c.writeBuf = make([]byte, c.blockSize)
+	}
+	buf := c.writeBuf[:c.blockSize]
+	clear(buf)
 	copy(buf, data)
 	_, err := c.access(addr, oram.OpWrite, buf)
 	c.tm.observe(oram.OpWrite, err)
@@ -1021,6 +1067,8 @@ func (c *SplitCluster) access(addr uint64, op oram.Op, data []byte) ([]byte, err
 			}
 			c.health[pi].Success()
 			if pblk.Data != nil {
+				// Engine-owned scratch; consumed by the reconstruction below
+				// before the parity engine runs again (evictions come later).
 				parityData = pblk.Data
 			}
 		})

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6|fig8|fig9|fig10|fig11|fig13a|fig13b|offdimm|latency|lowpower|cotenant|overflow|area|all, or parbench/recbench (not part of all)")
+		exp      = flag.String("exp", "all", "experiment: fig6|fig8|fig9|fig10|fig11|fig13a|fig13b|offdimm|latency|lowpower|cotenant|overflow|area|all, or parbench/recbench/hotpath (not part of all)")
 		warmup   = flag.Int("warmup", 400, "warmup records per run")
 		measure  = flag.Int("measure", 800, "measured records per run")
 		levels   = flag.Int("levels", 28, "ORAM tree levels")
@@ -35,8 +35,21 @@ func main() {
 		telLog   = flag.Duration("telemetry-log", 0, "log the telemetry snapshot to stderr at this interval (0 disables)")
 		parOut   = flag.String("parbench-out", "BENCH_parallel.json", "output path for -exp parbench")
 		recOut   = flag.String("recbench-out", "BENCH_recovery.json", "output path for -exp recbench")
+		hotOut   = flag.String("hotpath-out", "BENCH_hotpath.json", "output path for -exp hotpath")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the hotpath loops to this file (-exp hotpath)")
+		memProf  = flag.String("memprofile", "", "write a heap profile after the hotpath loops to this file (-exp hotpath)")
 	)
 	flag.Parse()
+
+	// hotpath benchmarks every layer of the steady-state access loop,
+	// enforces the allocation gates, and writes BENCH_hotpath.json (plus
+	// optional pprof profiles for `make profile`).
+	if *exp == "hotpath" {
+		if err := runHotPath(*hotOut, *cpuProf, *memProf); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	// recbench times checkpoint save/restore and journal replay for the
 	// durability layer, writing BENCH_recovery.json.

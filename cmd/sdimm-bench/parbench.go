@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -117,12 +116,7 @@ func runParBench(outPath string) error {
 	fmt.Fprintf(os.Stderr, "parbench: campaign %d sims: %.2fs @1 worker, %.2fs @8 workers (%.2fx)\n",
 		sims, sec1, sec8, sec1/sec8)
 
-	blob, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	blob = append(blob, '\n')
-	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+	if err := writeJSONAtomic(outPath, rep); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "parbench: wrote %s\n", outPath)

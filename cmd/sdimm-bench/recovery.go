@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -118,12 +117,7 @@ func runRecBench(outPath string) error {
 	fmt.Fprintf(os.Stderr, "recbench: checkpoint %.1fms / %d bytes, recover %.1fms (%d records, %.0f replayed/s)\n",
 		rep.CheckpointWriteMs, rep.CheckpointBytes, rep.RecoverMs, replayLen, rep.ReplayPerSec)
 
-	blob, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	blob = append(blob, '\n')
-	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+	if err := writeJSONAtomic(outPath, rep); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "recbench: wrote %s\n", outPath)

@@ -81,12 +81,13 @@ func splitFingerprint(opts SplitClusterOptions) durable.Fingerprint {
 // addresses lost to unrecoverable corruption (always allocated, usually
 // empty).
 type durableState struct {
-	dur       *durable.Manager
-	interval  int
-	seq       uint64
-	lastCkpt  uint64
-	replaying bool
-	poisoned  map[uint64]bool
+	dur        *durable.Manager
+	interval   int
+	seq        uint64
+	lastCkpt   uint64
+	replaying  bool
+	poisoned   map[uint64]bool
+	recScratch [1]durable.Record // commitRecord's singleton batch
 }
 
 // Seq returns the number of committed logical accesses. With durability
@@ -137,7 +138,12 @@ func (d *durableState) commitRecord(addr uint64, op oram.Op, data []byte) error 
 	if d.dur == nil || d.replaying {
 		return nil
 	}
-	return d.dur.Append([]durable.Record{rec})
+	// Singleton batch in place: the record is encoded synchronously, so the
+	// scratch (and its payload reference) is dropped before return.
+	d.recScratch[0] = rec
+	err := d.dur.Append(d.recScratch[:])
+	d.recScratch[0] = durable.Record{}
+	return err
 }
 
 // maybeCheckpoint runs force when the checkpoint interval has elapsed.

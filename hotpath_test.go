@@ -1,0 +1,147 @@
+// Hot-path benchmarks for the steady-state access loop. Each sub-benchmark
+// isolates one layer of the stack — seccomm framing, the ORAM engine, the
+// journal commit, the full cluster access — and reports allocs/op so a
+// regression in any layer's memory discipline is visible at a glance. The
+// hard 0-alloc gates live next to each layer (seccomm, oram, durable
+// alloc_test.go files) and run in `make ci`; cmd/sdimm-bench -exp hotpath
+// runs these same loops at full scale and writes BENCH_hotpath.json.
+package sdimm
+
+import (
+	"testing"
+
+	"sdimm/internal/durable"
+	"sdimm/internal/oram"
+	"sdimm/internal/rng"
+	"sdimm/internal/seccomm"
+)
+
+func BenchmarkAccessHotPath(b *testing.B) {
+	b.Run("seccomm-seal-open", benchSealOpen)
+	b.Run("engine-access", benchEngineAccess)
+	b.Run("journal-append", benchJournalAppend)
+	b.Run("cluster-access", benchClusterAccess)
+}
+
+// benchSealOpen measures one authenticated frame round trip (host seals,
+// device opens) with caller-supplied buffers — the per-message cost of every
+// host↔buffer exchange. Steady state is 0 allocs/op.
+func benchSealOpen(b *testing.B) {
+	dev, err := seccomm.NewDevice("bench-0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	auth := seccomm.NewAuthority()
+	auth.Register(dev)
+	host, devSess, err := seccomm.Handshake(nil, dev, auth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt := make([]byte, 90)
+	sealBuf := make([]byte, 0, len(pt)+seccomm.MACSize)
+	openBuf := make([]byte, 0, len(pt))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := host.SealAppend(sealBuf[:0], pt)
+		if _, err := devSess.OpenAppend(openBuf[:0], frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEngineAccess measures one full accessORAM (path read, remap,
+// writeback, background eviction) on a functional engine. Steady state is
+// 0 allocs/op.
+func benchEngineAccess(b *testing.B) {
+	store, err := oram.NewMemStore(4, 64, []byte("bench-key"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := oram.NewEngine(store, oram.NewSparsePosMap(), oram.Options{
+		Geometry:       oram.MustGeometry(12),
+		StashCapacity:  200,
+		EvictThreshold: 150,
+		Rand:           rng.New(42),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	const addrs = 64
+	for i := 0; i < 4*addrs; i++ { // warm the scratch and free list
+		if _, _, err := e.Access(uint64(i%addrs), oram.OpWrite, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := oram.OpRead
+		if i%2 == 0 {
+			op = oram.OpWrite
+		}
+		if _, _, err := e.Access(uint64(i%addrs), op, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchJournalAppend measures committing one access record: encode, extend
+// the hash chain, write to the journal (fsync off). Steady state is
+// 0 allocs/op.
+func benchJournalAppend(b *testing.B) {
+	fp := durable.Fingerprint{Kind: "independent", Members: 4, Levels: 12, BlockSize: 64, Z: 4, Seed: 1}
+	m, err := durable.Open(b.TempDir(), []byte("bench-key"), fp, 64, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.WriteCheckpoint(&durable.Checkpoint{Seq: 0}); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	var batch [1]durable.Record
+	seq := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch[0] = durable.Record{Seq: seq, Addr: seq % 32, Write: true, Data: payload}
+		if err := m.Append(batch[:]); err != nil {
+			b.Fatal(err)
+		}
+		seq++
+	}
+}
+
+// benchClusterAccess measures one sequential cluster access end to end:
+// frontend position lookup, sealed command exchange, device-side engine
+// access, sealed response, eviction appends. The cluster path tolerates a
+// small, bounded allocation count (response payloads are handed to the
+// caller); the per-layer gates above keep the inner loops at zero.
+func benchClusterAccess(b *testing.B) {
+	c, err := NewCluster(ClusterOptions{SDIMMs: 4, Levels: 12, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	const addrs = 64
+	for i := 0; i < 2*addrs; i++ { // warm stashes, free lists, link scratch
+		if err := c.Write(uint64(i%addrs), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := uint64(i % addrs)
+		if i%2 == 0 {
+			if err := c.Write(a, payload); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := c.Read(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package ctrmode provides an allocation-free AES-CTR keystream primitive.
+//
+// The stdlib path (cipher.NewCTR per message) allocates a stream object and
+// an internal buffer on every call, which puts two heap allocations on every
+// seal/open and every bucket read/write — the hottest loops in the system.
+// Stream keeps the counter block and pad as reusable scratch so steady-state
+// use allocates nothing.
+//
+// Output is bit-identical to crypto/cipher.NewCTR(b, iv): the full 16-byte
+// IV is treated as one big-endian 128-bit counter and incremented once per
+// block, including carries out of the low 64 bits. Both seccomm (IV =
+// counter || zeros) and the bucket stores (IV = bucket || write counter)
+// persist or transmit ciphertext produced this way, so bit compatibility is
+// load-bearing, not cosmetic; ctrmode_test.go proves it against the stdlib.
+package ctrmode
+
+import "crypto/cipher"
+
+// BlockSize is the only cipher block size supported (AES).
+const BlockSize = 16
+
+// Stream holds the reusable scratch for one user of the keystream. The zero
+// value is ready to use. Not safe for concurrent use.
+type Stream struct {
+	ctr [BlockSize]byte
+	pad [BlockSize]byte
+}
+
+// XORKeyStream XORs src into dst under the CTR keystream of b starting at
+// iv. dst and src must have the same length and must either overlap exactly
+// or not at all. iv is read, never written.
+func (s *Stream) XORKeyStream(b cipher.Block, iv *[BlockSize]byte, dst, src []byte) {
+	if b.BlockSize() != BlockSize {
+		panic("ctrmode: cipher block size must be 16")
+	}
+	s.ctr = *iv
+	for len(src) > 0 {
+		b.Encrypt(s.pad[:], s.ctr[:])
+		n := len(src)
+		if n > BlockSize {
+			n = BlockSize
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = src[i] ^ s.pad[i]
+		}
+		// Big-endian 128-bit increment, exactly as crypto/cipher's ctr.
+		for i := BlockSize - 1; i >= 0; i-- {
+			s.ctr[i]++
+			if s.ctr[i] != 0 {
+				break
+			}
+		}
+		src = src[n:]
+		dst = dst[n:]
+	}
+}

@@ -74,17 +74,32 @@ func encodeJournalHeader(key []byte, fp [8]byte, baseSeq uint64, blockSize int) 
 // encodeRecord serializes one record body (without its chain tag). The
 // payload region is exactly blockSize bytes, zero-padded.
 func encodeRecord(rec Record, blockSize int) ([]byte, error) {
+	return appendRecord(nil, rec, blockSize)
+}
+
+// appendRecord appends one record body (without its chain tag) to dst and
+// returns the extended slice — the allocation-free form of encodeRecord,
+// byte-identical to it.
+func appendRecord(dst []byte, rec Record, blockSize int) ([]byte, error) {
 	if len(rec.Data) > blockSize {
 		return nil, fmt.Errorf("durable: record %d payload %d exceeds block size %d", rec.Seq, len(rec.Data), blockSize)
 	}
-	body := make([]byte, 8+8+1+blockSize)
+	base := len(dst)
+	n := 8 + 8 + 1 + blockSize
+	if cap(dst)-base >= n {
+		dst = dst[:base+n]
+		clear(dst[base:])
+	} else {
+		dst = append(dst, make([]byte, n)...)
+	}
+	body := dst[base:]
 	binary.BigEndian.PutUint64(body[0:8], rec.Seq)
 	binary.BigEndian.PutUint64(body[8:16], rec.Addr)
 	if rec.Write {
 		body[16] = 1
 	}
 	copy(body[17:], rec.Data)
-	return body, nil
+	return dst, nil
 }
 
 // decodeJournal parses a journal file. It returns the header, the longest

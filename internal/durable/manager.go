@@ -74,6 +74,8 @@ type Manager struct {
 	crashAfter int // records until the planned crash; -1 when disarmed
 	tearBytes  int
 	crashed    bool
+
+	recBuf []byte // reusable encoded-record scratch (body + chain tag)
 }
 
 // Open attaches a manager to dir, creating it if needed. key authenticates
@@ -252,12 +254,14 @@ func (m *Manager) Append(recs []Record) error {
 		if rec.Seq != m.nextSeq {
 			return fmt.Errorf("durable: append seq %d, want %d", rec.Seq, m.nextSeq)
 		}
-		body, err := encodeRecord(rec, m.blockSize)
+		body, err := appendRecord(m.recBuf[:0], rec, m.blockSize)
 		if err != nil {
 			return err
 		}
-		tag := m.chain.Next(body)
-		full := append(body, tag...)
+		// The chain tag extends the body in place: full is the exact wire
+		// record, and the scratch is kept for the next append.
+		full := m.chain.AppendNext(body, body)
+		m.recBuf = full
 		if m.crashAfter == 0 {
 			// The crash point: tear this record and die.
 			tear := m.tearBytes

@@ -87,7 +87,8 @@ type Transactor struct {
 	// Tap, when set, observes every frame put on the link before fault
 	// injection: attempt 0 is the original transmission, higher attempts
 	// are retransmissions. Tests use it to prove retries are
-	// byte-identical.
+	// byte-identical. The frame is only valid during the call; observers
+	// that retain it must copy (the transactor reuses its frame buffers).
 	Tap func(dir Direction, attempt int, frame []byte)
 	// Metrics, when set, mirrors the recovery counters into a telemetry
 	// registry (see NewLinkMetrics).
@@ -95,6 +96,17 @@ type Transactor struct {
 
 	lastResp []byte
 	stats    TransactorStats
+
+	// Reusable per-exchange scratch. One steady-state exchange performs no
+	// heap allocations: request seal, device open, response seal, and host
+	// open all land in these buffers (Deliver copies frames whenever it
+	// mutates or retains them, and Serve consumers copy what they keep).
+	sendBuf    []byte   // host-sealed request frame
+	devRecvBuf []byte   // device-opened request body
+	devSealBuf []byte   // device-sealed response frame
+	recvBuf    []byte   // host-opened response body (the Exchange result)
+	discardBuf []byte   // host opens of surplus duplicate frames
+	outBuf     [][]byte // outbound response frame list
 }
 
 // Stats returns a snapshot of recovery counters.
@@ -104,6 +116,9 @@ func (t *Transactor) Stats() TransactorStats { return t.stats }
 // serve, deliver the sealed response back, open it. On transport faults it
 // retries with backoff up to the policy budget, then realigns counters and
 // reports the last fault.
+//
+// The returned body is transactor-owned scratch, valid only until the next
+// Exchange on this transactor; callers that retain it must copy.
 func (t *Transactor) Exchange(body []byte) ([]byte, error) {
 	p := t.Retry.withDefaults()
 	base := t.Host.SendCounter()
@@ -173,7 +188,8 @@ func (t *Transactor) tap(dir Direction, attempt int, frame []byte) {
 
 // attempt performs one delivery round trip.
 func (t *Transactor) attempt(body []byte, attempt int) ([]byte, error) {
-	frame := t.Host.Seal(body)
+	frame := t.Host.SealAppend(t.sendBuf[:0], body)
+	t.sendBuf = frame
 	t.tap(HostToDev, attempt, frame)
 	observed, err := t.link().Deliver(HostToDev, frame)
 	if err != nil {
@@ -184,9 +200,9 @@ func (t *Transactor) attempt(body []byte, attempt int) ([]byte, error) {
 	// served exactly once; retransmissions of the previously served frame
 	// re-emit the cached response; everything else is dropped on the
 	// floor (corruption, stale replays).
-	var outbound [][]byte
+	outbound := t.outBuf[:0]
 	for _, f := range observed {
-		opened, err := t.Dev.Open(f)
+		opened, err := t.Dev.OpenAppend(t.devRecvBuf[:0], f)
 		if err != nil {
 			if errors.Is(err, seccomm.ErrReplayed) && t.lastResp != nil {
 				t.stats.Retransmits++
@@ -197,12 +213,22 @@ func (t *Transactor) attempt(body []byte, attempt int) ([]byte, error) {
 			}
 			continue
 		}
+		t.devRecvBuf = opened
 		respBody, err := t.Serve(opened)
 		if err != nil {
+			t.outBuf = clearFrames(outbound)
 			return nil, &AppError{Err: err}
 		}
-		sealed := t.Dev.Seal(respBody)
-		t.lastResp = sealed
+		sealed := t.Dev.SealAppend(t.devSealBuf[:0], respBody)
+		t.devSealBuf = sealed
+		// Cache the exact wire bytes for ARQ. When a retransmission was
+		// already queued this attempt it aliases the old cache, so the new
+		// cache must be a fresh buffer rather than an in-place overwrite.
+		if len(outbound) > 0 {
+			t.lastResp = append([]byte(nil), sealed...)
+		} else {
+			t.lastResp = append(t.lastResp[:0], sealed...)
+		}
 		outbound = append(outbound, sealed)
 	}
 
@@ -222,21 +248,36 @@ func (t *Transactor) attempt(body []byte, attempt int) ([]byte, error) {
 				// retry could ever be answered.
 				break
 			}
+			t.outBuf = clearFrames(outbound)
 			return nil, err
 		}
 		for _, f := range frames {
-			opened, err := t.Host.Open(f)
+			if ok {
+				// Surplus frames still go through Open so replay/duplicate
+				// accounting matches the non-pooled behaviour exactly.
+				if d, derr := t.Host.OpenAppend(t.discardBuf[:0], f); derr == nil {
+					t.discardBuf = d
+				}
+				continue
+			}
+			opened, err := t.Host.OpenAppend(t.recvBuf[:0], f)
 			if err != nil {
 				continue
 			}
-			if !ok {
-				got = opened
-				ok = true
-			}
+			t.recvBuf = opened
+			got = opened
+			ok = true
 		}
 	}
+	t.outBuf = clearFrames(outbound)
 	if !ok {
 		return nil, ErrNoResponse
 	}
 	return got, nil
+}
+
+// clearFrames empties a frame list for reuse without retaining its entries.
+func clearFrames(fs [][]byte) [][]byte {
+	clear(fs)
+	return fs[:0]
 }

@@ -9,6 +9,11 @@
 // (Section III-D: "MACs are generated based on the compact counters and the
 // data portions available in each bucket"), which multiplies MAC storage by
 // n but lets each SDIMM verify and regenerate independently.
+//
+// PMMAC and Chain keep their HMAC state and output scratch across calls so
+// the verify/append paths are allocation-free; as a consequence neither type
+// is safe for concurrent use. Every holder in this repo (a MemStore, a
+// durable Manager) is already single-threaded by construction.
 package integrity
 
 import (
@@ -16,55 +21,72 @@ import (
 	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/binary"
+	"hash"
 )
 
 // TagSize is the truncated MAC size in bytes, matching the 8-byte per-bucket
 // MAC budget assumed by the paper's bucket layout.
 const TagSize = 8
 
-// PMMAC authenticates buckets under one secret key.
+// PMMAC authenticates buckets under one secret key. Not safe for concurrent
+// use: the HMAC state and output buffer are reused across calls.
 type PMMAC struct {
-	key []byte
+	mac hash.Hash
+	hdr [20]byte
+	sum [sha256.Size]byte
 }
 
 // New creates a PMMAC instance with the given key. The key is copied.
 func New(key []byte) *PMMAC {
-	return &PMMAC{key: append([]byte(nil), key...)}
+	return &PMMAC{mac: hmac.New(sha256.New, key)}
 }
 
-// Tag computes the MAC for a whole (unsplit) bucket.
+// Tag computes the MAC for a whole (unsplit) bucket. The result is a fresh
+// allocation the caller owns; the hot path uses AppendTag instead.
 func (p *PMMAC) Tag(bucket uint64, counter uint64, data []byte) []byte {
-	return p.tag(bucket, ^uint32(0), counter, data)
+	return append([]byte(nil), p.tag(bucket, ^uint32(0), counter, data)...)
 }
 
-// Verify checks a whole-bucket MAC in constant time.
+// AppendTag appends the whole-bucket MAC to dst and returns the extended
+// slice, allocating only if dst lacks capacity.
+func (p *PMMAC) AppendTag(dst []byte, bucket uint64, counter uint64, data []byte) []byte {
+	return append(dst, p.tag(bucket, ^uint32(0), counter, data)...)
+}
+
+// Verify checks a whole-bucket MAC in constant time. It does not allocate.
 func (p *PMMAC) Verify(bucket uint64, counter uint64, data, tag []byte) bool {
-	want := p.Tag(bucket, counter, data)
+	want := p.tag(bucket, ^uint32(0), counter, data)
 	return len(tag) == TagSize && subtle.ConstantTimeCompare(want, tag) == 1
 }
 
 // ShardTag computes the MAC for one SDIMM's shard of a split bucket. The
 // shard index is bound into the MAC so shards cannot be swapped between
-// SDIMMs.
+// SDIMMs. The result is a fresh allocation the caller owns.
 func (p *PMMAC) ShardTag(bucket uint64, shard int, counter uint64, data []byte) []byte {
-	return p.tag(bucket, uint32(shard), counter, data)
+	return append([]byte(nil), p.tag(bucket, uint32(shard), counter, data)...)
 }
 
-// VerifyShard checks a shard MAC in constant time.
+// AppendShardTag appends a shard MAC to dst and returns the extended slice.
+func (p *PMMAC) AppendShardTag(dst []byte, bucket uint64, shard int, counter uint64, data []byte) []byte {
+	return append(dst, p.tag(bucket, uint32(shard), counter, data)...)
+}
+
+// VerifyShard checks a shard MAC in constant time. It does not allocate.
 func (p *PMMAC) VerifyShard(bucket uint64, shard int, counter uint64, data, tag []byte) bool {
-	want := p.ShardTag(bucket, shard, counter, data)
+	want := p.tag(bucket, uint32(shard), counter, data)
 	return len(tag) == TagSize && subtle.ConstantTimeCompare(want, tag) == 1
 }
 
+// tag returns the truncated MAC in p's reusable output buffer — valid only
+// until the next call on p.
 func (p *PMMAC) tag(bucket uint64, shard uint32, counter uint64, data []byte) []byte {
-	m := hmac.New(sha256.New, p.key)
-	var hdr [20]byte
-	binary.BigEndian.PutUint64(hdr[0:8], bucket)
-	binary.BigEndian.PutUint32(hdr[8:12], shard)
-	binary.BigEndian.PutUint64(hdr[12:20], counter)
-	m.Write(hdr[:])
-	m.Write(data)
-	return m.Sum(nil)[:TagSize]
+	p.mac.Reset()
+	binary.BigEndian.PutUint64(p.hdr[0:8], bucket)
+	binary.BigEndian.PutUint32(p.hdr[8:12], shard)
+	binary.BigEndian.PutUint64(p.hdr[12:20], counter)
+	p.mac.Write(p.hdr[:])
+	p.mac.Write(data)
+	return p.mac.Sum(p.sum[:0])[:TagSize]
 }
 
 // ChainTagSize is the per-record MAC size of a journal hash chain.
@@ -74,8 +96,9 @@ const ChainTagSize = 16
 // journal): each record's tag is an HMAC over the previous tag and the
 // record bytes, so truncating, reordering, or splicing records breaks the
 // chain at the first tampered point and the decoder fails closed there.
+// Not safe for concurrent use.
 type Chain struct {
-	key  []byte
+	mac  hash.Hash
 	last []byte
 }
 
@@ -83,19 +106,31 @@ type Chain struct {
 // journal header's MAC), which binds every record to its file's identity.
 func NewChain(key, seed []byte) *Chain {
 	return &Chain{
-		key:  append([]byte(nil), key...),
-		last: append([]byte(nil), seed...),
+		mac:  hmac.New(sha256.New, key),
+		last: append(make([]byte, 0, sha256.Size), seed...),
 	}
 }
 
-// Next absorbs one record and returns its ChainTagSize-byte tag. The tag
-// becomes the chain state for the following record.
+// Next absorbs one record and returns its ChainTagSize-byte tag as a fresh
+// allocation. The tag becomes the chain state for the following record.
 func (c *Chain) Next(record []byte) []byte {
-	m := hmac.New(sha256.New, c.key)
-	m.Write(c.last)
-	m.Write(record)
-	c.last = m.Sum(nil)[:ChainTagSize]
+	c.advance(record)
 	return append([]byte(nil), c.last...)
+}
+
+// AppendNext absorbs one record and appends its tag to dst, returning the
+// extended slice — the allocation-free form of Next. record may alias dst:
+// it is fully absorbed before dst is extended.
+func (c *Chain) AppendNext(dst, record []byte) []byte {
+	c.advance(record)
+	return append(dst, c.last...)
+}
+
+func (c *Chain) advance(record []byte) {
+	c.mac.Reset()
+	c.mac.Write(c.last)
+	c.mac.Write(record)
+	c.last = c.mac.Sum(c.last[:0])[:ChainTagSize]
 }
 
 // SplitOverheadBytes returns the extra MAC bytes per bucket that n-way

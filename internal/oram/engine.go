@@ -1,8 +1,10 @@
 package oram
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"sdimm/internal/rng"
@@ -22,6 +24,10 @@ const (
 // and rewritten, the leaf remapping, and the stash behaviour. The timing
 // simulator replays plans as DRAM traffic; tests use them to check
 // obliviousness invariants (the path depends only on the old leaf).
+//
+// Path and BackgroundLeaves are engine-owned scratch, valid only until the
+// next operation on the engine that produced the plan; callers that retain
+// a plan (e.g. to replay it as DRAM traffic later) must copy them.
 type AccessPlan struct {
 	Addr             uint64
 	OldLeaf          uint64
@@ -79,6 +85,64 @@ type Engine struct {
 	pendingLeaf uint64
 
 	stats EngineStats
+
+	// Reusable hot-path scratch. One steady-state access performs zero heap
+	// allocations: the path index buffers, the bucket staging areas, the
+	// writeback candidate list, and the response payload are all reused, and
+	// every stash payload lives in an engine-owned buffer recycled through
+	// freeBufs when its block is written back to the tree. Buffers handed
+	// out (Access/AccessAt results, plan.Path, plan.BackgroundLeaves) are
+	// valid only until the next engine operation.
+	pathBuf   []uint64 // ReadPath's working path
+	planPath  []uint64 // accessPath's stable copy handed out via AccessPlan
+	readBkt   Bucket   // ReadPath bucket staging
+	writeBkt  Bucket   // WritePath bucket staging
+	cands     []Block  // WritePath candidate list
+	placed    map[uint64]bool
+	leavesBuf []uint64 // DrainStash result
+	respBuf   []byte   // accessed payload snapshot returned to callers
+	freeBufs  [][]byte // recycled stash payload buffers
+}
+
+// takeBuf pops a recycled payload buffer (nil when the free list is empty).
+func (e *Engine) takeBuf() []byte {
+	if n := len(e.freeBufs); n > 0 {
+		b := e.freeBufs[n-1]
+		e.freeBufs[n-1] = nil
+		e.freeBufs = e.freeBufs[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// copyIn copies src into an engine-owned buffer; nil stays nil (sparse mode
+// carries no payloads).
+func (e *Engine) copyIn(src []byte) []byte {
+	if src == nil {
+		return nil
+	}
+	return append(e.takeBuf(), src...)
+}
+
+// zeroBuf returns an engine-owned zero-filled buffer of n bytes.
+func (e *Engine) zeroBuf(n int) []byte {
+	b := e.takeBuf()
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}
+
+// recycle returns a payload buffer to the free list. Reuse order does not
+// affect determinism: recycled buffers are always fully overwritten before
+// they are observed again.
+func (e *Engine) recycle(data []byte) {
+	if cap(data) == 0 {
+		return
+	}
+	e.freeBufs = append(e.freeBufs, data)
 }
 
 // NewEngine builds an engine over store. pos may be nil for protocol-driven
@@ -145,6 +209,9 @@ func (e *Engine) PositionOf(addr uint64) (uint64, bool) {
 // background eviction if the stash ran hot. For OpRead it returns the
 // block's payload (zero-filled on first touch in functional mode, nil in
 // sparse mode); for OpWrite it stores data.
+//
+// The returned payload is engine-owned scratch, valid only until the next
+// engine operation; callers that retain it must copy.
 func (e *Engine) Access(addr uint64, op Op, data []byte) ([]byte, AccessPlan, error) {
 	if e.pos == nil {
 		return nil, AccessPlan{}, errors.New("oram: Access requires a position map")
@@ -162,7 +229,7 @@ func (e *Engine) Access(addr uint64, op Op, data []byte) ([]byte, AccessPlan, er
 	}
 	var out []byte
 	if op == OpRead && blk.Data != nil {
-		out = append([]byte(nil), blk.Data...)
+		out = blk.Data
 	}
 	e.stats.Accesses++
 	return out, plan, nil
@@ -174,6 +241,10 @@ func (e *Engine) Access(addr uint64, op Op, data []byte) ([]byte, AccessPlan, er
 // (Independent protocol: the block migrates to another SDIMM's stash); the
 // departing block is held aside during writeback so no stale copy remains
 // in this tree.
+//
+// The returned block's Data (and the plan's Path/BackgroundLeaves) are
+// engine-owned scratch, valid only until the next engine operation; callers
+// that retain them must copy.
 func (e *Engine) AccessAt(addr uint64, op Op, data []byte, oldLeaf, newLeaf uint64, keep bool) (Block, AccessPlan, error) {
 	plan, blk, err := e.accessPath(addr, op, data, oldLeaf, newLeaf, !keep)
 	if err != nil {
@@ -198,25 +269,38 @@ func (e *Engine) accessPath(addr uint64, op Op, data []byte, oldLeaf, newLeaf ui
 	if err != nil {
 		return plan, Block{}, err
 	}
-	plan.Path = path
+	// ReadPath's result aliases pathBuf, which background eviction below
+	// would clobber; hand out a stable copy instead.
+	e.planPath = append(e.planPath[:0], path...)
+	plan.Path = e.planPath
 
 	blk, found := e.stash.Get(addr)
 	plan.Found = found
 	if !found {
 		blk = Block{Addr: addr, Leaf: newLeaf}
-		if e.blockBytesHint() > 0 {
-			blk.Data = make([]byte, e.blockBytesHint())
+		if hint := e.blockBytesHint(); hint > 0 {
+			blk.Data = e.zeroBuf(hint)
 		}
 	}
 	blk.Leaf = newLeaf
 	if op == OpWrite && data != nil {
-		blk.Data = append([]byte(nil), data...)
+		blk.Data = append(blk.Data[:0], data...)
 	}
 	if migrate {
 		// The block leaves this ORAM entirely: keep it out of writeback.
 		e.stash.Remove(addr)
 	} else if err := e.stash.Put(blk); err != nil {
 		return plan, Block{}, err
+	}
+
+	// Snapshot the response payload before writeback: the greedy writeback
+	// may place the block back in the tree and recycle its stash buffer.
+	if blk.Data != nil {
+		e.respBuf = append(e.respBuf[:0], blk.Data...)
+		if migrate {
+			e.recycle(blk.Data)
+		}
+		blk.Data = e.respBuf
 	}
 
 	if err := e.WritePath(oldLeaf); err != nil {
@@ -228,7 +312,9 @@ func (e *Engine) accessPath(addr uint64, op Op, data []byte, oldLeaf, newLeaf ui
 			return plan, Block{}, err
 		}
 		plan.BackgroundEvicts = len(leaves)
-		plan.BackgroundLeaves = leaves
+		if len(leaves) > 0 {
+			plan.BackgroundLeaves = leaves
+		}
 	}
 	plan.StashAfter = e.stash.Len()
 	return plan, blk, nil
@@ -245,7 +331,8 @@ func (e *Engine) blockBytesHint() int {
 // ReadPath reads every bucket on the path to leaf into the stash and
 // returns the path's bucket indices. It must be paired with a WritePath on
 // the same leaf before the next ReadPath (Path ORAM empties what it reads;
-// the writeback rewrites the whole path).
+// the writeback rewrites the whole path). The returned slice is engine
+// scratch, valid only until the next ReadPath.
 func (e *Engine) ReadPath(leaf uint64) ([]uint64, error) {
 	if e.pending {
 		return nil, fmt.Errorf("oram: ReadPath(%d) while path %d is pending writeback", leaf, e.pendingLeaf)
@@ -253,17 +340,23 @@ func (e *Engine) ReadPath(leaf uint64) ([]uint64, error) {
 	if !e.geom.ValidLeaf(leaf) {
 		return nil, fmt.Errorf("oram: leaf %d out of range", leaf)
 	}
-	path := e.geom.Path(leaf, nil)
+	if cap(e.pathBuf) < e.geom.Levels {
+		e.pathBuf = make([]uint64, e.geom.Levels)
+	}
+	path := e.geom.Path(leaf, e.pathBuf[:e.geom.Levels])
 	for _, idx := range path {
-		b, err := e.store.ReadBucket(idx)
-		if err != nil {
+		if err := e.store.ReadBucketInto(idx, &e.readBkt); err != nil {
 			return nil, err
 		}
-		for _, slot := range b.Slots {
+		for _, slot := range e.readBkt.Slots {
 			if slot.IsDummy() {
 				continue
 			}
+			// ReadBucketInto's payloads alias store scratch; move them
+			// into engine-owned buffers before they enter the stash.
+			slot.Data = e.copyIn(slot.Data)
 			if err := e.stash.Put(slot); err != nil {
+				e.recycle(slot.Data)
 				return nil, err
 			}
 		}
@@ -284,38 +377,48 @@ func (e *Engine) WritePath(leaf uint64) error {
 	if !e.pending || e.pendingLeaf != leaf {
 		return fmt.Errorf("oram: WritePath(%d) without matching ReadPath", leaf)
 	}
-	// Deterministic candidate order: sort by address.
-	cands := make([]Block, 0, e.stash.Len())
+	// Deterministic candidate order: sort by address (addresses are unique
+	// in the stash, so the order is total and matches the previous
+	// sort.Slice selection exactly).
+	e.cands = e.cands[:0]
 	e.stash.Range(func(b Block) bool {
-		cands = append(cands, b)
+		e.cands = append(e.cands, b)
 		return true
 	})
-	sort.Slice(cands, func(i, j int) bool { return cands[i].Addr < cands[j].Addr })
-	placed := make(map[uint64]bool)
+	slices.SortFunc(e.cands, func(a, b Block) int { return cmp.Compare(a.Addr, b.Addr) })
+	if e.placed == nil {
+		e.placed = make(map[uint64]bool)
+	}
+	clear(e.placed)
 
 	z := e.store.Z()
 	for lvl := e.geom.Levels - 1; lvl >= 0; lvl-- {
-		bucket := NewBucket(z)
+		resetSlots(&e.writeBkt, z)
 		n := 0
-		for _, b := range cands {
+		for _, b := range e.cands {
 			if n == z {
 				break
 			}
-			if placed[b.Addr] {
+			if e.placed[b.Addr] {
 				continue
 			}
 			if e.geom.CommonDepth(b.Leaf, leaf) >= lvl {
-				bucket.Slots[n] = b
+				e.writeBkt.Slots[n] = b
 				n++
-				placed[b.Addr] = true
+				e.placed[b.Addr] = true
 			}
 		}
-		if err := e.store.WriteBucket(e.geom.BucketAt(leaf, lvl), bucket); err != nil {
+		if err := e.store.WriteBucket(e.geom.BucketAt(leaf, lvl), e.writeBkt); err != nil {
 			return err
 		}
 	}
-	for addr := range placed {
-		e.stash.Remove(addr)
+	for addr := range e.placed {
+		if blk, ok := e.stash.Remove(addr); ok {
+			// The tree now owns the block; its stash payload buffer is free
+			// for reuse. (Map iteration order varies, but free-list order is
+			// invisible: recycled buffers are fully overwritten on reuse.)
+			e.recycle(blk.Data)
+		}
 	}
 	e.pending = false
 	e.stats.PathWrites++
@@ -324,18 +427,19 @@ func (e *Engine) WritePath(leaf uint64) error {
 
 // DrainStash performs background-eviction dummy accesses (read a random
 // path, write it back) while the stash exceeds the eviction threshold, up
-// to the per-access bound. It returns the leaves of the accesses performed.
+// to the per-access bound. It returns the leaves of the accesses performed;
+// the slice is engine scratch, valid only until the next DrainStash.
 func (e *Engine) DrainStash() ([]uint64, error) {
-	var leaves []uint64
-	for e.stash.Len() > e.evictThreshold && len(leaves) < e.maxBG {
+	e.leavesBuf = e.leavesBuf[:0]
+	for e.stash.Len() > e.evictThreshold && len(e.leavesBuf) < e.maxBG {
 		leaf := e.RandomLeaf()
 		if err := e.EvictPath(leaf); err != nil {
-			return leaves, err
+			return e.leavesBuf, err
 		}
-		leaves = append(leaves, leaf)
+		e.leavesBuf = append(e.leavesBuf, leaf)
 		e.stats.BackgroundEvicts++
 	}
-	return leaves, nil
+	return e.leavesBuf, nil
 }
 
 // EvictPath performs one externally-directed eviction access: it reads the
@@ -354,6 +458,8 @@ func (e *Engine) NeedsDrain() bool { return e.stash.Len() > e.evictThreshold }
 
 // StashInsert adds a block to the stash (the APPEND command of the
 // Independent protocol and the Split protocol's FETCH_DATA destination).
+// The payload is copied into an engine-owned buffer; the caller keeps
+// ownership of b.Data.
 func (e *Engine) StashInsert(b Block) error {
 	if !e.geom.ValidLeaf(b.Leaf) {
 		return fmt.Errorf("oram: inserting block with leaf %d out of range", b.Leaf)
@@ -361,10 +467,16 @@ func (e *Engine) StashInsert(b Block) error {
 	if e.stash.Len() > e.stats.StashPeak {
 		e.stats.StashPeak = e.stash.Len()
 	}
-	return e.stash.Put(b)
+	b.Data = e.copyIn(b.Data)
+	if err := e.stash.Put(b); err != nil {
+		e.recycle(b.Data)
+		return err
+	}
+	return nil
 }
 
-// StashRemove removes and returns the block for addr if present.
+// StashRemove removes and returns the block for addr if present. Ownership
+// of the block's payload buffer transfers to the caller.
 func (e *Engine) StashRemove(addr uint64) (Block, bool) { return e.stash.Remove(addr) }
 
 // RandState snapshots the engine's randomness stream for a durability
@@ -390,9 +502,23 @@ func (e *Engine) StashBlocks() []Block {
 
 // RestoreStash replaces the stash contents with blocks (checkpoint
 // restore). The engine must be quiescent (no pending path writeback).
+// Every block is validated up front — the same leaf-range check StashInsert
+// applies, plus dummy and capacity checks — so a corrupted snapshot fails
+// closed without disturbing the current stash.
 func (e *Engine) RestoreStash(blocks []Block) error {
 	if e.pending {
 		return fmt.Errorf("oram: RestoreStash while path %d is pending writeback", e.pendingLeaf)
+	}
+	if len(blocks) > e.stash.Capacity() {
+		return fmt.Errorf("%w: restoring %d blocks into capacity %d", ErrStashOverflow, len(blocks), e.stash.Capacity())
+	}
+	for _, b := range blocks {
+		if b.IsDummy() {
+			return errors.New("oram: restoring dummy stash block")
+		}
+		if !e.geom.ValidLeaf(b.Leaf) {
+			return fmt.Errorf("oram: restoring block %d with leaf %d out of range", b.Addr, b.Leaf)
+		}
 	}
 	var addrs []uint64
 	e.stash.Range(func(b Block) bool {
@@ -400,10 +526,12 @@ func (e *Engine) RestoreStash(blocks []Block) error {
 		return true
 	})
 	for _, a := range addrs {
-		e.stash.Remove(a)
+		if blk, ok := e.stash.Remove(a); ok {
+			e.recycle(blk.Data)
+		}
 	}
 	for _, b := range blocks {
-		b.Data = append([]byte(nil), b.Data...)
+		b.Data = e.copyIn(b.Data)
 		if err := e.stash.Put(b); err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sdimm/internal/ctrmode"
 	"sdimm/internal/integrity"
 )
 
@@ -56,9 +57,25 @@ func (b Bucket) RealBlocks() int {
 // order. Reading a never-written bucket returns an all-dummy bucket.
 type Store interface {
 	ReadBucket(idx uint64) (Bucket, error)
+	// ReadBucketInto is ReadBucket decoding into a caller-provided bucket,
+	// resizing b.Slots as needed. Slot Data may alias store-internal scratch
+	// valid only until the next call on the store; callers that retain
+	// payloads must copy them. This is the engine's hot-path read.
+	ReadBucketInto(idx uint64, b *Bucket) error
 	WriteBucket(idx uint64, b Bucket) error
 	// Z returns the slots per bucket.
 	Z() int
+}
+
+// resetSlots sizes b.Slots to z and fills it with dummies, reusing capacity.
+func resetSlots(b *Bucket, z int) {
+	if cap(b.Slots) < z {
+		b.Slots = make([]Block, z)
+	}
+	b.Slots = b.Slots[:z]
+	for i := range b.Slots {
+		b.Slots[i] = Block{Addr: DummyAddr}
+	}
 }
 
 // SparseStore keeps bucket placement metadata only (no payloads, no
@@ -87,6 +104,23 @@ func (s *SparseStore) ReadBucket(idx uint64) (Bucket, error) {
 	return NewBucket(s.z), nil
 }
 
+// ReadBucketInto implements Store without allocating (sparse slots carry no
+// payloads, so the slot copy is the whole read).
+func (s *SparseStore) ReadBucketInto(idx uint64, b *Bucket) error {
+	if st, ok := s.buckets[idx]; ok {
+		if cap(b.Slots) < s.z {
+			b.Slots = make([]Block, s.z)
+		}
+		b.Slots = b.Slots[:s.z]
+		copy(b.Slots, st.Slots)
+		b.Counter = st.Counter
+		return nil
+	}
+	resetSlots(b, s.z)
+	b.Counter = 0
+	return nil
+}
+
 // WriteBucket implements Store. The write counter is owned by the store and
 // advances monotonically regardless of the Counter field passed in.
 func (s *SparseStore) WriteBucket(idx uint64, b Bucket) error {
@@ -112,13 +146,20 @@ var ErrIntegrity = errors.New("oram: bucket failed integrity verification")
 // MemStore is the functional store: buckets are serialized, encrypted with
 // AES-CTR under a per-bucket counter, and authenticated with PMMAC. It is
 // what a real secure buffer does to its DRAM contents; unit and property
-// tests run the full engine against it.
+// tests run the full engine against it. Not safe for concurrent use: the
+// keystream, MAC, and plaintext buffers are reused across calls.
 type MemStore struct {
 	z          int
 	blockBytes int
 	aead       cipher.Block
 	mac        *integrity.PMMAC
 	buckets    map[uint64][]byte // idx -> counter || ciphertext || tag
+
+	// Reusable scratch: CTR stream state, IV, and the plaintext staging
+	// buffer shared by ReadBucketInto (decode) and PutBucketAt (encode).
+	stream ctrmode.Stream
+	iv     [aes.BlockSize]byte
+	ptBuf  []byte
 }
 
 // NewMemStore builds a functional store. key seeds both the encryption and
@@ -150,30 +191,64 @@ const slotHeader = 16 // addr (8) + leaf (8)
 
 func (s *MemStore) plainSize() int { return s.z * (slotHeader + s.blockBytes) }
 
-// ReadBucket implements Store: it decrypts and verifies the bucket.
+// scratch returns the plaintext staging buffer sized to one bucket.
+func (s *MemStore) scratch() []byte {
+	if cap(s.ptBuf) < s.plainSize() {
+		s.ptBuf = make([]byte, s.plainSize())
+	}
+	return s.ptBuf[:s.plainSize()]
+}
+
+// ReadBucket implements Store: it decrypts and verifies the bucket. Slot
+// payloads are fresh allocations the caller owns; the engine's hot path
+// uses ReadBucketInto instead.
 func (s *MemStore) ReadBucket(idx uint64) (Bucket, error) {
+	var b Bucket
+	if err := s.ReadBucketInto(idx, &b); err != nil {
+		return Bucket{}, err
+	}
+	for i := range b.Slots {
+		if b.Slots[i].Data != nil {
+			b.Slots[i].Data = append([]byte(nil), b.Slots[i].Data...)
+		}
+	}
+	return b, nil
+}
+
+// ReadBucketInto implements Store: decrypt and verify into b without
+// allocating. Non-dummy slot Data aliases the store's plaintext scratch —
+// valid only until the next call on the store.
+func (s *MemStore) ReadBucketInto(idx uint64, b *Bucket) error {
 	raw, ok := s.buckets[idx]
 	if !ok {
-		return NewBucket(s.z), nil
+		resetSlots(b, s.z)
+		b.Counter = 0
+		return nil
 	}
 	counter := binary.BigEndian.Uint64(raw[:8])
 	ct := raw[8 : 8+s.plainSize()]
 	tag := raw[8+s.plainSize():]
 	if !s.mac.Verify(idx, counter, ct, tag) {
-		return Bucket{}, fmt.Errorf("%w: bucket %d", ErrIntegrity, idx)
+		return fmt.Errorf("%w: bucket %d", ErrIntegrity, idx)
 	}
-	pt := make([]byte, len(ct))
+	pt := s.scratch()
 	s.keystream(idx, counter, ct, pt)
-	b := Bucket{Slots: make([]Block, s.z), Counter: counter}
+	if cap(b.Slots) < s.z {
+		b.Slots = make([]Block, s.z)
+	}
+	b.Slots = b.Slots[:s.z]
+	b.Counter = counter
 	for i := 0; i < s.z; i++ {
 		off := i * (slotHeader + s.blockBytes)
 		b.Slots[i].Addr = binary.BigEndian.Uint64(pt[off:])
 		b.Slots[i].Leaf = binary.BigEndian.Uint64(pt[off+8:])
-		if !b.Slots[i].IsDummy() {
-			b.Slots[i].Data = append([]byte(nil), pt[off+slotHeader:off+slotHeader+s.blockBytes]...)
+		if b.Slots[i].IsDummy() {
+			b.Slots[i].Data = nil
+		} else {
+			b.Slots[i].Data = pt[off+slotHeader : off+slotHeader+s.blockBytes]
 		}
 	}
-	return b, nil
+	return nil
 }
 
 // WriteBucket implements Store: it bumps the counter, re-encrypts and
@@ -191,12 +266,17 @@ func (s *MemStore) WriteBucket(idx uint64, b Bucket) error {
 // bumping the stored one. The scrub pass uses it to reconstruct a corrupted
 // shard bucket bit-exactly: with the sibling shards' (identical, lockstep)
 // counter and the parity-recovered plaintext, the re-encryption reproduces
-// the exact pre-corruption ciphertext and tag.
+// the exact pre-corruption ciphertext and tag. Slot Data must not alias the
+// store's read scratch: payloads obtained from ReadBucketInto have to be
+// copied before being written back.
 func (s *MemStore) PutBucketAt(idx uint64, b Bucket, counter uint64) error {
 	if len(b.Slots) != s.z {
 		return fmt.Errorf("oram: bucket with %d slots written to Z=%d store", len(b.Slots), s.z)
 	}
-	pt := make([]byte, s.plainSize())
+	pt := s.scratch()
+	for i := range pt {
+		pt[i] = 0
+	}
 	for i, slot := range b.Slots {
 		off := i * (slotHeader + s.blockBytes)
 		binary.BigEndian.PutUint64(pt[off:], slot.Addr)
@@ -208,12 +288,17 @@ func (s *MemStore) PutBucketAt(idx uint64, b Bucket, counter uint64) error {
 			copy(pt[off+slotHeader:off+slotHeader+s.blockBytes], slot.Data)
 		}
 	}
-	ct := make([]byte, len(pt))
-	s.keystream(idx, counter, pt, ct)
-	raw := make([]byte, 8+len(ct)+integrity.TagSize)
+	// Steady state reseals in place: the stored raw buffer has the same
+	// (shape-determined) size for the life of the bucket.
+	rawSize := 8 + len(pt) + integrity.TagSize
+	raw, ok := s.buckets[idx]
+	if !ok || len(raw) != rawSize {
+		raw = make([]byte, rawSize)
+	}
 	binary.BigEndian.PutUint64(raw[:8], counter)
-	copy(raw[8:], ct)
-	copy(raw[8+len(ct):], s.mac.Tag(idx, counter, ct))
+	ct := raw[8 : 8+len(pt)]
+	s.keystream(idx, counter, pt, ct)
+	raw = s.mac.AppendTag(raw[:8+len(pt)], idx, counter, ct)
 	s.buckets[idx] = raw
 	return nil
 }
@@ -277,10 +362,11 @@ func (s *MemStore) Corrupt(idx uint64) bool {
 }
 
 // keystream XORs src into dst with the AES-CTR stream bound to (bucket,
-// counter), so every write of every bucket uses a fresh pad.
+// counter), so every write of every bucket uses a fresh pad. ctrmode is
+// bit-identical to the stdlib CTR this originally used, so sealed bytes
+// persisted by old checkpoints still decrypt.
 func (s *MemStore) keystream(idx, counter uint64, src, dst []byte) {
-	var iv [aes.BlockSize]byte
-	binary.BigEndian.PutUint64(iv[:8], idx)
-	binary.BigEndian.PutUint64(iv[8:], counter)
-	cipher.NewCTR(s.aead, iv[:]).XORKeyStream(dst, src)
+	binary.BigEndian.PutUint64(s.iv[:8], idx)
+	binary.BigEndian.PutUint64(s.iv[8:], counter)
+	s.stream.XORKeyStream(s.aead, &s.iv, dst, src)
 }

@@ -132,7 +132,9 @@ func (b *FreecursiveBackend) runOps(req request, ops []freecursive.Op, i int) {
 	b.st.BgEvictions += uint64(plan.BackgroundEvicts)
 
 	// Main path plus any background-eviction paths, chained serially.
-	paths := [][]uint64{plan.Path}
+	// plan.Path aliases engine scratch clobbered by the next Access; the
+	// replay closures run after later ops, so capture an owned copy.
+	paths := [][]uint64{append([]uint64(nil), plan.Path...)}
 	for _, leaf := range plan.BackgroundLeaves {
 		paths = append(paths, b.engine.Geometry().Path(leaf, nil))
 	}

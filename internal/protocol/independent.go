@@ -273,7 +273,10 @@ func (b *IndependentBackend) accessORAM(addr uint64, op oram.Op, posted bool, la
 	}
 
 	// --- Timing replay ---
-	paths := [][]uint64{plan.Path}
+	// plan.Path and plan.BackgroundLeaves alias engine scratch that later
+	// accesses overwrite; the replay closures below run after arbitrary
+	// interleaved accesses, so capture an owned copy now.
+	paths := [][]uint64{append([]uint64(nil), plan.Path...)}
 	geom := b.buffers[sd].Engine().Geometry()
 	for _, l := range plan.BackgroundLeaves {
 		paths = append(paths, geom.Path(l, nil))

@@ -133,8 +133,13 @@ func (g *splitGroup) submit(op splitOp) oram.Block {
 	if err != nil {
 		panic(fmt.Sprintf("protocol: split access (group members %v): %v", g.members, err))
 	}
+	// The op is queued and replayed after later submits; plan.Path and
+	// blk.Data are engine scratch by then, so the op takes owned copies.
 	op.blk = blk
-	op.path = plan.Path
+	if blk.Data != nil {
+		op.blk.Data = append([]byte(nil), blk.Data...)
+	}
+	op.path = append([]uint64(nil), plan.Path...)
 	if op.posted {
 		g.postedQ = append(g.postedQ, op)
 	} else {

@@ -1,0 +1,9 @@
+//go:build race
+
+// Package raceflag exposes whether the race detector is compiled in, so
+// allocation-gate tests (testing.AllocsPerRun == 0) can skip themselves:
+// race instrumentation adds its own allocations that are not ours to gate.
+package raceflag
+
+// Enabled reports whether this binary was built with -race.
+const Enabled = true

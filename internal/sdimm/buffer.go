@@ -137,13 +137,23 @@ func (b *Buffer) HandleAccess(req AccessRequest) (oram.AccessPlan, []oram.Access
 	return plan, extra, nil
 }
 
+// popTransfer removes and returns the transfer-queue head, sliding the
+// remaining entries down so the backing array (and its payload buffers'
+// reachability) never grows beyond the queue capacity.
+func (b *Buffer) popTransfer() oram.Block {
+	blk := b.transferQ[0]
+	n := copy(b.transferQ, b.transferQ[1:])
+	b.transferQ[n] = oram.Block{}
+	b.transferQ = b.transferQ[:n]
+	return blk
+}
+
 // admitOne moves the head of the transfer queue into the normal stash.
 func (b *Buffer) admitOne() error {
 	if len(b.transferQ) == 0 {
 		return nil
 	}
-	blk := b.transferQ[0]
-	b.transferQ = b.transferQ[1:]
+	blk := b.popTransfer()
 	if err := b.engine.StashInsert(blk); err != nil {
 		return fmt.Errorf("sdimm %s: admitting transferred block: %w", b.id, err)
 	}
@@ -153,8 +163,7 @@ func (b *Buffer) admitOne() error {
 // drainOne admits a queued block and immediately performs an eviction
 // access along the block's own path so it finds a home in the tree.
 func (b *Buffer) drainOne() (oram.AccessPlan, error) {
-	blk := b.transferQ[0]
-	b.transferQ = b.transferQ[1:]
+	blk := b.popTransfer()
 	if err := b.engine.StashInsert(blk); err != nil {
 		return oram.AccessPlan{}, fmt.Errorf("sdimm %s: draining transferred block: %w", b.id, err)
 	}
@@ -184,6 +193,11 @@ func (b *Buffer) HandleAppend(blk oram.Block, dummy bool) (*oram.AccessPlan, err
 		}
 		forced = &p
 	}
+	// The queue owns its payloads: the caller's buffer is typically the
+	// source engine's response scratch, which the next access overwrites.
+	if blk.Data != nil {
+		blk.Data = append([]byte(nil), blk.Data...)
+	}
 	b.transferQ = append(b.transferQ, blk)
 	if len(b.transferQ) > b.stats.TransferPeak {
 		b.stats.TransferPeak = len(b.transferQ)
@@ -198,13 +212,18 @@ func (b *Buffer) HandleProbe() bool {
 	return len(b.mailbox) > 0
 }
 
-// HandleFetchResult pops the oldest ready response.
+// HandleFetchResult pops the oldest ready response (copy-down pop, so the
+// mailbox backing array is reused instead of marching forward). The
+// response's Block payload may be engine-owned scratch, valid until the
+// buffer's next engine operation.
 func (b *Buffer) HandleFetchResult() (AccessResponse, error) {
 	if len(b.mailbox) == 0 {
 		return AccessResponse{}, fmt.Errorf("sdimm %s: FETCH_RESULT with empty mailbox", b.id)
 	}
 	r := b.mailbox[0]
-	b.mailbox = b.mailbox[1:]
+	n := copy(b.mailbox, b.mailbox[1:])
+	b.mailbox[n] = AccessResponse{}
+	b.mailbox = b.mailbox[:n]
 	return r, nil
 }
 

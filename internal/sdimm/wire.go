@@ -14,10 +14,13 @@ import (
 
 const wireHeader = 8 + 1 + 8 + 8 + 1 // addr, op, oldLeaf, newLeaf, keep
 
-// MarshalAccess encodes an AccessRequest with a blockBytes payload slot
-// (dummy data for reads, so reads and writes are indistinguishable).
-func MarshalAccess(req AccessRequest, blockBytes int) []byte {
-	out := make([]byte, wireHeader+blockBytes)
+// AppendAccess appends the encoded AccessRequest (with a blockBytes payload
+// slot — dummy data for reads, so reads and writes are indistinguishable) to
+// dst and returns the extended slice.
+func AppendAccess(dst []byte, req AccessRequest, blockBytes int) []byte {
+	base := len(dst)
+	dst = appendZeros(dst, wireHeader+blockBytes)
+	out := dst[base:]
 	binary.BigEndian.PutUint64(out[0:], req.Addr)
 	if req.Op == oram.OpWrite {
 		out[8] = 1
@@ -28,12 +31,28 @@ func MarshalAccess(req AccessRequest, blockBytes int) []byte {
 		out[25] = 1
 	}
 	copy(out[wireHeader:], req.Data)
-	return out
+	return dst
+}
+
+// MarshalAccess encodes an AccessRequest into a fresh buffer.
+func MarshalAccess(req AccessRequest, blockBytes int) []byte {
+	return AppendAccess(nil, req, blockBytes)
 }
 
 // UnmarshalAccess decodes an AccessRequest. The payload slot is attached
 // only for writes (reads carry a dummy block).
 func UnmarshalAccess(b []byte, blockBytes int) (AccessRequest, error) {
+	req, err := UnmarshalAccessView(b, blockBytes)
+	if err == nil && req.Data != nil {
+		req.Data = append([]byte(nil), req.Data...)
+	}
+	return req, err
+}
+
+// UnmarshalAccessView decodes an AccessRequest whose Data (writes only)
+// aliases b — zero-copy for dispatchers that consume the request before the
+// underlying frame is reused.
+func UnmarshalAccessView(b []byte, blockBytes int) (AccessRequest, error) {
 	if len(b) != wireHeader+blockBytes {
 		return AccessRequest{}, fmt.Errorf("sdimm: ACCESS body %d bytes, want %d", len(b), wireHeader+blockBytes)
 	}
@@ -45,24 +64,42 @@ func UnmarshalAccess(b []byte, blockBytes int) (AccessRequest, error) {
 	}
 	if b[8] == 1 {
 		req.Op = oram.OpWrite
-		req.Data = append([]byte(nil), b[wireHeader:]...)
+		req.Data = b[wireHeader:]
 	}
 	return req, nil
 }
 
+// appendZeros extends dst by n zero bytes (reusing capacity when present).
+func appendZeros(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		tail := dst[len(dst) : len(dst)+n]
+		clear(tail)
+		return dst[:len(dst)+n]
+	}
+	return append(dst, make([]byte, n)...)
+}
+
 const respHeader = 1 + 8 + 8 // dummy flag, addr, leaf
 
-// MarshalResponse encodes an AccessResponse with a blockBytes payload slot.
-func MarshalResponse(r AccessResponse, blockBytes int) []byte {
-	out := make([]byte, respHeader+blockBytes)
+// AppendResponse appends the encoded AccessResponse (with a blockBytes
+// payload slot) to dst and returns the extended slice.
+func AppendResponse(dst []byte, r AccessResponse, blockBytes int) []byte {
+	base := len(dst)
+	dst = appendZeros(dst, respHeader+blockBytes)
+	out := dst[base:]
 	if r.Dummy {
 		out[0] = 1
-		return out
+		return dst
 	}
 	binary.BigEndian.PutUint64(out[1:], r.Block.Addr)
 	binary.BigEndian.PutUint64(out[9:], r.Block.Leaf)
 	copy(out[respHeader:], r.Block.Data)
-	return out
+	return dst
+}
+
+// MarshalResponse encodes an AccessResponse into a fresh buffer.
+func MarshalResponse(r AccessResponse, blockBytes int) []byte {
+	return AppendResponse(nil, r, blockBytes)
 }
 
 // UnmarshalResponse decodes an AccessResponse.
@@ -85,21 +122,40 @@ func UnmarshalResponse(b []byte, blockBytes int) (AccessResponse, error) {
 
 const appendHeader = 1 + 8 + 8 // dummy flag, addr, leaf
 
-// MarshalAppend encodes an APPEND body (block or dummy).
-func MarshalAppend(blk oram.Block, dummy bool, blockBytes int) []byte {
-	out := make([]byte, appendHeader+blockBytes)
+// AppendAppend appends the encoded APPEND body (block or dummy) to dst and
+// returns the extended slice.
+func AppendAppend(dst []byte, blk oram.Block, dummy bool, blockBytes int) []byte {
+	base := len(dst)
+	dst = appendZeros(dst, appendHeader+blockBytes)
+	out := dst[base:]
 	if dummy {
 		out[0] = 1
-		return out
+		return dst
 	}
 	binary.BigEndian.PutUint64(out[1:], blk.Addr)
 	binary.BigEndian.PutUint64(out[9:], blk.Leaf)
 	copy(out[appendHeader:], blk.Data)
-	return out
+	return dst
+}
+
+// MarshalAppend encodes an APPEND body into a fresh buffer.
+func MarshalAppend(blk oram.Block, dummy bool, blockBytes int) []byte {
+	return AppendAppend(nil, blk, dummy, blockBytes)
 }
 
 // UnmarshalAppend decodes an APPEND body.
 func UnmarshalAppend(b []byte, blockBytes int) (blk oram.Block, dummy bool, err error) {
+	blk, dummy, err = UnmarshalAppendView(b, blockBytes)
+	if err == nil && blk.Data != nil {
+		blk.Data = append([]byte(nil), blk.Data...)
+	}
+	return blk, dummy, err
+}
+
+// UnmarshalAppendView decodes an APPEND body whose Data aliases b —
+// zero-copy for dispatchers that consume the block before the frame is
+// reused.
+func UnmarshalAppendView(b []byte, blockBytes int) (blk oram.Block, dummy bool, err error) {
 	if len(b) != appendHeader+blockBytes {
 		return oram.Block{}, false, fmt.Errorf("sdimm: APPEND body %d bytes, want %d", len(b), appendHeader+blockBytes)
 	}
@@ -109,6 +165,6 @@ func UnmarshalAppend(b []byte, blockBytes int) (blk oram.Block, dummy bool, err 
 	return oram.Block{
 		Addr: binary.BigEndian.Uint64(b[1:]),
 		Leaf: binary.BigEndian.Uint64(b[9:]),
-		Data: append([]byte(nil), b[appendHeader:]...),
+		Data: b[appendHeader:],
 	}, false, nil
 }

@@ -22,8 +22,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 
+	"sdimm/internal/ctrmode"
 	"sdimm/internal/telemetry"
 )
 
@@ -190,6 +192,8 @@ func (m *Metrics) observeResync() {
 // Session is one endpoint of an established secure link. Each endpoint has
 // an upstream (CPU -> SDIMM) and downstream (SDIMM -> CPU) cipher state;
 // Seal uses the endpoint's send direction and Open its receive direction.
+// A Session is not safe for concurrent use: the cipher states carry
+// reusable keystream and MAC scratch so seal/open never allocate.
 type Session struct {
 	send cipherState
 	recv cipherState
@@ -202,8 +206,15 @@ func (s *Session) SetMetrics(m *Metrics) { s.m = m }
 
 type cipherState struct {
 	block   cipher.Block
-	macKey  []byte
 	counter uint64
+
+	// Reusable scratch: the CTR stream state, the keyed HMAC (Reset per
+	// message), the 8-byte counter header, and the MAC output buffer.
+	stream ctrmode.Stream
+	iv     [aes.BlockSize]byte
+	mac0   hash.Hash
+	hdr    [8]byte
+	sum    [sha256.Size]byte
 }
 
 // Handshake establishes a session pair. The host verifies the device
@@ -265,7 +276,7 @@ func deriveSession(secret []byte, id string, isHost bool) (*Session, error) {
 		if err != nil {
 			return cipherState{}, fmt.Errorf("seccomm: aes: %w", err)
 		}
-		return cipherState{block: block, macKey: keys[16:]}, nil
+		return cipherState{block: block, mac0: hmac.New(sha256.New, keys[16:])}, nil
 	}
 	up, err := mk("upstream")
 	if err != nil {
@@ -281,49 +292,70 @@ func deriveSession(secret []byte, id string, isHost bool) (*Session, error) {
 	return &Session{send: down, recv: up}, nil
 }
 
-// pad XORs data with the AES-CTR keystream for message counter ctr.
+// pad XORs data with the AES-CTR keystream for message counter ctr. The IV
+// layout (counter in the high 8 bytes, zeros below) and the keystream are
+// bit-identical to the stdlib CTR the package originally used.
 func (cs *cipherState) pad(ctr uint64, data []byte) {
-	var iv [aes.BlockSize]byte
-	binary.BigEndian.PutUint64(iv[:8], ctr)
-	stream := cipher.NewCTR(cs.block, iv[:])
-	stream.XORKeyStream(data, data)
+	binary.BigEndian.PutUint64(cs.iv[:8], ctr)
+	cs.stream.XORKeyStream(cs.block, &cs.iv, data, data)
 }
 
+// mac returns the truncated frame MAC in cs's reusable output buffer —
+// valid only until the next mac call on cs.
 func (cs *cipherState) mac(ctr uint64, ct []byte) []byte {
-	m := hmac.New(sha256.New, cs.macKey)
-	var c [8]byte
-	binary.BigEndian.PutUint64(c[:], ctr)
-	m.Write(c[:])
-	m.Write(ct)
-	return m.Sum(nil)[:MACSize]
+	cs.mac0.Reset()
+	binary.BigEndian.PutUint64(cs.hdr[:], ctr)
+	cs.mac0.Write(cs.hdr[:])
+	cs.mac0.Write(ct)
+	return cs.mac0.Sum(cs.sum[:0])[:MACSize]
 }
 
 // Seal encrypts and authenticates a message for the peer, returning
 // ciphertext || MAC. The per-direction counter advances; the peer's Open
 // must be called in the same order (the DDR bus guarantees ordering).
+// The result is a fresh allocation the caller owns; the hot path uses
+// SealAppend.
 func (s *Session) Seal(plaintext []byte) []byte {
+	return s.SealAppend(nil, plaintext)
+}
+
+// SealAppend is Seal appending the sealed frame to dst, allocating only if
+// dst lacks capacity. plaintext must not alias dst's spare capacity.
+func (s *Session) SealAppend(dst, plaintext []byte) []byte {
 	s.m.observeSeal()
 	cs := &s.send
-	out := make([]byte, len(plaintext)+MACSize)
-	copy(out, plaintext)
-	cs.pad(cs.counter, out[:len(plaintext)])
-	copy(out[len(plaintext):], cs.mac(cs.counter, out[:len(plaintext)]))
+	start := len(dst)
+	dst = append(dst, plaintext...)
+	dst = append(dst, zeroMAC[:]...)
+	ct := dst[start : len(dst)-MACSize]
+	cs.pad(cs.counter, ct)
+	copy(dst[len(dst)-MACSize:], cs.mac(cs.counter, ct))
 	cs.counter++
-	return out
+	return dst
 }
+
+var zeroMAC [MACSize]byte
 
 // Open authenticates and decrypts a message produced by the peer's Seal.
 // A frame that fails at the expected counter is diagnosed against nearby
 // counters (±counterWindow) so callers can distinguish tampering (ErrAuth)
 // from reordering (ErrOutOfOrder) and replay/retransmission (ErrReplayed);
-// diagnosis never advances state and never accepts the frame.
+// diagnosis never advances state and never accepts the frame. The result is
+// a fresh allocation the caller owns; the hot path uses OpenAppend.
 func (s *Session) Open(msg []byte) ([]byte, error) {
-	out, err := s.open(msg)
+	return s.OpenAppend(nil, msg)
+}
+
+// OpenAppend is Open appending the plaintext to dst, allocating only if dst
+// lacks capacity. msg must not alias dst's spare capacity. On error dst is
+// unchanged and the returned slice is nil.
+func (s *Session) OpenAppend(dst, msg []byte) ([]byte, error) {
+	out, err := s.openAppend(dst, msg)
 	s.m.observeOpen(err)
 	return out, err
 }
 
-func (s *Session) open(msg []byte) ([]byte, error) {
+func (s *Session) openAppend(dst, msg []byte) ([]byte, error) {
 	cs := &s.recv
 	if len(msg) < MACSize {
 		return nil, ErrShortMessage
@@ -334,10 +366,11 @@ func (s *Session) open(msg []byte) ([]byte, error) {
 	if subtle.ConstantTimeCompare(tag, want) != 1 {
 		return nil, cs.classify(ct, tag)
 	}
-	out := append([]byte(nil), ct...)
-	cs.pad(cs.counter, out)
+	start := len(dst)
+	dst = append(dst, ct...)
+	cs.pad(cs.counter, dst[start:])
 	cs.counter++
-	return out, nil
+	return dst, nil
 }
 
 // classify diagnoses a frame that failed authentication at the expected

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"reflect"
 	"testing"
 )
@@ -106,5 +107,98 @@ func TestRegistryMergeDeterministic(t *testing.T) {
 	}
 	if s1.Gauges["last"] != 4 {
 		t.Fatalf("gauge merge order broken: %d", s1.Gauges["last"])
+	}
+}
+
+// TestMeanExactAccumulation proves the superaccumulator is exact over
+// samples a plain float sum destroys: adding 1e17, 1.0, -1e17 in any order
+// yields exactly 1 (the naive left-to-right float sum yields 0 because 1.0
+// vanishes into 1e17's rounding error).
+func TestMeanExactAccumulation(t *testing.T) {
+	orders := [][]float64{
+		{1e17, 1.0, -1e17},
+		{1e17, -1e17, 1.0},
+		{1.0, 1e17, -1e17},
+	}
+	for _, vals := range orders {
+		var m Mean
+		for _, v := range vals {
+			m.Add(v)
+		}
+		if got := m.Sum(); got != 1.0 {
+			t.Errorf("sum of %v = %v, want exactly 1", vals, got)
+		}
+	}
+	// Subnormals, sign cancellation, and fractional values stay exact too.
+	var m Mean
+	tiny := math.SmallestNonzeroFloat64
+	for _, v := range []float64{tiny, 0.5, -tiny, 0.25, -0.75} {
+		m.Add(v)
+	}
+	if got := m.Sum(); got != 0 {
+		t.Errorf("cancelled sum = %v, want exactly 0", got)
+	}
+	// A negative total must round-trip through the two's-complement state.
+	var neg Mean
+	neg.Add(1.5)
+	neg.Add(-4.0)
+	if got := neg.Sum(); got != -2.5 {
+		t.Errorf("negative sum = %v, want -2.5", got)
+	}
+}
+
+// TestRegistryMergeOrderIndependent is the regression test for the float
+// accumulation-order bug: merging the same shard registries in different
+// orders must produce bitwise-identical means and histograms. The shard
+// means deliberately carry catastrophically-cancelling magnitudes so a
+// float-ordered accumulator would disagree between orders.
+func TestRegistryMergeOrderIndependent(t *testing.T) {
+	build := func() []*Registry {
+		samples := [][]float64{
+			{1e17, 3.25},
+			{1.0, -2.5e16},
+			{-1e17, 0.125},
+			{-7.5e16, 1e-300},
+		}
+		var shards []*Registry
+		for i, vs := range samples {
+			r := NewRegistry()
+			for _, v := range vs {
+				r.Mean("m").Add(v)
+			}
+			r.Counter("c").Add(uint64(i + 1))
+			r.Histogram("h", 5, 8).Add(uint64(i * 3))
+			shards = append(shards, r)
+		}
+		return shards
+	}
+	agg := func(order []int) Snapshot {
+		shards := build()
+		a := NewRegistry()
+		for _, i := range order {
+			a.Merge(shards[i])
+		}
+		return a.Snapshot()
+	}
+	base := agg([]int{0, 1, 2, 3})
+	for _, order := range [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}} {
+		got := agg(order)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("merge order %v disagrees with ascending order:\n%v\nvs\n%v", order, got, base)
+		}
+	}
+	// Associativity: merging shards pairwise through intermediates must
+	// match the flat fold bitwise.
+	shards := build()
+	left, right := NewRegistry(), NewRegistry()
+	left.Merge(shards[0])
+	left.Merge(shards[1])
+	right.Merge(shards[2])
+	right.Merge(shards[3])
+	tree := NewRegistry()
+	tree.Merge(left)
+	tree.Merge(right)
+	if got := tree.Snapshot(); !reflect.DeepEqual(got, base) {
+		t.Fatalf("pairwise merge disagrees with flat merge:\n%v\nvs\n%v", got, base)
 	}
 }

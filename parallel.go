@@ -143,6 +143,14 @@ type Pipeline struct {
 	c    *Cluster
 	opts PipelineOptions
 	pool *workerPool
+
+	// Wave scratch, reused across runWave calls so the steady-state batch
+	// loop recycles its pipeOps (and their payload buffers) instead of
+	// reallocating them every wave.
+	wave []*pipeOp
+	free []*pipeOp
+	seen map[uint64]bool
+	recs []durable.Record
 }
 
 // Pipeline builds a batched access pipeline over the cluster.
@@ -158,12 +166,14 @@ func (c *Cluster) Pipeline(opts PipelineOptions) *Pipeline {
 // Close stops the per-SDIMM workers. The pipeline must not be used after.
 func (p *Pipeline) Close() { p.pool.close() }
 
-// pipeOp is one access moving through a wave.
+// pipeOp is one access moving through a wave. Ops are pooled across waves:
+// every field is reset by takeOp, and the slice fields keep their backing
+// arrays so steady-state waves reuse them.
 type pipeOp struct {
 	idx  int // index into the submitted batch
 	addr uint64
 	op   oram.Op
-	data []byte // padded write payload (nil for reads)
+	data []byte // padded write payload (nil for reads; aliases dataBuf)
 
 	oldG, newG uint64
 	sd, sdNew  int
@@ -171,12 +181,63 @@ type pipeOp struct {
 
 	err      error  // first error on the access (scheduling, exchange, ack)
 	skip     bool   // scheduling failed: no exchanges at all
-	respBody []byte // sealed-exchange response (phase A, written by owner worker)
+	respBody []byte // exchange response copy (phase A, written by owner worker)
 	resp     isdimm.AccessResponse
 	blk      oram.Block
 
 	appendErr []error  // per-SDIMM failed append exchange (phase B)
 	appendBad [][]byte // per-SDIMM malformed append ack (phase B)
+
+	dataBuf []byte // reusable backing store for data
+}
+
+// takeOp pops a pooled pipeOp (or allocates the pool's first ones),
+// resetting every field while keeping the reusable backing arrays.
+func (p *Pipeline) takeOp() *pipeOp {
+	n := len(p.free)
+	if n == 0 {
+		return &pipeOp{}
+	}
+	po := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	*po = pipeOp{
+		dataBuf:   po.dataBuf,
+		respBody:  po.respBody[:0],
+		appendErr: po.appendErr[:0],
+		appendBad: po.appendBad[:0],
+	}
+	return po
+}
+
+// releaseWave returns the current wave's ops to the pool.
+func (p *Pipeline) releaseWave() {
+	for i, po := range p.wave {
+		p.free = append(p.free, po)
+		p.wave[i] = nil
+	}
+	p.wave = p.wave[:0]
+}
+
+// resizeErrs returns a zeroed error slice of length n, reusing capacity.
+func resizeErrs(s []error, n int) []error {
+	if cap(s) < n {
+		return make([]error, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// resizeFrames returns a zeroed byte-slice slice of length n, reusing
+// capacity.
+func resizeFrames(s [][]byte, n int) [][]byte {
+	if cap(s) < n {
+		return make([][]byte, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // Do executes ops through the pipeline and returns one result per op, in
@@ -217,15 +278,18 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 	// Schedule (coordinator, logical order): admit up to Window ops with
 	// distinct addresses, drawing all shared randomness here. An address
 	// repeat ends the wave — the second op must observe the first's commit.
-	var wave []*pipeOp
-	seen := make(map[uint64]bool, p.opts.Window)
-	for i := start; i < len(ops) && len(wave) < p.opts.Window; i++ {
-		if seen[ops[i].Addr] {
+	if p.seen == nil {
+		p.seen = make(map[uint64]bool, p.opts.Window)
+	}
+	clear(p.seen)
+	for i := start; i < len(ops) && len(p.wave) < p.opts.Window; i++ {
+		if p.seen[ops[i].Addr] {
 			break
 		}
-		seen[ops[i].Addr] = true
-		wave = append(wave, p.schedule(ops[i], i, globalLeaves))
+		p.seen[ops[i].Addr] = true
+		p.wave = append(p.wave, p.schedule(ops[i], i, globalLeaves))
 	}
+	wave := p.wave
 
 	tr := c.tm.tracer
 	lane := -1
@@ -252,8 +316,13 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 				NewLeaf: po.newG & mask,
 				Keep:    po.keep,
 			}
-			po.respBody, po.err = c.exchange(po.sd, "access", msgKindAccess,
-				isdimm.MarshalAccess(req, c.blockSize))
+			resp, err := c.exchange(po.sd, "access", c.accessBody(po.sd, req))
+			if err == nil {
+				// Exchange hands back transactor-owned scratch; a later op
+				// sharing this link overwrites it, so the op keeps a copy.
+				po.respBody = append(po.respBody[:0], resp...)
+			}
+			po.err = err
 		})
 	}
 	p.pool.barrier()
@@ -263,7 +332,7 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 	// wave's committed accesses as one batch, and decode the responses. A
 	// failed exchange leaves the map untouched — exactly the staged-commit
 	// rule of the sequential path.
-	var recs []durable.Record
+	recs := p.recs[:0]
 	var committed []*pipeOp
 	for _, po := range wave {
 		if po.skip || po.err != nil {
@@ -282,7 +351,9 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 		po.blk.Addr = po.addr
 		po.blk.Leaf = po.newG & (uint64(1)<<c.localBits - 1)
 	}
-	if err := c.appendRecords(recs); err != nil {
+	err := c.appendRecords(recs)
+	p.recs = clearRecords(recs)
+	if err != nil {
 		// The journal append died mid-wave (a planned crash point, or real
 		// I/O failure). Some records may be durable, but acknowledging any
 		// result now could acknowledge an access the journal lost — fail the
@@ -298,7 +369,9 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 			endWave(map[string]any{"ops": len(wave), "err": true})
 			tr.FreeLane(lane)
 		}
-		return len(wave)
+		n := len(wave)
+		p.releaseWave()
+		return n
 	}
 
 	// Phase B: APPEND broadcast. One task per SDIMM walks the wave in
@@ -306,8 +379,8 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 	// at any parallelism. Outcomes land in per-(op, SDIMM) slots and are
 	// resolved after the barrier.
 	for _, po := range wave {
-		po.appendErr = make([]error, len(c.buffers))
-		po.appendBad = make([][]byte, len(c.buffers))
+		po.appendErr = resizeErrs(po.appendErr, len(c.buffers))
+		po.appendBad = resizeFrames(po.appendBad, len(c.buffers))
 	}
 	for j := range c.buffers {
 		j := j
@@ -321,8 +394,7 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 					// A dead buffer has no channel; its dummy is undeliverable.
 					continue
 				}
-				ack, err := c.exchange(j, "append", msgKindAppend,
-					isdimm.MarshalAppend(po.blk, !real, c.blockSize))
+				ack, err := c.exchange(j, "append", c.appendBody(j, po.blk, !real))
 				switch {
 				case err != nil:
 					po.appendErr[j] = err
@@ -343,14 +415,24 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 		endWave(map[string]any{"ops": len(wave)})
 		tr.FreeLane(lane)
 	}
-	return len(wave)
+	n := len(wave)
+	p.releaseWave()
+	return n
+}
+
+// clearRecords empties a record batch for reuse without retaining payload
+// references.
+func clearRecords(recs []durable.Record) []durable.Record {
+	clear(recs)
+	return recs[:0]
 }
 
 // schedule prepares one access: position lookup and every shared-RNG draw,
 // in logical order on the coordinator.
 func (p *Pipeline) schedule(op BatchOp, idx int, globalLeaves uint64) *pipeOp {
 	c := p.c
-	po := &pipeOp{idx: idx, addr: op.Addr, op: oram.OpRead}
+	po := p.takeOp()
+	po.idx, po.addr, po.op = idx, op.Addr, oram.OpRead
 	if op.Write {
 		po.op = oram.OpWrite
 		if len(op.Data) > c.blockSize {
@@ -358,7 +440,11 @@ func (p *Pipeline) schedule(op BatchOp, idx int, globalLeaves uint64) *pipeOp {
 			po.skip = true
 			return po
 		}
-		po.data = make([]byte, c.blockSize)
+		if cap(po.dataBuf) < c.blockSize {
+			po.dataBuf = make([]byte, c.blockSize)
+		}
+		po.data = po.dataBuf[:c.blockSize]
+		clear(po.data)
 		copy(po.data, op.Data)
 	}
 

@@ -106,6 +106,7 @@ func (o *ORAMOptions) setDefaults() {
 type ORAM struct {
 	engine    *oram.Engine
 	blockSize int
+	writeBuf  []byte // reusable zero-padded staging for Write
 }
 
 // NewORAM builds a functional Path ORAM.
@@ -141,15 +142,16 @@ func (o *ORAM) Capacity() uint64 {
 }
 
 // Read returns the BlockSize-byte payload of addr (zeros if never written).
+// The result is a fresh allocation the caller owns.
 func (o *ORAM) Read(addr uint64) ([]byte, error) {
 	data, _, err := o.engine.Access(addr, oram.OpRead, nil)
 	if err != nil {
 		return nil, err
 	}
-	if data == nil {
-		data = make([]byte, o.blockSize)
-	}
-	return data, nil
+	// Access returns engine-owned scratch; hand the caller their own copy.
+	out := make([]byte, o.blockSize)
+	copy(out, data)
+	return out, nil
 }
 
 // Write stores up to BlockSize bytes at addr (shorter payloads are
@@ -158,7 +160,11 @@ func (o *ORAM) Write(addr uint64, data []byte) error {
 	if len(data) > o.blockSize {
 		return fmt.Errorf("sdimm: payload %d exceeds block size %d", len(data), o.blockSize)
 	}
-	buf := make([]byte, o.blockSize)
+	if cap(o.writeBuf) < o.blockSize {
+		o.writeBuf = make([]byte, o.blockSize)
+	}
+	buf := o.writeBuf[:o.blockSize]
+	clear(buf)
 	copy(buf, data)
 	_, _, err := o.engine.Access(addr, oram.OpWrite, buf)
 	return err
