@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short chaos crash fuzz telemetry-smoke bench alloc-gates profile ci
+.PHONY: all build vet test race short chaos crash elastic fuzz telemetry-smoke bench alloc-gates profile ci
 
 all: ci
 
@@ -41,6 +41,18 @@ crash:
 	$(GO) run ./cmd/sdimm-chaos -crash -n 800 -crashes 3 -corrupt
 	$(GO) run ./cmd/sdimm-chaos -crash -split -n 800 -crashes 3 -corrupt
 
+# Elastic-membership equivalence sweep, under the race detector: drain /
+# detach / rejoin a member (Independent) and fail-stop / rebuild-from-parity
+# a member (Split) while seeded crashes land anywhere in the record stream —
+# including inside migration batches and on the topology records themselves.
+# Every recovery must be bitwise-equivalent to an uncrashed reference, with
+# migrations flowing both sequentially and through the 4-worker pipeline.
+elastic:
+	$(GO) run -race ./cmd/sdimm-chaos -resize -n 600 -crashes 3 -interval 48
+	$(GO) run -race ./cmd/sdimm-chaos -resize -n 600 -crashes 3 -interval 48 -parallel 4
+	$(GO) run -race ./cmd/sdimm-chaos -resize -split -n 600 -crashes 3 -interval 48
+	$(GO) test -race -count=1 -run 'TestDrainTrafficIndistinguishable' ./internal/attacker
+
 # End-to-end telemetry smoke: a short Independent run with span tracing,
 # exporting Chrome trace-event JSON. sdimm-sim re-validates the written
 # file against the trace schema and exits nonzero if it is malformed; the
@@ -60,6 +72,7 @@ bench: alloc-gates
 	$(GO) run ./cmd/sdimm-bench -exp parbench -parbench-out BENCH_parallel.json
 	$(GO) run ./cmd/sdimm-bench -exp recbench -recbench-out BENCH_recovery.json
 	$(GO) run ./cmd/sdimm-bench -exp hotpath -hotpath-out BENCH_hotpath.json
+	$(GO) run ./cmd/sdimm-bench -exp rebalance -rebalance-out BENCH_rebalance.json
 
 # Allocation-regression gates for the steady-state access loop: seal/open,
 # Engine.Access, and the journal commit must stay at 0 allocs/op. These run
@@ -86,4 +99,4 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzJournalDecode -fuzztime=20s ./internal/durable
 	$(GO) test -run=NONE -fuzz=FuzzCheckpointDecode -fuzztime=20s ./internal/durable
 
-ci: build vet race telemetry-smoke bench crash
+ci: build vet race telemetry-smoke bench crash elastic

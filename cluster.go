@@ -80,7 +80,9 @@ func (o ClusterOptions) withDefaults() ClusterOptions {
 type clusterTelemetry struct {
 	accesses, reads, writes, errors *telemetry.Counter
 	rehomes, rehomeFailures         *telemetry.Counter
+	rehomeAttempts                  *telemetry.Counter
 	appendsLost                     *telemetry.Counter
+	migrations                      *telemetry.Counter
 	reconstructions                 *telemetry.Counter
 	checkpoints                     *telemetry.Counter
 	replayed                        *telemetry.Counter
@@ -98,7 +100,9 @@ func newClusterTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) clusterT
 		errors:             reg.Counter("cluster.errors"),
 		rehomes:            reg.Counter("cluster.rehomes"),
 		rehomeFailures:     reg.Counter("cluster.rehome_failures"),
+		rehomeAttempts:     reg.Counter("cluster.rehome_attempts"),
 		appendsLost:        reg.Counter("cluster.appends_lost"),
+		migrations:         reg.Counter("cluster.migrations"),
 		reconstructions:    reg.Counter("cluster.reconstructions"),
 		checkpoints:        reg.Counter("cluster.checkpoints"),
 		replayed:           reg.Counter("cluster.recovery.replayed"),
@@ -124,7 +128,8 @@ func (t *clusterTelemetry) observe(op oram.Op, err error) {
 }
 
 // watchHealth publishes h's state as a per-SDIMM gauge (values: 0 healthy,
-// 1 degraded, 2 failed, 3 recovering) and counts every transition edge under
+// 1 degraded, 2 failed, 3 recovering, 4 draining, 5 removed) and counts
+// every transition edge under
 // fault.health.transitions{from=...,to=...}. With neither a registry nor a
 // tracer it leaves the Health unobserved.
 func watchHealth(reg *telemetry.Registry, tr *telemetry.Tracer, h *fault.Health, idx int) {
@@ -177,6 +182,14 @@ type Cluster struct {
 	localBits uint
 	tm        clusterTelemetry
 	durableState
+
+	// mkMember builds a fresh incarnation of slot i (store, engine, buffer,
+	// device identity, handshake, transactor) and installs it in place. Set
+	// by buildCluster; used by joins and by checkpoint restore when the
+	// checkpointed incarnation differs from the founding one.
+	mkMember func(i int, inc uint64) error
+	// elig is pickHealthyLeaf's reusable eligible-member scratch.
+	elig []int
 
 	// Per-SDIMM reusable message scratch. Commands to (and the serve
 	// response for) SDIMM i are only ever built on the goroutine currently
@@ -305,6 +318,69 @@ func buildCluster(opts ClusterOptions) (*Cluster, error) {
 			tr.Tap = func(dir fault.Direction, attempt int, frame []byte) { tap(sd, dir, attempt, frame) }
 		}
 		c.links = append(c.links, tr)
+	}
+	c.initElastic(opts.SDIMMs)
+
+	// Member factory for post-founding incarnations (joins and restores).
+	// Store keys and RNG seeds derive from (slot, incarnation) so a joined
+	// member never aliases state with any predecessor in the same slot, and
+	// reconstruction is deterministic from the options alone. The founding
+	// loop above keeps its original derivations untouched — incarnation 0
+	// always reconstructs bit-identically.
+	c.mkMember = func(i int, inc uint64) error {
+		if i < 0 || i >= len(c.buffers) {
+			return fmt.Errorf("sdimm: member slot %d out of range", i)
+		}
+		stream := int(inc)<<8 | i
+		store, err := oram.NewMemStore(opts.Z, opts.BlockSize, append([]byte(fmt.Sprintf("sd%d.%d|", i, inc)), opts.Key...))
+		if err != nil {
+			return err
+		}
+		engine, err := oram.NewEngine(store, nil, oram.Options{
+			Geometry:       geom,
+			StashCapacity:  200,
+			EvictThreshold: 150,
+			Rand:           rng.Stream(opts.Seed, "elastic.engine", stream),
+		})
+		if err != nil {
+			return err
+		}
+		buf, err := isdimm.NewBuffer(fmt.Sprintf("sdimm-%d.%d", i, inc), engine, 64, 0.25,
+			rng.Stream(opts.Seed, "elastic.buffer", stream))
+		if err != nil {
+			return err
+		}
+		dev, err := seccomm.NewDevice(buf.ID(), nil)
+		if err != nil {
+			return err
+		}
+		auth.Register(dev)
+		host, devSide, err := seccomm.Handshake(nil, dev, auth)
+		if err != nil {
+			return err
+		}
+		host.SetMetrics(commMetrics)
+		devSide.SetMetrics(commMetrics)
+		var link fault.Link = fault.Perfect{}
+		if opts.Faults != nil {
+			link = opts.Faults.Link(i)
+		}
+		sd := i
+		tr := &fault.Transactor{
+			Host:    host,
+			Dev:     devSide,
+			Link:    link,
+			Serve:   func(body []byte) ([]byte, error) { return c.serve(sd, body) },
+			Retry:   opts.Retry,
+			Metrics: linkMetrics,
+		}
+		if opts.LinkTap != nil {
+			tap := opts.LinkTap
+			tr.Tap = func(dir fault.Direction, attempt int, frame []byte) { tap(sd, dir, attempt, frame) }
+		}
+		c.buffers[i] = buf
+		c.links[i] = tr
+		return nil
 	}
 	return c, nil
 }
@@ -458,18 +534,35 @@ func (c *Cluster) wrapErr(sd int, op string, err error) error {
 	return &fault.SDIMMError{Index: sd, ID: c.buffers[sd].ID(), Op: op, Err: err}
 }
 
-// pickHealthyLeaf draws a uniformly random global leaf whose owning SDIMM
-// has not failed, so blocks are never placed on (or dummies routed to) a
-// dead buffer. A failed SDIMM is public knowledge on the channel, so the
+// ErrNoHealthySDIMM reports that no cluster member is eligible to receive
+// block placements: every SDIMM is failed, draining, or removed.
+var ErrNoHealthySDIMM = errors.New("sdimm: no healthy SDIMM available for placement")
+
+// pickHealthyLeaf draws a uniformly random global leaf whose owning SDIMM is
+// eligible for placement — not failed, not draining, not removed — so blocks
+// are never placed on a dead buffer and a draining member's population only
+// shrinks. Eligible members are enumerated once and a single draw spans
+// (eligible × local leaves): unlike the old bounded-retry loop this cannot
+// spuriously fail while healthy SDIMMs remain, and with every member
+// eligible it consumes exactly the same single Uint64n(globalLeaves) draw
+// (the eligible count is a power of two), so seeded histories are unchanged.
+// A failed/draining/removed SDIMM is public knowledge on the channel, so the
 // skew is not an access-pattern leak.
 func (c *Cluster) pickHealthyLeaf(globalLeaves uint64) (uint64, error) {
-	for try := 0; try < 8*len(c.buffers); try++ {
-		g := c.rnd.Uint64n(globalLeaves)
-		if c.health[int(g>>c.localBits)].State() != fault.Failed {
-			return g, nil
+	c.elig = c.elig[:0]
+	for i := range c.health {
+		switch c.health[i].State() {
+		case fault.Failed, fault.Draining, fault.Removed:
+		default:
+			c.elig = append(c.elig, i)
 		}
 	}
-	return 0, errors.New("sdimm: no healthy SDIMM available for placement")
+	if len(c.elig) == 0 {
+		return 0, ErrNoHealthySDIMM
+	}
+	x := c.rnd.Uint64n(uint64(len(c.elig)) << c.localBits)
+	mask := uint64(1)<<c.localBits - 1
+	return uint64(c.elig[x>>c.localBits])<<c.localBits | (x & mask), nil
 }
 
 // access runs one distributed accessORAM: route by old leaf, execute on the
@@ -496,7 +589,7 @@ func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
 		}
 	}
 	sd := int(oldG >> c.localBits)
-	if c.health[sd].State() == fault.Failed {
+	if st := c.health[sd].State(); st == fault.Failed || st == fault.Removed {
 		return nil, c.wrapErr(sd, "access", fault.ErrUnavailable)
 	}
 	newG, err := c.pickHealthyLeaf(globalLeaves)
@@ -546,9 +639,13 @@ func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
 	blk.Leaf = newG & mask
 	for j := range c.buffers {
 		real := !keep && j == sdNew && !resp.Dummy
-		if !real && c.health[j].State() == fault.Failed {
-			// A dead buffer has no channel; its dummy is undeliverable.
-			continue
+		if !real {
+			if st := c.health[j].State(); st == fault.Failed || st == fault.Removed {
+				// A dead or removed buffer has no channel; its dummy is
+				// undeliverable. A draining member still receives dummies —
+				// it is live, and skipping it would change the traffic shape.
+				continue
+			}
 		}
 		ack, err := c.exchange(j, "append", c.appendBody(j, blk, !real))
 		if err != nil {
@@ -574,8 +671,11 @@ func (c *Cluster) access(addr uint64, op oram.Op, data []byte) ([]byte, error) {
 		// every RNG draw and placement identical to an uncorrupted run), but
 		// a payload lost to unrecoverable corruption must not be served as
 		// zeros. Replay is exempt — it re-executes history, and the poisoned
-		// result was never delivered anyway.
-		if !c.replaying && c.poisoned[addr] {
+		// result was never delivered anyway. Migration steps are exempt too:
+		// a poisoned block must still be carried off a draining member (its
+		// payload is never delivered to a caller), and vetoing would abort
+		// the drain.
+		if !c.replaying && !c.migrating && c.poisoned[addr] {
 			c.tm.poisonedReads.Inc()
 			return nil, fmt.Errorf("sdimm: read %d: %w", addr, ErrUnrecoverable)
 		}
@@ -608,6 +708,7 @@ func (c *Cluster) rehome(addr uint64, blk oram.Block, exclude int, globalLeaves 
 		}
 		nb := blk
 		nb.Leaf = g & (uint64(1)<<c.localBits - 1)
+		c.tm.rehomeAttempts.Inc()
 		ack, err := c.exchange(sd, "rehome append", c.appendBody(sd, nb, false))
 		if err != nil {
 			lastErr = err
@@ -680,6 +781,28 @@ func (h ClusterHealth) Failed() []int {
 	var out []int
 	for _, s := range h.SDIMMs {
 		if s.State == fault.Failed {
+			out = append(out, s.Index)
+		}
+	}
+	return out
+}
+
+// Draining lists the indices of buffers currently being drained.
+func (h ClusterHealth) Draining() []int {
+	var out []int
+	for _, s := range h.SDIMMs {
+		if s.State == fault.Draining {
+			out = append(out, s.Index)
+		}
+	}
+	return out
+}
+
+// Removed lists the indices of detached (removed, not yet replaced) slots.
+func (h ClusterHealth) Removed() []int {
+	var out []int
+	for _, s := range h.SDIMMs {
+		if s.State == fault.Removed {
 			out = append(out, s.Index)
 		}
 	}
@@ -794,6 +917,11 @@ type SplitCluster struct {
 	workers   *workerPool // nil: member fan-out runs inline
 	writeBuf  []byte      // Write's zero-padded payload staging
 	durableState
+
+	// mkShardMember builds a fresh incarnation of member i's buffer (data
+	// shard, or parity when i == SDIMMs). Set by buildSplitCluster; used by
+	// ReplaceMember and by checkpoint restore across incarnations.
+	mkShardMember func(i int, inc uint64) (*isdimm.Buffer, error)
 }
 
 // NewSplitCluster builds a functional split ORAM. With Durability set the
@@ -888,6 +1016,22 @@ func buildSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
 	}
 	if opts.Parallelism > 1 {
 		c.workers = newWorkerPool(len(c.health), opts.Parallelism, 4)
+	}
+	c.initElastic(len(c.health))
+
+	// Replacement-member factory. Key prefixes and RNG seeds derive from
+	// (slot, incarnation), so a replacement never aliases its predecessor's
+	// sealed state; the engine RNG seed here is irrelevant — applySplitJoin
+	// immediately copies a live sibling's RNG to restore lockstep.
+	c.mkShardMember = func(i int, inc uint64) (*isdimm.Buffer, error) {
+		if i < 0 || i >= len(c.health) {
+			return nil, fmt.Errorf("sdimm: member slot %d out of range", i)
+		}
+		id, prefix := fmt.Sprintf("shard-%d.%d", i, inc), fmt.Sprintf("shard%d.%d|", i, inc)
+		if i == c.parityIndex() && c.parity != nil {
+			id, prefix = fmt.Sprintf("parity.%d", inc), fmt.Sprintf("parity.%d|", inc)
+		}
+		return mkShard(id, prefix, rng.Stream(opts.Seed, "elastic.shard", int(inc)<<8|i).Uint64())
 	}
 	return c, nil
 }

@@ -402,3 +402,35 @@ func TestSplitParityStaysInLockstep(t *testing.T) {
 		}
 	}
 }
+
+// TestSplitDataAndParityDownFailsClosed: losing a data shard AND the parity
+// member exceeds the XOR redundancy budget. Both reads and writes must fail
+// loudly, health must attribute both corpses, and replacement must be
+// refused until one of them is rebuilt first.
+func TestSplitDataAndParityDownFailsClosed(t *testing.T) {
+	c := newParityCluster(t, 4)
+	if err := c.Write(3, []byte("two losses")); err != nil {
+		t.Fatal(err)
+	}
+	pi := len(c.buffers)
+	c.FailShard(2)
+	c.FailShard(pi)
+	if _, err := c.Read(3); err == nil || !errors.Is(err, fault.ErrUnavailable) {
+		t.Fatalf("read served with data+parity down: %v", err)
+	}
+	if err := c.Write(4, []byte("x")); err == nil || !errors.Is(err, fault.ErrUnavailable) {
+		t.Fatalf("write accepted with data+parity down: %v", err)
+	}
+	failed := c.Health().Failed()
+	if len(failed) != 2 || failed[0] != 2 || failed[1] != pi {
+		t.Fatalf("failed set %v, want [2 %d]", failed, pi)
+	}
+	// A rebuild needs every other member alive; with two down it must be
+	// refused for either corpse rather than produce garbage.
+	if err := c.ReplaceMember(2); err == nil {
+		t.Fatal("ReplaceMember rebuilt a shard from an incomplete XOR set")
+	}
+	if err := c.ReplaceMember(pi); err == nil {
+		t.Fatal("ReplaceMember rebuilt parity from an incomplete XOR set")
+	}
+}

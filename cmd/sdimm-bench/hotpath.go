@@ -124,7 +124,7 @@ func hotJournalAppend(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		batch[0] = durable.Record{Seq: seq, Addr: seq % 32, Write: true, Data: payload}
+		batch[0] = durable.Record{Seq: seq, Addr: seq % 32, Kind: durable.KindWrite, Data: payload}
 		if err := m.Append(batch[:]); err != nil {
 			b.Fatal(err)
 		}

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6|fig8|fig9|fig10|fig11|fig13a|fig13b|offdimm|latency|lowpower|cotenant|overflow|area|all, or parbench/recbench/hotpath (not part of all)")
+		exp      = flag.String("exp", "all", "experiment: fig6|fig8|fig9|fig10|fig11|fig13a|fig13b|offdimm|latency|lowpower|cotenant|overflow|area|all, or parbench/recbench/hotpath/rebalance (not part of all)")
 		warmup   = flag.Int("warmup", 400, "warmup records per run")
 		measure  = flag.Int("measure", 800, "measured records per run")
 		levels   = flag.Int("levels", 28, "ORAM tree levels")
@@ -35,6 +35,7 @@ func main() {
 		telLog   = flag.Duration("telemetry-log", 0, "log the telemetry snapshot to stderr at this interval (0 disables)")
 		parOut   = flag.String("parbench-out", "BENCH_parallel.json", "output path for -exp parbench")
 		recOut   = flag.String("recbench-out", "BENCH_recovery.json", "output path for -exp recbench")
+		rebOut   = flag.String("rebalance-out", "BENCH_rebalance.json", "output path for -exp rebalance")
 		hotOut   = flag.String("hotpath-out", "BENCH_hotpath.json", "output path for -exp hotpath")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the hotpath loops to this file (-exp hotpath)")
 		memProf  = flag.String("memprofile", "", "write a heap profile after the hotpath loops to this file (-exp hotpath)")
@@ -46,6 +47,16 @@ func main() {
 	// optional pprof profiles for `make profile`).
 	if *exp == "hotpath" {
 		if err := runHotPath(*hotOut, *cpuProf, *memProf); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// rebalance measures elastic membership: drain throughput, the latency
+	// cost of co-running a drain with the workload, join cost, and the
+	// Split whole-member rebuild. Writes BENCH_rebalance.json.
+	if *exp == "rebalance" {
+		if err := runRebalance(*rebOut); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sdimm"
+	"sdimm/internal/rng"
+)
+
+// rebalanceReport is the BENCH_rebalance.json schema: what elastic
+// membership costs while the cluster keeps serving. Report numbers, not
+// gated — a drain is a rare operator action, so the interesting questions
+// are "how long until the member is empty" and "what does co-running it do
+// to workload latency", not a speedup ratio.
+type rebalanceReport struct {
+	NumCPU int `json:"num_cpu"`
+	SDIMMs int `json:"sdimms"`
+	Levels int `json:"levels"`
+
+	// Independent protocol: drain/remove/join.
+	DrainedBlocks    int     `json:"drained_blocks"`
+	DrainMs          float64 `json:"drain_ms"`
+	DrainStepsPerSec float64 `json:"drain_steps_per_sec"`
+	SteadyOpUs       float64 `json:"steady_op_us"`
+	CorunOpUs        float64 `json:"corun_op_us"` // per workload op with one migration interleaved
+	JoinMs           float64 `json:"join_ms"`
+
+	// Split protocol: whole-member rebuild from XOR parity.
+	SplitRebuildMs float64 `json:"split_rebuild_ms"`
+}
+
+// runRebalance measures the elastic-membership operations end to end and
+// writes the report to outPath.
+func runRebalance(outPath string) error {
+	const (
+		addrs    = 512
+		populate = 1024
+		steadyN  = 200
+		corunN   = 64
+	)
+	rep := rebalanceReport{NumCPU: runtime.NumCPU(), SDIMMs: 4, Levels: 12}
+
+	c, err := sdimm.NewCluster(sdimm.ClusterOptions{
+		SDIMMs: rep.SDIMMs,
+		Levels: rep.Levels,
+		Key:    []byte("rebalance-bench-key"),
+		Seed:   7,
+	})
+	if err != nil {
+		return err
+	}
+	r := rng.New(7)
+	payload := make([]byte, 64)
+	op := func() error {
+		addr := r.Uint64n(addrs)
+		if r.Bool(0.5) {
+			for j := range payload {
+				payload[j] = byte(r.Uint64n(256))
+			}
+			return c.Write(addr, payload)
+		}
+		_, err := c.Read(addr)
+		return err
+	}
+	for i := 0; i < populate; i++ {
+		if err := op(); err != nil {
+			return err
+		}
+	}
+
+	// Steady-state baseline.
+	start := time.Now()
+	for i := 0; i < steadyN; i++ {
+		if err := op(); err != nil {
+			return err
+		}
+	}
+	rep.SteadyOpUs = float64(time.Since(start).Microseconds()) / steadyN
+
+	// Co-run window: workload with one migration step after each op — the
+	// pacing an operator would use to drain without starving the workload.
+	if err := c.BeginDrain(1); err != nil {
+		return err
+	}
+	start = time.Now()
+	for i := 0; i < corunN; i++ {
+		if err := op(); err != nil {
+			return err
+		}
+		if _, err := c.DrainStep(); err != nil {
+			return err
+		}
+	}
+	rep.CorunOpUs = float64(time.Since(start).Microseconds()) / corunN
+	rep.DrainedBlocks = corunN
+
+	// Drain the rest flat out.
+	start = time.Now()
+	for {
+		done, err := c.DrainStep()
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+		rep.DrainedBlocks++
+	}
+	drainTail := time.Since(start)
+	rep.DrainMs = float64(drainTail.Microseconds()) / 1e3
+	if tail := rep.DrainedBlocks - corunN; tail > 0 && drainTail > 0 {
+		rep.DrainStepsPerSec = float64(tail) / drainTail.Seconds()
+	}
+	if err := c.CompleteDrain(); err != nil {
+		return err
+	}
+
+	start = time.Now()
+	if err := c.AddSDIMM(1); err != nil {
+		return err
+	}
+	rep.JoinMs = float64(time.Since(start).Microseconds()) / 1e3
+	c.Close()
+
+	// Split flavour: time a whole-member rebuild from parity at the same
+	// tree size.
+	sc, err := sdimm.NewSplitCluster(sdimm.SplitClusterOptions{
+		SDIMMs: rep.SDIMMs,
+		Levels: rep.Levels,
+		Key:    []byte("rebalance-bench-split-key"),
+		Seed:   11,
+		Parity: true,
+	})
+	if err != nil {
+		return err
+	}
+	sr := rng.New(11)
+	for i := 0; i < populate; i++ {
+		addr := sr.Uint64n(addrs)
+		if sr.Bool(0.5) {
+			if err := sc.Write(addr, []byte{byte(addr)}); err != nil {
+				return err
+			}
+		} else if _, err := sc.Read(addr); err != nil {
+			return err
+		}
+	}
+	sc.FailShard(1)
+	start = time.Now()
+	if err := sc.ReplaceMember(1); err != nil {
+		return err
+	}
+	rep.SplitRebuildMs = float64(time.Since(start).Microseconds()) / 1e3
+	sc.Close()
+
+	fmt.Fprintf(os.Stderr,
+		"rebalance: drained %d blocks in %.1fms (%.0f steps/s tail), op %0.1fµs steady → %0.1fµs co-run, join %.2fms, split rebuild %.1fms\n",
+		rep.DrainedBlocks, rep.DrainMs, rep.DrainStepsPerSec, rep.SteadyOpUs, rep.CorunOpUs, rep.JoinMs, rep.SplitRebuildMs)
+
+	if err := writeJSONAtomic(outPath, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rebalance: wrote %s\n", outPath)
+	return nil
+}

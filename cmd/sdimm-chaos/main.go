@@ -18,6 +18,18 @@
 //	sdimm-chaos -crash -n 1200 -crashes 4
 //	sdimm-chaos -crash -corrupt           # exercise the scrub pass
 //	sdimm-chaos -crash -split -corrupt    # parity must repair every flip
+//
+// With -resize it runs the elastic-membership equivalence sweep: the
+// workload drains a member mid-run, detaches it, and rejoins the slot
+// (Independent), or fail-stops a shard and rebuilds it from parity
+// (Split), while seeded crashes land anywhere in the record stream —
+// including inside migration batches. The recovered run must match the
+// uncrashed reference bit for bit, and the reference run's link traffic
+// must show no migration-shaped frames:
+//
+//	sdimm-chaos -resize -n 1200 -crashes 4
+//	sdimm-chaos -resize -parallel 4       # migrations through the pipeline
+//	sdimm-chaos -resize -split            # member replacement from parity
 package main
 
 import (
@@ -50,8 +62,38 @@ func main() {
 		stateDir  = flag.String("statedir", "", "crash: state directory (default: a fresh temp dir, removed afterwards)")
 		interval  = flag.Int("interval", 64, "crash: checkpoint cadence in committed accesses")
 		corrupt   = flag.Bool("corrupt", false, "crash: flip a sealed-bucket bit at each point (scrub pass) instead of tearing the journal")
+		resize    = flag.Bool("resize", false, "run the elastic-membership (drain/remove/join) equivalence sweep")
+		member    = flag.Int("member", 1, "resize: member slot to drain and rejoin (Split: to fail and rebuild)")
 	)
 	flag.Parse()
+
+	if *resize {
+		res, err := chaos.RunResize(chaos.ResizeConfig{
+			SDIMMs:      *sdimms,
+			Levels:      *levels,
+			Accesses:    *n,
+			Addresses:   *addrs,
+			Seed:        *seed,
+			Crashes:     *crashes,
+			Member:      *member,
+			Parallelism: *parallel,
+			Batch:       *batch,
+			Dir:         *stateDir,
+			Interval:    *interval,
+			Split:       *split,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdimm-chaos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res)
+		if !res.Equivalent() {
+			fmt.Println("RESULT: FAIL — rebalance diverged from the uncrashed reference")
+			os.Exit(1)
+		}
+		fmt.Println("RESULT: PASS — rebalance crash-consistent and shape-invariant")
+		return
+	}
 
 	if *crash {
 		res, err := chaos.RunCrash(chaos.CrashConfig{

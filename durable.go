@@ -77,9 +77,9 @@ func splitFingerprint(opts SplitClusterOptions) durable.Fingerprint {
 }
 
 // durableState is the durability bookkeeping embedded in both cluster
-// flavours. seq counts committed logical accesses; poisoned tracks
-// addresses lost to unrecoverable corruption (always allocated, usually
-// empty).
+// flavours. seq counts committed logical records of every kind (workload
+// accesses, migration steps, topology changes); poisoned tracks addresses
+// lost to unrecoverable corruption (always allocated, usually empty).
 type durableState struct {
 	dur        *durable.Manager
 	interval   int
@@ -88,11 +88,63 @@ type durableState struct {
 	replaying  bool
 	poisoned   map[uint64]bool
 	recScratch [1]durable.Record // commitRecord's singleton batch
+
+	// Elastic-membership bookkeeping. migSeq/topoSeq partition seq so
+	// drivers can recover their workload position from durable state alone:
+	// WorkloadSeq() = seq - migSeq - topoSeq. At most one drain runs at a
+	// time; drainMember is -1 outside a drain. migrating flags the access
+	// currently executing as a rebalance migration step (it journals as
+	// KindMigrate instead of KindRead).
+	migSeq       uint64
+	topoSeq      uint64
+	drainMember  int
+	drainMoved   uint64
+	migrating    bool
+	incarnations []uint64 // per-slot join count (0 = founding member)
+	detached     []bool   // slots whose member was removed, not yet replaced
 }
 
-// Seq returns the number of committed logical accesses. With durability
-// attached, every access with sequence number ≤ Seq survives a crash.
+// initElastic sets up the elastic-membership fields for members slots.
+// Called by both cluster builders (the zero value of drainMember would
+// otherwise mean "slot 0 is draining").
+func (d *durableState) initElastic(members int) {
+	d.drainMember = -1
+	d.incarnations = make([]uint64, members)
+	d.detached = make([]bool, members)
+}
+
+// Seq returns the number of committed logical records (workload accesses
+// plus migration and topology records). With durability attached, every
+// record with sequence number ≤ Seq survives a crash.
 func (d *durableState) Seq() uint64 { return d.seq }
+
+// WorkloadSeq returns the number of committed workload accesses — Seq
+// minus the migration and topology records sharing the stream. Drivers use
+// it to locate their position in an operation list after recovery.
+func (d *durableState) WorkloadSeq() uint64 { return d.seq - d.migSeq - d.topoSeq }
+
+// MigrationSeq returns the lifetime count of committed migration steps.
+func (d *durableState) MigrationSeq() uint64 { return d.migSeq }
+
+// Draining reports the member currently being drained (-1 if none) and how
+// many migration steps have committed for that drain.
+func (d *durableState) Draining() (member int, moved uint64) {
+	return d.drainMember, d.drainMoved
+}
+
+// Incarnation returns how many times slot i has been (re)populated: 0 for
+// the founding member, +1 per join.
+func (d *durableState) Incarnation(i int) uint64 {
+	if i < 0 || i >= len(d.incarnations) {
+		return 0
+	}
+	return d.incarnations[i]
+}
+
+// Detached reports whether slot i's member was removed and not replaced.
+func (d *durableState) Detached(i int) bool {
+	return i >= 0 && i < len(d.detached) && d.detached[i]
+}
 
 // crashedNow reports whether a planned crash point has fired — the cluster
 // is "dead" and refuses further work.
@@ -113,13 +165,39 @@ func (d *durableState) attachDurability(opts *DurabilityOptions, fp durable.Fing
 
 // makeRecord advances the committed sequence for one access and returns its
 // journal record. A committed write heals a poisoned address — the lost
-// payload is fully overwritten.
+// payload is fully overwritten. While migrating is set, reads journal as
+// KindMigrate and advance the drain progress instead of the workload count.
 func (d *durableState) makeRecord(addr uint64, op oram.Op, data []byte) durable.Record {
 	d.seq++
+	kind := durable.KindRead
 	if op == oram.OpWrite {
 		delete(d.poisoned, addr)
+		kind = durable.KindWrite
+	} else if d.migrating {
+		kind = durable.KindMigrate
+		d.migSeq++
+		if d.drainMember >= 0 {
+			d.drainMoved++
+		}
 	}
-	return durable.Record{Seq: d.seq, Addr: addr, Write: op == oram.OpWrite, Data: data}
+	return durable.Record{Seq: d.seq, Addr: addr, Kind: kind, Data: data}
+}
+
+// commitTopoRecord journals one topology change (drain begin/end, join) at
+// its commit point. Topology records carry the member slot in Addr and no
+// payload; they advance seq and topoSeq so WorkloadSeq stays the pure
+// workload count. During replay the in-memory apply already happened, so
+// only the counters advance.
+func (d *durableState) commitTopoRecord(kind durable.RecordKind, member int) error {
+	d.seq++
+	d.topoSeq++
+	if d.dur == nil || d.replaying {
+		return nil
+	}
+	d.recScratch[0] = durable.Record{Seq: d.seq, Addr: uint64(member), Kind: kind}
+	err := d.dur.Append(d.recScratch[:])
+	d.recScratch[0] = durable.Record{}
+	return err
 }
 
 // appendRecords journals a batch of records made by makeRecord. No-op
@@ -263,6 +341,11 @@ func (c *Cluster) ForceCheckpoint() error {
 		RNG:       c.rnd.State(),
 		Positions: capturePositions(c.pos),
 		Poisoned:  capturePoisoned(c.poisoned),
+		MigSeq:    c.migSeq,
+		TopoSeq:   c.topoSeq,
+	}
+	if c.drainMember >= 0 {
+		cp.Drains = []durable.DrainState{{Member: uint64(c.drainMember), Moved: c.drainMoved}}
 	}
 	for i, b := range c.buffers {
 		m := captureMember(b, c.health[i])
@@ -270,6 +353,8 @@ func (c *Cluster) ForceCheckpoint() error {
 		m.HostRecv = c.links[i].Host.RecvCounter()
 		m.DevSend = c.links[i].Dev.SendCounter()
 		m.DevRecv = c.links[i].Dev.RecvCounter()
+		m.Incarnation = c.incarnations[i]
+		m.Detached = c.detached[i]
 		cp.Members = append(cp.Members, m)
 	}
 	if err := c.dur.WriteCheckpoint(cp); err != nil {
@@ -312,7 +397,30 @@ func (c *Cluster) restoreCheckpoint(cp *durable.Checkpoint) error {
 	for _, a := range cp.Poisoned {
 		c.poisoned[a] = true
 	}
+	c.migSeq = cp.MigSeq
+	c.topoSeq = cp.TopoSeq
+	c.drainMember, c.drainMoved = -1, 0
+	if len(cp.Drains) > 0 {
+		if len(cp.Drains) > 1 {
+			return fmt.Errorf("sdimm: checkpoint records %d concurrent drains, at most 1 supported", len(cp.Drains))
+		}
+		c.drainMember = int(cp.Drains[0].Member)
+		c.drainMoved = cp.Drains[0].Moved
+		if c.drainMember < 0 || c.drainMember >= len(c.buffers) {
+			return fmt.Errorf("sdimm: checkpoint drain member %d out of range", c.drainMember)
+		}
+	}
 	for i, m := range cp.Members {
+		// A member that joined after the founding generation has
+		// incarnation-derived store keys and a distinct device identity —
+		// rebuild it before restoring its state into place.
+		if m.Incarnation != c.incarnations[i] {
+			if err := c.mkMember(i, m.Incarnation); err != nil {
+				return err
+			}
+			c.incarnations[i] = m.Incarnation
+		}
+		c.detached[i] = m.Detached
 		if err := restoreMember(c.buffers[i], c.health[i], m); err != nil {
 			return err
 		}
@@ -469,13 +577,28 @@ func RecoverCluster(opts ClusterOptions) (*Cluster, *durable.RecoveryReport, err
 			c.replaying = false
 			return nil, nil, fmt.Errorf("sdimm: replay record %d does not follow committed seq %d", rec.Seq, c.seq)
 		}
-		op, data := oram.OpRead, []byte(nil)
-		if rec.Write {
-			op, data = oram.OpWrite, rec.Data
+		var err error
+		switch rec.Kind {
+		case durable.KindRead:
+			_, err = c.access(rec.Addr, oram.OpRead, nil)
+		case durable.KindWrite:
+			_, err = c.access(rec.Addr, oram.OpWrite, rec.Data)
+		case durable.KindMigrate:
+			c.migrating = true
+			_, err = c.access(rec.Addr, oram.OpRead, nil)
+			c.migrating = false
+		case durable.KindDrainBegin:
+			err = c.applyDrainBegin(int(rec.Addr))
+		case durable.KindDrainEnd:
+			err = c.applyDetach(int(rec.Addr))
+		case durable.KindJoin:
+			err = c.applyJoin(int(rec.Addr))
+		default:
+			err = fmt.Errorf("sdimm: unknown record kind %d", rec.Kind)
 		}
-		if _, err := c.access(rec.Addr, op, data); err != nil {
+		if err != nil {
 			c.replaying = false
-			return nil, nil, fmt.Errorf("sdimm: replay access %d (seq %d): %w", rec.Addr, rec.Seq, err)
+			return nil, nil, fmt.Errorf("sdimm: replay record %d (seq %d, kind %d): %w", rec.Addr, rec.Seq, rec.Kind, err)
 		}
 		c.tm.replayed.Inc()
 	}
@@ -515,9 +638,13 @@ func (c *SplitCluster) ForceCheckpoint() error {
 		RNG:       c.rnd.State(),
 		Positions: capturePositions(c.pos),
 		Poisoned:  capturePoisoned(c.poisoned),
+		MigSeq:    c.migSeq,
+		TopoSeq:   c.topoSeq,
 	}
 	for i, b := range c.allMembers() {
-		cp.Members = append(cp.Members, captureMember(b, c.health[i]))
+		m := captureMember(b, c.health[i])
+		m.Incarnation = c.incarnations[i]
+		cp.Members = append(cp.Members, m)
 	}
 	if err := c.dur.WriteCheckpoint(cp); err != nil {
 		return err
@@ -560,6 +687,25 @@ func (c *SplitCluster) restoreCheckpoint(cp *durable.Checkpoint) error {
 	for _, a := range cp.Poisoned {
 		c.poisoned[a] = true
 	}
+	c.migSeq = cp.MigSeq
+	c.topoSeq = cp.TopoSeq
+	for i, m := range cp.Members {
+		// A replacement member's store keys derive from its incarnation —
+		// rebuild the buffer before restoring state into it.
+		if m.Incarnation != c.incarnations[i] {
+			buf, err := c.mkShardMember(i, m.Incarnation)
+			if err != nil {
+				return err
+			}
+			if i < len(c.buffers) {
+				c.buffers[i] = buf
+			} else {
+				c.parity = buf
+			}
+			c.incarnations[i] = m.Incarnation
+		}
+	}
+	members = c.allMembers()
 	for i, m := range cp.Members {
 		if err := restoreMember(members[i], c.health[i], m); err != nil {
 			return err
@@ -678,14 +824,23 @@ func RecoverSplitCluster(opts SplitClusterOptions) (*SplitCluster, *durable.Reco
 			c.Close()
 			return nil, nil, fmt.Errorf("sdimm: replay record %d does not follow committed seq %d", rec.Seq, c.seq)
 		}
-		op, data := oram.OpRead, []byte(nil)
-		if rec.Write {
-			op, data = oram.OpWrite, rec.Data
+		var err error
+		switch rec.Kind {
+		case durable.KindRead:
+			_, err = c.access(rec.Addr, oram.OpRead, nil)
+		case durable.KindWrite:
+			_, err = c.access(rec.Addr, oram.OpWrite, rec.Data)
+		case durable.KindJoin:
+			err = c.applySplitJoin(int(rec.Addr))
+		default:
+			// The split protocol has no routing, so drains and migrations
+			// never occur; replacement is the only topology change.
+			err = fmt.Errorf("sdimm: record kind %d unsupported by split clusters", rec.Kind)
 		}
-		if _, err := c.access(rec.Addr, op, data); err != nil {
+		if err != nil {
 			c.replaying = false
 			c.Close()
-			return nil, nil, fmt.Errorf("sdimm: replay access %d (seq %d): %w", rec.Addr, rec.Seq, err)
+			return nil, nil, fmt.Errorf("sdimm: replay record %d (seq %d, kind %d): %w", rec.Addr, rec.Seq, rec.Kind, err)
 		}
 		c.tm.replayed.Inc()
 	}

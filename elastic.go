@@ -1,0 +1,425 @@
+package sdimm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sdimm/internal/durable"
+	"sdimm/internal/fault"
+	"sdimm/internal/oram"
+	isdimm "sdimm/internal/sdimm"
+)
+
+// This file implements elastic cluster membership: online drain/remove/join
+// for the Independent cluster and failed-member replacement for the Split
+// cluster. Every topology change is journaled through internal/durable
+// (KindDrainBegin / KindDrainEnd / KindJoin), and every migration step is a
+// normal-shaped access journaled as KindMigrate — a crash at any point
+// recovers to the state before or after the interrupted step, never between.
+// See DESIGN.md, "Elasticity & rebalancing".
+
+// --- Independent cluster: drain / remove / join ---
+
+// BeginDrain starts draining member i: it is excluded from new-leaf
+// placement from this point on, but keeps serving exchanges (including the
+// APPEND dummies of unrelated traffic) so the channel-visible traffic shape
+// is unchanged. At most one drain runs at a time. The drain itself advances
+// via DrainStep and ends with CompleteDrain.
+func (c *Cluster) BeginDrain(i int) error {
+	if c.crashedNow() {
+		return durable.ErrCrashed
+	}
+	if i < 0 || i >= len(c.buffers) {
+		return fmt.Errorf("sdimm: member slot %d out of range", i)
+	}
+	if c.drainMember >= 0 {
+		return fmt.Errorf("sdimm: drain of member %d already in progress", c.drainMember)
+	}
+	switch st := c.health[i].State(); st {
+	case fault.Failed, fault.Removed:
+		return fmt.Errorf("sdimm: cannot drain member %d in state %s (use RemoveFailed)", i, st)
+	case fault.Draining:
+		return fmt.Errorf("sdimm: member %d already draining", i)
+	}
+	// At least one other member must be eligible to receive the blocks.
+	others := 0
+	for j := range c.health {
+		if j == i {
+			continue
+		}
+		switch c.health[j].State() {
+		case fault.Failed, fault.Draining, fault.Removed:
+		default:
+			others++
+		}
+	}
+	if others == 0 {
+		return ErrNoHealthySDIMM
+	}
+	return c.applyDrainBegin(i)
+}
+
+// applyDrainBegin is BeginDrain's committed effect, shared with replay.
+func (c *Cluster) applyDrainBegin(i int) error {
+	if i < 0 || i >= len(c.buffers) {
+		return fmt.Errorf("sdimm: drain-begin member %d out of range", i)
+	}
+	if !c.health[i].MarkDraining() {
+		return fmt.Errorf("sdimm: member %d cannot drain in state %s", i, c.health[i].State())
+	}
+	c.drainMember = i
+	c.drainMoved = 0
+	if tr := c.tm.tracer; tr != nil {
+		tr.Instant(0, "cluster.drain.begin", "cluster", map[string]any{"sdimm": i})
+	}
+	return c.commitTopoRecord(durable.KindDrainBegin, i)
+}
+
+// DrainRemaining counts the addresses still mapped to the draining member
+// (0 when no drain is in progress).
+func (c *Cluster) DrainRemaining() int {
+	if c.drainMember < 0 {
+		return 0
+	}
+	n := 0
+	c.pos.Each(func(_, g uint64) {
+		if int(g>>c.localBits) == c.drainMember {
+			n++
+		}
+	})
+	return n
+}
+
+// NextMigrations returns up to n addresses the drain will migrate next, in
+// the order DrainStep would take them (ascending address). Drivers use it
+// to build migration batches for the parallel pipeline; the selection is a
+// pure function of the position map, so a restarted driver recomputes the
+// same order.
+func (c *Cluster) NextMigrations(n int) []uint64 {
+	if c.drainMember < 0 || n <= 0 {
+		return nil
+	}
+	var addrs []uint64
+	c.pos.Each(func(a, g uint64) {
+		if int(g>>c.localBits) == c.drainMember {
+			addrs = append(addrs, a)
+		}
+	})
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	if len(addrs) > n {
+		addrs = addrs[:n]
+	}
+	return addrs
+}
+
+// DrainStep migrates one block off the draining member: the lowest still-
+// mapped address is read through the ordinary access path, which re-homes
+// it because pickHealthyLeaf no longer offers the draining member's leaves.
+// On the channel the step is a single normal-shaped access — an observer
+// cannot tell it from workload traffic. done reports that nothing was left
+// to migrate (the step performed no access).
+func (c *Cluster) DrainStep() (done bool, err error) {
+	if c.crashedNow() {
+		return false, durable.ErrCrashed
+	}
+	if c.drainMember < 0 {
+		return false, errors.New("sdimm: no drain in progress")
+	}
+	addr, ok := c.nextDrainAddr()
+	if !ok {
+		return true, nil
+	}
+	c.migrating = true
+	_, err = c.tracedAccess(addr, oram.OpRead, nil)
+	c.migrating = false
+	if err != nil {
+		return false, err
+	}
+	c.tm.migrations.Inc()
+	if err := c.maybeCheckpoint(c.ForceCheckpoint); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// nextDrainAddr finds the lowest address still mapped to the draining
+// member.
+func (c *Cluster) nextDrainAddr() (uint64, bool) {
+	best, found := uint64(0), false
+	c.pos.Each(func(a, g uint64) {
+		if int(g>>c.localBits) != c.drainMember {
+			return
+		}
+		if !found || a < best {
+			best, found = a, true
+		}
+	})
+	return best, found
+}
+
+// CompleteDrain detaches the drained member once nothing is mapped to it.
+// The slot becomes Removed (terminal until a join repopulates it).
+func (c *Cluster) CompleteDrain() error {
+	if c.crashedNow() {
+		return durable.ErrCrashed
+	}
+	if c.drainMember < 0 {
+		return errors.New("sdimm: no drain in progress")
+	}
+	if left := c.DrainRemaining(); left > 0 {
+		return fmt.Errorf("sdimm: drain of member %d incomplete: %d blocks remain", c.drainMember, left)
+	}
+	return c.applyDetach(c.drainMember)
+}
+
+// CancelDrain aborts a drain in progress: the member returns to the
+// placement pool and whatever migrated stays where it landed (migration is
+// just placement — no state needs undoing). The cancellation journals as a
+// DrainEnd record without a detach.
+func (c *Cluster) CancelDrain() error {
+	if c.crashedNow() {
+		return durable.ErrCrashed
+	}
+	if c.drainMember < 0 {
+		return errors.New("sdimm: no drain in progress")
+	}
+	i := c.drainMember
+	if !c.health[i].CancelDraining() {
+		// The member failed mid-drain; cancellation cannot resurrect it.
+		return fmt.Errorf("sdimm: member %d is %s, not draining", i, c.health[i].State())
+	}
+	c.drainMember, c.drainMoved = -1, 0
+	if tr := c.tm.tracer; tr != nil {
+		tr.Instant(0, "cluster.drain.cancel", "cluster", map[string]any{"sdimm": i})
+	}
+	return c.commitTopoRecord(durable.KindDrainEnd, i)
+}
+
+// RemoveFailed detaches a fail-stopped member without a drain. Blocks still
+// mapped to it are lost: each is poisoned (reads fail with ErrUnrecoverable
+// until a write heals the address) and remapped to a surviving member so
+// the tree stays navigable and future accesses keep their normal shape.
+func (c *Cluster) RemoveFailed(i int) error {
+	if c.crashedNow() {
+		return durable.ErrCrashed
+	}
+	if i < 0 || i >= len(c.buffers) {
+		return fmt.Errorf("sdimm: member slot %d out of range", i)
+	}
+	if c.detached[i] {
+		return fmt.Errorf("sdimm: member %d already removed", i)
+	}
+	if st := c.health[i].State(); st != fault.Failed {
+		return fmt.Errorf("sdimm: member %d is %s, not failed; drain it instead", i, st)
+	}
+	return c.applyDetach(i)
+}
+
+// applyDetach is the committed effect of CompleteDrain and RemoveFailed,
+// shared with replay. MarkRemoved runs first so the remap draws below never
+// offer the departing member; the leftover-address walk is in sorted order
+// and the RNG draws happen at a deterministic point, so replay reproduces
+// the exact remapping. After a completed drain the walk is empty.
+func (c *Cluster) applyDetach(i int) error {
+	if i < 0 || i >= len(c.buffers) {
+		return fmt.Errorf("sdimm: detach member %d out of range", i)
+	}
+	wasDrain := c.drainMember == i
+	c.health[i].MarkRemoved()
+	c.detached[i] = true
+	if c.drainMember == i {
+		c.drainMember, c.drainMoved = -1, 0
+	}
+	var orphans []uint64
+	c.pos.Each(func(a, g uint64) {
+		if int(g>>c.localBits) == i {
+			orphans = append(orphans, a)
+		}
+	})
+	sort.Slice(orphans, func(a, b int) bool { return orphans[a] < orphans[b] })
+	globalLeaves := uint64(1) << (c.levels - 1)
+	for _, a := range orphans {
+		g, err := c.pickHealthyLeaf(globalLeaves)
+		if err != nil {
+			return err
+		}
+		c.pos.Set(a, g)
+		c.poisoned[a] = true
+	}
+	if tr := c.tm.tracer; tr != nil {
+		tr.Instant(0, "cluster.detach", "cluster",
+			map[string]any{"sdimm": i, "drained": wasDrain, "lost": len(orphans)})
+	}
+	return c.commitTopoRecord(durable.KindDrainEnd, i)
+}
+
+// AddSDIMM populates a removed slot with a fresh member (a join). The new
+// incarnation gets its own sealed store, device identity, and link session;
+// it starts empty and in Recovering probation, entering the placement pool
+// on its first successful exchange. Only a detached slot can be joined —
+// capacity changes reuse slots, keeping the global tree geometry (and with
+// it the oblivious routing arithmetic) fixed.
+func (c *Cluster) AddSDIMM(i int) error {
+	if c.crashedNow() {
+		return durable.ErrCrashed
+	}
+	if i < 0 || i >= len(c.buffers) {
+		return fmt.Errorf("sdimm: member slot %d out of range", i)
+	}
+	if !c.detached[i] {
+		return fmt.Errorf("sdimm: slot %d still holds a member; drain and remove it first", i)
+	}
+	return c.applyJoin(i)
+}
+
+// applyJoin is AddSDIMM's committed effect, shared with replay.
+func (c *Cluster) applyJoin(i int) error {
+	if i < 0 || i >= len(c.buffers) {
+		return fmt.Errorf("sdimm: join member %d out of range", i)
+	}
+	inc := c.incarnations[i] + 1
+	if err := c.mkMember(i, inc); err != nil {
+		return err
+	}
+	c.incarnations[i] = inc
+	c.detached[i] = false
+	// Lifetime exchange totals survive the slot's previous occupant; the
+	// state machine restarts in probation with a clean streak.
+	succ, fail := c.health[i].Totals()
+	c.health[i].Restore(fault.Recovering, 0, succ, fail)
+	if tr := c.tm.tracer; tr != nil {
+		tr.Instant(0, "cluster.join", "cluster", map[string]any{"sdimm": i, "incarnation": inc})
+	}
+	return c.commitTopoRecord(durable.KindJoin, i)
+}
+
+// --- Split cluster: failed-member replacement ---
+
+// ReplaceMember rebuilds failed member i (data shards 0..SDIMMs-1; SDIMMs =
+// parity) from the surviving members. Shard trees evolve in lockstep and
+// the parity member holds the XOR of the data shards, so the missing
+// member's entire tree — buckets, stash, transfer queue — is the XOR of all
+// other members', resealed under the new incarnation's keys. There is no
+// drain flavour for Split: the protocol has no routing, so membership can
+// only change by whole-member replacement.
+func (c *SplitCluster) ReplaceMember(i int) error {
+	if c.crashedNow() {
+		return durable.ErrCrashed
+	}
+	if i < 0 || i >= len(c.health) {
+		return fmt.Errorf("sdimm: member slot %d out of range", i)
+	}
+	if c.parity == nil {
+		return errors.New("sdimm: replacement requires a parity member")
+	}
+	if c.health[i].State() != fault.Failed {
+		return fmt.Errorf("sdimm: member %d is %s, not failed", i, c.health[i].State())
+	}
+	for j := range c.health {
+		if j != i && c.memberDown(j) {
+			return fmt.Errorf("sdimm: cannot rebuild member %d: member %d also down", i, j)
+		}
+	}
+	return c.applySplitJoin(i)
+}
+
+// applySplitJoin is ReplaceMember's committed effect, shared with replay.
+// It must not require the member to be Failed: during replay the slot's
+// buffer participated in the replayed accesses (the replayed cluster has no
+// knowledge of the original fail-stop), but its state is provably identical
+// to what reconstruction yields — every member's tree is a pure function of
+// the shared access history — so rebuilding over it is a no-op disguised as
+// a rebuild, and the RNG/journal effects match the original run exactly.
+func (c *SplitCluster) applySplitJoin(i int) error {
+	if i < 0 || i >= len(c.health) {
+		return fmt.Errorf("sdimm: join member %d out of range", i)
+	}
+	if c.parity == nil {
+		return errors.New("sdimm: replacement requires a parity member")
+	}
+	inc := c.incarnations[i] + 1
+	buf, err := c.mkShardMember(i, inc)
+	if err != nil {
+		return err
+	}
+	members := c.allMembers()
+	var good []*isdimm.Buffer
+	for j, b := range members {
+		if j != i {
+			good = append(good, b)
+		}
+	}
+
+	// Buckets: headers and write counters agree across members (lockstep),
+	// data is the XOR of all others'. Seal each rebuilt bucket under the
+	// sibling's counter so the write counters stay aligned too.
+	tplStore := memStore(good[0])
+	for _, idx := range tplStore.BucketIndices() {
+		tpl, err := tplStore.ReadBucket(idx)
+		if err != nil {
+			return err
+		}
+		rebuilt := oram.NewBucket(len(tpl.Slots))
+		for s := range tpl.Slots {
+			rebuilt.Slots[s].Addr = tpl.Slots[s].Addr
+			rebuilt.Slots[s].Leaf = tpl.Slots[s].Leaf
+			if rebuilt.Slots[s].IsDummy() {
+				continue
+			}
+			data := make([]byte, c.shard)
+			for _, g := range good {
+				bkt, err := memStore(g).ReadBucket(idx)
+				if err != nil {
+					return err
+				}
+				d := bkt.Slots[s].Data
+				for j := range data {
+					data[j] ^= d[j]
+				}
+			}
+			rebuilt.Slots[s].Data = data
+		}
+		if err := memStore(buf).PutBucketAt(idx, rebuilt, tplStore.Counter(idx)); err != nil {
+			return err
+		}
+	}
+
+	// Stash: same (addr, leaf) order on every member, data XOR-aligned.
+	tplStash := good[0].Engine().StashBlocks()
+	otherStashes := make([][]oram.Block, len(good))
+	for j, g := range good {
+		otherStashes[j] = g.Engine().StashBlocks()
+	}
+	rebuiltStash := make([]oram.Block, len(tplStash))
+	for s, blk := range tplStash {
+		data := make([]byte, c.shard)
+		for j := range good {
+			d := otherStashes[j][s].Data
+			for k := range data {
+				data[k] ^= d[k]
+			}
+		}
+		rebuiltStash[s] = oram.Block{Addr: blk.Addr, Leaf: blk.Leaf, Data: data}
+	}
+	if err := buf.Engine().RestoreStash(rebuiltStash); err != nil {
+		return err
+	}
+
+	// Engine RNG: copy a live sibling's state so the lockstep eviction draws
+	// stay identical from the next access on.
+	buf.Engine().RestoreRandState(good[0].Engine().RandState())
+
+	if i < len(c.buffers) {
+		c.buffers[i] = buf
+	} else {
+		c.parity = buf
+	}
+	c.incarnations[i] = inc
+	succ, fail := c.health[i].Totals()
+	c.health[i].Restore(fault.Recovering, 0, succ, fail)
+	if tr := c.tm.tracer; tr != nil {
+		tr.Instant(0, "cluster.join", "cluster", map[string]any{"member": i, "incarnation": inc})
+	}
+	return c.commitTopoRecord(durable.KindJoin, i)
+}

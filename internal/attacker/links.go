@@ -1,0 +1,113 @@
+package attacker
+
+import (
+	"fmt"
+	"sync"
+
+	"sdimm/internal/fault"
+)
+
+// This file extends the adversary's vantage point from the DDR bus to the
+// cluster's serial links: the attacker of Section II-B can also count and
+// size the sealed frames each SDIMM exchanges with the host. Payloads are
+// AES-GCM sealed, so the only observables per frame are WHICH link, WHICH
+// direction, and HOW LONG — exactly what LinkEvent records. The elastic
+// rebalancing claim is phrased in these terms: the link trace of a cluster
+// draining a member must be statistically indistinguishable from the trace
+// of one merely serving load, because every migration step is a single
+// normal-shaped access.
+
+// LinkEvent is one frame observed on a cluster link, reduced to the fields
+// the sealed channel actually leaks.
+type LinkEvent struct {
+	SDIMM int
+	Dir   fault.Direction
+	Len   int
+}
+
+// LinkTrace is an ordered capture of link events.
+type LinkTrace struct {
+	Events []LinkEvent
+}
+
+// LinkRecorder collects LinkEvents from a cluster's LinkTap. It is safe for
+// concurrent use — pipeline workers tap from multiple goroutines.
+type LinkRecorder struct {
+	mu     sync.Mutex
+	events []LinkEvent
+}
+
+// NewLinkRecorder returns an empty recorder.
+func NewLinkRecorder() *LinkRecorder { return &LinkRecorder{} }
+
+// Tap has the cluster LinkTap shape; pass it to ClusterOptions.LinkTap.
+// Every delivery attempt is recorded — retransmissions are channel-visible
+// events and belong in the adversary's trace.
+func (r *LinkRecorder) Tap(sd int, dir fault.Direction, attempt int, frame []byte) {
+	r.mu.Lock()
+	r.events = append(r.events, LinkEvent{SDIMM: sd, Dir: dir, Len: len(frame)})
+	r.mu.Unlock()
+}
+
+// Cut returns the events recorded since the previous Cut (or since the
+// start) as a trace, and starts a fresh window. Use it to split one run
+// into before/during/after segments.
+func (r *LinkRecorder) Cut() *LinkTrace {
+	r.mu.Lock()
+	t := &LinkTrace{Events: r.events}
+	r.events = nil
+	r.mu.Unlock()
+	return t
+}
+
+// Histogram returns the frequency of each (SDIMM, direction, length)
+// identity — the full per-frame observable.
+func (t *LinkTrace) Histogram() map[LinkEvent]int {
+	h := make(map[LinkEvent]int)
+	for _, e := range t.Events {
+		h[e]++
+	}
+	return h
+}
+
+// Shapes returns the set of distinct (SDIMM, direction, length) identities.
+// A rebalance that introduced a frame shape never seen in steady state
+// would hand the attacker a perfect distinguisher, whatever the counts.
+func (t *LinkTrace) Shapes() map[LinkEvent]bool {
+	s := make(map[LinkEvent]bool)
+	for _, e := range t.Events {
+		s[e] = true
+	}
+	return s
+}
+
+// LinkTotalVariation returns the total-variation distance between the
+// frame-identity distributions of two link traces (0 = identical, 1 =
+// disjoint). Traces of different lengths compare fine: distributions are
+// normalized, so a drain window with extra (migration) accesses is judged
+// on shape, not volume.
+func LinkTotalVariation(a, b *LinkTrace) (float64, error) {
+	na, nb := float64(len(a.Events)), float64(len(b.Events))
+	if na == 0 || nb == 0 {
+		return 0, fmt.Errorf("attacker: empty link trace")
+	}
+	ha, hb := a.Histogram(), b.Histogram()
+	keys := make(map[LinkEvent]bool, len(ha)+len(hb))
+	for k := range ha {
+		keys[k] = true
+	}
+	for k := range hb {
+		keys[k] = true
+	}
+	tv := 0.0
+	for k := range keys {
+		pa := float64(ha[k]) / na
+		pb := float64(hb[k]) / nb
+		if pa > pb {
+			tv += pa - pb
+		} else {
+			tv += pb - pa
+		}
+	}
+	return tv / 2, nil
+}

@@ -1,0 +1,214 @@
+package attacker
+
+import (
+	"fmt"
+	"testing"
+
+	"sdimm"
+	"sdimm/internal/rng"
+)
+
+// scriptOp is one access in a replayable link-trace workload.
+type scriptOp struct {
+	addr  uint64
+	write bool
+	data  byte
+}
+
+func linkWorkload(seed uint64, n int, addrs uint64) []scriptOp {
+	r := rng.New(seed)
+	ops := make([]scriptOp, n)
+	for i := range ops {
+		ops[i] = scriptOp{addr: r.Uint64n(addrs), write: r.Bool(0.4), data: byte(r.Uint64n(256))}
+	}
+	return ops
+}
+
+func execScript(t *testing.T, c *sdimm.Cluster, ops []scriptOp) {
+	t.Helper()
+	for i, op := range ops {
+		var err error
+		if op.write {
+			err = c.Write(op.addr, []byte{op.data})
+		} else {
+			_, err = c.Read(op.addr)
+		}
+		if err != nil {
+			t.Fatalf("script op %d (addr %d): %v", i, op.addr, err)
+		}
+	}
+}
+
+// TestDrainTrafficIndistinguishableOnLinks is the link-level obliviousness
+// claim for elastic rebalancing. Two clusters run in lockstep through an
+// identical history, so their states are bit-identical when the window of
+// interest opens. Then one drains a member while serving the workload; the
+// other replays the exact same address sequence — with each migration
+// appearing as an ordinary read of the same address — without any drain.
+// The adversary on the links must find (a) no frame shape it never saw in
+// steady state, (b) frames still flowing to the draining member, and (c) a
+// distributional distance under 1.5x the noise floor set by ordinary
+// workload variation.
+func TestDrainTrafficIndistinguishableOnLinks(t *testing.T) {
+	const (
+		addrs  = 128
+		window = 150
+		member = 1
+	)
+	build := func(rec *LinkRecorder) *sdimm.Cluster {
+		c, err := sdimm.NewCluster(sdimm.ClusterOptions{
+			SDIMMs:  4,
+			Levels:  10,
+			Key:     []byte("link-analysis-key"),
+			Seed:    23,
+			LinkTap: rec.Tap,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	recR, recS := NewLinkRecorder(), NewLinkRecorder()
+	cR, cS := build(recR), build(recS)
+
+	// Identical warmup on both: populate every address, then mix.
+	warm := make([]scriptOp, 0, addrs+100)
+	for a := uint64(0); a < addrs; a++ {
+		warm = append(warm, scriptOp{addr: a, write: true, data: byte(a)})
+	}
+	warm = append(warm, linkWorkload(100, 100, addrs)...)
+	execScript(t, cR, warm)
+	execScript(t, cS, warm)
+	recR.Cut()
+	recS.Cut()
+
+	// One steady window with both clusters still in lockstep: identical
+	// histories must produce identical traces, or the load-matching below
+	// is meaningless.
+	wA := linkWorkload(101, window, addrs)
+	execScript(t, cR, wA)
+	execScript(t, cS, wA)
+	rA, sA := recR.Cut(), recS.Cut()
+	if tv, err := LinkTotalVariation(rA, sA); err != nil || tv != 0 {
+		t.Fatalf("lockstep clusters diverged before the drain: tv=%v err=%v", tv, err)
+	}
+
+	// Drain window on cR: one migration step after each workload op, the
+	// capture ending the moment the member is empty (what happens after —
+	// detach, silence — is an announced topology change, not a covert
+	// act). cS replays the identical address sequence with each migration
+	// appearing as an ordinary read.
+	if err := cR.BeginDrain(member); err != nil {
+		t.Fatal(err)
+	}
+	wC := linkWorkload(103, window, addrs)
+	script := make([]scriptOp, 0, 2*window)
+	migrations := 0
+	for i := 0; ; i++ {
+		if i >= len(wC) {
+			t.Fatalf("drain did not deplete within %d ops (%d left)", window, cR.DrainRemaining())
+		}
+		execScript(t, cR, []scriptOp{wC[i]})
+		script = append(script, wC[i])
+		next := cR.NextMigrations(1)
+		if len(next) == 0 {
+			break
+		}
+		if done, err := cR.DrainStep(); err != nil || done {
+			t.Fatalf("DrainStep after op %d: done=%v err=%v", i, done, err)
+		}
+		script = append(script, scriptOp{addr: next[0]})
+		migrations++
+		if len(cR.NextMigrations(1)) == 0 {
+			break
+		}
+	}
+	if cR.DrainRemaining() != 0 {
+		t.Fatalf("capture window closed with %d blocks left", cR.DrainRemaining())
+	}
+	rC := recR.Cut()
+	execScript(t, cS, script)
+	sC := recS.Cut()
+
+	if migrations < 10 {
+		t.Fatalf("only %d migrations in the window — nothing to hide", migrations)
+	}
+
+	// Noise floor: two further steady windows on cS, each the same length
+	// as the drain window, with fresh workloads — the distance an attacker
+	// must already tolerate between two ordinary busy periods.
+	execScript(t, cS, linkWorkload(104, len(script), addrs))
+	sD := recS.Cut()
+	execScript(t, cS, linkWorkload(105, len(script), addrs))
+	sE := recS.Cut()
+	noise, err := LinkTotalVariation(sD, sE)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) No frame shape the steady windows never produced.
+	steady := sA.Shapes()
+	for _, w := range []*LinkTrace{sD, sE} {
+		for sh := range w.Shapes() {
+			steady[sh] = true
+		}
+	}
+	for sh := range rC.Shapes() {
+		if !steady[sh] {
+			t.Fatalf("drain window produced a novel frame shape %+v", sh)
+		}
+	}
+	// (b) The draining member keeps taking traffic — it is drained by
+	// placement, not silenced.
+	memberFrames := 0
+	for _, e := range rC.Events {
+		if e.SDIMM == member {
+			memberFrames++
+		}
+	}
+	if memberFrames == 0 {
+		t.Fatal("draining member went silent — trivially observable")
+	}
+	// (c) Distribution distance against the load-matched steady trace stays
+	// within the ordinary workload-to-workload noise.
+	cross, err := LinkTotalVariation(rC, sC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := 1.5 * noise
+	if cross > limit {
+		t.Fatalf("drain trace distinguishable: cross-TV %.4f > 1.5 x noise floor %.4f", cross, noise)
+	}
+	t.Logf("noise floor %.4f, drain cross-TV %.4f (%d migrations among %d accesses)", noise, cross, migrations, len(script))
+
+	// The drain itself must still be a clean, lossless one.
+	if err := cR.CompleteDrain(); err != nil {
+		t.Fatalf("CompleteDrain: %v", err)
+	}
+	for a := uint64(0); a < addrs; a++ {
+		if _, err := cR.Read(a); err != nil {
+			t.Fatalf("read %d after drain: %v", a, err)
+		}
+	}
+}
+
+// TestLinkTotalVariationBounds pins the metric itself.
+func TestLinkTotalVariationBounds(t *testing.T) {
+	mk := func(events ...LinkEvent) *LinkTrace { return &LinkTrace{Events: events} }
+	a := mk(LinkEvent{0, 0, 64}, LinkEvent{1, 0, 64})
+	same, err := LinkTotalVariation(a, a)
+	if err != nil || same != 0 {
+		t.Fatalf("identical traces: tv=%v err=%v", same, err)
+	}
+	b := mk(LinkEvent{2, 1, 128})
+	far, err := LinkTotalVariation(a, b)
+	if err != nil || far != 1 {
+		t.Fatalf("disjoint traces: tv=%v err=%v", far, err)
+	}
+	if _, err := LinkTotalVariation(a, mk()); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if fmt.Sprintf("%v", LinkEvent{1, 1, 8}) == "" {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,618 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"sdimm"
+	"sdimm/internal/durable"
+	"sdimm/internal/fault"
+	"sdimm/internal/rng"
+)
+
+// This file is the resize chaos mode: online membership changes under load,
+// with seeded crashes landing inside the rebalance. The same seeded workload
+// and the same topology schedule (drain → remove → join for the Independent
+// protocol; fail-stop → rebuild-from-parity for Split) run twice — once on
+// an uncrashed reference, once on a durable cluster killed at seeded journal
+// positions and recovered from disk. The driver is deliberately stateless
+// across restarts: everything it needs to resume (workload position, drain
+// progress, membership incarnations) is recomputed from the recovered
+// cluster, so a crash at ANY record boundary — including mid-migration-batch
+// — must land the final state bitwise-equal to the reference.
+
+// ResizeConfig sizes one resize chaos campaign.
+type ResizeConfig struct {
+	// SDIMMs and Levels size the cluster (defaults 4 and 8).
+	SDIMMs int
+	Levels int
+	// Accesses is the workload length (default 1200).
+	Accesses int
+	// Addresses is the address working-set size (default 96).
+	Addresses uint64
+	// Seed drives the workload, leaf assignment, and crash points.
+	Seed uint64
+	// Crashes is the number of seeded restart points, drawn uniquely over
+	// the reference run's total journal length so they can land anywhere,
+	// including inside the rebalance window (default 4).
+	Crashes int
+	// Member is the slot drained and rejoined (Independent) or fail-stopped
+	// and rebuilt (Split). Default 1.
+	Member int
+	// Parallelism drives Independent traffic through the batched pipeline
+	// with this worker bound (default 1; results must be identical at any
+	// value). Split clusters use it for intra-access shard fan-out.
+	Parallelism int
+	// Batch is the pipeline window (default 8).
+	Batch int
+	// Dir is the state directory; empty uses a fresh temp dir.
+	Dir string
+	// Interval is the checkpoint cadence (default 64).
+	Interval int
+	// Split switches to the Split flavour: no drain (the protocol has no
+	// per-block routing), membership changes by whole-member rebuild from
+	// parity.
+	Split bool
+}
+
+func withResizeDefaults(cfg ResizeConfig) ResizeConfig {
+	if cfg.SDIMMs == 0 {
+		cfg.SDIMMs = 4
+	}
+	if cfg.Levels == 0 {
+		cfg.Levels = 8
+	}
+	if cfg.Accesses == 0 {
+		cfg.Accesses = 1200
+	}
+	if cfg.Addresses == 0 {
+		cfg.Addresses = 96
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Crashes == 0 {
+		cfg.Crashes = 4
+	}
+	if cfg.Member == 0 {
+		cfg.Member = 1
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 8
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 64
+	}
+	return cfg
+}
+
+// ResizeResult summarizes one resize sweep. It passes iff Equivalent().
+type ResizeResult struct {
+	Accesses   int
+	Crashes    int
+	Recoveries int
+	Replayed   int
+	TornTails  int
+
+	Migrations int  // committed migration steps in the reference run
+	Drained    bool // the drain ran to completion (Independent)
+	Rejoined   bool // the slot was repopulated (incarnation advanced)
+
+	SkippedResults      int
+	ResultMismatches    int
+	PayloadMismatches   int
+	PositionMismatches  int
+	MigrationMismatches int // final migration count diverged from reference
+	TrafficViolations   int // reference-run traffic-shape checks that failed
+}
+
+// Equivalent reports whether the crashed run matched the reference on every
+// compared surface and the reference traffic kept its shape.
+func (r ResizeResult) Equivalent() bool {
+	return r.ResultMismatches == 0 && r.PayloadMismatches == 0 &&
+		r.PositionMismatches == 0 && r.MigrationMismatches == 0 &&
+		r.TrafficViolations == 0 && r.Rejoined
+}
+
+// String renders a one-screen summary.
+func (r ResizeResult) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "resize: %d accesses, %d restart points, %d recoveries, %d records replayed\n",
+		r.Accesses, r.Crashes, r.Recoveries, r.Replayed)
+	fmt.Fprintf(&b, "  migrations: %d, drained: %v, rejoined: %v, torn tails: %d\n",
+		r.Migrations, r.Drained, r.Rejoined, r.TornTails)
+	fmt.Fprintf(&b, "  mismatches: results=%d payloads=%d positions=%d migrations=%d traffic=%d (crash-wave results skipped: %d)\n",
+		r.ResultMismatches, r.PayloadMismatches, r.PositionMismatches,
+		r.MigrationMismatches, r.TrafficViolations, r.SkippedResults)
+	return b.String()
+}
+
+// resizeSchedule fixes the topology points as workload op indices. Both the
+// reference and every crashed incarnation derive their actions from these
+// plus the cluster's own recovered state, never from driver memory.
+type resizeSchedule struct {
+	member  int
+	beginAt int // drain begins / member fail-stops before this op
+	joinAt  int // join / replacement no earlier than this op
+}
+
+func scheduleFor(cfg ResizeConfig) resizeSchedule {
+	return resizeSchedule{
+		member:  cfg.Member,
+		beginAt: cfg.Accesses / 4,
+		joinAt:  cfg.Accesses * 3 / 4,
+	}
+}
+
+// drainQuota is the migration budget after workload op i has committed: 4
+// migration steps per op since the drain began. Purely a function of i, so
+// a restarted driver recomputes the same pacing.
+func (s resizeSchedule) drainQuota(i int) uint64 {
+	if i < s.beginAt {
+		return 0
+	}
+	return 4 * uint64(i-s.beginAt+1)
+}
+
+// linkShapeTap accumulates the attacker-visible frame shape: per-SDIMM frame
+// counts and the set of frame lengths per (SDIMM, direction). The tap runs
+// on pipeline workers, hence the lock; phase flips only happen between
+// pipeline calls, when the workers are quiescent.
+type linkShapeTap struct {
+	mu      sync.Mutex
+	phase   int // 0 before drain, 1 during, 2 after
+	frames  [3][]uint64
+	lengths [3]map[[2]int]map[int]bool
+}
+
+func newLinkShapeTap(sdimms int) *linkShapeTap {
+	t := &linkShapeTap{}
+	for p := range t.frames {
+		t.frames[p] = make([]uint64, sdimms)
+		t.lengths[p] = make(map[[2]int]map[int]bool)
+	}
+	return t
+}
+
+func (t *linkShapeTap) tap(sd int, dir fault.Direction, frame []byte) {
+	t.mu.Lock()
+	p := t.phase
+	t.frames[p][sd]++
+	key := [2]int{sd, int(dir)}
+	set := t.lengths[p][key]
+	if set == nil {
+		set = make(map[int]bool)
+		t.lengths[p][key] = set
+	}
+	set[len(frame)] = true
+	t.mu.Unlock()
+}
+
+func (t *linkShapeTap) setPhase(p int) {
+	t.mu.Lock()
+	t.phase = p
+	t.mu.Unlock()
+}
+
+// violations applies the traffic-shape checks to a completed reference run:
+// the drain window must introduce no new frame length on any (SDIMM,
+// direction) — a migration step has to look exactly like workload on the
+// wire — and the draining member must keep receiving frames for the whole
+// window (it is drained by placement, not by silencing, which would be a
+// trivially observable signal).
+func (t *linkShapeTap) violations(member int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := 0
+	for key, during := range t.lengths[1] {
+		before := t.lengths[0][key]
+		for l := range during {
+			if !before[l] {
+				v++
+			}
+		}
+	}
+	if t.frames[1][member] == 0 {
+		v++
+	}
+	return v
+}
+
+func resizeIndOpts(cfg ResizeConfig, dur *sdimm.DurabilityOptions, shape *linkShapeTap) sdimm.ClusterOptions {
+	opts := sdimm.ClusterOptions{
+		SDIMMs:     cfg.SDIMMs,
+		Levels:     cfg.Levels,
+		Key:        []byte("resize-campaign-key"),
+		Seed:       cfg.Seed ^ 0xe1a57c,
+		Durability: dur,
+	}
+	if shape != nil {
+		opts.LinkTap = func(sd int, dir fault.Direction, attempt int, frame []byte) {
+			shape.tap(sd, dir, frame)
+		}
+	}
+	return opts
+}
+
+func resizeSplitOpts(cfg ResizeConfig, dur *sdimm.DurabilityOptions) sdimm.SplitClusterOptions {
+	return sdimm.SplitClusterOptions{
+		SDIMMs:      cfg.SDIMMs,
+		Levels:      cfg.Levels,
+		Key:         []byte("resize-split-key"),
+		Seed:        cfg.Seed ^ 0x5b117,
+		Parity:      true,
+		Parallelism: cfg.Parallelism,
+		Durability:  dur,
+	}
+}
+
+// driveIndependent runs the workload-plus-rebalance schedule on an
+// Independent cluster from wherever its durable state says it stopped.
+// results[i] is filled for every workload op that completed without
+// crashing. Returns crashed=true when a planned crash point fired.
+func driveIndependent(c *sdimm.Cluster, cfg ResizeConfig, sched resizeSchedule,
+	ops []chaosOp, results []crashOut, shape *linkShapeTap) (crashed bool, err error) {
+	pipe := c.Pipeline(sdimm.PipelineOptions{Window: cfg.Batch, Parallelism: cfg.Parallelism})
+	defer pipe.Close()
+
+	// topUp advances the drain toward quota q: the next-lowest addresses
+	// still on the draining member migrate in pipeline batches. Idempotent
+	// given (cluster state, q) — exactly what crash resumption needs. The
+	// drain completes the moment nothing is left, whatever q says.
+	topUp := func(q uint64) (bool, error) {
+		for {
+			m, moved := c.Draining()
+			if m < 0 || moved >= q {
+				return false, nil
+			}
+			addrs := c.NextMigrations(int(q - moved))
+			if len(addrs) == 0 {
+				if err := c.CompleteDrain(); err != nil {
+					return errors.Is(err, durable.ErrCrashed), err
+				}
+				return false, nil
+			}
+			batch := make([]sdimm.BatchOp, len(addrs))
+			for j, a := range addrs {
+				batch[j] = sdimm.BatchOp{Addr: a, Migrate: true}
+			}
+			for _, r := range pipe.Do(batch) {
+				if r.Err != nil {
+					return errors.Is(r.Err, durable.ErrCrashed), r.Err
+				}
+			}
+		}
+	}
+
+	i := int(c.WorkloadSeq())
+	// Resume a drain round the crash interrupted: the previous incarnation
+	// had committed workload op i-1 and was topping up toward its quota.
+	if m, _ := c.Draining(); m >= 0 && i > 0 {
+		if crashed, err := topUp(sched.drainQuota(i - 1)); err != nil {
+			return crashed, err
+		}
+	}
+
+	for ; i < len(ops); i++ {
+		// Topology actions derive from (op index, cluster state) alone.
+		if i >= sched.beginAt && c.Incarnation(sched.member) == 0 && !c.Detached(sched.member) {
+			if m, _ := c.Draining(); m < 0 {
+				if shape != nil {
+					shape.setPhase(1)
+				}
+				if err := c.BeginDrain(sched.member); err != nil {
+					return errors.Is(err, durable.ErrCrashed), err
+				}
+			}
+		}
+		if i >= sched.joinAt && c.Detached(sched.member) {
+			if err := c.AddSDIMM(sched.member); err != nil {
+				return errors.Is(err, durable.ErrCrashed), err
+			}
+		}
+
+		op := ops[i]
+		rs := pipe.Do([]sdimm.BatchOp{{Addr: op.addr, Write: op.write, Data: op.data}})
+		if errors.Is(rs[0].Err, durable.ErrCrashed) {
+			return true, nil
+		}
+		results[i] = crashOut{data: append([]byte(nil), rs[0].Data...), err: rs[0].Err, valid: true}
+
+		if crashed, err := topUp(sched.drainQuota(i)); err != nil {
+			return crashed, err
+		}
+		if shape != nil {
+			if m, _ := c.Draining(); m < 0 && c.Detached(sched.member) {
+				shape.setPhase(2)
+			}
+		}
+	}
+
+	// Workload exhausted: run any unfinished drain to the end, then join.
+	if m, _ := c.Draining(); m >= 0 {
+		if crashed, err := topUp(^uint64(0) >> 1); err != nil {
+			return crashed, err
+		}
+	}
+	if c.Detached(sched.member) {
+		if err := c.AddSDIMM(sched.member); err != nil {
+			return errors.Is(err, durable.ErrCrashed), err
+		}
+	}
+	return false, nil
+}
+
+// driveSplit runs the workload-plus-replacement schedule on a Split cluster
+// from wherever its durable state says it stopped.
+func driveSplit(c *sdimm.SplitCluster, cfg ResizeConfig, sched resizeSchedule,
+	ops []chaosOp, results []crashOut) (crashed bool, err error) {
+	memberFailed := func() bool {
+		for _, m := range c.Health().Failed() {
+			if m == sched.member {
+				return true
+			}
+		}
+		return false
+	}
+	// applyTopology re-derives the fail/replace actions from state. The
+	// fail-stop is not journaled (it is an external event, not a committed
+	// state change), so after a restart it is re-applied here before any
+	// further traffic — the same rule the reference run follows.
+	applyTopology := func(i int) error {
+		if c.Incarnation(sched.member) != 0 {
+			return nil
+		}
+		if i >= sched.beginAt && !memberFailed() {
+			c.FailShard(sched.member)
+		}
+		if i >= sched.joinAt {
+			return c.ReplaceMember(sched.member)
+		}
+		return nil
+	}
+
+	i := int(c.WorkloadSeq())
+	for ; i < len(ops); i++ {
+		if err := applyTopology(i); err != nil {
+			return errors.Is(err, durable.ErrCrashed), err
+		}
+		op := ops[i]
+		var got []byte
+		var opErr error
+		if op.write {
+			opErr = c.Write(op.addr, op.data)
+		} else {
+			got, opErr = c.Read(op.addr)
+		}
+		if errors.Is(opErr, durable.ErrCrashed) {
+			return true, nil
+		}
+		results[i] = crashOut{data: append([]byte(nil), got...), err: opErr, valid: true}
+	}
+	if err := applyTopology(len(ops)); err != nil {
+		return errors.Is(err, durable.ErrCrashed), err
+	}
+	return false, nil
+}
+
+// resizeDriver is the surface the sweep loop needs from either flavour.
+type resizeDriver interface {
+	crashDriver
+	WorkloadSeq() uint64
+	MigrationSeq() uint64
+	Incarnation(i int) uint64
+	Draining() (member int, moved uint64)
+}
+
+// RunResize executes one resize chaos sweep. It returns an error only for
+// harness-level failures; divergence is reported in the result.
+func RunResize(cfg ResizeConfig) (ResizeResult, error) {
+	cfg = withResizeDefaults(cfg)
+	sched := scheduleFor(cfg)
+	if sched.beginAt <= 0 || sched.joinAt <= sched.beginAt || sched.joinAt >= cfg.Accesses {
+		return ResizeResult{}, fmt.Errorf("chaos: %d accesses leave no room for the resize schedule", cfg.Accesses)
+	}
+	if cfg.Member < 0 || cfg.Member >= cfg.SDIMMs {
+		return ResizeResult{}, fmt.Errorf("chaos: member %d out of range", cfg.Member)
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "sdimm-resize-*")
+		if err != nil {
+			return ResizeResult{}, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	ops := buildWorkload(Config{Accesses: cfg.Accesses, Addresses: cfg.Addresses, Seed: cfg.Seed})
+	res := ResizeResult{Accesses: cfg.Accesses}
+
+	// Reference run: same driver, no durability, never crashed. Seq still
+	// counts every would-be journal record, which tells us the total stream
+	// length the crash points are drawn over. The link tap (Independent
+	// only) collects the traffic-shape evidence here — replayed exchanges
+	// on crashed incarnations would pollute the counts.
+	refRes := make([]crashOut, len(ops))
+	var refPos map[uint64]uint64
+	var refMig, refTotal uint64
+	if cfg.Split {
+		refC, err := sdimm.NewSplitCluster(resizeSplitOpts(cfg, nil))
+		if err != nil {
+			return res, err
+		}
+		if crashed, err := driveSplit(refC, cfg, sched, ops, refRes); err != nil || crashed {
+			refC.Close()
+			return res, fmt.Errorf("chaos: reference resize run failed: %v", err)
+		}
+		refPos = refC.Positions()
+		refMig, refTotal = refC.MigrationSeq(), refC.Seq()
+		refC.Close()
+	} else {
+		shape := newLinkShapeTap(cfg.SDIMMs)
+		refC, err := sdimm.NewCluster(resizeIndOpts(cfg, nil, shape))
+		if err != nil {
+			return res, err
+		}
+		if crashed, err := driveIndependent(refC, cfg, sched, ops, refRes, shape); err != nil || crashed {
+			refC.Close()
+			return res, fmt.Errorf("chaos: reference resize run failed: %v", err)
+		}
+		refPos = refC.Positions()
+		refMig, refTotal = refC.MigrationSeq(), refC.Seq()
+		res.TrafficViolations = shape.violations(cfg.Member)
+		refC.Close()
+	}
+	res.Migrations = int(refMig)
+	refFinal := map[uint64][]byte{}
+	for i, r := range refRes {
+		if !r.valid || r.err != nil {
+			return res, fmt.Errorf("chaos: reference op %d errored: %v", i, r.err)
+		}
+		if ops[i].write {
+			refFinal[ops[i].addr] = ops[i].data
+		}
+	}
+
+	// Seeded restart points, unique and ascending over the total record
+	// stream (workload + migrations + topology records).
+	pr := rng.New(cfg.Seed ^ 0x4e51de)
+	ptSet := map[uint64]bool{}
+	for len(ptSet) < cfg.Crashes {
+		ptSet[1+pr.Uint64n(refTotal-1)] = true
+	}
+	pts := make([]uint64, 0, len(ptSet))
+	for p := range ptSet {
+		pts = append(pts, p)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+
+	// Crashed run: durable cluster, killed at the seeded points, recovered
+	// from disk, re-driven from recovered state alone.
+	results := make([]crashOut, len(ops))
+	dur := &sdimm.DurabilityOptions{Dir: dir, Interval: cfg.Interval}
+	var d resizeDriver
+	var closeC func()
+	var drive func() (bool, error)
+	if cfg.Split {
+		c, err := sdimm.NewSplitCluster(resizeSplitOpts(cfg, dur))
+		if err != nil {
+			return res, err
+		}
+		d, closeC = c, c.Close
+		drive = func() (bool, error) { return driveSplit(c, cfg, sched, ops, results) }
+	} else {
+		c, err := sdimm.NewCluster(resizeIndOpts(cfg, dur, nil))
+		if err != nil {
+			return res, err
+		}
+		d, closeC = c, func() { c.Close() }
+		drive = func() (bool, error) { return driveIndependent(c, cfg, sched, ops, results, nil) }
+	}
+
+	pi := 0
+	for {
+		if pi < len(pts) {
+			if err := d.PlanCrash(int(pts[pi]-d.Seq()), int(pr.Uint64n(160))); err != nil {
+				closeC()
+				return res, err
+			}
+		}
+		crashed, err := drive()
+		if err != nil && !crashed {
+			closeC()
+			return res, err
+		}
+		if !crashed {
+			break
+		}
+		closeC()
+		res.Crashes++
+		pi++
+
+		var report *durable.RecoveryReport
+		if cfg.Split {
+			c, rep, rerr := sdimm.RecoverSplitCluster(resizeSplitOpts(cfg, dur))
+			if rerr != nil {
+				return res, rerr
+			}
+			d, closeC, report = c, c.Close, rep
+			drive = func() (bool, error) { return driveSplit(c, cfg, sched, ops, results) }
+		} else {
+			c, rep, rerr := sdimm.RecoverCluster(resizeIndOpts(cfg, dur, nil))
+			if rerr != nil {
+				return res, rerr
+			}
+			d, closeC, report = c, func() { c.Close() }, rep
+			drive = func() (bool, error) { return driveIndependent(c, cfg, sched, ops, results, nil) }
+		}
+		res.Recoveries++
+		res.Replayed += report.RecordsReplayed
+		if report.TornTail {
+			res.TornTails++
+		}
+	}
+
+	// Per-operation results (crash-wave casualties are covered by the final
+	// payload sweep instead).
+	for i, r := range results {
+		if !r.valid {
+			res.SkippedResults++
+			continue
+		}
+		ref := refRes[i]
+		switch {
+		case (r.err == nil) != (ref.err == nil):
+			res.ResultMismatches++
+		case r.err == nil && !ops[i].write && !bytes.Equal(r.data, ref.data):
+			res.ResultMismatches++
+		}
+	}
+
+	drainActive, _ := d.Draining()
+	res.Drained = cfg.Split || (drainActive < 0 && d.Incarnation(cfg.Member) > 0)
+	res.Rejoined = d.Incarnation(cfg.Member) > 0
+	if d.MigrationSeq() != refMig {
+		res.MigrationMismatches++
+	}
+
+	// Position-map equivalence, before the sweep below disturbs it.
+	gotPos := d.Positions()
+	for a, l := range refPos {
+		if gl, ok := gotPos[a]; !ok || gl != l {
+			res.PositionMismatches++
+		}
+	}
+	for a := range gotPos {
+		if _, ok := refPos[a]; !ok {
+			res.PositionMismatches++
+		}
+	}
+
+	// Final payload sweep: every address must read back exactly what the
+	// reference run left there (zeros if never written) — nothing lost in
+	// the migrations or the rebuild, nothing corrupted by a crash.
+	for addr := uint64(0); addr < cfg.Addresses; addr++ {
+		want := refFinal[addr]
+		if want == nil {
+			want = make([]byte, payloadLen)
+		}
+		got, err := d.Read(addr)
+		if err != nil {
+			res.PayloadMismatches++
+			continue
+		}
+		if !bytes.Equal(got[:payloadLen], want) {
+			res.PayloadMismatches++
+		}
+	}
+	closeC()
+	return res, nil
+}

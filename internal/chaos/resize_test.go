@@ -1,0 +1,75 @@
+package chaos
+
+import "testing"
+
+// checkResize runs one sweep and asserts the core contract: every seeded
+// restart point fired, every recovery happened, the rebalance ran to
+// completion, and the recovered run is bitwise-equivalent to the uncrashed
+// reference.
+func checkResize(t *testing.T, cfg ResizeConfig) ResizeResult {
+	t.Helper()
+	res, err := RunResize(cfg)
+	if err != nil {
+		t.Fatalf("RunResize: %v", err)
+	}
+	if res.Crashes != cfg.Crashes || res.Recoveries != cfg.Crashes {
+		t.Fatalf("exercised %d crashes / %d recoveries, want %d\n%s", res.Crashes, res.Recoveries, cfg.Crashes, res)
+	}
+	if !res.Equivalent() {
+		t.Fatalf("recovered cluster diverged from reference:\n%s", res)
+	}
+	if !res.Drained || !res.Rejoined {
+		t.Fatalf("rebalance did not complete: drained=%v rejoined=%v\n%s", res.Drained, res.Rejoined, res)
+	}
+	return res
+}
+
+func resizeCfg(t *testing.T) ResizeConfig {
+	cfg := ResizeConfig{Accesses: 600, Crashes: 3, Seed: 11, Interval: 48}
+	if testing.Short() {
+		cfg.Accesses, cfg.Crashes = 300, 1
+	}
+	return cfg
+}
+
+func TestResizeEquivalenceSequential(t *testing.T) {
+	cfg := resizeCfg(t)
+	res := checkResize(t, cfg)
+	if res.Migrations == 0 {
+		t.Fatalf("drain moved no blocks:\n%s", res)
+	}
+	if res.Replayed == 0 {
+		t.Fatalf("no journal records replayed:\n%s", res)
+	}
+}
+
+func TestResizeEquivalenceParallel(t *testing.T) {
+	cfg := resizeCfg(t)
+	cfg.Parallelism = 4
+	res := checkResize(t, cfg)
+	if res.Migrations == 0 {
+		t.Fatalf("drain moved no blocks:\n%s", res)
+	}
+}
+
+func TestResizeEquivalenceSplit(t *testing.T) {
+	cfg := resizeCfg(t)
+	cfg.Split = true
+	checkResize(t, cfg)
+}
+
+// Different seeds shift the crash points to different record offsets —
+// including inside migration batches and around the topology records.
+func TestResizeEquivalenceSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is slow")
+	}
+	for _, seed := range []uint64{2, 3, 5, 8} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			cfg := resizeCfg(t)
+			cfg.Seed = seed
+			checkResize(t, cfg)
+		})
+	}
+}

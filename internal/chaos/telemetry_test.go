@@ -103,6 +103,20 @@ func TestTelemetryCountersMatchResult(t *testing.T) {
 		t.Fatal("no retries at this fault rate — schedule too gentle")
 	}
 
+	// Re-homing counters reconcile: every re-homed block took at least one
+	// candidate attempt, a failure is only declared after attempts were
+	// spent, and attempts never appear without a rehome being driven.
+	rehomes, rehomeFails, attempts := c["cluster.rehomes"], c["cluster.rehome_failures"], c["cluster.rehome_attempts"]
+	if rehomes < rehomeFails {
+		t.Fatalf("cluster.rehomes %d < cluster.rehome_failures %d", rehomes, rehomeFails)
+	}
+	if attempts < rehomes-rehomeFails {
+		t.Fatalf("cluster.rehome_attempts %d < successful rehomes %d", attempts, rehomes-rehomeFails)
+	}
+	if rehomes == 0 && attempts != 0 {
+		t.Fatalf("cluster.rehome_attempts %d with zero rehomes driven", attempts)
+	}
+
 	// seccomm activity was mirrored too.
 	if c["seccomm.seals"] == 0 || c["seccomm.opens"] == 0 {
 		t.Fatal("seccomm counters not wired")

@@ -22,7 +22,11 @@ func TestJournalAppendZeroAlloc(t *testing.T) {
 	var batch [1]Record
 	seq := uint64(1)
 	append1 := func() {
-		batch[0] = Record{Seq: seq, Addr: seq % 8, Write: seq%2 == 0, Data: payload}
+		k := KindRead
+		if seq%2 == 0 {
+			k = KindWrite
+		}
+		batch[0] = Record{Seq: seq, Addr: seq % 8, Kind: k, Data: payload}
 		if err := m.Append(batch[:]); err != nil {
 			t.Fatal(err)
 		}

@@ -8,8 +8,10 @@ import (
 	"fmt"
 )
 
-// checkpointMagic identifies a checkpoint file (version 1).
-const checkpointMagic = "SDIMMCP1"
+// checkpointMagic identifies a checkpoint file (version 2: version 1 plus
+// elastic-membership state — member incarnations and detach flags, drain
+// progress, and the rebalance/topology sequence counters).
+const checkpointMagic = "SDIMMCP2"
 
 // checkpointMACSize is the untruncated HMAC-SHA256 trailer over the whole
 // file body. Checkpoints are read once per recovery, so the full 32 bytes
@@ -66,10 +68,26 @@ type MemberState struct {
 	HostRecv  uint64
 	DevSend   uint64
 	DevRecv   uint64
+	// Incarnation counts how many times this slot has been (re)populated:
+	// 0 for the founding member, +1 per join. Join replay derives the fresh
+	// member's seeds from (cluster seed, slot, incarnation), so a recovered
+	// run rebuilds bit-identical members.
+	Incarnation uint64
+	// Detached marks a slot whose member was removed and not yet replaced.
+	// A detached slot holds no blocks and serves no exchanges.
+	Detached bool
+}
+
+// DrainState is one in-progress drain: how many migration steps have
+// committed for the member being drained. Completed drains leave the list.
+type DrainState struct {
+	Member uint64 // slot index being drained
+	Moved  uint64 // migration records committed for this drain
 }
 
 // Checkpoint is the full recoverable state of a cluster at sequence Seq
-// (Seq = number of committed logical accesses).
+// (Seq = number of committed logical records: workload accesses plus
+// migration and topology records).
 type Checkpoint struct {
 	FP        [8]byte
 	Seq       uint64
@@ -77,6 +95,9 @@ type Checkpoint struct {
 	Positions []PosEntry // sorted by Addr
 	Members   []MemberState
 	Poisoned  []uint64 // sorted addrs lost to unrecoverable corruption
+	MigSeq    uint64   // lifetime count of committed migration records
+	TopoSeq   uint64   // lifetime count of committed topology records
+	Drains    []DrainState // sorted by Member
 }
 
 // --- encoding ---
@@ -138,10 +159,23 @@ func encodeCheckpoint(key []byte, cp *Checkpoint) []byte {
 		w.u64(m.HostRecv)
 		w.u64(m.DevSend)
 		w.u64(m.DevRecv)
+		w.u64(m.Incarnation)
+		if m.Detached {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
 	}
 	w.u32(uint32(len(cp.Poisoned)))
 	for _, a := range cp.Poisoned {
 		w.u64(a)
+	}
+	w.u64(cp.MigSeq)
+	w.u64(cp.TopoSeq)
+	w.u32(uint32(len(cp.Drains)))
+	for _, d := range cp.Drains {
+		w.u64(d.Member)
+		w.u64(d.Moved)
 	}
 	body := w.b
 
@@ -159,6 +193,15 @@ func encodeCheckpoint(key []byte, cp *Checkpoint) []byte {
 var errCheckpointCorrupt = errors.New("durable: corrupt checkpoint")
 
 type byteReader struct{ b []byte }
+
+func (r *byteReader) u8() (byte, error) {
+	if len(r.b) < 1 {
+		return 0, errCheckpointCorrupt
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
 
 func (r *byteReader) u32() (uint32, error) {
 	if len(r.b) < 4 {
@@ -288,7 +331,7 @@ func decodeCheckpoint(key, data []byte) (*Checkpoint, error) {
 			return nil, err
 		}
 	}
-	nMem, err := r.count(32 + 32 + 3*4 + 2*4 + 2*8 + 4*8)
+	nMem, err := r.count(32 + 32 + 3*4 + 2*4 + 2*8 + 4*8 + 8 + 1)
 	if err != nil {
 		return nil, err
 	}
@@ -348,6 +391,17 @@ func decodeCheckpoint(key, data []byte) (*Checkpoint, error) {
 		if m.DevRecv, err = r.u64(); err != nil {
 			return nil, err
 		}
+		if m.Incarnation, err = r.u64(); err != nil {
+			return nil, err
+		}
+		det, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if det > 1 {
+			return nil, errCheckpointCorrupt
+		}
+		m.Detached = det == 1
 	}
 	nPoison, err := r.count(8)
 	if err != nil {
@@ -356,6 +410,25 @@ func decodeCheckpoint(key, data []byte) (*Checkpoint, error) {
 	cp.Poisoned = make([]uint64, nPoison)
 	for i := range cp.Poisoned {
 		if cp.Poisoned[i], err = r.u64(); err != nil {
+			return nil, err
+		}
+	}
+	if cp.MigSeq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if cp.TopoSeq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	nDrain, err := r.count(16)
+	if err != nil {
+		return nil, err
+	}
+	cp.Drains = make([]DrainState, nDrain)
+	for i := range cp.Drains {
+		if cp.Drains[i].Member, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if cp.Drains[i].Moved, err = r.u64(); err != nil {
 			return nil, err
 		}
 	}

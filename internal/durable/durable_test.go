@@ -34,16 +34,25 @@ func testCheckpoint(seq uint64) *Checkpoint {
 				Stash:     []BlockState{{Addr: 1, Leaf: 3, Data: []byte("stash-block")}},
 				Transfer:  []BlockState{{Addr: 5, Leaf: 0, Data: []byte("queued")}},
 				Buckets:   []BucketState{{Idx: 0, Raw: bytes.Repeat([]byte{0xab}, 40)}},
-				Health:    HealthState{State: 1, Consecutive: 2, Successes: 10, Failures: 3},
-				HostSend:  4, HostRecv: 4, DevSend: 4, DevRecv: 4,
+				Health:      HealthState{State: 1, Consecutive: 2, Successes: 10, Failures: 3},
+				HostSend:    4, HostRecv: 4, DevSend: 4, DevRecv: 4,
+				Incarnation: 2,
+				Detached:    true,
 			},
 		},
 		Poisoned: []uint64{17},
+		MigSeq:   6,
+		TopoSeq:  3,
+		Drains:   []DrainState{{Member: 1, Moved: 4}},
 	}
 }
 
 func record(seq uint64, addr uint64, write bool, data []byte) Record {
-	return Record{Seq: seq, Addr: addr, Write: write, Data: data}
+	k := KindRead
+	if write {
+		k = KindWrite
+	}
+	return Record{Seq: seq, Addr: addr, Kind: k, Data: data}
 }
 
 func TestCheckpointRoundTrip(t *testing.T) {
@@ -127,10 +136,10 @@ func TestJournalAppendAndRecover(t *testing.T) {
 		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
 	}
 	for i := range recs {
-		if got[i].Seq != recs[i].Seq || got[i].Addr != recs[i].Addr || got[i].Write != recs[i].Write {
+		if got[i].Seq != recs[i].Seq || got[i].Addr != recs[i].Addr || got[i].Kind != recs[i].Kind {
 			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
 		}
-		if recs[i].Write && !bytes.Equal(got[i].Data[:len(recs[i].Data)], recs[i].Data) {
+		if recs[i].Kind == KindWrite && !bytes.Equal(got[i].Data[:len(recs[i].Data)], recs[i].Data) {
 			t.Fatalf("record %d payload mismatch", i)
 		}
 	}

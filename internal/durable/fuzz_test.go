@@ -18,8 +18,12 @@ func FuzzJournalDecode(f *testing.F) {
 	file := append([]byte(nil), hdr...)
 	chain := integrity.NewChain(key, mac)
 	for i, rec := range []Record{
-		{Seq: 8, Addr: 3, Write: true, Data: bytes.Repeat([]byte{0x5a}, 16)},
+		{Seq: 8, Addr: 3, Kind: KindWrite, Data: bytes.Repeat([]byte{0x5a}, 16)},
 		{Seq: 9, Addr: 4},
+		{Seq: 10, Addr: 1, Kind: KindDrainBegin},
+		{Seq: 11, Addr: 6, Kind: KindMigrate},
+		{Seq: 12, Addr: 1, Kind: KindDrainEnd},
+		{Seq: 13, Addr: 1, Kind: KindJoin},
 	} {
 		body, err := encodeRecord(rec, 16)
 		if err != nil {
@@ -45,11 +49,14 @@ func FuzzJournalDecode(f *testing.F) {
 			if rec.Seq != hdr.BaseSeq+1+uint64(i) {
 				t.Fatalf("record %d has seq %d, want contiguous from base %d", i, rec.Seq, hdr.BaseSeq)
 			}
-			if rec.Write && len(rec.Data) != int(hdr.BlockSize) {
+			if rec.Kind >= kindCount {
+				t.Fatalf("record %d has out-of-range kind %d", i, rec.Kind)
+			}
+			if rec.Kind == KindWrite && len(rec.Data) != int(hdr.BlockSize) {
 				t.Fatalf("write record %d payload %d != block size %d", i, len(rec.Data), hdr.BlockSize)
 			}
-			if !rec.Write && rec.Data != nil {
-				t.Fatalf("read record %d carries payload", i)
+			if rec.Kind != KindWrite && rec.Data != nil {
+				t.Fatalf("non-write record %d carries payload", i)
 			}
 		}
 	})

@@ -33,14 +33,48 @@ const journalHeaderSize = 8 + 8 + 8 + 4 + integrity.ChainTagSize
 // so a corrupted header cannot drive allocation (fuzzing hits this).
 const maxJournalBlockSize = 1 << 20
 
-// Record is one committed logical access. Data is the written payload for
-// writes and empty for reads (reads still consume a record so the sequence
-// number is the count of committed accesses).
+// RecordKind tags what a journal record describes. Workload accesses
+// (reads and writes) share the sequence stream with rebalance records:
+// migration steps (one re-homing read each) and topology changes (drain
+// begin/end, member join), so replay reconstructs elastic history in the
+// exact order it committed.
+type RecordKind uint8
+
+const (
+	// KindRead is a committed read access (no payload).
+	KindRead RecordKind = iota
+	// KindWrite is a committed write access; Data is the written payload.
+	KindWrite
+	// KindDrainBegin marks the start of a drain of member Addr.
+	KindDrainBegin
+	// KindDrainEnd marks the completed drain (and detach) of member Addr.
+	KindDrainEnd
+	// KindJoin marks a fresh member joining at slot Addr.
+	KindJoin
+	// KindMigrate is one rebalance step: a read-shaped access of block
+	// Addr whose remap re-homes it off the draining member.
+	KindMigrate
+	// kindCount bounds the valid kind values; the decoder treats anything
+	// at or above it as a torn tail rather than inventing history.
+	kindCount
+)
+
+// IsTopology reports whether the record changes cluster membership rather
+// than recording a block access.
+func (k RecordKind) IsTopology() bool {
+	return k == KindDrainBegin || k == KindDrainEnd || k == KindJoin
+}
+
+// Record is one committed logical event. For KindRead/KindWrite/KindMigrate
+// Addr is the block address (Data is the written payload for writes and
+// empty otherwise); for topology kinds Addr is the member slot index. Every
+// record consumes a sequence number, so Seq counts committed events of all
+// kinds.
 type Record struct {
-	Seq   uint64
-	Addr  uint64
-	Write bool
-	Data  []byte
+	Seq  uint64
+	Addr uint64
+	Kind RecordKind
+	Data []byte
 }
 
 // journalHeader is the decoded fixed prefix of a journal file.
@@ -92,12 +126,13 @@ func appendRecord(dst []byte, rec Record, blockSize int) ([]byte, error) {
 	} else {
 		dst = append(dst, make([]byte, n)...)
 	}
+	if rec.Kind >= kindCount {
+		return nil, fmt.Errorf("durable: record %d has unknown kind %d", rec.Seq, rec.Kind)
+	}
 	body := dst[base:]
 	binary.BigEndian.PutUint64(body[0:8], rec.Seq)
 	binary.BigEndian.PutUint64(body[8:16], rec.Addr)
-	if rec.Write {
-		body[16] = 1
-	}
+	body[16] = byte(rec.Kind)
 	copy(body[17:], rec.Data)
 	return dst, nil
 }
@@ -141,14 +176,20 @@ func decodeJournal(key, data []byte) (hdr journalHeader, recs []Record, torn boo
 		rec := Record{
 			Seq:  binary.BigEndian.Uint64(body[0:8]),
 			Addr: binary.BigEndian.Uint64(body[8:16]),
+			Kind: RecordKind(body[16]),
 		}
-		rec.Write = body[16] == 1
+		if rec.Kind >= kindCount {
+			// An authenticated record with an unknown kind can only come
+			// from a broken (e.g. newer-versioned) writer; stop trusting
+			// the tail rather than misreplaying it.
+			return hdr, recs, true, nil
+		}
 		if rec.Seq != hdr.BaseSeq+1+uint64(len(recs)) {
 			// A record authenticated under this chain can only be out of
 			// sequence if the writer was broken; stop trusting the tail.
 			return hdr, recs, true, nil
 		}
-		if rec.Write {
+		if rec.Kind == KindWrite {
 			rec.Data = append([]byte(nil), body[17:]...)
 		}
 		recs = append(recs, rec)

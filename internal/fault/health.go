@@ -23,6 +23,17 @@ const (
 	// can tell restart probation apart from in-flight link backoff
 	// (Degraded). The first successful exchange promotes it to Healthy.
 	Recovering
+	// Draining: the SDIMM is being rebalanced away from. It still serves
+	// exchanges (migration reads look like ordinary accesses), but the host
+	// excludes it from new-leaf placement so its real blocks converge onto
+	// the rest of the cluster. Successes do not promote a Draining SDIMM
+	// back to Healthy — only an explicit CancelDraining or the terminal
+	// MarkRemoved ends a drain.
+	Draining
+	// Removed: the SDIMM was detached after a completed drain (or replaced
+	// by a joining member). Removed is sticky and terminal; the host never
+	// routes to a Removed slot.
+	Removed
 )
 
 // String implements fmt.Stringer.
@@ -34,6 +45,10 @@ func (s State) String() string {
 		return "degraded"
 	case Recovering:
 		return "recovering"
+	case Draining:
+		return "draining"
+	case Removed:
+		return "removed"
 	default:
 		return "failed"
 	}
@@ -87,15 +102,20 @@ func (h *Health) setState(to State) {
 }
 
 // Success records a completed exchange. A Degraded SDIMM recovers to
-// Healthy; a Failed one stays Failed.
+// Healthy; a Failed one stays Failed. A Draining SDIMM stays Draining:
+// migration traffic succeeding is expected and must not resurrect the
+// member into the placement pool.
 func (h *Health) Success() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.successes++
-	if h.state == Failed {
+	if h.state == Failed || h.state == Removed {
 		return
 	}
 	h.consecutive = 0
+	if h.state == Draining {
+		return
+	}
 	h.setState(Healthy)
 }
 
@@ -106,7 +126,17 @@ func (h *Health) Failure(err error) {
 	h.failures++
 	h.consecutive++
 	h.lastErr = err
-	if h.state == Failed {
+	if h.state == Failed || h.state == Removed {
+		return
+	}
+	// A Draining member that fail-stops mid-drain becomes Failed (the drain
+	// can no longer complete obliviously; recovery poisons what was left).
+	// Transient failures during a drain do not demote it to Degraded — the
+	// member is already excluded from placement, and the drain loop retries.
+	if h.state == Draining {
+		if errors.Is(err, ErrFailStop) || (h.failAfter > 0 && h.consecutive >= h.failAfter) {
+			h.setState(Failed)
+		}
 		return
 	}
 	switch {
@@ -119,17 +149,59 @@ func (h *Health) Failure(err error) {
 	}
 }
 
+// MarkDraining starts a rebalance drain: the member keeps serving
+// exchanges but is excluded from new-leaf placement. Failed and Removed
+// stay sticky; MarkDraining reports whether the transition (or no-op
+// re-entry into Draining) was possible.
+func (h *Health) MarkDraining() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state == Failed || h.state == Removed {
+		return false
+	}
+	h.consecutive = 0
+	h.setState(Draining)
+	return true
+}
+
+// CancelDraining aborts a drain in progress, returning the member to the
+// placement pool (as Healthy). Only a Draining member can be cancelled.
+func (h *Health) CancelDraining() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state != Draining {
+		return false
+	}
+	h.consecutive = 0
+	h.setState(Healthy)
+	return true
+}
+
+// MarkRemoved retires the member after a completed drain (or a
+// replacement join). Removed is terminal and sticky.
+func (h *Health) MarkRemoved() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.setState(Removed)
+}
+
 // MarkRecovering puts a non-Failed SDIMM into post-restart probation: the
 // consecutive-failure streak resets (the pre-crash streak says nothing
 // about the restarted process) and the state machine reports Recovering
-// until the first successful exchange. Failed stays sticky.
+// until the first successful exchange. Failed and Removed stay sticky,
+// and Draining is preserved: a restarted drain is still a drain, and
+// demoting it to Recovering would put the member back in the placement
+// pool on its first success.
 func (h *Health) MarkRecovering() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.state == Failed {
+	if h.state == Failed || h.state == Removed {
 		return
 	}
 	h.consecutive = 0
+	if h.state == Draining {
+		return
+	}
 	h.setState(Recovering)
 }
 

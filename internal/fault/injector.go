@@ -147,6 +147,10 @@ func (in *Injector) Link(idx int) *FaultyLink {
 // link fails with ErrFailStop.
 func (in *Injector) FailStop(idx int) { in.Link(idx).dead = true }
 
+// Revive clears a fail-stop on SDIMM idx's link — the model for replacement
+// hardware arriving in the same slot before a cluster-level rejoin.
+func (in *Injector) Revive(idx int) { in.Link(idx).dead = false }
+
 // IsFailStopped reports whether SDIMM idx has been fail-stopped.
 func (in *Injector) IsFailStopped(idx int) bool {
 	l, ok := in.links[idx]

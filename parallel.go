@@ -93,11 +93,16 @@ func (p *workerPool) close() {
 }
 
 // BatchOp is one operation submitted to a Pipeline: a read (Write false) or
-// a write of Data (padded to the cluster block size).
+// a write of Data (padded to the cluster block size). Migrate marks the op
+// as a rebalance migration step (a read journaled as KindMigrate whose
+// payload is not delivered); drivers build migration batches from
+// Cluster.NextMigrations and interleave them with workload ops — on the
+// channel the two are indistinguishable.
 type BatchOp struct {
-	Addr  uint64
-	Write bool
-	Data  []byte
+	Addr    uint64
+	Write   bool
+	Data    []byte
+	Migrate bool
 }
 
 // BatchResult is the outcome of one BatchOp. Data is the payload for reads
@@ -170,10 +175,11 @@ func (p *Pipeline) Close() { p.pool.close() }
 // every field is reset by takeOp, and the slice fields keep their backing
 // arrays so steady-state waves reuse them.
 type pipeOp struct {
-	idx  int // index into the submitted batch
-	addr uint64
-	op   oram.Op
-	data []byte // padded write payload (nil for reads; aliases dataBuf)
+	idx     int // index into the submitted batch
+	addr    uint64
+	op      oram.Op
+	migrate bool   // rebalance migration step (journals as KindMigrate)
+	data    []byte // padded write payload (nil for reads; aliases dataBuf)
 
 	oldG, newG uint64
 	sd, sdNew  int
@@ -339,7 +345,13 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 			continue
 		}
 		c.pos.Set(po.addr, po.newG)
+		// makeRecord keys the record kind off the cluster's migrating flag;
+		// setting it per-op here keeps the coordinator's logical order — the
+		// journal carries migrations and workload interleaved exactly as
+		// scheduled.
+		c.migrating = po.migrate
 		recs = append(recs, c.makeRecord(po.addr, po.op, po.data))
+		c.migrating = false
 		committed = append(committed, po)
 		resp, err := isdimm.UnmarshalResponse(po.respBody, c.blockSize)
 		if err != nil {
@@ -390,9 +402,12 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 					continue
 				}
 				real := !po.keep && j == po.sdNew && !po.resp.Dummy
-				if !real && c.health[j].State() == fault.Failed {
-					// A dead buffer has no channel; its dummy is undeliverable.
-					continue
+				if !real {
+					if st := c.health[j].State(); st == fault.Failed || st == fault.Removed {
+						// A dead or removed buffer has no channel; its dummy
+						// is undeliverable.
+						continue
+					}
 				}
 				ack, err := c.exchange(j, "append", c.appendBody(j, po.blk, !real))
 				switch {
@@ -433,7 +448,13 @@ func (p *Pipeline) schedule(op BatchOp, idx int, globalLeaves uint64) *pipeOp {
 	c := p.c
 	po := p.takeOp()
 	po.idx, po.addr, po.op = idx, op.Addr, oram.OpRead
+	po.migrate = op.Migrate
 	if op.Write {
+		if op.Migrate {
+			po.err = fmt.Errorf("sdimm: migration op %d cannot be a write", op.Addr)
+			po.skip = true
+			return po
+		}
 		po.op = oram.OpWrite
 		if len(op.Data) > c.blockSize {
 			po.err = fmt.Errorf("sdimm: payload %d exceeds block size %d", len(op.Data), c.blockSize)
@@ -458,7 +479,7 @@ func (p *Pipeline) schedule(op BatchOp, idx int, globalLeaves uint64) *pipeOp {
 	}
 	po.oldG = oldG
 	po.sd = int(oldG >> c.localBits)
-	if c.health[po.sd].State() == fault.Failed {
+	if st := c.health[po.sd].State(); st == fault.Failed || st == fault.Removed {
 		po.err = c.wrapErr(po.sd, "access", fault.ErrUnavailable)
 		po.skip = true
 		return po
@@ -501,20 +522,30 @@ func (p *Pipeline) finalize(po *pipeOp, globalLeaves uint64, res []BatchResult) 
 
 	// Poison veto at delivery (same rule as the sequential path): the access
 	// ran normally, but a payload lost to unrecoverable corruption is an
-	// error, not zeros.
-	if po.err == nil && po.op == oram.OpRead && c.poisoned[po.addr] {
+	// error, not zeros. Migration steps are exempt — their payload is never
+	// delivered, and a poisoned block must still be carried off a draining
+	// member.
+	if po.err == nil && po.op == oram.OpRead && !po.migrate && c.poisoned[po.addr] {
 		c.tm.poisonedReads.Inc()
 		po.err = fmt.Errorf("sdimm: read %d: %w", po.addr, ErrUnrecoverable)
 	}
 
 	out := BatchResult{Err: po.err}
-	if po.err == nil && po.op == oram.OpRead {
+	if po.err == nil && po.op == oram.OpRead && !po.migrate {
 		if po.resp.Dummy || po.resp.Block.Data == nil {
 			out.Data = make([]byte, c.blockSize)
 		} else {
 			out.Data = append([]byte(nil), po.resp.Block.Data...)
 		}
 	}
-	c.tm.observe(po.op, po.err)
+	// Migration steps are accounted under cluster.migrations, not the
+	// workload access counters — same split as the sequential DrainStep.
+	if po.migrate {
+		if po.err == nil {
+			c.tm.migrations.Inc()
+		}
+	} else {
+		c.tm.observe(po.op, po.err)
+	}
 	res[po.idx] = out
 }
