@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short chaos crash elastic fuzz telemetry-smoke bench alloc-gates profile ci
+.PHONY: all build vet test race short chaos crash elastic fuzz telemetry-smoke bench blame alloc-gates profile ci
 
 all: ci
 
@@ -74,6 +74,15 @@ bench: alloc-gates
 	$(GO) run ./cmd/sdimm-bench -exp hotpath -hotpath-out BENCH_hotpath.json
 	$(GO) run ./cmd/sdimm-bench -exp rebalance -rebalance-out BENCH_rebalance.json
 
+# Critical-path blame profile of the batched pipeline: per-wave phase
+# breakdown plus the serialization ledger (coordinator phases ranked by
+# all-workers-idle wall-clock) at 1 and 4 workers → BENCH_blame.json.
+# Gates: ≥90% of wave wall-clock attributed (the contiguous-interval
+# construction makes it exactly 100%) and a non-empty ledger with a named
+# top bottleneck. See README, "Diagnosing a slow pipeline".
+blame:
+	$(GO) run ./cmd/sdimm-bench -exp blame -blame-out BENCH_blame.json
+
 # Allocation-regression gates for the steady-state access loop: seal/open,
 # Engine.Access, and the journal commit must stay at 0 allocs/op. These run
 # without -race on purpose — race instrumentation allocates, so the gate
@@ -99,4 +108,4 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzJournalDecode -fuzztime=20s ./internal/durable
 	$(GO) test -run=NONE -fuzz=FuzzCheckpointDecode -fuzztime=20s ./internal/durable
 
-ci: build vet race telemetry-smoke bench crash elastic
+ci: build vet race telemetry-smoke bench blame crash elastic

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"strconv"
 
+	"sdimm/internal/blame"
 	"sdimm/internal/durable"
 	"sdimm/internal/fault"
+	"sdimm/internal/flight"
 	"sdimm/internal/oram"
 	"sdimm/internal/rng"
 	isdimm "sdimm/internal/sdimm"
@@ -52,6 +54,17 @@ type ClusterOptions struct {
 	// re-homing and health transitions (wall-clock microseconds — the
 	// functional cluster has no simulated clock).
 	Tracer *telemetry.Tracer
+	// Blame, when set, receives per-wave phase intervals and per-SDIMM
+	// worker busy spans from the batched pipeline, feeding the
+	// critical-path profiler and its serialization ledger (see
+	// internal/blame). Attaching a collector never changes cluster
+	// behaviour — it draws no randomness and touches no shared state.
+	Blame *blame.Collector
+	// Flight, when set, is the always-on flight recorder: pipeline wave and
+	// phase edges land on the coordinator ring, health transitions and
+	// link retry/ARQ activity on the owning SDIMM's ring. Recording is
+	// allocation-free; harnesses dump the rings when a check goes red.
+	Flight *flight.Recorder
 	// Durability, when set, gives the cluster crash consistency: every
 	// committed access is journaled, state is checkpointed every Interval
 	// accesses, and RecoverCluster can rebuild the cluster from the state
@@ -130,10 +143,11 @@ func (t *clusterTelemetry) observe(op oram.Op, err error) {
 // watchHealth publishes h's state as a per-SDIMM gauge (values: 0 healthy,
 // 1 degraded, 2 failed, 3 recovering, 4 draining, 5 removed) and counts
 // every transition edge under
-// fault.health.transitions{from=...,to=...}. With neither a registry nor a
-// tracer it leaves the Health unobserved.
-func watchHealth(reg *telemetry.Registry, tr *telemetry.Tracer, h *fault.Health, idx int) {
-	if reg == nil && tr == nil {
+// fault.health.transitions{from=...,to=...}. A flight ring, when given,
+// additionally records every transition edge in the member's ring buffer.
+// With no registry, tracer, or ring it leaves the Health unobserved.
+func watchHealth(reg *telemetry.Registry, tr *telemetry.Tracer, fr *flight.Ring, h *fault.Health, idx int) {
+	if reg == nil && tr == nil && fr == nil {
 		return
 	}
 	g := reg.Gauge("fault.health.state", "sdimm", strconv.Itoa(idx))
@@ -141,11 +155,28 @@ func watchHealth(reg *telemetry.Registry, tr *telemetry.Tracer, h *fault.Health,
 	h.SetObserver(func(from, to fault.State) {
 		g.Set(int64(to))
 		reg.Counter("fault.health.transitions", "from", from.String(), "to", to.String()).Inc()
+		fr.Record(flight.KindHealth, uint64(from), uint64(to))
 		if tr != nil {
 			tr.Instant(0, "health."+to.String(), "fault",
 				map[string]any{"sdimm": idx, "from": from.String()})
 		}
 	})
+}
+
+// flightKind maps a transactor recovery event onto its flight-recorder
+// event kind, so each member's ring shows retry/ARQ activity inline with
+// that member's phase edges and health transitions.
+func flightKind(ev fault.NotifyEvent) flight.Kind {
+	switch ev {
+	case fault.NotifyRetry:
+		return flight.KindRetry
+	case fault.NotifyRetransmit:
+		return flight.KindRetransmit
+	case fault.NotifyResync:
+		return flight.KindResync
+	default:
+		return flight.KindAbandon
+	}
 }
 
 // Command kinds for the 1-byte envelope prefixed to every sealed body, so
@@ -181,6 +212,8 @@ type Cluster struct {
 	levels    int
 	localBits uint
 	tm        clusterTelemetry
+	blame     *blame.Collector
+	flight    *flight.Recorder
 	durableState
 
 	// mkMember builds a fresh incarnation of slot i (store, engine, buffer,
@@ -250,6 +283,8 @@ func buildCluster(opts ClusterOptions) (*Cluster, error) {
 		levels:    opts.Levels,
 		localBits: uint(localLevels - 1),
 		tm:        newClusterTelemetry(opts.Telemetry, opts.Tracer),
+		blame:     opts.Blame,
+		flight:    opts.Flight,
 	}
 	c.poisoned = make(map[uint64]bool)
 	c.cmdBufs = make([][]byte, opts.SDIMMs)
@@ -297,7 +332,7 @@ func buildCluster(opts ClusterOptions) (*Cluster, error) {
 		devSide.SetMetrics(commMetrics)
 		c.buffers = append(c.buffers, buf)
 		h := fault.NewHealth(opts.DegradeAfter, 0)
-		watchHealth(opts.Telemetry, opts.Tracer, h, i)
+		watchHealth(opts.Telemetry, opts.Tracer, opts.Flight.Ring(i), h, i)
 		c.health = append(c.health, h)
 
 		var link fault.Link = fault.Perfect{}
@@ -316,6 +351,9 @@ func buildCluster(opts ClusterOptions) (*Cluster, error) {
 		if opts.LinkTap != nil {
 			tap := opts.LinkTap
 			tr.Tap = func(dir fault.Direction, attempt int, frame []byte) { tap(sd, dir, attempt, frame) }
+		}
+		if fr := opts.Flight.Ring(sd); fr != nil {
+			tr.Notify = func(ev fault.NotifyEvent, n int) { fr.Record(flightKind(ev), uint64(n), 0) }
 		}
 		c.links = append(c.links, tr)
 	}
@@ -377,6 +415,9 @@ func buildCluster(opts ClusterOptions) (*Cluster, error) {
 		if opts.LinkTap != nil {
 			tap := opts.LinkTap
 			tr.Tap = func(dir fault.Direction, attempt int, frame []byte) { tap(sd, dir, attempt, frame) }
+		}
+		if fr := opts.Flight.Ring(sd); fr != nil {
+			tr.Notify = func(ev fault.NotifyEvent, n int) { fr.Record(flightKind(ev), uint64(n), 0) }
 		}
 		c.buffers[i] = buf
 		c.links[i] = tr
@@ -1001,7 +1042,7 @@ func buildSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
 		}
 		c.buffers = append(c.buffers, buf)
 		h := fault.NewHealth(opts.DegradeAfter, 0)
-		watchHealth(opts.Telemetry, opts.Tracer, h, i)
+		watchHealth(opts.Telemetry, opts.Tracer, nil, h, i)
 		c.health = append(c.health, h)
 	}
 	if opts.Parity {
@@ -1011,7 +1052,7 @@ func buildSplitCluster(opts SplitClusterOptions) (*SplitCluster, error) {
 		}
 		c.parity = buf
 		h := fault.NewHealth(opts.DegradeAfter, 0)
-		watchHealth(opts.Telemetry, opts.Tracer, h, opts.SDIMMs)
+		watchHealth(opts.Telemetry, opts.Tracer, nil, h, opts.SDIMMs)
 		c.health = append(c.health, h)
 	}
 	if opts.Parallelism > 1 {

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"sdimm"
+	"sdimm/internal/blame"
 	"sdimm/internal/durable"
+	"sdimm/internal/flight"
 	"sdimm/internal/oram"
 	"sdimm/internal/rng"
 	"sdimm/internal/seccomm"
@@ -24,10 +26,24 @@ type hotPathReport struct {
 	NumCPU       int            `json:"num_cpu"`
 	GoMaxProcs   int            `json:"gomaxprocs"`
 	Layers       []hotPathLayer `json:"layers"`
+	Flight       flightOverhead `json:"flight_overhead"`
 	GatesPassed  bool           `json:"gates_passed"`
 	CPUProfile   string         `json:"cpu_profile,omitempty"`
 	HeapProfile  string         `json:"heap_profile,omitempty"`
 	ElapsedTotal float64        `json:"elapsed_total_sec"`
+}
+
+// flightOverhead is the always-on-observability tax: the same pipeline
+// workload with the flight recorder and blame collector attached must stay
+// within 3% of the bare run (min-of-3 each, wall-clock gate enforced only
+// on multi-core hosts) and must add zero allocations per op (enforced
+// everywhere — allocation counts are deterministic).
+type flightOverhead struct {
+	BaseNsPerOp   float64 `json:"base_ns_per_op"`
+	FlightNsPerOp float64 `json:"flight_ns_per_op"`
+	Ratio         float64 `json:"ratio"`
+	AddedAllocs   int64   `json:"added_allocs_per_op"`
+	GateEnforced  bool    `json:"wallclock_gate_enforced"`
 }
 
 type hotPathLayer struct {
@@ -161,6 +177,73 @@ func hotClusterAccess(b *testing.B) {
 	}
 }
 
+// hotPipelineAccess benchmarks one batched-pipeline access (64-op batches
+// through a window-8 pipeline at 4 workers), optionally with the flight
+// recorder and blame collector attached — the overhead-gate workload. Each
+// b.N unit is one access.
+func hotPipelineAccess(fr *flight.Recorder, col *blame.Collector) func(*testing.B) {
+	return func(b *testing.B) {
+		c, err := sdimm.NewCluster(sdimm.ClusterOptions{SDIMMs: 4, Levels: 12, Seed: 1, Flight: fr, Blame: col})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipe := c.Pipeline(sdimm.PipelineOptions{Window: 8, Parallelism: 4})
+		defer pipe.Close()
+		const batchLen = 64
+		payload := make([]byte, 64)
+		ops := make([]sdimm.BatchOp, batchLen)
+		for i := range ops {
+			ops[i] = sdimm.BatchOp{Addr: uint64(i), Write: i%2 == 0, Data: payload}
+		}
+		// Warm the stash, the op pool, and (when attached) the collector's
+		// wave free-list, so the measured loop is steady state.
+		for w := 0; w < 4; w++ {
+			for _, r := range pipe.Do(ops) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; done += batchLen {
+			for _, r := range pipe.Do(ops) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	}
+}
+
+// measureFlightOverhead runs the pipeline workload bare and instrumented
+// (min ns/op of three runs each, interleaved so thermal/scheduler drift
+// hits both sides) and fills the report's flight section.
+func measureFlightOverhead() flightOverhead {
+	minNs := func(rs []testing.BenchmarkResult) float64 {
+		m := float64(rs[0].NsPerOp())
+		for _, r := range rs[1:] {
+			if ns := float64(r.NsPerOp()); ns < m {
+				m = ns
+			}
+		}
+		return m
+	}
+	var off, on []testing.BenchmarkResult
+	for i := 0; i < 3; i++ {
+		off = append(off, testing.Benchmark(hotPipelineAccess(nil, nil)))
+		on = append(on, testing.Benchmark(hotPipelineAccess(flight.New(4, 1024), blame.NewCollector(4, 256))))
+	}
+	ov := flightOverhead{
+		BaseNsPerOp:   minNs(off),
+		FlightNsPerOp: minNs(on),
+		AddedAllocs:   on[0].AllocsPerOp() - off[0].AllocsPerOp(),
+		GateEnforced:  runtime.NumCPU() >= 4,
+	}
+	ov.Ratio = ov.FlightNsPerOp / ov.BaseNsPerOp
+	return ov
+}
+
 // runHotPath measures every layer of the access hot path, writes the report
 // to outPath atomically, optionally captures CPU and heap profiles around
 // the measured loops, and enforces the allocation gates.
@@ -214,6 +297,21 @@ func runHotPath(outPath, cpuProfile, heapProfile string) error {
 		}
 		fmt.Fprintf(os.Stderr, "hotpath: %-18s %10.0f ns/op %6d B/op %4d allocs/op  gate=%s\n",
 			l.name, layer.NsPerOp, layer.BytesPerOp, layer.AllocsPerOp, gate)
+	}
+	// Flight-recorder overhead gate: the instrumented pipeline must add no
+	// allocations (always enforced) and stay within 3% wall-clock on hosts
+	// with enough cores for the comparison to mean anything.
+	rep.Flight = measureFlightOverhead()
+	fmt.Fprintf(os.Stderr, "hotpath: flight overhead %.0f -> %.0f ns/op (%.3fx), +%d allocs/op (wallclock gate %v)\n",
+		rep.Flight.BaseNsPerOp, rep.Flight.FlightNsPerOp, rep.Flight.Ratio,
+		rep.Flight.AddedAllocs, rep.Flight.GateEnforced)
+	if rep.Flight.AddedAllocs > 0 {
+		rep.GatesPassed = false
+		fmt.Fprintf(os.Stderr, "hotpath: FAIL flight recorder added %d allocs/op (gate: 0)\n", rep.Flight.AddedAllocs)
+	}
+	if rep.Flight.GateEnforced && rep.Flight.Ratio > 1.03 {
+		rep.GatesPassed = false
+		fmt.Fprintf(os.Stderr, "hotpath: FAIL flight recorder overhead %.1f%% (gate: 3%%)\n", 100*(rep.Flight.Ratio-1))
 	}
 	rep.ElapsedTotal = time.Since(start).Seconds()
 

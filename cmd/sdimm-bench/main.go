@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6|fig8|fig9|fig10|fig11|fig13a|fig13b|offdimm|latency|lowpower|cotenant|overflow|area|all, or parbench/recbench/hotpath/rebalance (not part of all)")
+		exp      = flag.String("exp", "all", "experiment: fig6|fig8|fig9|fig10|fig11|fig13a|fig13b|offdimm|latency|lowpower|cotenant|overflow|area|all, or parbench/recbench/hotpath/rebalance/blame (not part of all)")
 		warmup   = flag.Int("warmup", 400, "warmup records per run")
 		measure  = flag.Int("measure", 800, "measured records per run")
 		levels   = flag.Int("levels", 28, "ORAM tree levels")
@@ -37,6 +37,7 @@ func main() {
 		recOut   = flag.String("recbench-out", "BENCH_recovery.json", "output path for -exp recbench")
 		rebOut   = flag.String("rebalance-out", "BENCH_rebalance.json", "output path for -exp rebalance")
 		hotOut   = flag.String("hotpath-out", "BENCH_hotpath.json", "output path for -exp hotpath")
+		blameOut = flag.String("blame-out", "BENCH_blame.json", "output path for -exp blame")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the hotpath loops to this file (-exp hotpath)")
 		memProf  = flag.String("memprofile", "", "write a heap profile after the hotpath loops to this file (-exp hotpath)")
 	)
@@ -47,6 +48,16 @@ func main() {
 	// optional pprof profiles for `make profile`).
 	if *exp == "hotpath" {
 		if err := runHotPath(*hotOut, *cpuProf, *memProf); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// blame profiles the batched pipeline's critical path: per-wave phase
+	// intervals, the serialization ledger, and the Amdahl speedup bound.
+	// Writes BENCH_blame.json.
+	if *exp == "blame" {
+		if err := runBlame(*blameOut); err != nil {
 			fatal(err)
 		}
 		return

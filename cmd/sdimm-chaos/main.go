@@ -39,7 +39,9 @@ import (
 
 	"sdimm/internal/chaos"
 	"sdimm/internal/fault"
+	"sdimm/internal/flight"
 	"sdimm/internal/telemetry"
+	"sdimm/internal/witness"
 )
 
 func main() {
@@ -64,10 +66,24 @@ func main() {
 		corrupt   = flag.Bool("corrupt", false, "crash: flip a sealed-bucket bit at each point (scrub pass) instead of tearing the journal")
 		resize    = flag.Bool("resize", false, "run the elastic-membership (drain/remove/join) equivalence sweep")
 		member    = flag.Int("member", 1, "resize: member slot to drain and rejoin (Split: to fail and rebuild)")
+		flightOut = flag.String("flight", "", "attach the flight recorder; dump its rings as a Chrome trace to this file if the run goes red")
 	)
 	flag.Parse()
 
+	// The flight recorder and obliviousness witness ride along on every
+	// campaign mode. The recorder's rings are only written out when a run
+	// fails; the witness checks frame-shape and traffic-balance invariants
+	// online and its violation count feeds the exit code.
+	var fr *flight.Recorder
+	if *flightOut != "" {
+		fr = flight.New(*sdimms, 1024)
+	}
+
 	if *resize {
+		var wit *witness.Monitor
+		if !*split {
+			wit = witness.New(witness.Options{Members: *sdimms})
+		}
 		res, err := chaos.RunResize(chaos.ResizeConfig{
 			SDIMMs:      *sdimms,
 			Levels:      *levels,
@@ -81,13 +97,17 @@ func main() {
 			Dir:         *stateDir,
 			Interval:    *interval,
 			Split:       *split,
+			Witness:     wit,
+			Flight:      fr,
+			FlightPath:  *flightOut,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdimm-chaos: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Print(res)
-		if !res.Equivalent() {
+		reportFlight(res.FlightDump)
+		if !res.Equivalent() || res.WitnessViolations > 0 {
 			fmt.Println("RESULT: FAIL — rebalance diverged from the uncrashed reference")
 			os.Exit(1)
 		}
@@ -109,12 +129,15 @@ func main() {
 			Interval:    *interval,
 			Corrupt:     *corrupt,
 			Split:       *split,
+			Flight:      fr,
+			FlightPath:  *flightOut,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdimm-chaos: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Print(res)
+		reportFlight(res.FlightDump)
 		if !res.Equivalent() {
 			fmt.Println("RESULT: FAIL — recovered cluster diverged from the uncrashed reference")
 			os.Exit(1)
@@ -151,6 +174,7 @@ func main() {
 	// Spread the requested rate across every fault class the injector
 	// models, weighted toward the common ones.
 	r := *rate
+	wit := witness.New(witness.Options{Members: *sdimms, Registry: reg})
 	res, err := chaos.Run(chaos.Config{
 		SDIMMs:    *sdimms,
 		Levels:    *levels,
@@ -172,6 +196,9 @@ func main() {
 		Batch:        *batch,
 		Telemetry:    reg,
 		Tracer:       tr,
+		Witness:      wit,
+		Flight:       fr,
+		FlightPath:   *flightOut,
 	})
 	finish(tr, *traceOut)
 	report(res, err, *snapshot)
@@ -196,6 +223,13 @@ func finish(tr *telemetry.Tracer, path string) {
 	fmt.Fprintf(os.Stderr, "sdimm-chaos: wrote %d trace events to %s\n", tr.Len(), path)
 }
 
+// reportFlight points at the flight-recorder dump when a red run wrote one.
+func reportFlight(path string) {
+	if path != "" {
+		fmt.Fprintf(os.Stderr, "sdimm-chaos: flight recorder dumped to %s\n", path)
+	}
+}
+
 func failAt(shard, n int) int {
 	if shard < 0 {
 		return -1
@@ -211,7 +245,12 @@ func report(res chaos.Result, err error, snapshot bool) {
 	fmt.Print(res)
 	if snapshot && res.Snapshot != nil {
 		fmt.Println("telemetry:")
-		res.Snapshot.WriteText(os.Stdout, "cluster.", "fault.", "seccomm.")
+		res.Snapshot.WriteText(os.Stdout, "cluster.", "fault.", "seccomm.", "witness.")
+	}
+	reportFlight(res.FlightDump)
+	if res.WitnessViolations != 0 {
+		fmt.Printf("RESULT: FAIL — obliviousness witness flagged %d link-invariant violations\n", res.WitnessViolations)
+		os.Exit(1)
 	}
 	if res.Mismatches != 0 || res.TrafficViolations != 0 {
 		fmt.Println("RESULT: FAIL — the recovery layer leaked or corrupted")

@@ -7,6 +7,7 @@ import (
 
 	"sdimm/internal/durable"
 	"sdimm/internal/fault"
+	"sdimm/internal/flight"
 	"sdimm/internal/oram"
 	isdimm "sdimm/internal/sdimm"
 )
@@ -362,6 +363,7 @@ func (c *Cluster) ForceCheckpoint() error {
 	}
 	c.lastCkpt = c.seq
 	c.tm.checkpoints.Inc()
+	c.flight.Coordinator().Record(flight.KindCheckpoint, c.seq, 0)
 	return nil
 }
 
@@ -612,6 +614,7 @@ func RecoverCluster(opts ClusterOptions) (*Cluster, *durable.RecoveryReport, err
 	c.tm.scrubScanned.Add(uint64(report.BucketsScanned))
 	c.tm.scrubRepaired.Add(uint64(report.BucketsRepaired))
 	c.tm.scrubUnrecoverable.Add(uint64(report.BucketsUnrecoverable))
+	c.flight.Coordinator().Record(flight.KindRecovery, uint64(report.RecordsReplayed), uint64(report.BucketsRepaired))
 	return c, report, nil
 }
 

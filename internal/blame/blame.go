@@ -1,0 +1,396 @@
+// Package blame is the wave-level critical-path profiler for the batched
+// cluster pipeline. The coordinator records every wave as a contiguous
+// sequence of phase intervals — each phase starts exactly where the previous
+// one ended, so the intervals tile the wave's wall-clock with nothing left
+// over — and each fan-out phase additionally records how long every SDIMM
+// worker was busy inside it. From those two views the collector reconstructs
+// the wave's critical path and emits a ranked serialization ledger: for each
+// coordinator-side phase, how much wall-clock the pipeline spent with every
+// worker idle. That ledger is the machine-readable explanation of the
+// parallel engine's speedup curve — if "journal" and "commit" dominate it,
+// adding workers cannot help, because the coordinator is the bottleneck.
+//
+// The collector is deliberately invisible to the determinism-equivalence
+// suites: it draws no randomness, touches no telemetry registry, and its
+// phase boundaries are wall-clock reads that never feed back into
+// scheduling. Attaching or detaching a collector cannot change a single bit
+// of cluster state.
+package blame
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Phase identifies one interval of a pipeline wave. The phases are recorded
+// in this order, and every wave passes through all of them (a wave that
+// aborts early — e.g. on a journal error — records zero-length intervals
+// for the phases it skipped, keeping the tiling exact).
+type Phase uint8
+
+const (
+	// PhaseSchedule is coordinator-side admission: position-map lookups and
+	// every shared-RNG draw (leaf picks) for the wave, in logical order.
+	PhaseSchedule Phase = iota
+	// PhaseAccessFanout is the ACCESS exchange fan-out: per-SDIMM link
+	// send/wait on the owning workers, ended by the wave barrier.
+	PhaseAccessFanout
+	// PhaseCommit is merge barrier 1: position-map commits and response
+	// decoding on the coordinator, in logical order.
+	PhaseCommit
+	// PhaseJournal is the wave's batched journal append (a no-op interval
+	// for clusters without durability).
+	PhaseJournal
+	// PhaseAppendFanout is the APPEND broadcast fan-out: one task per SDIMM
+	// walking the wave, ended by the second barrier.
+	PhaseAppendFanout
+	// PhaseFinalize is merge barrier 2: lost-append accounting, re-homing,
+	// eviction/writeback finalization, and result delivery.
+	PhaseFinalize
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"schedule", "access.fanout", "commit", "journal", "append.fanout", "finalize",
+}
+
+// String returns the phase's stable name (used in reports and tests).
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Coordinator reports whether the phase runs entirely on the coordinator
+// goroutine with every worker idle at a barrier — the serialization ledger
+// is built from exactly these phases.
+func (p Phase) Coordinator() bool {
+	return p != PhaseAccessFanout && p != PhaseAppendFanout
+}
+
+// fanoutIndex maps the two fan-out phases onto the per-wave worker-busy
+// slots; -1 for coordinator phases.
+func fanoutIndex(p Phase) int {
+	switch p {
+	case PhaseAccessFanout:
+		return 0
+	case PhaseAppendFanout:
+		return 1
+	}
+	return -1
+}
+
+// WaveRecord is one wave's complete timing: Bounds[i] and Bounds[i+1] are
+// the start and end of Phase(i), so the intervals are contiguous by
+// construction and sum exactly to Bounds[numPhases]-Bounds[0]. MaxBusy is
+// the longest single worker's busy time inside each fan-out phase (zero for
+// coordinator phases) — the worker-side critical path.
+type WaveRecord struct {
+	Index   uint64                `json:"index"`
+	Ops     int                   `json:"ops"`
+	Bounds  [numPhases + 1]uint64 `json:"bounds_ns"`
+	MaxBusy [numPhases]uint64     `json:"max_busy_ns"`
+	BusySum [numPhases]uint64     `json:"busy_sum_ns"`
+}
+
+// Wall returns the wave's wall-clock duration.
+func (w WaveRecord) Wall() uint64 { return w.Bounds[numPhases] - w.Bounds[0] }
+
+// PhaseDur returns the duration of one phase interval.
+func (w WaveRecord) PhaseDur(p Phase) uint64 { return w.Bounds[p+1] - w.Bounds[p] }
+
+// NumPhases returns the number of phases a wave records.
+func NumPhases() int { return int(numPhases) }
+
+// Collector accumulates wave timings. One collector serves one pipeline at
+// a time (the coordinator marks phases; workers record busy spans into
+// per-member slots they exclusively own between barriers). Totals are
+// folded in under a mutex only at wave end, so Report may be called
+// concurrently with a running pipeline.
+type Collector struct {
+	clock   func() uint64 // monotonic nanoseconds
+	members int
+
+	mu      sync.Mutex
+	waves   uint64
+	ops     uint64
+	wallNS  uint64
+	phaseNS [numPhases]uint64
+	busyNS  [numPhases]uint64 // summed worker busy (fan-out phases only)
+	critNS  [numPhases]uint64 // per-wave max worker busy, summed over waves
+	ring    []WaveRecord
+	next    uint64 // total records ever pushed to the ring
+	free    []*Wave
+}
+
+// NewCollector builds a collector for a cluster with the given member
+// count, keeping the most recent ringSize wave records (default 256).
+func NewCollector(members, ringSize int) *Collector {
+	if ringSize <= 0 {
+		ringSize = 256
+	}
+	start := time.Now()
+	return &Collector{
+		clock:   func() uint64 { return uint64(time.Since(start).Nanoseconds()) },
+		members: members,
+		ring:    make([]WaveRecord, 0, ringSize),
+	}
+}
+
+// SetClock replaces the wall clock (tests inject a logical clock for
+// deterministic records). Call before the first wave.
+func (c *Collector) SetClock(clock func() uint64) {
+	if c != nil && clock != nil {
+		c.clock = clock
+	}
+}
+
+// Wave is one in-flight wave's scratch. The coordinator owns Mark/End;
+// workers write only their own member slot of the busy arrays between the
+// coordinator's submit and barrier (the pool's WaitGroup publishes the
+// writes back).
+type Wave struct {
+	col    *Collector
+	bounds [numPhases + 1]uint64
+	marked Phase // next phase to be marked
+	busy   [2][]uint64
+}
+
+// BeginWave opens a wave at the current clock. Nil-safe: a nil collector
+// returns a nil wave, and every Wave method is a no-op on nil.
+func (c *Collector) BeginWave() *Wave {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	var w *Wave
+	if n := len(c.free); n > 0 {
+		w = c.free[n-1]
+		c.free = c.free[:n-1]
+	}
+	c.mu.Unlock()
+	if w == nil {
+		w = &Wave{col: c}
+		w.busy[0] = make([]uint64, c.members)
+		w.busy[1] = make([]uint64, c.members)
+	} else {
+		w.bounds = [numPhases + 1]uint64{}
+		clear(w.busy[0])
+		clear(w.busy[1])
+	}
+	w.marked = 0
+	w.bounds[0] = c.clock()
+	return w
+}
+
+// Mark closes phase p at the current clock. Phases skipped since the last
+// mark get zero-length intervals at the same boundary, so the wave's
+// intervals always tile its wall-clock exactly.
+func (w *Wave) Mark(p Phase) {
+	if w == nil {
+		return
+	}
+	now := w.col.clock()
+	for q := w.marked; q <= p && q < numPhases; q++ {
+		w.bounds[q+1] = now
+	}
+	if p+1 > w.marked {
+		w.marked = p + 1
+	}
+}
+
+// WorkerStart returns a busy-span start stamp (0 on a nil wave — the
+// matching WorkerDone then no-ops too).
+func (w *Wave) WorkerStart() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.col.clock()
+}
+
+// WorkerDone accumulates one worker busy span into (phase, member). Safe
+// for the member's worker goroutine: each member slot has exactly one
+// writer per fan-out phase (tasks on one member run FIFO on one goroutine).
+func (w *Wave) WorkerDone(p Phase, member int, start uint64) {
+	if w == nil {
+		return
+	}
+	fi := fanoutIndex(p)
+	if fi < 0 || member < 0 || member >= len(w.busy[fi]) {
+		return
+	}
+	w.busy[fi][member] += w.col.clock() - start
+}
+
+// End closes the wave (marking any unfinished phases at the final clock),
+// folds it into the collector totals and the recent-waves ring, and
+// recycles the wave scratch.
+func (w *Wave) End(ops int) {
+	if w == nil {
+		return
+	}
+	w.Mark(numPhases - 1)
+	c := w.col
+
+	rec := WaveRecord{Ops: ops, Bounds: w.bounds}
+	for _, p := range []Phase{PhaseAccessFanout, PhaseAppendFanout} {
+		fi := fanoutIndex(p)
+		for _, b := range w.busy[fi] {
+			rec.BusySum[p] += b
+			if b > rec.MaxBusy[p] {
+				rec.MaxBusy[p] = b
+			}
+		}
+	}
+
+	c.mu.Lock()
+	rec.Index = c.next
+	c.next++
+	c.waves++
+	c.ops += uint64(ops)
+	c.wallNS += rec.Wall()
+	for p := Phase(0); p < numPhases; p++ {
+		c.phaseNS[p] += rec.PhaseDur(p)
+		c.busyNS[p] += rec.BusySum[p]
+		c.critNS[p] += rec.MaxBusy[p]
+	}
+	if len(c.ring) < cap(c.ring) {
+		c.ring = append(c.ring, rec)
+	} else {
+		c.ring[rec.Index%uint64(cap(c.ring))] = rec
+	}
+	c.free = append(c.free, w)
+	c.mu.Unlock()
+}
+
+// Recent returns the retained wave records, oldest first.
+func (c *Collector) Recent() []WaveRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WaveRecord, 0, len(c.ring))
+	if c.next > uint64(len(c.ring)) && len(c.ring) == cap(c.ring) {
+		start := c.next % uint64(cap(c.ring))
+		out = append(out, c.ring[start:]...)
+		out = append(out, c.ring[:start]...)
+	} else {
+		out = append(out, c.ring...)
+	}
+	return out
+}
+
+// PhaseStat is one phase's aggregate across every recorded wave.
+type PhaseStat struct {
+	Phase       string  `json:"phase"`
+	Coordinator bool    `json:"coordinator"`
+	TotalNS     uint64  `json:"total_ns"`
+	Share       float64 `json:"share_of_wall"`
+	MeanNSWave  float64 `json:"mean_ns_per_wave"`
+	// Fan-out phases only: summed worker busy time, the per-wave critical
+	// (slowest-worker) path, and the barrier slack — wall-clock inside the
+	// phase beyond the slowest worker (submit/wakeup overhead plus the time
+	// the coordinator spent waiting after the last worker finished).
+	WorkerBusyNS    uint64  `json:"worker_busy_ns,omitempty"`
+	CriticalPathNS  uint64  `json:"critical_path_ns,omitempty"`
+	BarrierSlackNS  uint64  `json:"barrier_slack_ns,omitempty"`
+	WorkerIdleShare float64 `json:"worker_idle_share,omitempty"`
+}
+
+// LedgerEntry ranks one coordinator-side serialization source: a phase the
+// wave spends with every worker parked at a barrier.
+type LedgerEntry struct {
+	Phase        string  `json:"phase"`
+	SerializedNS uint64  `json:"serialized_ns"`
+	Share        float64 `json:"share_of_wall"`
+}
+
+// Report is the collector's aggregate view — the BENCH_blame.json payload.
+type Report struct {
+	Waves  uint64 `json:"waves"`
+	Ops    uint64 `json:"ops"`
+	WallNS uint64 `json:"wall_ns"`
+	// AttributedNS is the wall-clock covered by named phase intervals.
+	// Phases are contiguous by construction, so the attribution ratio is
+	// exactly 1.0 — asserted, not assumed, by the wave-tiling test.
+	AttributedNS     uint64      `json:"attributed_ns"`
+	AttributionRatio float64     `json:"attribution_ratio"`
+	Phases           []PhaseStat `json:"phases"`
+	// Ledger ranks the coordinator-side phases by serialized wall-clock —
+	// the time every worker sat idle while the coordinator ran.
+	Ledger []LedgerEntry `json:"serialization_ledger"`
+	// SerializedNS totals the ledger; SerializedShare is its fraction of
+	// wall-clock — the upper bound Amdahl's law puts on pipeline speedup.
+	SerializedNS    uint64  `json:"serialized_ns"`
+	SerializedShare float64 `json:"serialized_share"`
+	TopBottleneck   string  `json:"top_bottleneck"`
+	// MaxSpeedup is 1/SerializedShare-bounded ideal speedup at infinite
+	// workers (Amdahl), explaining the measured parbench curve.
+	MaxSpeedup float64 `json:"max_speedup_amdahl"`
+}
+
+// Report aggregates everything recorded so far.
+func (c *Collector) Report() Report {
+	if c == nil {
+		return Report{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	r := Report{Waves: c.waves, Ops: c.ops, WallNS: c.wallNS}
+	for p := Phase(0); p < numPhases; p++ {
+		r.AttributedNS += c.phaseNS[p]
+	}
+	if r.WallNS > 0 {
+		r.AttributionRatio = float64(r.AttributedNS) / float64(r.WallNS)
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		ps := PhaseStat{
+			Phase:       p.String(),
+			Coordinator: p.Coordinator(),
+			TotalNS:     c.phaseNS[p],
+		}
+		if r.WallNS > 0 {
+			ps.Share = float64(c.phaseNS[p]) / float64(r.WallNS)
+		}
+		if c.waves > 0 {
+			ps.MeanNSWave = float64(c.phaseNS[p]) / float64(c.waves)
+		}
+		if !p.Coordinator() {
+			ps.WorkerBusyNS = c.busyNS[p]
+			ps.CriticalPathNS = c.critNS[p]
+			if c.phaseNS[p] > c.critNS[p] {
+				ps.BarrierSlackNS = c.phaseNS[p] - c.critNS[p]
+			}
+			ideal := uint64(c.members) * c.phaseNS[p]
+			if ideal > 0 {
+				ps.WorkerIdleShare = 1 - float64(c.busyNS[p])/float64(ideal)
+			}
+		} else {
+			r.Ledger = append(r.Ledger, LedgerEntry{
+				Phase:        p.String(),
+				SerializedNS: c.phaseNS[p],
+				Share:        ps.Share,
+			})
+			r.SerializedNS += c.phaseNS[p]
+		}
+		r.Phases = append(r.Phases, ps)
+	}
+	sort.SliceStable(r.Ledger, func(i, j int) bool {
+		return r.Ledger[i].SerializedNS > r.Ledger[j].SerializedNS
+	})
+	if len(r.Ledger) > 0 {
+		r.TopBottleneck = r.Ledger[0].Phase
+	}
+	if r.WallNS > 0 {
+		r.SerializedShare = float64(r.SerializedNS) / float64(r.WallNS)
+	}
+	if r.SerializedShare > 0 {
+		r.MaxSpeedup = 1 / r.SerializedShare
+	}
+	return r
+}

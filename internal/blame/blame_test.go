@@ -1,0 +1,267 @@
+package blame
+
+import (
+	"testing"
+)
+
+// fakeClock is a settable logical clock.
+type fakeClock struct{ now uint64 }
+
+func (c *fakeClock) read() uint64 { return c.now }
+
+func newTestCollector(members, ring int) (*Collector, *fakeClock) {
+	col := NewCollector(members, ring)
+	clk := &fakeClock{}
+	col.SetClock(clk.read)
+	return col, clk
+}
+
+func TestWaveTiling(t *testing.T) {
+	col, clk := newTestCollector(2, 16)
+
+	clk.now = 100
+	w := col.BeginWave()
+	clk.now = 110
+	w.Mark(PhaseSchedule)
+	clk.now = 150
+	w.Mark(PhaseAccessFanout)
+	clk.now = 160
+	w.Mark(PhaseCommit)
+	clk.now = 165
+	w.Mark(PhaseJournal)
+	clk.now = 200
+	w.Mark(PhaseAppendFanout)
+	clk.now = 210
+	w.End(8)
+
+	recs := col.Recent()
+	if len(recs) != 1 {
+		t.Fatalf("Recent() has %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Ops != 8 || rec.Index != 0 {
+		t.Fatalf("record = %+v, want ops=8 index=0", rec)
+	}
+	if rec.Wall() != 110 {
+		t.Fatalf("Wall() = %d, want 110", rec.Wall())
+	}
+	wantDur := map[Phase]uint64{
+		PhaseSchedule:     10,
+		PhaseAccessFanout: 40,
+		PhaseCommit:       10,
+		PhaseJournal:      5,
+		PhaseAppendFanout: 35,
+		PhaseFinalize:     10,
+	}
+	var sum uint64
+	for p, want := range wantDur {
+		if got := rec.PhaseDur(p); got != want {
+			t.Errorf("PhaseDur(%s) = %d, want %d", p, got, want)
+		}
+		sum += rec.PhaseDur(p)
+	}
+	if sum != rec.Wall() {
+		t.Fatalf("phase intervals sum to %d, wall is %d — tiling broken", sum, rec.Wall())
+	}
+
+	rep := col.Report()
+	if rep.AttributionRatio != 1.0 {
+		t.Fatalf("AttributionRatio = %v, want exactly 1.0", rep.AttributionRatio)
+	}
+	if rep.Waves != 1 || rep.Ops != 8 || rep.WallNS != 110 {
+		t.Fatalf("report totals = %+v", rep)
+	}
+}
+
+// TestSkippedPhases checks the early-exit contract: marking a later phase
+// closes every skipped phase with a zero-length interval at the same
+// boundary, and End closes the rest, so tiling stays exact.
+func TestSkippedPhases(t *testing.T) {
+	col, clk := newTestCollector(1, 16)
+
+	clk.now = 10
+	w := col.BeginWave()
+	clk.now = 30
+	w.Mark(PhaseJournal) // schedule, access.fanout, commit, journal all end at 30
+	clk.now = 50
+	w.End(1) // append.fanout and finalize end at 50
+
+	rec := col.Recent()[0]
+	if rec.Wall() != 40 {
+		t.Fatalf("Wall() = %d, want 40", rec.Wall())
+	}
+	if d := rec.PhaseDur(PhaseSchedule); d != 20 {
+		t.Fatalf("schedule = %d, want 20 (first marked phase absorbs the span)", d)
+	}
+	for _, p := range []Phase{PhaseAccessFanout, PhaseCommit, PhaseJournal} {
+		if d := rec.PhaseDur(p); d != 0 {
+			t.Fatalf("%s = %d, want zero-length skipped interval", p, d)
+		}
+	}
+	if d := rec.PhaseDur(PhaseAppendFanout); d != 20 {
+		t.Fatalf("append.fanout = %d, want 20", d)
+	}
+	if d := rec.PhaseDur(PhaseFinalize); d != 0 {
+		t.Fatalf("finalize = %d, want 0", d)
+	}
+	if col.Report().AttributionRatio != 1.0 {
+		t.Fatal("attribution must stay exact on early-exit waves")
+	}
+}
+
+func TestWorkerBusyAccounting(t *testing.T) {
+	col, clk := newTestCollector(3, 16)
+
+	clk.now = 0
+	w := col.BeginWave()
+	w.Mark(PhaseSchedule)
+
+	// Worker 0 busy 10ns, worker 2 busy 25ns, worker 1 idle.
+	clk.now = 5
+	s0 := w.WorkerStart()
+	clk.now = 15
+	w.WorkerDone(PhaseAccessFanout, 0, s0)
+	clk.now = 15
+	s2 := w.WorkerStart()
+	clk.now = 40
+	w.WorkerDone(PhaseAccessFanout, 2, s2)
+	clk.now = 50
+	w.Mark(PhaseAccessFanout)
+	clk.now = 60
+	w.End(4)
+
+	rec := col.Recent()[0]
+	if rec.BusySum[PhaseAccessFanout] != 35 {
+		t.Fatalf("BusySum = %d, want 35", rec.BusySum[PhaseAccessFanout])
+	}
+	if rec.MaxBusy[PhaseAccessFanout] != 25 {
+		t.Fatalf("MaxBusy = %d, want 25 (slowest worker)", rec.MaxBusy[PhaseAccessFanout])
+	}
+
+	rep := col.Report()
+	var fan PhaseStat
+	for _, ps := range rep.Phases {
+		if ps.Phase == "access.fanout" {
+			fan = ps
+		}
+	}
+	if fan.WorkerBusyNS != 35 || fan.CriticalPathNS != 25 {
+		t.Fatalf("fanout stat = %+v, want busy=35 critical=25", fan)
+	}
+	// Phase interval is 50ns; slack = 50 - 25.
+	if fan.BarrierSlackNS != 25 {
+		t.Fatalf("BarrierSlackNS = %d, want 25", fan.BarrierSlackNS)
+	}
+	// Ideal = 3 workers × 50ns = 150; idle share = 1 - 35/150.
+	if got, want := fan.WorkerIdleShare, 1-35.0/150.0; got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("WorkerIdleShare = %v, want %v", got, want)
+	}
+}
+
+func TestLedgerRanking(t *testing.T) {
+	col, clk := newTestCollector(1, 16)
+
+	clk.now = 0
+	w := col.BeginWave()
+	clk.now = 5 // schedule: 5
+	w.Mark(PhaseSchedule)
+	clk.now = 10 // access fanout: 5
+	w.Mark(PhaseAccessFanout)
+	clk.now = 40 // commit: 30 — the dominant coordinator phase
+	w.Mark(PhaseCommit)
+	clk.now = 50 // journal: 10
+	w.Mark(PhaseJournal)
+	clk.now = 55 // append fanout: 5
+	w.Mark(PhaseAppendFanout)
+	clk.now = 57 // finalize: 2
+	w.End(1)
+
+	rep := col.Report()
+	if len(rep.Ledger) != 4 {
+		t.Fatalf("ledger has %d entries, want 4 coordinator phases", len(rep.Ledger))
+	}
+	wantOrder := []string{"commit", "journal", "schedule", "finalize"}
+	for i, want := range wantOrder {
+		if rep.Ledger[i].Phase != want {
+			t.Fatalf("ledger[%d] = %s, want %s (full: %+v)", i, rep.Ledger[i].Phase, want, rep.Ledger)
+		}
+	}
+	if rep.TopBottleneck != "commit" {
+		t.Fatalf("TopBottleneck = %q, want commit", rep.TopBottleneck)
+	}
+	if rep.SerializedNS != 47 {
+		t.Fatalf("SerializedNS = %d, want 47", rep.SerializedNS)
+	}
+	if got, want := rep.SerializedShare, 47.0/57.0; got != want {
+		t.Fatalf("SerializedShare = %v, want %v", got, want)
+	}
+	if got, want := rep.MaxSpeedup, 57.0/47.0; got != want {
+		t.Fatalf("MaxSpeedup = %v, want %v", got, want)
+	}
+}
+
+func TestRingWraparoundOldestFirst(t *testing.T) {
+	col, clk := newTestCollector(1, 4)
+	for i := 0; i < 10; i++ {
+		clk.now = uint64(i * 100)
+		w := col.BeginWave()
+		clk.now = uint64(i*100 + 10)
+		w.End(i)
+	}
+	recs := col.Recent()
+	if len(recs) != 4 {
+		t.Fatalf("Recent() has %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if want := uint64(6 + i); rec.Index != want {
+			t.Fatalf("recent[%d].Index = %d, want %d", i, rec.Index, want)
+		}
+	}
+	if rep := col.Report(); rep.Waves != 10 {
+		t.Fatalf("Waves = %d, want 10 (totals cover evicted records too)", rep.Waves)
+	}
+}
+
+// TestNilSafety: a nil collector must be a complete no-op so production
+// clusters run without one attached.
+func TestNilSafety(t *testing.T) {
+	var col *Collector
+	w := col.BeginWave()
+	w.Mark(PhaseSchedule)
+	s := w.WorkerStart()
+	w.WorkerDone(PhaseAccessFanout, 0, s)
+	w.End(5)
+	if col.Recent() != nil {
+		t.Fatal("nil collector Recent() should be nil")
+	}
+	if rep := col.Report(); rep.Waves != 0 {
+		t.Fatal("nil collector Report() should be zero")
+	}
+	col.SetClock(func() uint64 { return 0 })
+}
+
+// TestWaveRecycling checks the free-list reuses scratch without leaking
+// state between waves.
+func TestWaveRecycling(t *testing.T) {
+	col, clk := newTestCollector(2, 8)
+
+	clk.now = 0
+	w := col.BeginWave()
+	s := w.WorkerStart()
+	clk.now = 50
+	w.WorkerDone(PhaseAccessFanout, 1, s)
+	w.End(1)
+
+	clk.now = 100
+	w2 := col.BeginWave()
+	clk.now = 120
+	w2.End(1)
+
+	recs := col.Recent()
+	if recs[1].BusySum[PhaseAccessFanout] != 0 {
+		t.Fatalf("recycled wave leaked busy time: %+v", recs[1])
+	}
+	if recs[1].Bounds[0] != 100 {
+		t.Fatalf("recycled wave start = %d, want 100", recs[1].Bounds[0])
+	}
+}

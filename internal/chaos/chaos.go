@@ -22,9 +22,12 @@ import (
 	"sync/atomic"
 
 	"sdimm"
+	"sdimm/internal/blame"
 	"sdimm/internal/fault"
+	"sdimm/internal/flight"
 	"sdimm/internal/rng"
 	"sdimm/internal/telemetry"
+	"sdimm/internal/witness"
 )
 
 // payloadLen is the number of payload bytes the harness writes and
@@ -65,6 +68,19 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// Tracer, when set, records cluster access spans and health instants.
 	Tracer *telemetry.Tracer
+	// Witness, when set, attaches the online obliviousness monitor to the
+	// cluster's link tap (chained after the traffic checker when
+	// CheckTraffic is also on). Its violation total lands in
+	// Result.WitnessViolations.
+	Witness *witness.Monitor
+	// Blame, when set, collects wave-level phase timings on parallel runs.
+	Blame *blame.Collector
+	// Flight, when set, attaches the flight recorder to the cluster. When
+	// FlightPath is also set and the run goes red (mismatches, traffic or
+	// witness violations, or errors), the rings are dumped there as a
+	// Chrome-trace snapshot and Result.FlightDump records the path.
+	Flight     *flight.Recorder
+	FlightPath string
 }
 
 // Result summarizes a chaos run.
@@ -92,6 +108,12 @@ type Result struct {
 	// Snapshot is the final telemetry snapshot (nil unless the run was
 	// given a registry).
 	Snapshot *telemetry.Snapshot
+	// WitnessViolations is the online monitor's violation total (zero
+	// unless the run was given a witness).
+	WitnessViolations uint64
+	// FlightDump is the path of the flight-recorder snapshot written for a
+	// red run ("" when the run stayed green or no recorder was attached).
+	FlightDump string
 }
 
 // String renders a one-screen summary.
@@ -251,9 +273,20 @@ func Run(cfg Config) (Result, error) {
 		Retry:     cfg.Retry,
 		Telemetry: cfg.Telemetry,
 		Tracer:    cfg.Tracer,
+		Blame:     cfg.Blame,
+		Flight:    cfg.Flight,
 	}
-	if cfg.CheckTraffic {
+	switch {
+	case cfg.CheckTraffic && cfg.Witness != nil:
+		w := cfg.Witness
+		opts.LinkTap = func(sd int, dir fault.Direction, attempt int, frame []byte) {
+			tc.tap(sd, dir, attempt, frame)
+			w.Tap(sd, dir, attempt, frame)
+		}
+	case cfg.CheckTraffic:
 		opts.LinkTap = tc.tap
+	case cfg.Witness != nil:
+		opts.LinkTap = cfg.Witness.Tap
 	}
 	c, err := sdimm.NewCluster(opts)
 	if err != nil {
@@ -270,11 +303,28 @@ func Run(cfg Config) (Result, error) {
 	res.TrafficViolations += int(tc.violations.Load())
 	res.FaultStats = in.Stats()
 	res.Health = c.Health()
+	res.WitnessViolations = cfg.Witness.Violations()
 	if cfg.Telemetry != nil {
 		s := cfg.Telemetry.Snapshot()
 		res.Snapshot = &s
 	}
+	res.FlightDump = maybeDumpFlight(cfg.Flight, cfg.FlightPath,
+		res.Mismatches > 0 || res.TrafficViolations > 0 || res.Errors > 0 || res.WitnessViolations > 0)
 	return res, nil
+}
+
+// maybeDumpFlight writes the flight-recorder snapshot when a check went red
+// and a recorder plus destination were configured, returning the written
+// path ("" otherwise). Dump errors are swallowed — a failing post-mortem
+// artifact must never mask the failure it documents.
+func maybeDumpFlight(fr *flight.Recorder, path string, red bool) string {
+	if fr == nil || path == "" || !red {
+		return ""
+	}
+	if err := fr.DumpFile(path); err != nil {
+		return ""
+	}
+	return path
 }
 
 // runSequential is the one-access-at-a-time driver with the per-access

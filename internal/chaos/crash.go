@@ -9,6 +9,7 @@ import (
 
 	"sdimm"
 	"sdimm/internal/durable"
+	"sdimm/internal/flight"
 	"sdimm/internal/rng"
 	"sdimm/internal/telemetry"
 )
@@ -58,6 +59,11 @@ type CrashConfig struct {
 	Corrupt bool
 	// Split runs the Split protocol with the XOR parity member.
 	Split bool
+	// Flight, when set, attaches the flight recorder to every Independent
+	// incarnation (the rings span restarts); when FlightPath is also set
+	// and the sweep is not Equivalent(), the rings are dumped there.
+	Flight     *flight.Recorder
+	FlightPath string
 }
 
 // CrashResult summarizes one crash sweep. The sweep passes iff Equivalent().
@@ -82,6 +88,10 @@ type CrashResult struct {
 	PayloadMismatches   int // final payload sweep diverged
 	PositionMismatches  int // final position map diverged
 	TelemetryMismatches int // final incarnation's access counters diverged
+
+	// FlightDump is the flight-recorder snapshot written when the sweep
+	// diverged ("" when equivalent or no recorder was attached).
+	FlightDump string
 }
 
 // Equivalent reports whether the recovered run matched the uncrashed
@@ -151,6 +161,7 @@ func crashIndOpts(cfg CrashConfig, reg *telemetry.Registry, dur *sdimm.Durabilit
 		Seed:       cfg.Seed ^ 0xc0ffee,
 		Telemetry:  reg,
 		Durability: dur,
+		Flight:     cfg.Flight,
 	}
 }
 
@@ -459,5 +470,6 @@ func RunCrash(cfg CrashConfig) (CrashResult, error) {
 		}
 	}
 	closeC()
+	res.FlightDump = maybeDumpFlight(cfg.Flight, cfg.FlightPath, !res.Equivalent())
 	return res, nil
 }

@@ -1,0 +1,179 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+
+	"sdimm/internal/fault"
+	"sdimm/internal/flight"
+	"sdimm/internal/telemetry"
+	"sdimm/internal/witness"
+)
+
+// TestWitnessSilentOnChaosSweep is the production-guardrail property: a full
+// faulted campaign — retries, ARQ, duplicates, the works — must not trip the
+// online obliviousness monitor. Recovery traffic is part of the protocol's
+// observable envelope, and the witness's invariants are calibrated to admit
+// exactly that envelope.
+func TestWitnessSilentOnChaosSweep(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	wit := witness.New(witness.Options{Members: 4, Window: 512, Registry: reg})
+	res, err := Run(Config{
+		Accesses: 1200,
+		Seed:     11,
+		Faults: fault.Config{
+			Seed:      5,
+			Drop:      0.01,
+			BitFlip:   0.01,
+			Duplicate: 0.005,
+			Replay:    0.005,
+			Stall:     0.005,
+		},
+		CheckTraffic: true,
+		Witness:      wit,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches != 0 || res.TrafficViolations != 0 {
+		t.Fatalf("campaign itself went red: %+v", res)
+	}
+	if res.WitnessViolations != 0 {
+		t.Fatalf("witness flagged %d violations on a clean sweep: %+v",
+			res.WitnessViolations, wit.Verdict())
+	}
+	v := wit.Verdict()
+	if v.Frames == 0 {
+		t.Fatal("witness saw no frames — tap not chained")
+	}
+	if v.Windows == 0 {
+		t.Fatal("witness checked no balance windows — window too large for the sweep")
+	}
+	// The traffic checker still ran alongside the chained witness tap.
+	if c := reg.Snapshot().Counters; c["witness.frames"] != v.Frames {
+		t.Fatalf("witness.frames counter %d != verdict frames %d", c["witness.frames"], v.Frames)
+	}
+}
+
+// TestWitnessSilentOnResizeSweep attaches the monitor to the elastic
+// drain/remove/join equivalence sweep: migration batches ride the ordinary
+// access shape, so even a full rebalance with seeded crashes must keep the
+// witness silent on the reference run's links.
+func TestWitnessSilentOnResizeSweep(t *testing.T) {
+	wit := witness.New(witness.Options{Members: 4, Window: 512})
+	res, err := RunResize(ResizeConfig{
+		Accesses: 400,
+		Seed:     9,
+		Crashes:  2,
+		Witness:  wit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent() {
+		t.Fatalf("resize sweep diverged: %+v", res)
+	}
+	if res.WitnessViolations != 0 {
+		t.Fatalf("witness flagged %d violations during rebalance: %+v",
+			res.WitnessViolations, wit.Verdict())
+	}
+	if wit.Verdict().Frames == 0 {
+		t.Fatal("witness saw no frames on the reference run")
+	}
+}
+
+// TestWitnessFlagsShapeViolatingLink calibrates the monitor on real cluster
+// traffic, then injects one frame with a length the link never exhibits —
+// the monitor must flag it immediately.
+func TestWitnessFlagsShapeViolatingLink(t *testing.T) {
+	wit := witness.New(witness.Options{Members: 4})
+	res, err := Run(Config{Accesses: 300, Seed: 3, Witness: wit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WitnessViolations != 0 {
+		t.Fatalf("clean run tripped the witness: %d", res.WitnessViolations)
+	}
+	// A padding bug (or a leaky length channel) shows up as a frame length
+	// the calibrated link has never carried.
+	v := wit.Verdict()
+	wit.Tap(2, fault.HostToDev, 0, make([]byte, 3))
+	after := wit.Verdict()
+	if after.ShapeViolations != v.ShapeViolations+1 {
+		t.Fatalf("shape-violating frame not flagged: before %+v after %+v", v, after)
+	}
+	if after.OK {
+		t.Fatal("verdict still OK after a shape violation")
+	}
+}
+
+// TestFlightDumpOnInducedFailure induces a red run (a drop rate the retry
+// budget cannot absorb), and checks the flight recorder dumps its rings as a
+// valid Chrome trace with per-ring activity from the run's last moments.
+func TestFlightDumpOnInducedFailure(t *testing.T) {
+	fr := flight.New(4, 256)
+	path := t.TempDir() + "/flight.json"
+	res, err := Run(Config{
+		Accesses:   200,
+		Seed:       21,
+		Faults:     fault.Config{Seed: 13, Drop: 0.5},
+		Retry:      fault.RetryPolicy{MaxAttempts: 1},
+		Flight:     fr,
+		FlightPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("fault schedule failed to induce errors — test needs a harsher config")
+	}
+	if res.FlightDump != path {
+		t.Fatalf("FlightDump = %q, want %q", res.FlightDump, path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("dump not written: %v", err)
+	}
+	n, err := telemetry.ValidateTrace(data)
+	if err != nil {
+		t.Fatalf("dump is not a valid trace: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("dump holds no events")
+	}
+	// The member rings recorded link-layer activity (retries/abandons at
+	// this drop rate are guaranteed).
+	var linkEvents int
+	for i := 0; i < 4; i++ {
+		linkEvents += fr.Ring(i).Len()
+	}
+	if linkEvents == 0 {
+		t.Fatal("no link-layer events in the member rings")
+	}
+}
+
+// TestFlightNoDumpOnGreenRun: the recorder is always on, but green runs must
+// not leave dump artifacts behind.
+func TestFlightNoDumpOnGreenRun(t *testing.T) {
+	fr := flight.New(4, 256)
+	path := t.TempDir() + "/flight.json"
+	res, err := Run(Config{
+		Accesses:   200,
+		Seed:       2,
+		Flight:     fr,
+		FlightPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Mismatches != 0 {
+		t.Fatalf("clean run went red: %+v", res)
+	}
+	if res.FlightDump != "" {
+		t.Fatalf("green run dumped flight data to %q", res.FlightDump)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("dump file exists after a green run (stat err %v)", err)
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"sdimm"
 	"sdimm/internal/durable"
 	"sdimm/internal/fault"
+	"sdimm/internal/flight"
 	"sdimm/internal/rng"
+	"sdimm/internal/witness"
 )
 
 // This file is the resize chaos mode: online membership changes under load,
@@ -57,6 +59,15 @@ type ResizeConfig struct {
 	// per-block routing), membership changes by whole-member rebuild from
 	// parity.
 	Split bool
+	// Witness, when set, observes the reference run's links (Independent
+	// only — the same traffic the offline shape checks judge), so elastic
+	// sweeps can assert the online monitor stays silent.
+	Witness *witness.Monitor
+	// Flight, when set, rides along on every Independent incarnation (the
+	// rings span restarts); with FlightPath set, a non-equivalent sweep
+	// dumps the rings there.
+	Flight     *flight.Recorder
+	FlightPath string
 }
 
 func withResizeDefaults(cfg ResizeConfig) ResizeConfig {
@@ -111,6 +122,12 @@ type ResizeResult struct {
 	PositionMismatches  int
 	MigrationMismatches int // final migration count diverged from reference
 	TrafficViolations   int // reference-run traffic-shape checks that failed
+
+	// WitnessViolations is the online monitor's total over the reference
+	// run (zero unless a witness was attached).
+	WitnessViolations uint64
+	// FlightDump is the flight snapshot written for a non-equivalent sweep.
+	FlightDump string
 }
 
 // Equivalent reports whether the crashed run matched the reference on every
@@ -232,10 +249,16 @@ func resizeIndOpts(cfg ResizeConfig, dur *sdimm.DurabilityOptions, shape *linkSh
 		Key:        []byte("resize-campaign-key"),
 		Seed:       cfg.Seed ^ 0xe1a57c,
 		Durability: dur,
+		Flight:     cfg.Flight,
 	}
 	if shape != nil {
+		// The reference run carries the offline shape checker and the online
+		// witness on the same tap: both judge exactly the traffic an attacker
+		// on the links would see.
+		w := cfg.Witness
 		opts.LinkTap = func(sd int, dir fault.Direction, attempt int, frame []byte) {
 			shape.tap(sd, dir, frame)
+			w.Tap(sd, dir, attempt, frame)
 		}
 	}
 	return opts
@@ -614,5 +637,8 @@ func RunResize(cfg ResizeConfig) (ResizeResult, error) {
 		}
 	}
 	closeC()
+	res.WitnessViolations = cfg.Witness.Violations()
+	res.FlightDump = maybeDumpFlight(cfg.Flight, cfg.FlightPath,
+		!res.Equivalent() || res.WitnessViolations > 0)
 	return res, nil
 }

@@ -117,6 +117,36 @@ func TestTelemetryCountersMatchResult(t *testing.T) {
 		t.Fatalf("cluster.rehome_attempts %d with zero rehomes driven", attempts)
 	}
 
+	// Post-durability/elastic audit counters reconcile too. A plain fault
+	// campaign drives no drains, no checkpoints, no recovery, and no scrub,
+	// so every one of those counters must sit at exactly zero — a nonzero
+	// value here means a steady-state code path is crediting maintenance
+	// machinery that never ran.
+	for _, name := range []string{
+		"cluster.migrations",
+		"cluster.checkpoints",
+		"cluster.recovery.replayed",
+		"cluster.scrub.scanned",
+		"cluster.scrub.repaired",
+		"cluster.scrub.unrecoverable",
+		"cluster.poisoned_reads",
+		"cluster.reconstructions",
+	} {
+		if got := c[name]; got != 0 {
+			t.Fatalf("%s = %d in a plain campaign, want 0", name, got)
+		}
+	}
+	// Lost appends reconcile against the recovery layer: every driven
+	// rehome started from a lost real append, every lost append rode an
+	// abandoned exchange, and abandonment is the only way to lose one.
+	appendsLost := c["cluster.appends_lost"]
+	if rehomes > appendsLost {
+		t.Fatalf("cluster.rehomes %d > cluster.appends_lost %d", rehomes, appendsLost)
+	}
+	if appendsLost > abandoned {
+		t.Fatalf("cluster.appends_lost %d > fault.abandoned %d", appendsLost, abandoned)
+	}
+
 	// seccomm activity was mirrored too.
 	if c["seccomm.seals"] == 0 || c["seccomm.opens"] == 0 {
 		t.Fatal("seccomm counters not wired")

@@ -31,6 +31,23 @@ func NewLinkMetrics(reg *telemetry.Registry, labels ...string) *LinkMetrics {
 	}
 }
 
+// NotifyEvent tags one link-recovery event for Transactor.Notify.
+type NotifyEvent uint8
+
+const (
+	// NotifyRetry is an extra delivery attempt (n = attempt number ≥ 1).
+	NotifyRetry NotifyEvent = iota
+	// NotifyRetransmit is a device-side ARQ retransmission of a cached
+	// response (n = attempt number it occurred on).
+	NotifyRetransmit
+	// NotifyResync is a post-abandonment counter realignment (n = attempts
+	// spent).
+	NotifyResync
+	// NotifyAbandon is an exchange that exhausted its retry budget (n =
+	// attempts spent).
+	NotifyAbandon
+)
+
 // TransactorStats counts recovery activity on one link.
 type TransactorStats struct {
 	// Exchanges that completed (including ones resolved by a retry).
@@ -93,6 +110,12 @@ type Transactor struct {
 	// Metrics, when set, mirrors the recovery counters into a telemetry
 	// registry (see NewLinkMetrics).
 	Metrics *LinkMetrics
+	// Notify, when set, observes recovery events as they happen (the
+	// flight recorder hangs off this): retries, device-side ARQ
+	// retransmissions, resyncs, and abandonments. Called from whatever
+	// goroutine drives the exchange; implementations must be cheap and
+	// must not call back into the transactor.
+	Notify func(ev NotifyEvent, n int)
 
 	lastResp []byte
 	stats    TransactorStats
@@ -130,6 +153,9 @@ func (t *Transactor) Exchange(body []byte) ([]byte, error) {
 			t.stats.Retries++
 			if t.Metrics != nil {
 				t.Metrics.Retries.Inc()
+			}
+			if t.Notify != nil {
+				t.Notify(NotifyRetry, attempt)
 			}
 			p.Sleep(p.backoff(attempt))
 			// Rewind so the retry re-seals the identical frame.
@@ -170,6 +196,10 @@ func (t *Transactor) Exchange(body []byte) ([]byte, error) {
 		t.Metrics.Resyncs.Inc()
 		t.Metrics.Abandoned.Inc()
 	}
+	if t.Notify != nil {
+		t.Notify(NotifyResync, used)
+		t.Notify(NotifyAbandon, used)
+	}
 	return nil, fmt.Errorf("fault: exchange abandoned after %d attempts: %w", used, lastErr)
 }
 
@@ -208,6 +238,9 @@ func (t *Transactor) attempt(body []byte, attempt int) ([]byte, error) {
 				t.stats.Retransmits++
 				if t.Metrics != nil {
 					t.Metrics.Retransmits.Inc()
+				}
+				if t.Notify != nil {
+					t.Notify(NotifyRetransmit, attempt)
 				}
 				outbound = append(outbound, t.lastResp)
 			}

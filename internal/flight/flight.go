@@ -1,0 +1,216 @@
+// Package flight is the always-on flight recorder: fixed-size,
+// allocation-free per-worker ring buffers of recent events (wave ids, phase
+// edges, health transitions, retry/ARQ activity, checkpoints). In steady
+// state recording is a handful of stores into a preallocated array; when a
+// chaos/crash/equivalence check goes red, the harness dumps the rings as a
+// Chrome-trace-compatible snapshot, so every failing run ships its own
+// last-milliseconds trace without paying for full tracing on green runs.
+//
+// Concurrency model: each Ring has exactly one writer (worker i records
+// only into ring i; the coordinator owns the last ring), so Record needs no
+// atomics and no locks. Dumping reads every ring, so it must run quiesced —
+// after the pipeline has closed or between harness phases — which is
+// exactly when failure dumps happen.
+package flight
+
+import (
+	"io"
+	"os"
+	"time"
+
+	"sdimm/internal/telemetry"
+)
+
+// Kind tags one recorded event.
+type Kind uint8
+
+const (
+	// KindWave marks a wave starting on the coordinator (A = wave index,
+	// B = ops admitted).
+	KindWave Kind = 1 + iota
+	// KindPhase marks a pipeline phase edge (A = phase code, B = wave index).
+	KindPhase
+	// KindHealth marks a health-state transition (A = from, B = to).
+	KindHealth
+	// KindRetry marks a link retry attempt (A = attempt number).
+	KindRetry
+	// KindRetransmit marks a device-side ARQ retransmission.
+	KindRetransmit
+	// KindResync marks a post-abandonment counter resync.
+	KindResync
+	// KindAbandon marks an exchange that exhausted its retry budget.
+	KindAbandon
+	// KindCheckpoint marks a durable checkpoint commit (A = sequence).
+	KindCheckpoint
+	// KindRecovery marks a recovery milestone (A = records replayed).
+	KindRecovery
+)
+
+var kindNames = map[Kind]string{
+	KindWave:       "wave",
+	KindPhase:      "phase",
+	KindHealth:     "health",
+	KindRetry:      "retry",
+	KindRetransmit: "retransmit",
+	KindResync:     "resync",
+	KindAbandon:    "abandon",
+	KindCheckpoint: "checkpoint",
+	KindRecovery:   "recovery",
+}
+
+// String returns the kind's stable name (the dumped event name).
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// Event is one recorded entry. A and B are kind-specific arguments.
+type Event struct {
+	TS   uint64
+	Kind Kind
+	A, B uint64
+}
+
+// Ring is one single-writer ring buffer. The zero/nil Ring drops records.
+type Ring struct {
+	clock func() uint64
+	buf   []Event
+	n     uint64 // total events ever recorded
+}
+
+// Record stores one event, overwriting the oldest once the ring is full.
+// Allocation-free and lock-free; safe only from the ring's single writer.
+func (r *Ring) Record(k Kind, a, b uint64) {
+	if r == nil {
+		return
+	}
+	r.buf[r.n&uint64(len(r.buf)-1)] = Event{TS: r.clock(), Kind: k, A: a, B: b}
+	r.n++
+}
+
+// Len reports how many events the ring currently retains.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.n < uint64(len(r.buf)) {
+		return int(r.n)
+	}
+	return len(r.buf)
+}
+
+// Events returns the retained events, oldest first (a copy).
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, r.Len())
+	start := uint64(0)
+	if r.n > uint64(len(r.buf)) {
+		start = r.n - uint64(len(r.buf))
+	}
+	for i := start; i < r.n; i++ {
+		out = append(out, r.buf[i&uint64(len(r.buf)-1)])
+	}
+	return out
+}
+
+// Recorder is a set of rings: one per SDIMM worker plus one for the
+// coordinator (the last index).
+type Recorder struct {
+	rings []Ring
+	clock func() uint64
+}
+
+// New builds a recorder with `members` worker rings plus a coordinator
+// ring, each retaining `size` events (rounded up to a power of two;
+// default 1024). The clock is monotonic microseconds since creation.
+func New(members, size int) *Recorder {
+	start := time.Now()
+	return NewWithClock(members, size, func() uint64 {
+		return uint64(time.Since(start).Microseconds())
+	})
+}
+
+// NewWithClock is New with an injected clock — tests use a logical counter
+// so dump contents are bitwise-deterministic for a seeded run.
+func NewWithClock(members, size int, clock func() uint64) *Recorder {
+	if size <= 0 {
+		size = 1024
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	r := &Recorder{rings: make([]Ring, members+1), clock: clock}
+	for i := range r.rings {
+		r.rings[i].clock = clock
+		r.rings[i].buf = make([]Event, n)
+	}
+	return r
+}
+
+// Ring returns ring i (workers 0..members-1; Coordinator() for the last).
+// Nil-safe: a nil recorder returns a nil ring that drops records.
+func (r *Recorder) Ring(i int) *Ring {
+	if r == nil || i < 0 || i >= len(r.rings) {
+		return nil
+	}
+	return &r.rings[i]
+}
+
+// Coordinator returns the coordinator's ring.
+func (r *Recorder) Coordinator() *Ring {
+	if r == nil {
+		return nil
+	}
+	return &r.rings[len(r.rings)-1]
+}
+
+// Rings reports how many rings the recorder holds.
+func (r *Recorder) Rings() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.rings)
+}
+
+// WriteTrace dumps every ring as Chrome trace-event JSON (the same schema
+// telemetry.WriteJSON emits and telemetry.ValidateTrace checks): ring i
+// becomes trace lane (tid) i, each event a zero-duration span named after
+// its kind with the ring, sequence, and arguments attached. Call only when
+// the writers are quiescent.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	tr := telemetry.NewTracer(func() uint64 { return 0 })
+	if r != nil {
+		for i := range r.rings {
+			ring := &r.rings[i]
+			seq := uint64(0)
+			if ring.n > uint64(len(ring.buf)) {
+				seq = ring.n - uint64(len(ring.buf))
+			}
+			for _, ev := range ring.Events() {
+				tr.CompleteArgs(i, "flight."+ev.Kind.String(), "flight", ev.TS, ev.TS,
+					map[string]any{"ring": i, "seq": seq, "a": ev.A, "b": ev.B})
+				seq++
+			}
+		}
+	}
+	return tr.WriteJSON(w)
+}
+
+// DumpFile writes the trace snapshot to path (atomically enough for a
+// post-mortem artifact: create, write, close).
+func (r *Recorder) DumpFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

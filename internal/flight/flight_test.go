@@ -1,0 +1,193 @@
+package flight
+
+import (
+	"bytes"
+	"os"
+	"sync"
+	"testing"
+
+	"sdimm/internal/raceflag"
+	"sdimm/internal/telemetry"
+)
+
+// logicalClock returns a deterministic monotonically increasing clock.
+func logicalClock() func() uint64 {
+	var t uint64
+	return func() uint64 {
+		t++
+		return t
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewWithClock(0, 8, logicalClock())
+	ring := r.Coordinator()
+	for i := 0; i < 20; i++ {
+		ring.Record(KindWave, uint64(i), uint64(i*2))
+	}
+	if got := ring.Len(); got != 8 {
+		t.Fatalf("Len() = %d, want 8 after wraparound", got)
+	}
+	evs := ring.Events()
+	if len(evs) != 8 {
+		t.Fatalf("Events() returned %d events, want 8", len(evs))
+	}
+	// Oldest-first: the retained events are 12..19.
+	for i, ev := range evs {
+		want := uint64(12 + i)
+		if ev.A != want || ev.B != want*2 || ev.Kind != KindWave {
+			t.Fatalf("event %d = %+v, want A=%d B=%d", i, ev, want, want*2)
+		}
+		if i > 0 && ev.TS <= evs[i-1].TS {
+			t.Fatalf("timestamps not increasing at %d: %d then %d", i, evs[i-1].TS, ev.TS)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewWithClock(0, 8, logicalClock())
+	ring := r.Coordinator()
+	ring.Record(KindCheckpoint, 7, 0)
+	ring.Record(KindRecovery, 9, 1)
+	if got := ring.Len(); got != 2 {
+		t.Fatalf("Len() = %d, want 2", got)
+	}
+	evs := ring.Events()
+	if len(evs) != 2 || evs[0].Kind != KindCheckpoint || evs[1].Kind != KindRecovery {
+		t.Fatalf("Events() = %+v, want checkpoint then recovery", evs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	if r.Rings() != 0 {
+		t.Fatal("nil recorder should report 0 rings")
+	}
+	r.Ring(0).Record(KindRetry, 1, 0) // must not panic
+	r.Coordinator().Record(KindWave, 1, 0)
+	if r.Ring(3).Len() != 0 || r.Ring(3).Events() != nil {
+		t.Fatal("nil ring should be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("nil recorder WriteTrace: %v", err)
+	}
+	if _, err := telemetry.ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("nil recorder trace invalid: %v", err)
+	}
+}
+
+func TestSizeRounding(t *testing.T) {
+	r := NewWithClock(1, 5, logicalClock())
+	ring := r.Ring(0)
+	for i := 0; i < 100; i++ {
+		ring.Record(KindRetry, uint64(i), 0)
+	}
+	if got := ring.Len(); got != 8 {
+		t.Fatalf("size 5 should round to 8, Len() = %d", got)
+	}
+	if r := New(2, 0); len(r.rings[0].buf) != 1024 {
+		t.Fatalf("default size = %d, want 1024", len(r.rings[0].buf))
+	}
+}
+
+// TestConcurrentWriters exercises the single-writer-per-ring discipline under
+// -race: one goroutine per ring, all recording simultaneously.
+func TestConcurrentWriters(t *testing.T) {
+	const members = 8
+	r := New(members, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < r.Rings(); i++ {
+		wg.Add(1)
+		go func(ring *Ring, id int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				ring.Record(KindRetry, uint64(id), uint64(j))
+			}
+		}(r.Ring(i), i)
+	}
+	wg.Wait()
+	for i := 0; i < r.Rings(); i++ {
+		ring := r.Ring(i)
+		if ring.Len() != 64 {
+			t.Fatalf("ring %d Len() = %d, want 64", i, ring.Len())
+		}
+		for _, ev := range ring.Events() {
+			if ev.A != uint64(i) {
+				t.Fatalf("ring %d holds foreign event %+v", i, ev)
+			}
+		}
+	}
+}
+
+// TestDumpDeterministic checks that two identical event sequences recorded
+// under a logical clock produce bitwise-identical trace dumps.
+func TestDumpDeterministic(t *testing.T) {
+	dump := func() []byte {
+		r := NewWithClock(2, 8, logicalClock())
+		r.Ring(0).Record(KindRetry, 3, 0)
+		r.Ring(0).Record(KindRetransmit, 1, 0)
+		r.Ring(1).Record(KindHealth, 0, 1)
+		r.Coordinator().Record(KindWave, 0, 16)
+		r.Coordinator().Record(KindPhase, 1, 0)
+		var buf bytes.Buffer
+		if err := r.WriteTrace(&buf); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := dump(), dump()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("dumps differ:\n%s\nvs\n%s", a, b)
+	}
+	n, err := telemetry.ValidateTrace(a)
+	if err != nil {
+		t.Fatalf("dump is not a valid trace: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("trace has %d events, want 5", n)
+	}
+}
+
+func TestDumpFile(t *testing.T) {
+	r := NewWithClock(1, 8, logicalClock())
+	r.Ring(0).Record(KindAbandon, 8, 0)
+	path := t.TempDir() + "/flight.json"
+	if err := r.DumpFile(path); err != nil {
+		t.Fatalf("DumpFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read dump: %v", err)
+	}
+	if _, err := telemetry.ValidateTrace(data); err != nil {
+		t.Fatalf("dump file invalid: %v", err)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := KindWave; k <= KindRecovery; k++ {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(0).String() != "unknown" || Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kinds should stringify as unknown")
+	}
+}
+
+// TestRecordAllocationFree is the always-on guarantee: recording into a ring
+// must not allocate.
+func TestRecordAllocationFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation accounting differs under -race")
+	}
+	r := New(1, 64)
+	ring := r.Ring(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		ring.Record(KindRetry, 1, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("Ring.Record allocates %.1f per op, want 0", allocs)
+	}
+}

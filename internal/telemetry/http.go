@@ -10,9 +10,15 @@ import (
 
 // Handler serves the registry as an expvar-style live endpoint:
 // GET / returns the JSON snapshot; GET /?text=1 returns the sorted text
-// rendering; a "prefix" query parameter filters metric names.
+// rendering; a "prefix" query parameter filters metric names; GET /metrics
+// returns the Prometheus text exposition (see WritePrometheus).
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/metrics" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			r.WritePrometheus(w)
+			return
+		}
 		s := r.Snapshot()
 		q := req.URL.Query()
 		if q.Get("text") != "" {

@@ -1,0 +1,150 @@
+package sdimm
+
+import (
+	"bytes"
+	"testing"
+
+	"sdimm/internal/blame"
+	"sdimm/internal/flight"
+	"sdimm/internal/telemetry"
+)
+
+// TestPipelineWavePhaseTiling is the blame profiler's core contract on the
+// real pipeline: at parallelism 4 every recorded wave's phase intervals are
+// contiguous and tile the wave's wall-clock exactly — no unattributed gap,
+// no overlap. Runs under -race in CI: the coordinator marks boundaries while
+// workers stamp busy spans into their own member slots.
+func TestPipelineWavePhaseTiling(t *testing.T) {
+	col := blame.NewCollector(4, 128)
+	c, err := NewCluster(ClusterOptions{SDIMMs: 4, Levels: 10, Seed: 42, Blame: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := c.Pipeline(PipelineOptions{Window: 8, Parallelism: 4})
+	defer pipe.Close()
+
+	ops := make([]BatchOp, 32)
+	payload := make([]byte, 64)
+	for i := range ops {
+		ops[i] = BatchOp{Addr: uint64(i), Write: i%2 == 0, Data: payload}
+	}
+	for b := 0; b < 6; b++ {
+		for _, r := range pipe.Do(ops) {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+	}
+
+	recs := col.Recent()
+	if len(recs) == 0 {
+		t.Fatal("pipeline recorded no waves")
+	}
+	var totalOps int
+	for _, rec := range recs {
+		var sum uint64
+		for p := blame.Phase(0); p < blame.Phase(blame.NumPhases()); p++ {
+			sum += rec.PhaseDur(p)
+		}
+		if sum != rec.Wall() {
+			t.Fatalf("wave %d: phase intervals sum to %dns, wall is %dns — tiling broken: %+v",
+				rec.Index, sum, rec.Wall(), rec)
+		}
+		// Boundaries are monotone: no interval may run backwards.
+		for i := 0; i < blame.NumPhases(); i++ {
+			if rec.Bounds[i+1] < rec.Bounds[i] {
+				t.Fatalf("wave %d: bounds not monotone: %v", rec.Index, rec.Bounds)
+			}
+		}
+		// Worker busy time inside a fan-out never exceeds members × interval.
+		for _, p := range []blame.Phase{blame.PhaseAccessFanout, blame.PhaseAppendFanout} {
+			if rec.BusySum[p] > 4*rec.PhaseDur(p) {
+				t.Fatalf("wave %d: %s busy %dns > 4 workers x %dns interval",
+					rec.Index, p, rec.BusySum[p], rec.PhaseDur(p))
+			}
+			if rec.MaxBusy[p] > rec.PhaseDur(p) {
+				t.Fatalf("wave %d: %s max busy %dns exceeds the interval %dns",
+					rec.Index, p, rec.MaxBusy[p], rec.PhaseDur(p))
+			}
+		}
+		totalOps += rec.Ops
+	}
+	if totalOps != 6*32 {
+		t.Fatalf("waves account for %d ops, want %d", totalOps, 6*32)
+	}
+
+	rep := col.Report()
+	if rep.AttributionRatio != 1.0 {
+		t.Fatalf("AttributionRatio = %v, want exactly 1.0 (contiguous construction)", rep.AttributionRatio)
+	}
+	if len(rep.Ledger) == 0 || rep.TopBottleneck == "" {
+		t.Fatalf("empty serialization ledger: %+v", rep)
+	}
+	// The fan-out phases saw real worker activity.
+	for _, ps := range rep.Phases {
+		if !ps.Coordinator && ps.TotalNS > 0 && ps.WorkerBusyNS == 0 {
+			t.Fatalf("fan-out phase %s has wall time but no worker busy time", ps.Phase)
+		}
+	}
+}
+
+// TestBlameEquivalence: attaching a blame collector and a flight recorder
+// must not change a single access result — the observability layer draws no
+// randomness and feeds nothing back.
+func TestBlameEquivalence(t *testing.T) {
+	run := func(col *blame.Collector, fr *flight.Recorder) []byte {
+		c, err := NewCluster(ClusterOptions{SDIMMs: 4, Levels: 10, Seed: 7, Blame: col, Flight: fr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe := c.Pipeline(PipelineOptions{Window: 4, Parallelism: 2})
+		defer pipe.Close()
+		var out []byte
+		ops := make([]BatchOp, 16)
+		for i := range ops {
+			ops[i] = BatchOp{Addr: uint64(i % 24), Write: i%3 == 0, Data: bytes.Repeat([]byte{byte(i)}, 64)}
+		}
+		for b := 0; b < 4; b++ {
+			for _, r := range pipe.Do(ops) {
+				if r.Err != nil {
+					t.Fatal(r.Err)
+				}
+				out = append(out, r.Data...)
+			}
+		}
+		return out
+	}
+	bare := run(nil, nil)
+	instrumented := run(blame.NewCollector(4, 64), flight.New(4, 256))
+	if !bytes.Equal(bare, instrumented) {
+		t.Fatal("observability instrumentation changed access results")
+	}
+}
+
+// TestClusterFlightRecords: a sequential (non-pipeline) cluster with a
+// recorder attached stamps health transitions and link retries into the
+// owning member's ring, and checkpoints into the coordinator's.
+func TestClusterFlightRecords(t *testing.T) {
+	fr := flight.New(2, 64)
+	c, err := NewCluster(ClusterOptions{SDIMMs: 2, Levels: 8, Seed: 1, Flight: fr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64)
+	for i := 0; i < 20; i++ {
+		if err := c.Write(uint64(i), data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Read(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Dump the rings; whatever was recorded must form a valid trace.
+	var buf bytes.Buffer
+	if err := fr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := telemetry.ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("cluster flight dump invalid: %v", err)
+	}
+}

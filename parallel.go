@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 
+	"sdimm/internal/blame"
 	"sdimm/internal/durable"
 	"sdimm/internal/fault"
+	"sdimm/internal/flight"
 	"sdimm/internal/oram"
 	isdimm "sdimm/internal/sdimm"
 )
@@ -156,6 +158,10 @@ type Pipeline struct {
 	free []*pipeOp
 	seen map[uint64]bool
 	recs []durable.Record
+
+	// waveN numbers the waves this pipeline has run — the wave id the blame
+	// profiler and flight recorder stamp on their records.
+	waveN uint64
 }
 
 // Pipeline builds a batched access pipeline over the cluster.
@@ -281,6 +287,15 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 	c := p.c
 	globalLeaves := uint64(1) << (c.levels - 1)
 
+	// Observability taps: both are nil-safe no-ops when the cluster runs
+	// without a blame collector or flight recorder, and neither draws
+	// randomness nor touches shared state — attaching them cannot perturb
+	// the wave schedule or the bitwise-equivalence guarantee.
+	bw := c.blame.BeginWave()
+	fl := c.flight.Coordinator()
+	waveID := p.waveN
+	p.waveN++
+
 	// Schedule (coordinator, logical order): admit up to Window ops with
 	// distinct addresses, drawing all shared randomness here. An address
 	// repeat ends the wave — the second op must observe the first's commit.
@@ -296,6 +311,8 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 		p.wave = append(p.wave, p.schedule(ops[i], i, globalLeaves))
 	}
 	wave := p.wave
+	bw.Mark(blame.PhaseSchedule)
+	fl.Record(flight.KindWave, waveID, uint64(len(wave)))
 
 	tr := c.tm.tracer
 	lane := -1
@@ -313,6 +330,7 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 		}
 		po := po
 		p.pool.submit(po.sd, func() {
+			ws := bw.WorkerStart()
 			mask := uint64(1)<<c.localBits - 1
 			req := isdimm.AccessRequest{
 				Addr:    po.addr,
@@ -329,9 +347,12 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 				po.respBody = append(po.respBody[:0], resp...)
 			}
 			po.err = err
+			bw.WorkerDone(blame.PhaseAccessFanout, po.sd, ws)
 		})
 	}
 	p.pool.barrier()
+	bw.Mark(blame.PhaseAccessFanout)
+	fl.Record(flight.KindPhase, uint64(blame.PhaseAccessFanout), waveID)
 
 	// Merge barrier 1 (coordinator, logical order): commit position-map
 	// updates for every access whose owning buffer executed it, journal the
@@ -363,8 +384,10 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 		po.blk.Addr = po.addr
 		po.blk.Leaf = po.newG & (uint64(1)<<c.localBits - 1)
 	}
+	bw.Mark(blame.PhaseCommit)
 	err := c.appendRecords(recs)
 	p.recs = clearRecords(recs)
+	bw.Mark(blame.PhaseJournal)
 	if err != nil {
 		// The journal append died mid-wave (a planned crash point, or real
 		// I/O failure). Some records may be durable, but acknowledging any
@@ -374,6 +397,10 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 		for _, po := range committed {
 			po.err = err
 		}
+		// The append broadcast never runs: give it a zero-length interval so
+		// the abort wave still tiles, and attribute the error handling below
+		// to finalize.
+		bw.Mark(blame.PhaseAppendFanout)
 		for _, po := range wave {
 			p.finalize(po, globalLeaves, res)
 		}
@@ -381,6 +408,8 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 			endWave(map[string]any{"ops": len(wave), "err": true})
 			tr.FreeLane(lane)
 		}
+		bw.End(len(wave))
+		fl.Record(flight.KindPhase, uint64(blame.PhaseFinalize), waveID)
 		n := len(wave)
 		p.releaseWave()
 		return n
@@ -397,6 +426,8 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 	for j := range c.buffers {
 		j := j
 		p.pool.submit(j, func() {
+			ws := bw.WorkerStart()
+			defer bw.WorkerDone(blame.PhaseAppendFanout, j, ws)
 			for _, po := range wave {
 				if po.skip || po.err != nil {
 					continue
@@ -420,6 +451,8 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 		})
 	}
 	p.pool.barrier()
+	bw.Mark(blame.PhaseAppendFanout)
+	fl.Record(flight.KindPhase, uint64(blame.PhaseAppendFanout), waveID)
 
 	// Merge barrier 2 (coordinator, logical order): account lost appends,
 	// re-home in-flight real blocks, and finalize results.
@@ -430,6 +463,8 @@ func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
 		endWave(map[string]any{"ops": len(wave)})
 		tr.FreeLane(lane)
 	}
+	bw.End(len(wave))
+	fl.Record(flight.KindPhase, uint64(blame.PhaseFinalize), waveID)
 	n := len(wave)
 	p.releaseWave()
 	return n
