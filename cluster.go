@@ -277,7 +277,9 @@ func buildCluster(opts ClusterOptions) (*Cluster, error) {
 
 	auth := seccomm.NewAuthority()
 	c := &Cluster{
-		pos:       oram.NewSparsePosMap(),
+		// Sharded so the pipeline's workers can commit positions for distinct
+		// addresses concurrently; the sequential path sees an ordinary map.
+		pos:       oram.NewShardedPosMap(4 * opts.SDIMMs),
 		rnd:       rng.New(opts.Seed),
 		blockSize: opts.BlockSize,
 		levels:    opts.Levels,
@@ -590,9 +592,18 @@ var ErrNoHealthySDIMM = errors.New("sdimm: no healthy SDIMM available for placem
 // A failed/draining/removed SDIMM is public knowledge on the channel, so the
 // skew is not an access-pattern leak.
 func (c *Cluster) pickHealthyLeaf(globalLeaves uint64) (uint64, error) {
+	return c.pickLeafStates(func(i int) fault.State { return c.health[i].State() },
+		len(c.health), globalLeaves)
+}
+
+// pickLeafStates is pickHealthyLeaf's core with the health source abstracted:
+// the sequential path reads the live records, the pipeline a coordinator
+// snapshot (see Pipeline.pickLeafSnap). Both consume RNG draws identically
+// for identical state views, which is what keeps seeded histories aligned.
+func (c *Cluster) pickLeafStates(state func(i int) fault.State, n int, globalLeaves uint64) (uint64, error) {
 	c.elig = c.elig[:0]
-	for i := range c.health {
-		switch c.health[i].State() {
+	for i := 0; i < n; i++ {
+		switch state(i) {
 		case fault.Failed, fault.Draining, fault.Removed:
 		default:
 			c.elig = append(c.elig, i)
@@ -959,6 +970,11 @@ type SplitCluster struct {
 	writeBuf  []byte      // Write's zero-padded payload staging
 	durableState
 
+	// Fan-out error slots, reused across accesses (and eviction rounds) so
+	// the steady-state access path allocates only what escapes to the caller.
+	errScratch []error
+	evScratch  []error
+
 	// mkShardMember builds a fresh incarnation of member i's buffer (data
 	// shard, or parity when i == SDIMMs). Set by buildSplitCluster; used by
 	// ReplaceMember and by checkpoint restore across incarnations.
@@ -1207,9 +1223,16 @@ func (c *SplitCluster) access(addr uint64, op oram.Op, data []byte) ([]byte, err
 	// lockstep) executes its slice of the access. Each closure touches only
 	// member-owned state plus its own slots in out/errs, so the fan-out is
 	// race-free; the lowest-index error wins after the barrier, at any
-	// parallelism.
-	out := make([]byte, c.blockSize)
-	errs := make([]error, len(c.health))
+	// parallelism. Result joining happens on the workers too — each copies
+	// its slice into its disjoint region of out — so the coordinator's
+	// post-barrier work is just the error scan. out is allocated only for
+	// reads (it escapes to the caller); errs reuses cluster scratch.
+	var out []byte
+	if op == oram.OpRead {
+		out = make([]byte, c.blockSize)
+	}
+	errs := resizeErrs(c.errScratch, len(c.health))
+	c.errScratch = errs
 	var parityData []byte
 	for i, b := range c.buffers {
 		if i == down {
@@ -1307,7 +1330,8 @@ func (c *SplitCluster) access(addr uint64, op oram.Op, data []byte) ([]byte, err
 	ref := c.refEngine()
 	for n := 0; n < 8 && ref != nil && ref.NeedsDrain(); n++ {
 		leaf := c.rnd.Uint64n(c.leaves)
-		evErrs := make([]error, len(c.health))
+		evErrs := resizeErrs(c.evScratch, len(c.health))
+		c.evScratch = evErrs
 		for i, b := range c.buffers {
 			if c.memberDown(i) {
 				continue

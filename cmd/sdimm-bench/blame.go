@@ -15,9 +15,10 @@ import (
 // BENCH_blame.json — the critical-path explanation of the parallel engine's
 // speedup curve. For each worker count the report carries the full phase
 // breakdown plus the serialization ledger: the coordinator-side phases
-// (schedule, commit, journal, finalize) ranked by the wall-clock they spend
-// with every worker parked at a barrier. The ledger's top entry names the
-// phase to attack before adding workers can possibly help (Amdahl).
+// (schedule, retire.wait, finalize, access.wait, commit, dispatch,
+// checkpoint) ranked by the wall-clock they spend with every worker
+// measurably idle. The ledger's top entry names the phase to attack before
+// adding workers can possibly help (Amdahl).
 
 // blameReport is the BENCH_blame.json schema.
 type blameReport struct {

@@ -18,6 +18,7 @@ import (
 // demand a speedup from extra workers).
 type parBenchReport struct {
 	NumCPU       int                 `json:"num_cpu"`
+	GOMAXPROCS   int                 `json:"gomaxprocs"`
 	GateEnforced bool                `json:"gate_enforced"`
 	Cluster      []clusterBenchPoint `json:"cluster"`
 	Campaign     campaignBench       `json:"campaign"`
@@ -82,11 +83,18 @@ func campaignWallClock(workers int) (int, float64, error) {
 }
 
 // runParBench produces BENCH_parallel.json and applies the CI speedup
-// gates: 4 pipeline workers must beat 1 worker by ≥1.5× and an 8-worker
-// campaign must halve the 1-worker wall clock — but only on hosts with
-// enough cores for the comparison to be meaningful.
+// gates: 4 pipeline workers must beat 1 worker by ≥2× and an 8-worker
+// campaign must halve the 1-worker wall clock — but only on hosts where
+// that many workers can actually run at once. The effective core count is
+// min(NumCPU, GOMAXPROCS): a container can cap GOMAXPROCS below the host's
+// cores, and a gate demanded there would only measure the scheduler.
 func runParBench(outPath string) error {
-	rep := parBenchReport{NumCPU: runtime.NumCPU(), GateEnforced: runtime.NumCPU() >= 4}
+	effective := min(runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	rep := parBenchReport{
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		GateEnforced: effective >= 4,
+	}
 
 	var base float64
 	for _, par := range []int{1, 2, 4, 8} {
@@ -122,15 +130,15 @@ func runParBench(outPath string) error {
 	fmt.Fprintf(os.Stderr, "parbench: wrote %s\n", outPath)
 
 	if !rep.GateEnforced {
-		fmt.Fprintf(os.Stderr, "parbench: %d CPU(s) — speedup gate recorded but not enforced\n", rep.NumCPU)
+		fmt.Fprintf(os.Stderr, "parbench: %d effective CPU(s) — speedup gate recorded but not enforced\n", effective)
 		return nil
 	}
 	for _, p := range rep.Cluster {
-		if p.Parallelism == 4 && p.Speedup < 1.5 {
-			return fmt.Errorf("cluster speedup at 4 workers is %.2fx, below the 1.5x gate", p.Speedup)
+		if p.Parallelism == 4 && p.Speedup < 2.0 {
+			return fmt.Errorf("cluster speedup at 4 workers is %.2fx, below the 2x gate", p.Speedup)
 		}
 	}
-	if runtime.NumCPU() >= 8 && rep.Campaign.Speedup < 2.0 {
+	if effective >= 8 && rep.Campaign.Speedup < 2.0 {
 		return fmt.Errorf("campaign speedup at 8 workers is %.2fx, below the 2x gate", rep.Campaign.Speedup)
 	}
 	return nil

@@ -225,9 +225,17 @@ func (d *durableState) commitRecord(addr uint64, op oram.Op, data []byte) error 
 	return err
 }
 
+// checkpointDue reports that the checkpoint interval has elapsed. The
+// pipeline polls it at wave boundaries to decide when to stall the schedule
+// and drain for a quiescent capture; the sequential path checks it through
+// maybeCheckpoint after every access.
+func (d *durableState) checkpointDue() bool {
+	return d.dur != nil && !d.replaying && d.seq-d.lastCkpt >= uint64(d.interval)
+}
+
 // maybeCheckpoint runs force when the checkpoint interval has elapsed.
 func (d *durableState) maybeCheckpoint(force func() error) error {
-	if d.dur == nil || d.replaying || d.seq-d.lastCkpt < uint64(d.interval) {
+	if !d.checkpointDue() {
 		return nil
 	}
 	return force()

@@ -23,14 +23,16 @@ func TestWaveTiling(t *testing.T) {
 	w := col.BeginWave()
 	clk.now = 110
 	w.Mark(PhaseSchedule)
-	clk.now = 150
-	w.Mark(PhaseAccessFanout)
-	clk.now = 160
+	clk.now = 130
+	w.Mark(PhaseRetireWait)
+	clk.now = 145
+	w.Mark(PhaseFinalize)
+	clk.now = 185
+	w.Mark(PhaseAccessWait)
+	clk.now = 195
 	w.Mark(PhaseCommit)
-	clk.now = 165
-	w.Mark(PhaseJournal)
 	clk.now = 200
-	w.Mark(PhaseAppendFanout)
+	w.Mark(PhaseDispatch)
 	clk.now = 210
 	w.End(8)
 
@@ -46,12 +48,13 @@ func TestWaveTiling(t *testing.T) {
 		t.Fatalf("Wall() = %d, want 110", rec.Wall())
 	}
 	wantDur := map[Phase]uint64{
-		PhaseSchedule:     10,
-		PhaseAccessFanout: 40,
-		PhaseCommit:       10,
-		PhaseJournal:      5,
-		PhaseAppendFanout: 35,
-		PhaseFinalize:     10,
+		PhaseSchedule:   10,
+		PhaseRetireWait: 20,
+		PhaseFinalize:   15,
+		PhaseAccessWait: 40,
+		PhaseCommit:     10,
+		PhaseDispatch:   5,
+		PhaseCheckpoint: 10,
 	}
 	var sum uint64
 	for p, want := range wantDur {
@@ -82,9 +85,9 @@ func TestSkippedPhases(t *testing.T) {
 	clk.now = 10
 	w := col.BeginWave()
 	clk.now = 30
-	w.Mark(PhaseJournal) // schedule, access.fanout, commit, journal all end at 30
+	w.Mark(PhaseAccessWait) // schedule, retire.wait, finalize, access.wait all end at 30
 	clk.now = 50
-	w.End(1) // append.fanout and finalize end at 50
+	w.End(1) // commit, dispatch, checkpoint end at 50
 
 	rec := col.Recent()[0]
 	if rec.Wall() != 40 {
@@ -93,94 +96,84 @@ func TestSkippedPhases(t *testing.T) {
 	if d := rec.PhaseDur(PhaseSchedule); d != 20 {
 		t.Fatalf("schedule = %d, want 20 (first marked phase absorbs the span)", d)
 	}
-	for _, p := range []Phase{PhaseAccessFanout, PhaseCommit, PhaseJournal} {
+	for _, p := range []Phase{PhaseRetireWait, PhaseFinalize, PhaseAccessWait} {
 		if d := rec.PhaseDur(p); d != 0 {
 			t.Fatalf("%s = %d, want zero-length skipped interval", p, d)
 		}
 	}
-	if d := rec.PhaseDur(PhaseAppendFanout); d != 20 {
-		t.Fatalf("append.fanout = %d, want 20", d)
+	if d := rec.PhaseDur(PhaseCommit); d != 20 {
+		t.Fatalf("commit = %d, want 20", d)
 	}
-	if d := rec.PhaseDur(PhaseFinalize); d != 0 {
-		t.Fatalf("finalize = %d, want 0", d)
+	for _, p := range []Phase{PhaseDispatch, PhaseCheckpoint} {
+		if d := rec.PhaseDur(p); d != 0 {
+			t.Fatalf("%s = %d, want 0", p, d)
+		}
 	}
 	if col.Report().AttributionRatio != 1.0 {
 		t.Fatal("attribution must stay exact on early-exit waves")
 	}
 }
 
-func TestWorkerBusyAccounting(t *testing.T) {
-	col, clk := newTestCollector(3, 16)
+// TestIdleLedger drives the all-idle meter through one wave with a worker
+// task covering part of it: only the stretches where zero tasks are in
+// flight may land in the ledger, attributed to the phase they fell inside,
+// and the worker span must show up in the busy totals.
+func TestIdleLedger(t *testing.T) {
+	col, clk := newTestCollector(2, 16)
 
 	clk.now = 0
 	w := col.BeginWave()
-	w.Mark(PhaseSchedule)
-
-	// Worker 0 busy 10ns, worker 2 busy 25ns, worker 1 idle.
-	clk.now = 5
-	s0 := w.WorkerStart()
-	clk.now = 15
-	w.WorkerDone(PhaseAccessFanout, 0, s0)
-	clk.now = 15
-	s2 := w.WorkerStart()
+	clk.now = 10
+	w.Mark(PhaseSchedule) // 0..10 idle: no task in flight
+	s := col.WorkerBegin() // task starts at 10
 	clk.now = 40
-	w.WorkerDone(PhaseAccessFanout, 2, s2)
-	clk.now = 50
-	w.Mark(PhaseAccessFanout)
+	w.Mark(PhaseRetireWait) // 10..40 covered by the task: zero idle
+	col.WorkerEnd(WorkerAccess, s)
+	clk.now = 45
+	w.Mark(PhaseFinalize) // 40..45 idle again
+	w.Mark(PhaseAccessWait) // zero-length
 	clk.now = 60
-	w.End(4)
+	w.Mark(PhaseCommit) // 45..60 idle
+	clk.now = 65
+	w.Mark(PhaseDispatch) // 60..65 idle
+	w.End(4) // checkpoint zero-length
 
 	rec := col.Recent()[0]
-	if rec.BusySum[PhaseAccessFanout] != 35 {
-		t.Fatalf("BusySum = %d, want 35", rec.BusySum[PhaseAccessFanout])
+	wantIdle := map[Phase]uint64{
+		PhaseSchedule:   10,
+		PhaseRetireWait: 0,
+		PhaseFinalize:   5,
+		PhaseAccessWait: 0,
+		PhaseCommit:     15,
+		PhaseDispatch:   5,
+		PhaseCheckpoint: 0,
 	}
-	if rec.MaxBusy[PhaseAccessFanout] != 25 {
-		t.Fatalf("MaxBusy = %d, want 25 (slowest worker)", rec.MaxBusy[PhaseAccessFanout])
-	}
-
-	rep := col.Report()
-	var fan PhaseStat
-	for _, ps := range rep.Phases {
-		if ps.Phase == "access.fanout" {
-			fan = ps
+	for p, want := range wantIdle {
+		if got := rec.IdleNS[p]; got != want {
+			t.Errorf("IdleNS[%s] = %d, want %d", p, got, want)
+		}
+		if rec.IdleNS[p] > rec.PhaseDur(p) {
+			t.Errorf("IdleNS[%s] = %d exceeds interval %d", p, rec.IdleNS[p], rec.PhaseDur(p))
 		}
 	}
-	if fan.WorkerBusyNS != 35 || fan.CriticalPathNS != 25 {
-		t.Fatalf("fanout stat = %+v, want busy=35 critical=25", fan)
-	}
-	// Phase interval is 50ns; slack = 50 - 25.
-	if fan.BarrierSlackNS != 25 {
-		t.Fatalf("BarrierSlackNS = %d, want 25", fan.BarrierSlackNS)
-	}
-	// Ideal = 3 workers × 50ns = 150; idle share = 1 - 35/150.
-	if got, want := fan.WorkerIdleShare, 1-35.0/150.0; got < want-1e-12 || got > want+1e-12 {
-		t.Fatalf("WorkerIdleShare = %v, want %v", got, want)
-	}
-}
-
-func TestLedgerRanking(t *testing.T) {
-	col, clk := newTestCollector(1, 16)
-
-	clk.now = 0
-	w := col.BeginWave()
-	clk.now = 5 // schedule: 5
-	w.Mark(PhaseSchedule)
-	clk.now = 10 // access fanout: 5
-	w.Mark(PhaseAccessFanout)
-	clk.now = 40 // commit: 30 — the dominant coordinator phase
-	w.Mark(PhaseCommit)
-	clk.now = 50 // journal: 10
-	w.Mark(PhaseJournal)
-	clk.now = 55 // append fanout: 5
-	w.Mark(PhaseAppendFanout)
-	clk.now = 57 // finalize: 2
-	w.End(1)
 
 	rep := col.Report()
-	if len(rep.Ledger) != 4 {
-		t.Fatalf("ledger has %d entries, want 4 coordinator phases", len(rep.Ledger))
+	if rep.AccessBusyNS != 30 || rep.AppendBusyNS != 0 {
+		t.Fatalf("busy totals = access %d append %d, want 30/0", rep.AccessBusyNS, rep.AppendBusyNS)
 	}
-	wantOrder := []string{"commit", "journal", "schedule", "finalize"}
+	if rep.SerializedNS != 35 {
+		t.Fatalf("SerializedNS = %d, want 35 (total measured idle)", rep.SerializedNS)
+	}
+	if got, want := rep.SerializedShare, 35.0/65.0; got != want {
+		t.Fatalf("SerializedShare = %v, want %v", got, want)
+	}
+	if got, want := rep.MaxSpeedup, 65.0/35.0; got != want {
+		t.Fatalf("MaxSpeedup = %v, want %v", got, want)
+	}
+	if len(rep.Ledger) != NumPhases() {
+		t.Fatalf("ledger has %d entries, want every phase (%d)", len(rep.Ledger), NumPhases())
+	}
+	wantOrder := []string{"commit", "schedule", "finalize", "dispatch"}
 	for i, want := range wantOrder {
 		if rep.Ledger[i].Phase != want {
 			t.Fatalf("ledger[%d] = %s, want %s (full: %+v)", i, rep.Ledger[i].Phase, want, rep.Ledger)
@@ -189,14 +182,33 @@ func TestLedgerRanking(t *testing.T) {
 	if rep.TopBottleneck != "commit" {
 		t.Fatalf("TopBottleneck = %q, want commit", rep.TopBottleneck)
 	}
-	if rep.SerializedNS != 47 {
-		t.Fatalf("SerializedNS = %d, want 47", rep.SerializedNS)
+}
+
+// TestOverlapHidesIdle is the decoupling property the ledger exists to
+// measure: a coordinator phase fully covered by an in-flight worker task
+// (wave overlap) contributes interval time but zero serialized time.
+func TestOverlapHidesIdle(t *testing.T) {
+	col, clk := newTestCollector(2, 16)
+
+	clk.now = 0
+	s := col.WorkerBegin() // previous wave's append still running
+	w := col.BeginWave()
+	clk.now = 30
+	w.Mark(PhaseSchedule) // whole schedule phase overlapped by the task
+	col.WorkerEnd(WorkerAppend, s)
+	clk.now = 50
+	w.End(2)
+
+	rec := col.Recent()[0]
+	if rec.PhaseDur(PhaseSchedule) != 30 || rec.IdleNS[PhaseSchedule] != 0 {
+		t.Fatalf("schedule dur=%d idle=%d, want 30/0 (hidden behind worker)",
+			rec.PhaseDur(PhaseSchedule), rec.IdleNS[PhaseSchedule])
 	}
-	if got, want := rep.SerializedShare, 47.0/57.0; got != want {
-		t.Fatalf("SerializedShare = %v, want %v", got, want)
+	if rec.IdleNS[PhaseRetireWait] != 20 {
+		t.Fatalf("retire.wait idle = %d, want 20 (meter restarts at WorkerEnd)", rec.IdleNS[PhaseRetireWait])
 	}
-	if got, want := rep.MaxSpeedup, 57.0/47.0; got != want {
-		t.Fatalf("MaxSpeedup = %v, want %v", got, want)
+	if rep := col.Report(); rep.AppendBusyNS != 30 {
+		t.Fatalf("AppendBusyNS = %d, want 30", rep.AppendBusyNS)
 	}
 }
 
@@ -228,8 +240,8 @@ func TestNilSafety(t *testing.T) {
 	var col *Collector
 	w := col.BeginWave()
 	w.Mark(PhaseSchedule)
-	s := w.WorkerStart()
-	w.WorkerDone(PhaseAccessFanout, 0, s)
+	s := col.WorkerBegin()
+	col.WorkerEnd(WorkerAccess, s)
 	w.End(5)
 	if col.Recent() != nil {
 		t.Fatal("nil collector Recent() should be nil")
@@ -241,27 +253,38 @@ func TestNilSafety(t *testing.T) {
 }
 
 // TestWaveRecycling checks the free-list reuses scratch without leaking
-// state between waves.
+// state between waves, and that idle accrued between waves (no wave open)
+// never lands in any wave's ledger.
 func TestWaveRecycling(t *testing.T) {
 	col, clk := newTestCollector(2, 8)
 
 	clk.now = 0
 	w := col.BeginWave()
-	s := w.WorkerStart()
 	clk.now = 50
-	w.WorkerDone(PhaseAccessFanout, 1, s)
-	w.End(1)
+	w.End(1) // fully idle wave: 50ns of idle in its record
 
+	// 50..100: idle with no wave open — must be excluded from both records.
 	clk.now = 100
 	w2 := col.BeginWave()
 	clk.now = 120
 	w2.End(1)
 
 	recs := col.Recent()
-	if recs[1].BusySum[PhaseAccessFanout] != 0 {
-		t.Fatalf("recycled wave leaked busy time: %+v", recs[1])
+	var idle0, idle1 uint64
+	for p := Phase(0); p < Phase(NumPhases()); p++ {
+		idle0 += recs[0].IdleNS[p]
+		idle1 += recs[1].IdleNS[p]
+	}
+	if idle0 != 50 {
+		t.Fatalf("wave 0 idle = %d, want 50", idle0)
+	}
+	if idle1 != 20 {
+		t.Fatalf("wave 1 idle = %d, want 20 (inter-wave gap leaked in)", idle1)
 	}
 	if recs[1].Bounds[0] != 100 {
 		t.Fatalf("recycled wave start = %d, want 100", recs[1].Bounds[0])
+	}
+	if rep := col.Report(); rep.SerializedNS != 70 {
+		t.Fatalf("SerializedNS = %d, want 70", rep.SerializedNS)
 	}
 }

@@ -2,6 +2,7 @@ package durable
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"sdimm/internal/integrity"
@@ -9,29 +10,36 @@ import (
 
 // FuzzJournalDecode asserts the journal decoder fails closed on arbitrary
 // bytes: it never panics, and whatever it accepts is a contiguous,
-// chain-authenticated record prefix. Seeded with a valid two-record journal
-// so mutations explore the interesting paths.
+// chain-authenticated record prefix of whole groups. Seeded with a valid
+// journal mixing a multi-record group (a pipeline wave) and singleton groups
+// (sequential appends) so mutations explore the interesting paths.
 func FuzzJournalDecode(f *testing.F) {
 	key := []byte("fuzz-journal-key")
 	fp := testFP.Hash()
 	hdr, mac := encodeJournalHeader(key, fp, 7, 16)
 	file := append([]byte(nil), hdr...)
 	chain := integrity.NewChain(key, mac)
-	for i, rec := range []Record{
-		{Seq: 8, Addr: 3, Kind: KindWrite, Data: bytes.Repeat([]byte{0x5a}, 16)},
-		{Seq: 9, Addr: 4},
-		{Seq: 10, Addr: 1, Kind: KindDrainBegin},
-		{Seq: 11, Addr: 6, Kind: KindMigrate},
-		{Seq: 12, Addr: 1, Kind: KindDrainEnd},
-		{Seq: 13, Addr: 1, Kind: KindJoin},
-	} {
-		body, err := encodeRecord(rec, 16)
-		if err != nil {
-			f.Fatalf("encode seed record %d: %v", i, err)
+	writeGroup := func(recs ...Record) {
+		group := make([]byte, groupCountSize)
+		binary.BigEndian.PutUint32(group, uint32(len(recs)))
+		for i, rec := range recs {
+			var err error
+			if group, err = appendRecord(group, rec, 16); err != nil {
+				f.Fatalf("encode seed record %d: %v", i, err)
+			}
 		}
-		file = append(file, body...)
-		file = append(file, chain.Next(body)...)
+		file = append(file, chain.AppendNext(group, group)...)
 	}
+	writeGroup(
+		Record{Seq: 8, Addr: 3, Kind: KindWrite, Data: bytes.Repeat([]byte{0x5a}, 16)},
+		Record{Seq: 9, Addr: 4},
+		Record{Seq: 10, Addr: 1, Kind: KindDrainBegin},
+	)
+	writeGroup(Record{Seq: 11, Addr: 6, Kind: KindMigrate})
+	writeGroup(
+		Record{Seq: 12, Addr: 1, Kind: KindDrainEnd},
+		Record{Seq: 13, Addr: 1, Kind: KindJoin},
+	)
 	f.Add(file)
 	f.Add(file[:len(file)-5])   // torn tail
 	f.Add(file[:journalHeaderSize]) // empty journal

@@ -7,9 +7,9 @@
 // re-executes exactly the committed suffix and nothing else.
 //
 // Both on-disk formats fail closed: every byte is authenticated (HMAC-SHA256
-// for checkpoints, a per-record hash chain for the journal), truncation and
-// bit flips are detected rather than consumed, and a torn journal tail
-// yields the valid prefix — never a partial record.
+// for checkpoints, a hash chain over record groups for the journal),
+// truncation and bit flips are detected rather than consumed, and a torn
+// journal tail yields the valid prefix — never a partial record or group.
 package durable
 
 import (
@@ -22,8 +22,10 @@ import (
 	"sdimm/internal/integrity"
 )
 
-// journalMagic identifies a journal file (write-ahead log, version 1).
-const journalMagic = "SDIMMWL1"
+// journalMagic identifies a journal file (write-ahead log, version 2:
+// chain-tagged record groups — one tag per appended batch, amortizing the
+// HMAC extension over a pipeline wave instead of paying it per record).
+const journalMagic = "SDIMMWL2"
 
 // journalHeaderSize is magic(8) + fingerprint(8) + baseSeq(8) +
 // blockSize(4) + headerMAC(ChainTagSize).
@@ -84,9 +86,20 @@ type journalHeader struct {
 	BlockSize uint32
 }
 
-// recordSize returns the on-disk size of one record for a payload size.
-func recordSize(blockSize int) int {
-	return 8 + 8 + 1 + blockSize + integrity.ChainTagSize
+// groupCountSize is the fixed prefix of a record group: a big-endian u32
+// count of the record bodies that follow, sealed together under one chain
+// tag. A group is the journal's atomic append unit (one per Manager.Append
+// call — a pipeline wave, or a singleton for the sequential path), but NOT
+// its durability unit: the writer never starts a group it does not finish,
+// so a torn tail still yields every previously sealed group intact.
+const groupCountSize = 4
+
+// recordBodySize returns the encoded size of one record body (seq + addr +
+// kind + zero-padded payload) for a payload size. Bodies inside a group are
+// not individually tagged — the group's single chain tag covers the count
+// and every body.
+func recordBodySize(blockSize int) int {
+	return 8 + 8 + 1 + blockSize
 }
 
 // encodeJournalHeader serializes and MACs the header. The returned mac (the
@@ -138,9 +151,10 @@ func appendRecord(dst []byte, rec Record, blockSize int) ([]byte, error) {
 }
 
 // decodeJournal parses a journal file. It returns the header, the longest
-// valid record prefix, and whether the file ended mid-record or at a broken
-// chain link (torn). Header corruption is an error: with an unauthenticated
-// header nothing after it can be trusted, so the whole file is rejected.
+// valid record prefix (every record of every fully sealed group), and
+// whether the file ended mid-group or at a broken chain link (torn). Header
+// corruption is an error: with an unauthenticated header nothing after it
+// can be trusted, so the whole file is rejected.
 func decodeJournal(key, data []byte) (hdr journalHeader, recs []Record, torn bool, err error) {
 	if len(data) < journalHeaderSize {
 		return hdr, nil, false, errors.New("durable: journal shorter than header")
@@ -162,38 +176,53 @@ func decodeJournal(key, data []byte) (hdr journalHeader, recs []Record, torn boo
 	}
 
 	chain := integrity.NewChain(key, headerMAC)
-	recSize := recordSize(int(hdr.BlockSize))
+	bodySize := recordBodySize(int(hdr.BlockSize))
 	rest := data[journalHeaderSize:]
-	for len(rest) >= recSize {
-		body := rest[:recSize-integrity.ChainTagSize]
-		tag := rest[recSize-integrity.ChainTagSize : recSize]
-		// On mismatch the chain has advanced past a record we discard, but
+	for len(rest) > 0 {
+		if len(rest) < groupCountSize {
+			return hdr, recs, true, nil
+		}
+		count := binary.BigEndian.Uint32(rest[:groupCountSize])
+		// Bounds in uint64 so a hostile count cannot overflow the length
+		// arithmetic: anything the remaining bytes cannot hold is a torn
+		// (unfinished) group, which by construction holds nothing durable.
+		need := uint64(groupCountSize) + uint64(count)*uint64(bodySize) + integrity.ChainTagSize
+		if count == 0 || uint64(len(rest)) < need {
+			return hdr, recs, true, nil
+		}
+		msgLen := groupCountSize + int(count)*bodySize
+		msg := rest[:msgLen]
+		tag := rest[msgLen : msgLen+integrity.ChainTagSize]
+		// On mismatch the chain has advanced past a group we discard, but
 		// decoding stops here so the stale chain state is never reused.
-		want := chain.Next(body)
+		want := chain.Next(msg)
 		if !hmac.Equal(want, tag) {
 			return hdr, recs, true, nil
 		}
-		rec := Record{
-			Seq:  binary.BigEndian.Uint64(body[0:8]),
-			Addr: binary.BigEndian.Uint64(body[8:16]),
-			Kind: RecordKind(body[16]),
+		for i := 0; i < int(count); i++ {
+			body := msg[groupCountSize+i*bodySize:][:bodySize]
+			rec := Record{
+				Seq:  binary.BigEndian.Uint64(body[0:8]),
+				Addr: binary.BigEndian.Uint64(body[8:16]),
+				Kind: RecordKind(body[16]),
+			}
+			if rec.Kind >= kindCount {
+				// An authenticated record with an unknown kind can only come
+				// from a broken (e.g. newer-versioned) writer; stop trusting
+				// the tail rather than misreplaying it.
+				return hdr, recs, true, nil
+			}
+			if rec.Seq != hdr.BaseSeq+1+uint64(len(recs)) {
+				// A record authenticated under this chain can only be out of
+				// sequence if the writer was broken; stop trusting the tail.
+				return hdr, recs, true, nil
+			}
+			if rec.Kind == KindWrite {
+				rec.Data = append([]byte(nil), body[17:]...)
+			}
+			recs = append(recs, rec)
 		}
-		if rec.Kind >= kindCount {
-			// An authenticated record with an unknown kind can only come
-			// from a broken (e.g. newer-versioned) writer; stop trusting
-			// the tail rather than misreplaying it.
-			return hdr, recs, true, nil
-		}
-		if rec.Seq != hdr.BaseSeq+1+uint64(len(recs)) {
-			// A record authenticated under this chain can only be out of
-			// sequence if the writer was broken; stop trusting the tail.
-			return hdr, recs, true, nil
-		}
-		if rec.Kind == KindWrite {
-			rec.Data = append([]byte(nil), body[17:]...)
-		}
-		recs = append(recs, rec)
-		rest = rest[recSize:]
+		rest = rest[msgLen+integrity.ChainTagSize:]
 	}
-	return hdr, recs, len(rest) != 0, nil
+	return hdr, recs, false, nil
 }

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -47,7 +48,7 @@ type RecoveryReport struct {
 	CheckpointSeq        uint64   // seq of the checkpoint actually loaded
 	CheckpointsSkipped   int      // newer checkpoints rejected as invalid
 	RecordsReplayed      int      // journal records replayed on top
-	TornTail             bool     // journal ended mid-record (expected after a crash)
+	TornTail             bool     // journal ended mid-group (expected after a crash)
 	BucketsScanned       int      // scrub: sealed buckets verified
 	BucketsRepaired      int      // scrub: buckets rebuilt from parity
 	BucketsUnrecoverable int      // scrub: buckets with no redundancy left
@@ -236,11 +237,15 @@ func (m *Manager) writeFile(path string, data []byte) error {
 	return f.Close()
 }
 
-// Append commits a batch of records to the journal (one batch per pipeline
-// wave; a singleton batch per sequential access). Records must continue the
-// committed sequence exactly. When a planned crash point falls inside the
-// batch, the journal is torn mid-record, the manager dies, and ErrCrashed
-// is returned — records before the tear are durable, the torn one is not.
+// Append commits a batch of records to the journal as one chained group
+// (one group per pipeline wave; a singleton group per sequential access), so
+// the HMAC chain extension is paid once per batch rather than once per
+// record. Records must continue the committed sequence exactly. When a
+// planned crash point falls inside the batch, the records before it are
+// sealed as their own group (they were "written" before the crash), the
+// group holding the crash record is torn mid-group, the manager dies, and
+// ErrCrashed is returned — records before the tear are durable and
+// recoverable, the torn group is not.
 func (m *Manager) Append(recs []Record) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -250,42 +255,82 @@ func (m *Manager) Append(recs []Record) error {
 	if m.jf == nil {
 		return errors.New("durable: append with no open journal (write a checkpoint first)")
 	}
-	for _, rec := range recs {
-		if rec.Seq != m.nextSeq {
-			return fmt.Errorf("durable: append seq %d, want %d", rec.Seq, m.nextSeq)
+	if len(recs) == 0 {
+		return nil
+	}
+	for i, rec := range recs {
+		if rec.Seq != m.nextSeq+uint64(i) {
+			return fmt.Errorf("durable: append seq %d, want %d", rec.Seq, m.nextSeq+uint64(i))
 		}
-		body, err := appendRecord(m.recBuf[:0], rec, m.blockSize)
+	}
+	if m.crashAfter >= 0 && m.crashAfter < len(recs) {
+		// The crash point falls inside this batch: seal the records before it
+		// as a complete (durable) group, then tear the group carrying the
+		// crash record and die.
+		k := m.crashAfter
+		if k > 0 {
+			if err := m.writeGroup(recs[:k]); err != nil {
+				return err
+			}
+			m.nextSeq += uint64(k)
+		}
+		full, err := m.encodeGroup(recs[k:])
 		if err != nil {
 			return err
 		}
-		// The chain tag extends the body in place: full is the exact wire
-		// record, and the scratch is kept for the next append.
-		full := m.chain.AppendNext(body, body)
-		m.recBuf = full
-		if m.crashAfter == 0 {
-			// The crash point: tear this record and die.
-			tear := m.tearBytes
-			if tear > len(full) {
-				tear = len(full)
-			}
-			m.jf.Write(full[:tear])
-			m.jf.Close()
-			m.jf = nil
-			m.crashed = true
-			return ErrCrashed
+		tear := m.tearBytes
+		if tear > len(full) {
+			tear = len(full)
 		}
-		if m.crashAfter > 0 {
-			m.crashAfter--
-		}
-		if _, err := m.jf.Write(full); err != nil {
-			return fmt.Errorf("durable: append record %d: %w", rec.Seq, err)
-		}
-		m.nextSeq++
+		m.jf.Write(full[:tear])
+		m.jf.Close()
+		m.jf = nil
+		m.crashed = true
+		return ErrCrashed
 	}
+	if m.crashAfter > 0 {
+		m.crashAfter -= len(recs)
+	}
+	if err := m.writeGroup(recs); err != nil {
+		return err
+	}
+	m.nextSeq += uint64(len(recs))
 	if m.fsync {
 		if err := m.jf.Sync(); err != nil {
 			return fmt.Errorf("durable: sync journal: %w", err)
 		}
+	}
+	return nil
+}
+
+// encodeGroup serializes recs as one wire group — count prefix, record
+// bodies, one chain tag over all of it — reusing the manager's scratch
+// buffer. Calling it advances the chain, so the group must then be written
+// (or deliberately torn).
+func (m *Manager) encodeGroup(recs []Record) ([]byte, error) {
+	buf := append(m.recBuf[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(recs)))
+	var err error
+	for _, rec := range recs {
+		if buf, err = appendRecord(buf, rec, m.blockSize); err != nil {
+			return nil, err
+		}
+	}
+	// The chain tag extends the group in place: full is the exact wire
+	// group, and the scratch is kept for the next append.
+	full := m.chain.AppendNext(buf, buf)
+	m.recBuf = full
+	return full, nil
+}
+
+// writeGroup encodes and writes one complete group.
+func (m *Manager) writeGroup(recs []Record) error {
+	full, err := m.encodeGroup(recs)
+	if err != nil {
+		return err
+	}
+	if _, err := m.jf.Write(full); err != nil {
+		return fmt.Errorf("durable: append records %d..%d: %w", recs[0].Seq, recs[len(recs)-1].Seq, err)
 	}
 	return nil
 }

@@ -1,8 +1,10 @@
 package oram
 
 // PositionMap associates each block address with the leaf whose path must
-// contain the block. Implementations are not safe for concurrent use; the
-// simulator is single-threaded by construction (discrete-event).
+// contain the block. DensePosMap and SparsePosMap are not safe for
+// concurrent use — the discrete-event simulator is single-threaded by
+// construction. ShardedPosMap is: the parallel cluster pipeline commits
+// position updates from per-SDIMM workers concurrently.
 type PositionMap interface {
 	// Get returns the leaf for addr and whether the address has ever been
 	// mapped.

@@ -1,0 +1,92 @@
+package oram
+
+import "sync"
+
+// ShardedPosMap is a position map cut into power-of-two shards, each behind
+// its own mutex, routed by the low bits of the address. It exists for the
+// parallel cluster pipeline: position-map commits happen on the per-SDIMM
+// worker that executed the access, concurrently with commits for other
+// addresses of the same wave and with the coordinator's re-home repoints —
+// the monolithic map would serialize all of them on the coordinator.
+//
+// Concurrency contract: Get/Set/Len are safe for concurrent use from any
+// goroutine; operations on different addresses in different shards never
+// contend. A single address still linearizes through its shard's mutex, and
+// the pipeline additionally guarantees (by wave scheduling) that no two
+// in-flight tasks ever operate on the same address. Each locks one shard at
+// a time — it is a quiescent-point snapshot (checkpoints, equivalence
+// harnesses), not an atomic view across concurrent writers, and fn must not
+// call back into the map.
+type ShardedPosMap struct {
+	mask   uint64
+	shards []posShard
+}
+
+type posShard struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+}
+
+// NewShardedPosMap builds a map with shards rounded up to the next power of
+// two (minimum 1), so routing is a mask of the address low bits.
+func NewShardedPosMap(shards int) *ShardedPosMap {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	m := &ShardedPosMap{
+		mask:   uint64(n - 1),
+		shards: make([]posShard, n),
+	}
+	for i := range m.shards {
+		m.shards[i].m = make(map[uint64]uint64)
+	}
+	return m
+}
+
+func (m *ShardedPosMap) shard(addr uint64) *posShard {
+	return &m.shards[addr&m.mask]
+}
+
+// Get implements PositionMap.
+func (m *ShardedPosMap) Get(addr uint64) (uint64, bool) {
+	s := m.shard(addr)
+	s.mu.Lock()
+	l, ok := s.m[addr]
+	s.mu.Unlock()
+	return l, ok
+}
+
+// Set implements PositionMap.
+func (m *ShardedPosMap) Set(addr uint64, leaf uint64) {
+	s := m.shard(addr)
+	s.mu.Lock()
+	s.m[addr] = leaf
+	s.mu.Unlock()
+}
+
+// Len implements PositionMap.
+func (m *ShardedPosMap) Len() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Each implements PositionMap: shards are visited in index order, entries
+// within a shard in unspecified order. Callers that need determinism sort
+// the collected entries (capturePositions does).
+func (m *ShardedPosMap) Each(fn func(addr, leaf uint64)) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for a, l := range s.m {
+			fn(a, l)
+		}
+		s.mu.Unlock()
+	}
+}

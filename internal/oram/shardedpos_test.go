@@ -1,0 +1,183 @@
+package oram
+
+import (
+	"sync"
+	"testing"
+
+	"sdimm/internal/rng"
+)
+
+// TestShardedPosMapOracle drives a long randomized Get/Set sequence through
+// a ShardedPosMap and a SparsePosMap side by side: every observable — Get
+// results, Len, and the full Each dump — must match the monolithic oracle
+// exactly at several shard counts (including the non-power-of-two request
+// that rounds up, and the degenerate single shard).
+func TestShardedPosMapOracle(t *testing.T) {
+	for _, shards := range []int{1, 3, 16, 64} {
+		m := NewShardedPosMap(shards)
+		oracle := NewSparsePosMap()
+		r := rng.Stream(41, "shardedpos-oracle", shards)
+		for i := 0; i < 5000; i++ {
+			addr := r.Uint64n(512)
+			if r.Bool(0.6) {
+				leaf := r.Uint64n(1 << 20)
+				m.Set(addr, leaf)
+				oracle.Set(addr, leaf)
+			}
+			gl, gok := m.Get(addr)
+			wl, wok := oracle.Get(addr)
+			if gl != wl || gok != wok {
+				t.Fatalf("shards=%d step %d: Get(%d) = (%d,%v), oracle (%d,%v)",
+					shards, i, addr, gl, gok, wl, wok)
+			}
+		}
+		if m.Len() != oracle.Len() {
+			t.Fatalf("shards=%d: Len %d, oracle %d", shards, m.Len(), oracle.Len())
+		}
+		got := map[uint64]uint64{}
+		m.Each(func(a, l uint64) { got[a] = l })
+		want := map[uint64]uint64{}
+		oracle.Each(func(a, l uint64) { want[a] = l })
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: Each dumped %d entries, oracle %d", shards, len(got), len(want))
+		}
+		for a, l := range want {
+			if got[a] != l {
+				t.Fatalf("shards=%d: Each[%d] = %d, oracle %d", shards, a, got[a], l)
+			}
+		}
+	}
+}
+
+// TestShardedPosMapConcurrentCommits is the pipeline's commit pattern under
+// the race detector: many goroutines committing disjoint address stripes
+// concurrently (a wave's worker-side Sets never share an address), plus
+// readers. Afterwards every address must hold exactly the last value its
+// owning goroutine wrote, every Set must be in leaf range, and Len must
+// account for every address exactly once — per-address linearization with
+// no torn or lost updates.
+func TestShardedPosMapConcurrentCommits(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 400
+		rounds  = 5
+		leaves  = uint64(1) << 16
+	)
+	m := NewShardedPosMap(16)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rng.Stream(7, "shardedpos-writer", w)
+			for round := 0; round < rounds; round++ {
+				for i := 0; i < perW; i++ {
+					addr := uint64(w*perW + i) // disjoint stripe per writer
+					m.Set(addr, uint64(round)<<32|r.Uint64n(leaves))
+					if l, ok := m.Get(addr); !ok || l>>32 != uint64(round) {
+						t.Errorf("writer %d: read back round %d, wrote round %d", w, l>>32, round)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Concurrent readers over the whole space: values must always be either
+	// absent or something some writer actually wrote (no torn words).
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 50; pass++ {
+				for addr := uint64(0); addr < writers*perW; addr += 17 {
+					if l, ok := m.Get(addr); ok {
+						if round := l >> 32; round >= rounds {
+							t.Errorf("addr %d: torn read round %d", addr, round)
+							return
+						}
+						if l&0xffffffff >= leaves {
+							t.Errorf("addr %d: leaf %d out of range", addr, l&0xffffffff)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := m.Len(), writers*perW; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	m.Each(func(addr, l uint64) {
+		if l>>32 != rounds-1 {
+			t.Fatalf("addr %d: final round %d, want %d (lost update)", addr, l>>32, rounds-1)
+		}
+	})
+}
+
+// TestShardedPosMapSharedAddress hammers a single address from many
+// goroutines: the final value must be one of the written values (the shard
+// mutex linearizes them), never a mix.
+func TestShardedPosMapSharedAddress(t *testing.T) {
+	m := NewShardedPosMap(8)
+	const addr = uint64(42)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Set(addr, uint64(w)<<32|uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	l, ok := m.Get(addr)
+	if !ok {
+		t.Fatal("address vanished")
+	}
+	if w, i := l>>32, l&0xffffffff; w >= 8 || i != 999 {
+		t.Fatalf("final value %d/%d is not any writer's last Set", w, i)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+// FuzzShardedPosMap replays an arbitrary op tape against both the sharded
+// map and the monolithic oracle: shard routing must never change what any
+// Get observes, what Len counts, or what Each dumps.
+func FuzzShardedPosMap(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x81, 0x02, 0x03}, uint8(4))
+	f.Add([]byte{0x80, 0x00, 0xff, 0x7f, 0x80}, uint8(1))
+	f.Add([]byte{}, uint8(9))
+	f.Fuzz(func(t *testing.T, tape []byte, shards uint8) {
+		m := NewShardedPosMap(int(shards%32) + 1)
+		oracle := NewSparsePosMap()
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, addr := tape[i], uint64(tape[i+1])
+			if op&0x80 != 0 {
+				leaf := uint64(op&0x7f) << 8
+				m.Set(addr, leaf)
+				oracle.Set(addr, leaf)
+			}
+			gl, gok := m.Get(addr)
+			wl, wok := oracle.Get(addr)
+			if gl != wl || gok != wok {
+				t.Fatalf("op %d: Get(%d) = (%d,%v), oracle (%d,%v)", i, addr, gl, gok, wl, wok)
+			}
+		}
+		if m.Len() != oracle.Len() {
+			t.Fatalf("Len %d, oracle %d", m.Len(), oracle.Len())
+		}
+		got := map[uint64]uint64{}
+		m.Each(func(a, l uint64) { got[a] = l })
+		oracle.Each(func(a, l uint64) {
+			if got[a] != l {
+				t.Fatalf("Each[%d] = %d, oracle %d", a, got[a], l)
+			}
+		})
+	})
+}

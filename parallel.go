@@ -1,6 +1,7 @@
 package sdimm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -14,25 +15,48 @@ import (
 
 // This file is the parallel execution engine for functional clusters: a
 // pool of persistent per-SDIMM worker goroutines and, on top of it, a
-// batched access pipeline that keeps a window of independent ORAM accesses
-// in flight behind the existing fault.Transactor links.
+// decoupled two-wave access pipeline that keeps a window of independent ORAM
+// accesses in flight behind the existing fault.Transactor links.
+//
+// The pipeline is decoupled: wave N+1's ACCESS exchanges run while wave N's
+// APPEND broadcast and journal append are still in flight. The coordinator
+// holds at most two waves — the wave being launched and the previous wave
+// being retired — and the serialized coordinator work per wave shrinks to
+// scheduling, the commit walk, and result finalization. Everything else
+// (ACCESS exchanges, position-map commits, response decode, payload copies,
+// APPEND broadcasts, the journal append, re-homing appends) runs off the
+// coordinator goroutine.
 //
 // Determinism is preserved by construction, not by luck:
 //
 //   - Every draw from the cluster's shared RNG (leaf picks, re-homing)
-//     happens on the coordinator goroutine, in logical-access order, at
-//     barrier-protected points. Workers never touch shared randomness.
+//     happens on the coordinator goroutine, in logical-access order. Workers
+//     never touch shared randomness.
 //   - Each worker owns exactly one SDIMM's link, buffer, and health record,
-//     and drains its task queue FIFO in submission (= logical) order, so
-//     every buffer observes the same operation sequence at any parallelism.
-//   - Position-map updates commit on the coordinator in logical-access
-//     order at the wave's merge barrier.
-//   - The wave schedule depends only on the configured window, never on
-//     Parallelism, which bounds worker concurrency and nothing else.
+//     and drains its task queue FIFO in submission (= logical) order. The
+//     submission order per worker — ACCESS tasks of wave N, wave N's append
+//     walk, ACCESS tasks of wave N+1, wave N's re-homes — is a pure function
+//     of the schedule, so every buffer observes the same operation sequence
+//     at any parallelism.
+//   - Position-map commits happen on the owning worker the moment its buffer
+//     executed the access, through the sharded position map (each access in
+//     a wave touches a distinct address, so commits are per-address
+//     independent). The journal record stream is still assembled on the
+//     coordinator in logical order.
+//   - Health is read through a coordinator-owned snapshot refreshed at the
+//     pipeline's quiescent points (one per iteration), so scheduling and
+//     re-homing decisions never race worker-side health transitions. The
+//     snapshot is at most one wave stale — a member that fails mid-wave is
+//     seen by the schedule one wave later, exactly as a sequential client
+//     discovers a failure on its next access.
+//   - The wave schedule depends only on the configured window and the
+//     addresses in flight, never on Parallelism, which bounds worker
+//     concurrency and nothing else.
 //
 // A Parallelism: 1 pipeline and a Parallelism: N pipeline therefore produce
 // bitwise-identical position maps, stash contents, and telemetry counters
-// from the same seed — the equivalence suite in parallel_test.go proves it.
+// from the same seed — the equivalence suites in parallel_test.go and
+// parallel_soak_test.go prove it.
 
 // workerPool runs tasks on persistent per-member goroutines. Tasks
 // submitted to one member execute FIFO in submission order; tasks across
@@ -66,25 +90,40 @@ func newWorkerPool(n, parallelism, queue int) *workerPool {
 				p.sem <- struct{}{}
 				fn()
 				<-p.sem
-				p.wg.Done()
 			}
 		}()
 	}
 	return p
 }
 
-// submit queues fn on member w's worker. Pair with barrier.
+// submit queues fn on member w's worker, tracked by the pool's own
+// WaitGroup. Pair with barrier.
 func (p *workerPool) submit(w int, fn func()) {
 	p.wg.Add(1)
-	p.tasks[w] <- fn
+	p.tasks[w] <- func() {
+		defer p.wg.Done()
+		fn()
+	}
 }
 
-// barrier blocks until every submitted task has completed. After barrier
-// returns the coordinator observes all worker writes (the WaitGroup
+// submitWG queues fn on member w's worker, tracked by a caller-owned
+// WaitGroup — the pipeline uses per-wave groups so two waves can be in
+// flight without sharing a barrier.
+func (p *workerPool) submitWG(w int, wg *sync.WaitGroup, fn func()) {
+	wg.Add(1)
+	p.tasks[w] <- func() {
+		defer wg.Done()
+		fn()
+	}
+}
+
+// barrier blocks until every submit-tracked task has completed. After
+// barrier returns the coordinator observes all worker writes (the WaitGroup
 // establishes the happens-before edge).
 func (p *workerPool) barrier() { p.wg.Wait() }
 
-// close stops the workers after the submitted tasks drain. Idempotent.
+// close stops the workers after the submit-tracked tasks drain. Idempotent.
+// Callers using submitWG must wait their own groups before closing.
 func (p *workerPool) close() {
 	p.once.Do(func() {
 		p.wg.Wait()
@@ -137,11 +176,11 @@ func (o PipelineOptions) withDefaults() PipelineOptions {
 	return o
 }
 
-// Pipeline is a batched access engine over a Cluster: it keeps up to Window
-// independent accesses in flight, fanning whole accessORAM operations out
-// to the owning SDIMMs' workers (the Independent protocol's unit of
-// distribution) and committing all host-side state in logical-access order
-// at a deterministic merge barrier.
+// Pipeline is a batched access engine over a Cluster: it keeps up to two
+// waves of up to Window independent accesses in flight, fanning whole
+// accessORAM operations out to the owning SDIMMs' workers (the Independent
+// protocol's unit of distribution) and overlapping each wave's APPEND
+// broadcast and journal append with the next wave's ACCESS exchanges.
 //
 // The pipeline owns the cluster's request stream while in use: do not call
 // Read/Write on the underlying Cluster concurrently with Do. Close stops
@@ -151,35 +190,104 @@ type Pipeline struct {
 	opts PipelineOptions
 	pool *workerPool
 
-	// Wave scratch, reused across runWave calls so the steady-state batch
-	// loop recycles its pipeOps (and their payload buffers) instead of
-	// reallocating them every wave.
-	wave []*pipeOp
-	free []*pipeOp
-	seen map[uint64]bool
-	recs []durable.Record
+	// Wave scratch, reused across waves so the steady-state batch loop
+	// recycles its waveStates and pipeOps (and their payload buffers)
+	// instead of reallocating them every wave.
+	wsFree []*waveState
+	free   []*pipeOp
+
+	// healthSnap is the coordinator's view of member health, refreshed at
+	// the pipeline's quiescent points. Scheduling and re-homing read it
+	// instead of the live health records, which workers mutate while the
+	// coordinator plans the next wave.
+	healthSnap []fault.State
+
+	// rehomeWG tracks the worker-side re-homing appends the coordinator
+	// issues one at a time during wave retirement.
+	rehomeWG sync.WaitGroup
 
 	// waveN numbers the waves this pipeline has run — the wave id the blame
 	// profiler and flight recorder stamp on their records.
 	waveN uint64
 }
 
-// Pipeline builds a batched access pipeline over the cluster.
+// Pipeline builds a batched access pipeline over the cluster. The per-worker
+// queue holds two full waves plus a wave's append walk and a re-home, so the
+// coordinator never blocks on submission while the pipeline is in steady
+// overlap.
 func (c *Cluster) Pipeline(opts PipelineOptions) *Pipeline {
 	opts = opts.withDefaults()
 	return &Pipeline{
 		c:    c,
 		opts: opts,
-		pool: newWorkerPool(len(c.buffers), opts.Parallelism, 2*opts.Window),
+		pool: newWorkerPool(len(c.buffers), opts.Parallelism, 2*opts.Window+4),
 	}
 }
 
 // Close stops the per-SDIMM workers. The pipeline must not be used after.
 func (p *Pipeline) Close() { p.pool.close() }
 
+// waveState is one wave in flight: its scheduled ops, the addresses they
+// touch (for the next wave's conflict stall), the journal batch, and the
+// WaitGroups tracking its two fan-outs. States are pooled across waves.
+type waveState struct {
+	ops   []*pipeOp
+	addrs map[uint64]bool
+	recs  []durable.Record
+	n     int
+
+	wgA sync.WaitGroup // ACCESS fan-out
+	wgB sync.WaitGroup // APPEND broadcast
+
+	// jerr delivers the journal goroutine's result; journal records whether
+	// one was spawned for this wave. The channel is buffered so the
+	// goroutine never blocks on a retired wave.
+	jerr    chan error
+	journal bool
+
+	waveID    uint64
+	traceEnd  func(map[string]any)
+	traceLane int
+}
+
+// takeWave pops a pooled waveState or allocates a fresh one. A pipeline
+// holds at most two (launching + retiring), so the pool stays tiny.
+func (p *Pipeline) takeWave() *waveState {
+	n := len(p.wsFree)
+	if n == 0 {
+		return &waveState{
+			addrs:     make(map[uint64]bool, p.opts.Window),
+			jerr:      make(chan error, 1),
+			traceLane: -1,
+		}
+	}
+	w := p.wsFree[n-1]
+	p.wsFree[n-1] = nil
+	p.wsFree = p.wsFree[:n-1]
+	return w
+}
+
+// releaseWave returns a retired wave's ops to the pool and resets the state
+// for reuse.
+func (p *Pipeline) releaseWave(w *waveState) {
+	for i, po := range w.ops {
+		p.free = append(p.free, po)
+		w.ops[i] = nil
+	}
+	w.ops = w.ops[:0]
+	clear(w.addrs)
+	w.recs = clearRecords(w.recs)
+	w.n = 0
+	w.journal = false
+	w.traceEnd = nil
+	w.traceLane = -1
+	p.wsFree = append(p.wsFree, w)
+}
+
 // pipeOp is one access moving through a wave. Ops are pooled across waves:
 // every field is reset by takeOp, and the slice fields keep their backing
-// arrays so steady-state waves reuse them.
+// arrays so steady-state waves reuse them. out is the exception — it is
+// handed to the caller in a BatchResult and never pooled.
 type pipeOp struct {
 	idx     int // index into the submitted batch
 	addr    uint64
@@ -191,11 +299,14 @@ type pipeOp struct {
 	sd, sdNew  int
 	keep       bool
 
-	err      error  // first error on the access (scheduling, exchange, ack)
-	skip     bool   // scheduling failed: no exchanges at all
-	respBody []byte // exchange response copy (phase A, written by owner worker)
-	resp     isdimm.AccessResponse
-	blk      oram.Block
+	err       error  // first error on the access (scheduling, exchange, ack)
+	decodeErr error  // response decode failure (folded into err after commit)
+	skip      bool   // scheduling failed: no exchanges at all
+	committed bool   // commit walk journaled this op
+	respBody  []byte // exchange response copy (phase A, written by owner worker)
+	resp      isdimm.AccessResponse
+	blk       oram.Block
+	out       []byte // read payload for delivery (worker-built, escapes)
 
 	appendErr []error  // per-SDIMM failed append exchange (phase B)
 	appendBad [][]byte // per-SDIMM malformed append ack (phase B)
@@ -222,15 +333,6 @@ func (p *Pipeline) takeOp() *pipeOp {
 	return po
 }
 
-// releaseWave returns the current wave's ops to the pool.
-func (p *Pipeline) releaseWave() {
-	for i, po := range p.wave {
-		p.free = append(p.free, po)
-		p.wave[i] = nil
-	}
-	p.wave = p.wave[:0]
-}
-
 // resizeErrs returns a zeroed error slice of length n, reusing capacity.
 func resizeErrs(s []error, n int) []error {
 	if cap(s) < n {
@@ -252,224 +354,6 @@ func resizeFrames(s [][]byte, n int) [][]byte {
 	return s
 }
 
-// Do executes ops through the pipeline and returns one result per op, in
-// order. Semantics match issuing the same operations through Read/Write one
-// at a time, with one deliberate difference: accesses in the same wave
-// observe the position map and health state as of the wave's start. A wave
-// never contains two operations on the same address (the schedule breaks
-// there), so per-address read/write ordering is preserved exactly.
-func (p *Pipeline) Do(ops []BatchOp) []BatchResult {
-	res := make([]BatchResult, len(ops))
-	for start := 0; start < len(ops); {
-		if p.c.crashedNow() {
-			// The cluster died at a planned crash point: nothing further
-			// commits, so fail the remaining operations instead of running
-			// them against state that will not survive.
-			for i := start; i < len(ops); i++ {
-				res[i] = BatchResult{Err: durable.ErrCrashed}
-			}
-			return res
-		}
-		start += p.runWave(ops, start, res)
-		if err := p.c.maybeCheckpoint(p.c.ForceCheckpoint); err != nil {
-			for i := start; i < len(ops); i++ {
-				res[i] = BatchResult{Err: err}
-			}
-			return res
-		}
-	}
-	return res
-}
-
-// runWave schedules, executes, and commits one wave beginning at ops[start],
-// returning how many operations it consumed (≥ 1).
-func (p *Pipeline) runWave(ops []BatchOp, start int, res []BatchResult) int {
-	c := p.c
-	globalLeaves := uint64(1) << (c.levels - 1)
-
-	// Observability taps: both are nil-safe no-ops when the cluster runs
-	// without a blame collector or flight recorder, and neither draws
-	// randomness nor touches shared state — attaching them cannot perturb
-	// the wave schedule or the bitwise-equivalence guarantee.
-	bw := c.blame.BeginWave()
-	fl := c.flight.Coordinator()
-	waveID := p.waveN
-	p.waveN++
-
-	// Schedule (coordinator, logical order): admit up to Window ops with
-	// distinct addresses, drawing all shared randomness here. An address
-	// repeat ends the wave — the second op must observe the first's commit.
-	if p.seen == nil {
-		p.seen = make(map[uint64]bool, p.opts.Window)
-	}
-	clear(p.seen)
-	for i := start; i < len(ops) && len(p.wave) < p.opts.Window; i++ {
-		if p.seen[ops[i].Addr] {
-			break
-		}
-		p.seen[ops[i].Addr] = true
-		p.wave = append(p.wave, p.schedule(ops[i], i, globalLeaves))
-	}
-	wave := p.wave
-	bw.Mark(blame.PhaseSchedule)
-	fl.Record(flight.KindWave, waveID, uint64(len(wave)))
-
-	tr := c.tm.tracer
-	lane := -1
-	var endWave func(map[string]any)
-	if tr != nil {
-		lane = tr.Lane()
-		sp := tr.Begin(lane, "cluster.wave", "cluster")
-		endWave = sp.EndArgs
-	}
-
-	// Phase A: fan the ACCESS exchanges out to the owning SDIMMs' workers.
-	for _, po := range wave {
-		if po.skip {
-			continue
-		}
-		po := po
-		p.pool.submit(po.sd, func() {
-			ws := bw.WorkerStart()
-			mask := uint64(1)<<c.localBits - 1
-			req := isdimm.AccessRequest{
-				Addr:    po.addr,
-				Op:      po.op,
-				Data:    po.data,
-				OldLeaf: po.oldG & mask,
-				NewLeaf: po.newG & mask,
-				Keep:    po.keep,
-			}
-			resp, err := c.exchange(po.sd, "access", c.accessBody(po.sd, req))
-			if err == nil {
-				// Exchange hands back transactor-owned scratch; a later op
-				// sharing this link overwrites it, so the op keeps a copy.
-				po.respBody = append(po.respBody[:0], resp...)
-			}
-			po.err = err
-			bw.WorkerDone(blame.PhaseAccessFanout, po.sd, ws)
-		})
-	}
-	p.pool.barrier()
-	bw.Mark(blame.PhaseAccessFanout)
-	fl.Record(flight.KindPhase, uint64(blame.PhaseAccessFanout), waveID)
-
-	// Merge barrier 1 (coordinator, logical order): commit position-map
-	// updates for every access whose owning buffer executed it, journal the
-	// wave's committed accesses as one batch, and decode the responses. A
-	// failed exchange leaves the map untouched — exactly the staged-commit
-	// rule of the sequential path.
-	recs := p.recs[:0]
-	var committed []*pipeOp
-	for _, po := range wave {
-		if po.skip || po.err != nil {
-			continue
-		}
-		c.pos.Set(po.addr, po.newG)
-		// makeRecord keys the record kind off the cluster's migrating flag;
-		// setting it per-op here keeps the coordinator's logical order — the
-		// journal carries migrations and workload interleaved exactly as
-		// scheduled.
-		c.migrating = po.migrate
-		recs = append(recs, c.makeRecord(po.addr, po.op, po.data))
-		c.migrating = false
-		committed = append(committed, po)
-		resp, err := isdimm.UnmarshalResponse(po.respBody, c.blockSize)
-		if err != nil {
-			po.err = c.wrapErr(po.sd, "access response", err)
-			continue
-		}
-		po.resp = resp
-		po.blk = resp.Block
-		po.blk.Addr = po.addr
-		po.blk.Leaf = po.newG & (uint64(1)<<c.localBits - 1)
-	}
-	bw.Mark(blame.PhaseCommit)
-	err := c.appendRecords(recs)
-	p.recs = clearRecords(recs)
-	bw.Mark(blame.PhaseJournal)
-	if err != nil {
-		// The journal append died mid-wave (a planned crash point, or real
-		// I/O failure). Some records may be durable, but acknowledging any
-		// result now could acknowledge an access the journal lost — fail the
-		// whole wave and skip the append broadcast; recovery re-drives from
-		// the journal's valid prefix.
-		for _, po := range committed {
-			po.err = err
-		}
-		// The append broadcast never runs: give it a zero-length interval so
-		// the abort wave still tiles, and attribute the error handling below
-		// to finalize.
-		bw.Mark(blame.PhaseAppendFanout)
-		for _, po := range wave {
-			p.finalize(po, globalLeaves, res)
-		}
-		if tr != nil {
-			endWave(map[string]any{"ops": len(wave), "err": true})
-			tr.FreeLane(lane)
-		}
-		bw.End(len(wave))
-		fl.Record(flight.KindPhase, uint64(blame.PhaseFinalize), waveID)
-		n := len(wave)
-		p.releaseWave()
-		return n
-	}
-
-	// Phase B: APPEND broadcast. One task per SDIMM walks the wave in
-	// logical order, so each buffer sees its appends in the same sequence
-	// at any parallelism. Outcomes land in per-(op, SDIMM) slots and are
-	// resolved after the barrier.
-	for _, po := range wave {
-		po.appendErr = resizeErrs(po.appendErr, len(c.buffers))
-		po.appendBad = resizeFrames(po.appendBad, len(c.buffers))
-	}
-	for j := range c.buffers {
-		j := j
-		p.pool.submit(j, func() {
-			ws := bw.WorkerStart()
-			defer bw.WorkerDone(blame.PhaseAppendFanout, j, ws)
-			for _, po := range wave {
-				if po.skip || po.err != nil {
-					continue
-				}
-				real := !po.keep && j == po.sdNew && !po.resp.Dummy
-				if !real {
-					if st := c.health[j].State(); st == fault.Failed || st == fault.Removed {
-						// A dead or removed buffer has no channel; its dummy
-						// is undeliverable.
-						continue
-					}
-				}
-				ack, err := c.exchange(j, "append", c.appendBody(j, po.blk, !real))
-				switch {
-				case err != nil:
-					po.appendErr[j] = err
-				case len(ack) != 1 || ack[0] != appendAck:
-					po.appendBad[j] = append([]byte(nil), ack...)
-				}
-			}
-		})
-	}
-	p.pool.barrier()
-	bw.Mark(blame.PhaseAppendFanout)
-	fl.Record(flight.KindPhase, uint64(blame.PhaseAppendFanout), waveID)
-
-	// Merge barrier 2 (coordinator, logical order): account lost appends,
-	// re-home in-flight real blocks, and finalize results.
-	for _, po := range wave {
-		p.finalize(po, globalLeaves, res)
-	}
-	if tr != nil {
-		endWave(map[string]any{"ops": len(wave)})
-		tr.FreeLane(lane)
-	}
-	bw.End(len(wave))
-	fl.Record(flight.KindPhase, uint64(blame.PhaseFinalize), waveID)
-	n := len(wave)
-	p.releaseWave()
-	return n
-}
-
 // clearRecords empties a record batch for reuse without retaining payload
 // references.
 func clearRecords(recs []durable.Record) []durable.Record {
@@ -477,8 +361,178 @@ func clearRecords(recs []durable.Record) []durable.Record {
 	return recs[:0]
 }
 
+// snapshotHealth refreshes the coordinator's health snapshot. Called only at
+// quiescent points (no worker task in flight), so the read is race-free and
+// the snapshot is a pure function of the completed exchange history.
+func (p *Pipeline) snapshotHealth() {
+	c := p.c
+	if cap(p.healthSnap) < len(c.health) {
+		p.healthSnap = make([]fault.State, len(c.health))
+	}
+	p.healthSnap = p.healthSnap[:len(c.health)]
+	for i, h := range c.health {
+		p.healthSnap[i] = h.State()
+	}
+}
+
+// pickLeafSnap draws a uniform leaf among the snapshot-eligible members —
+// the pipeline's counterpart of pickHealthyLeaf, reading the coordinator's
+// health snapshot instead of the live (worker-mutated) records.
+func (p *Pipeline) pickLeafSnap(globalLeaves uint64) (uint64, error) {
+	return p.c.pickLeafStates(func(i int) fault.State { return p.healthSnap[i] },
+		len(p.healthSnap), globalLeaves)
+}
+
+// Do executes ops through the pipeline and returns one result per op, in
+// order. Semantics match issuing the same operations through Read/Write one
+// at a time, with one deliberate difference: accesses in the same wave
+// observe the position map and health state as of the wave's start. A wave
+// never schedules an address that appears in the wave still in flight or
+// earlier in itself (the schedule breaks there), so per-address read/write
+// ordering is preserved exactly.
+//
+// Each loop iteration launches at most one new wave and retires the
+// previous one; the previous wave's APPEND broadcast and journal append
+// overlap the new wave's ACCESS exchanges. Checkpoints run only at fully
+// drained points, so the checkpoint cadence (in committed-access terms) is
+// identical to the sequential path's.
+func (p *Pipeline) Do(ops []BatchOp) []BatchResult {
+	c := p.c
+	res := make([]BatchResult, len(ops))
+	globalLeaves := uint64(1) << (c.levels - 1)
+	p.snapshotHealth()
+
+	var prev *waveState
+	start := 0
+	for start < len(ops) || prev != nil {
+		// Observability taps: nil-safe no-ops without a blame collector or
+		// flight recorder attached; neither draws randomness nor feeds state
+		// back, so attaching them cannot perturb the wave schedule or the
+		// bitwise-equivalence guarantee.
+		bw := c.blame.BeginWave()
+
+		if c.crashedNow() {
+			// The cluster died at a planned crash point. Retire the in-flight
+			// wave first — its journal outcome decides its results — then fail
+			// everything not yet scheduled.
+			if prev != nil {
+				p.retire(prev, res, bw)
+				prev = nil
+			}
+			for i := start; i < len(ops); i++ {
+				res[i] = BatchResult{Err: durable.ErrCrashed}
+			}
+			bw.End(0)
+			return res
+		}
+
+		// Checkpoint gate: when a checkpoint is due the pipeline stalls the
+		// schedule and drains, so the checkpoint captures a quiescent image at
+		// the same committed-sequence boundary the sequential path would.
+		ckptDue := c.checkpointDue()
+
+		var w *waveState
+		if start < len(ops) && !ckptDue {
+			w = p.scheduleWave(ops, start, prev, globalLeaves)
+			if w != nil {
+				p.dispatchAccess(w)
+			}
+		}
+		bw.Mark(blame.PhaseSchedule)
+
+		if prev != nil {
+			p.retire(prev, res, bw)
+			prev = nil
+		} else {
+			bw.Mark(blame.PhaseRetireWait)
+			bw.Mark(blame.PhaseFinalize)
+		}
+
+		launched := 0
+		if w != nil {
+			w.wgA.Wait()
+			bw.Mark(blame.PhaseAccessWait)
+			// Quiescent point: the previous wave is fully retired and this
+			// wave's ACCESS tasks have drained — no worker task is in flight.
+			p.snapshotHealth()
+			if c.crashedNow() {
+				// The previous wave's journal goroutine hit the crash point
+				// while this wave's exchanges ran. Nothing of this wave may
+				// commit; results keep any per-op exchange error (so they match
+				// the race-free outcome) and report the crash otherwise.
+				for _, po := range w.ops {
+					if po.err == nil {
+						po.err = durable.ErrCrashed
+					}
+					res[po.idx] = BatchResult{Err: po.err}
+				}
+				start += w.n
+				p.releaseWave(w)
+				bw.End(0)
+				continue
+			}
+			p.commit(w)
+			bw.Mark(blame.PhaseCommit)
+			p.dispatchAppend(w)
+			p.spawnJournal(w)
+			c.flight.Coordinator().Record(flight.KindPhase, uint64(blame.PhaseDispatch), w.waveID)
+			start += w.n
+			launched = w.n
+			prev = w
+			bw.Mark(blame.PhaseDispatch)
+		} else if ckptDue {
+			// Fully drained (prev retired above, nothing launched): safe to
+			// capture. Close the unreached phases at zero length first so the
+			// checkpoint interval carries exactly the checkpoint time.
+			bw.Mark(blame.PhaseAccessWait)
+			bw.Mark(blame.PhaseCommit)
+			bw.Mark(blame.PhaseDispatch)
+			err := c.ForceCheckpoint()
+			bw.Mark(blame.PhaseCheckpoint)
+			if err != nil {
+				for i := start; i < len(ops); i++ {
+					res[i] = BatchResult{Err: err}
+				}
+				bw.End(0)
+				return res
+			}
+		}
+		bw.End(launched)
+	}
+	return res
+}
+
+// scheduleWave admits up to Window ops with addresses distinct from each
+// other and from the wave still in flight, drawing all shared randomness on
+// the coordinator in logical order. Returns nil when the first candidate op
+// conflicts with the in-flight wave — the caller retires it and retries, so
+// progress is guaranteed (with no wave in flight the first op never
+// conflicts).
+func (p *Pipeline) scheduleWave(ops []BatchOp, start int, prev *waveState, globalLeaves uint64) *waveState {
+	w := p.takeWave()
+	for i := start; i < len(ops) && len(w.ops) < p.opts.Window; i++ {
+		a := ops[i].Addr
+		if w.addrs[a] || (prev != nil && prev.addrs[a]) {
+			// The next op must observe the earlier access's commit — and for
+			// the in-flight wave, its append landing and any re-home — so the
+			// wave ends here.
+			break
+		}
+		w.addrs[a] = true
+		w.ops = append(w.ops, p.schedule(ops[i], i, globalLeaves))
+	}
+	w.n = len(w.ops)
+	if w.n == 0 {
+		p.releaseWave(w)
+		return nil
+	}
+	w.waveID = p.waveN
+	p.waveN++
+	return w
+}
+
 // schedule prepares one access: position lookup and every shared-RNG draw,
-// in logical order on the coordinator.
+// in logical order on the coordinator. Health reads go through the snapshot.
 func (p *Pipeline) schedule(op BatchOp, idx int, globalLeaves uint64) *pipeOp {
 	c := p.c
 	po := p.takeOp()
@@ -507,19 +561,19 @@ func (p *Pipeline) schedule(op BatchOp, idx int, globalLeaves uint64) *pipeOp {
 	oldG, mapped := c.pos.Get(po.addr)
 	if !mapped {
 		var err error
-		if oldG, err = c.pickHealthyLeaf(globalLeaves); err != nil {
+		if oldG, err = p.pickLeafSnap(globalLeaves); err != nil {
 			po.err, po.skip = err, true
 			return po
 		}
 	}
 	po.oldG = oldG
 	po.sd = int(oldG >> c.localBits)
-	if st := c.health[po.sd].State(); st == fault.Failed || st == fault.Removed {
+	if st := p.healthSnap[po.sd]; st == fault.Failed || st == fault.Removed {
 		po.err = c.wrapErr(po.sd, "access", fault.ErrUnavailable)
 		po.skip = true
 		return po
 	}
-	newG, err := c.pickHealthyLeaf(globalLeaves)
+	newG, err := p.pickLeafSnap(globalLeaves)
 	if err != nil {
 		po.err, po.skip = err, true
 		return po
@@ -530,8 +584,207 @@ func (p *Pipeline) schedule(op BatchOp, idx int, globalLeaves uint64) *pipeOp {
 	return po
 }
 
-// finalize resolves one access after the append barrier: lost-append
-// accounting, re-homing, malformed-ack detection, read payload extraction,
+// dispatchAccess fans the wave's ACCESS exchanges out to the owning SDIMMs'
+// workers and opens the wave's trace span.
+func (p *Pipeline) dispatchAccess(w *waveState) {
+	c := p.c
+	c.flight.Coordinator().Record(flight.KindWave, w.waveID, uint64(w.n))
+	if tr := c.tm.tracer; tr != nil {
+		w.traceLane = tr.Lane()
+		sp := tr.Begin(w.traceLane, "cluster.wave", "cluster")
+		w.traceEnd = sp.EndArgs
+	}
+	for _, po := range w.ops {
+		if po.skip {
+			continue
+		}
+		po := po
+		p.pool.submitWG(po.sd, &w.wgA, func() { p.accessTask(po) })
+	}
+}
+
+// accessTask runs one access on the owning SDIMM's worker: the exchange, the
+// position-map commit, the response decode, and the read-payload copy. The
+// payload copy is the one allocation that escapes — it is handed to the
+// caller — so building it here takes it off the coordinator's critical path.
+func (p *Pipeline) accessTask(po *pipeOp) {
+	c := p.c
+	st := c.blame.WorkerBegin()
+	defer c.blame.WorkerEnd(blame.WorkerAccess, st)
+
+	mask := uint64(1)<<c.localBits - 1
+	req := isdimm.AccessRequest{
+		Addr:    po.addr,
+		Op:      po.op,
+		Data:    po.data,
+		OldLeaf: po.oldG & mask,
+		NewLeaf: po.newG & mask,
+		Keep:    po.keep,
+	}
+	resp, err := c.exchange(po.sd, "access", c.accessBody(po.sd, req))
+	if err != nil {
+		po.err = err
+		return
+	}
+	// Exchange hands back transactor-owned scratch; a later op sharing this
+	// link overwrites it, so the op keeps a copy.
+	po.respBody = append(po.respBody[:0], resp...)
+	// Worker-side position commit: the owning buffer has executed the
+	// access, so the new position is truth. Addresses within and across
+	// in-flight waves are distinct, and the sharded map serializes any
+	// shard-level contention, so this is exactly the staged-commit rule of
+	// the sequential path — just off the coordinator.
+	c.pos.Set(po.addr, po.newG)
+	r, derr := isdimm.UnmarshalResponse(po.respBody, c.blockSize)
+	if derr != nil {
+		// Decode failure is held apart from err: the access committed (the
+		// buffer executed it), so the commit walk must still journal it —
+		// matching the sequential path, which journals before decoding.
+		po.decodeErr = c.wrapErr(po.sd, "access response", derr)
+		return
+	}
+	po.resp = r
+	po.blk = r.Block
+	po.blk.Addr = po.addr
+	po.blk.Leaf = po.newG & mask
+	if po.op == oram.OpRead && !po.migrate {
+		if r.Dummy || r.Block.Data == nil {
+			po.out = make([]byte, c.blockSize)
+		} else {
+			po.out = append([]byte(nil), r.Block.Data...)
+		}
+	}
+}
+
+// commit walks the wave in logical order on the coordinator, building the
+// journal batch for every access whose owning buffer executed it. A failed
+// exchange leaves the map untouched and journals nothing — exactly the
+// staged-commit rule of the sequential path. (The position-map updates
+// themselves already committed worker-side in accessTask.)
+func (p *Pipeline) commit(w *waveState) {
+	c := p.c
+	w.recs = w.recs[:0]
+	for _, po := range w.ops {
+		if po.skip || po.err != nil {
+			continue
+		}
+		// makeRecord keys the record kind off the cluster's migrating flag;
+		// setting it per-op here keeps the coordinator's logical order — the
+		// journal carries migrations and workload interleaved exactly as
+		// scheduled.
+		c.migrating = po.migrate
+		w.recs = append(w.recs, c.makeRecord(po.addr, po.op, po.data))
+		c.migrating = false
+		po.committed = true
+		if po.decodeErr != nil {
+			// Journaled but undeliverable: surface the decode failure now that
+			// the record exists, so the append walk skips the op.
+			po.err = po.decodeErr
+		}
+	}
+}
+
+// dispatchAppend launches the wave's APPEND broadcast: one task per SDIMM
+// walks the wave in logical order, so each buffer sees its appends in the
+// same sequence at any parallelism. Outcomes land in per-(op, SDIMM) slots
+// and are resolved at retirement.
+func (p *Pipeline) dispatchAppend(w *waveState) {
+	c := p.c
+	for _, po := range w.ops {
+		po.appendErr = resizeErrs(po.appendErr, len(c.buffers))
+		po.appendBad = resizeFrames(po.appendBad, len(c.buffers))
+	}
+	for j := range c.buffers {
+		j := j
+		p.pool.submitWG(j, &w.wgB, func() {
+			st := c.blame.WorkerBegin()
+			defer c.blame.WorkerEnd(blame.WorkerAppend, st)
+			for _, po := range w.ops {
+				if po.skip || po.err != nil {
+					continue
+				}
+				real := !po.keep && j == po.sdNew && !po.resp.Dummy
+				if !real {
+					// Own-health read: only this worker's exchanges mutate
+					// health[j], so the read is race-free and deterministic.
+					if hs := c.health[j].State(); hs == fault.Failed || hs == fault.Removed {
+						// A dead or removed buffer has no channel; its dummy
+						// is undeliverable.
+						continue
+					}
+				}
+				ack, err := c.exchange(j, "append", c.appendBody(j, po.blk, !real))
+				switch {
+				case err != nil:
+					po.appendErr[j] = err
+				case len(ack) != 1 || ack[0] != appendAck:
+					po.appendBad[j] = append([]byte(nil), ack...)
+				}
+			}
+		})
+	}
+}
+
+// spawnJournal hands the wave's journal batch to a dedicated goroutine so
+// the chained HMAC extension and file write overlap the next wave's ACCESS
+// exchanges. The whole batch seals as one chained group (one tag per wave).
+// Retirement collects the outcome before any of the wave's results are
+// acknowledged — the write-ahead contract is unchanged, only the waiting
+// moved.
+func (p *Pipeline) spawnJournal(w *waveState) {
+	c := p.c
+	if len(w.recs) == 0 || c.dur == nil || c.replaying {
+		w.journal = false
+		return
+	}
+	w.journal = true
+	recs := w.recs
+	go func() { w.jerr <- c.appendRecords(recs) }()
+}
+
+// retire completes a dispatched wave: waits out its APPEND broadcast and
+// journal append, resolves append outcomes (lost-append accounting,
+// re-homing, malformed acks), and delivers results.
+func (p *Pipeline) retire(w *waveState, res []BatchResult, bw *blame.Wave) {
+	c := p.c
+	w.wgB.Wait()
+	var jerr error
+	if w.journal {
+		jerr = <-w.jerr
+	}
+	bw.Mark(blame.PhaseRetireWait)
+
+	if jerr != nil {
+		// The journal append died mid-wave (a planned crash point, or real
+		// I/O failure). Some records may be durable, but acknowledging any
+		// result now could acknowledge an access the journal lost — fail
+		// every journaled op; recovery re-drives from the journal's valid
+		// prefix.
+		for _, po := range w.ops {
+			if po.committed {
+				po.err = jerr
+			}
+		}
+	}
+	globalLeaves := uint64(1) << (c.levels - 1)
+	for _, po := range w.ops {
+		p.finalize(po, globalLeaves, res)
+	}
+	if w.traceEnd != nil {
+		if jerr != nil {
+			w.traceEnd(map[string]any{"ops": w.n, "err": true})
+		} else {
+			w.traceEnd(map[string]any{"ops": w.n})
+		}
+		c.tm.tracer.FreeLane(w.traceLane)
+	}
+	c.flight.Coordinator().Record(flight.KindPhase, uint64(blame.PhaseFinalize), w.waveID)
+	p.releaseWave(w)
+	bw.Mark(blame.PhaseFinalize)
+}
+
+// finalize resolves one access at retirement: lost-append accounting,
+// re-homing, malformed-ack detection, the poison veto, payload delivery,
 // and the cluster.* observation.
 func (p *Pipeline) finalize(po *pipeOp, globalLeaves uint64, res []BatchResult) {
 	c := p.c
@@ -541,9 +794,9 @@ func (p *Pipeline) finalize(po *pipeOp, globalLeaves uint64, res []BatchResult) 
 				c.tm.appendsLost.Inc()
 				if !po.keep && j == po.sdNew && !po.resp.Dummy {
 					// The migrating block was in this exchange: re-home it
-					// (coordinator-side, so its RNG draws stay in logical
-					// order) instead of losing the payload.
-					if rerr := c.rehome(po.addr, po.blk, j, globalLeaves); rerr != nil && po.err == nil {
+					// (leaf draws on the coordinator, the append on the new
+					// owner's worker) instead of losing the payload.
+					if rerr := p.rehomePooled(po.addr, po.blk, j, globalLeaves); rerr != nil && po.err == nil {
 						po.err = rerr
 					}
 				}
@@ -567,11 +820,7 @@ func (p *Pipeline) finalize(po *pipeOp, globalLeaves uint64, res []BatchResult) 
 
 	out := BatchResult{Err: po.err}
 	if po.err == nil && po.op == oram.OpRead && !po.migrate {
-		if po.resp.Dummy || po.resp.Block.Data == nil {
-			out.Data = make([]byte, c.blockSize)
-		} else {
-			out.Data = append([]byte(nil), po.resp.Block.Data...)
-		}
+		out.Data = po.out
 	}
 	// Migration steps are accounted under cluster.migrations, not the
 	// workload access counters — same split as the sequential DrainStep.
@@ -583,4 +832,59 @@ func (p *Pipeline) finalize(po *pipeOp, globalLeaves uint64, res []BatchResult) 
 		c.tm.observe(po.op, po.err)
 	}
 	res[po.idx] = out
+}
+
+// rehomePooled re-homes an in-flight real block whose APPEND exchange was
+// lost. Leaf draws stay on the coordinator (logical order); each candidate
+// append runs as a task on the new owner's worker, because per-SDIMM command
+// scratch and link framing belong to the goroutine driving that link — the
+// coordinator must not touch a link whose worker may be running the next
+// wave's exchanges.
+func (p *Pipeline) rehomePooled(addr uint64, blk oram.Block, exclude int, globalLeaves uint64) error {
+	c := p.c
+	c.tm.rehomes.Inc()
+	if tr := c.tm.tracer; tr != nil {
+		tr.Instant(0, "cluster.rehome", "cluster", map[string]any{"addr": addr, "exclude": exclude})
+	}
+	var lastErr error
+	for try := 0; try < 8*len(c.buffers); try++ {
+		g, err := p.pickLeafSnap(globalLeaves)
+		if err != nil {
+			return err
+		}
+		sd := int(g >> c.localBits)
+		if sd == exclude {
+			continue
+		}
+		nb := blk
+		nb.Leaf = g & (uint64(1)<<c.localBits - 1)
+		c.tm.rehomeAttempts.Inc()
+		var ack []byte
+		var xerr error
+		p.pool.submitWG(sd, &p.rehomeWG, func() {
+			ws := c.blame.WorkerBegin()
+			defer c.blame.WorkerEnd(blame.WorkerAppend, ws)
+			resp, err := c.exchange(sd, "rehome append", c.appendBody(sd, nb, false))
+			if err != nil {
+				xerr = err
+				return
+			}
+			ack = append([]byte(nil), resp...)
+		})
+		p.rehomeWG.Wait()
+		if xerr != nil {
+			lastErr = xerr
+			continue
+		}
+		if len(ack) != 1 || ack[0] != appendAck {
+			return c.wrapErr(sd, "rehome append", fmt.Errorf("sdimm: malformed append ack %x", ack))
+		}
+		c.pos.Set(addr, g)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("sdimm: no alternative SDIMM for in-flight block")
+	}
+	c.tm.rehomeFailures.Inc()
+	return fmt.Errorf("sdimm: re-homing block %d failed: %w", addr, lastErr)
 }
