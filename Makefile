@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short chaos crash elastic fuzz telemetry-smoke bench blame alloc-gates profile soak soak-short ci
+.PHONY: all build vet test race short chaos crash elastic fuzz telemetry-smoke serve-smoke bench blame alloc-gates profile soak soak-short ci
 
 all: ci
 
@@ -74,6 +74,7 @@ bench: alloc-gates
 	$(GO) run ./cmd/sdimm-bench -exp recbench -recbench-out BENCH_recovery.json
 	$(GO) run ./cmd/sdimm-bench -exp hotpath -hotpath-out BENCH_hotpath.json
 	$(GO) run ./cmd/sdimm-bench -exp rebalance -rebalance-out BENCH_rebalance.json
+	$(GO) run ./cmd/sdimm-serve -bench -bench-out BENCH_serve.json
 
 # Critical-path blame profile of the batched pipeline: per-wave phase
 # breakdown plus the serialization ledger (coordinator phases ranked by
@@ -111,6 +112,15 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzJournalDecode -fuzztime=20s ./internal/durable
 	$(GO) test -run=NONE -fuzz=FuzzCheckpointDecode -fuzztime=20s ./internal/durable
 	$(GO) test -run=NONE -fuzz=FuzzShardedPosMap -fuzztime=20s ./internal/oram
+	$(GO) test -run=NONE -fuzz=FuzzWireDecode -fuzztime=20s ./internal/serve
+
+# Serving front-end smoke: the in-process sdimm-serve run (two tenants,
+# closed-loop load, graceful drain, witness + zero-accepted-deadline-miss
+# gates) followed by the secure-kv example, which exercises the same wire
+# protocol as a thin KV client.
+serve-smoke:
+	$(GO) run ./cmd/sdimm-serve -smoke
+	$(GO) run ./examples/secure-kv >/dev/null
 
 # Pipeline soak, full tier: the randomized stress wall around the overlapped
 # engine (16 scenarios × 1000 mixed read/write/migrate ops, windows 1..12,
@@ -126,4 +136,4 @@ soak:
 soak-short:
 	$(GO) test -race -count=1 -short -run 'TestPipelineSoak|TestPipelineBlameRegression' .
 
-ci: build vet race soak-short telemetry-smoke bench blame crash elastic
+ci: build vet race soak-short telemetry-smoke serve-smoke bench blame crash elastic

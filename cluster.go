@@ -881,6 +881,19 @@ func healthEntry(i int, id string, h *fault.Health, ts fault.TransactorStats) SD
 	return e
 }
 
+// HealthStates returns a snapshot of every member's health state. Unlike
+// Health it reads only the mutex-guarded state machines (no transactor
+// stats), so it is safe to call concurrently with a running pipeline — the
+// serving front end's capacity ticker polls it while waves are in flight to
+// shrink advertised capacity for Degraded/Recovering/Draining members.
+func (c *Cluster) HealthStates() []fault.State {
+	out := make([]fault.State, len(c.health))
+	for i, h := range c.health {
+		out[i] = h.State()
+	}
+	return out
+}
+
 // Health returns the current per-SDIMM health view.
 func (c *Cluster) Health() ClusterHealth {
 	out := ClusterHealth{SDIMMs: make([]SDIMMHealth, len(c.buffers))}

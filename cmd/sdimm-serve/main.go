@@ -1,0 +1,411 @@
+// sdimm-serve is the overload-robust multi-tenant serving front end: a TCP
+// block server over a cluster's streaming pipeline, with tenant-oblivious
+// admission control, per-request deadlines, slow-start backpressure, and
+// graceful drain through the durable journal commit point.
+//
+// Modes:
+//
+//	sdimm-serve                          serve until SIGTERM (graceful) —
+//	                                     a second signal hard-exits
+//	sdimm-serve -state DIR               durable serving; restarts recover
+//	                                     the journal automatically
+//	sdimm-serve -smoke                   in-process serving smoke test (CI)
+//	sdimm-serve -bench -bench-out F      overload benchmark → BENCH_serve.json
+//
+// The -http endpoint exposes the SLO dashboard: GET /slo (JSON snapshot),
+// GET /witness (obliviousness verdict), GET /metrics (Prometheus), GET /
+// (raw counters). See README, "Serving runbook".
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"sdimm"
+	"sdimm/internal/rng"
+	"sdimm/internal/serve"
+	"sdimm/internal/witness"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7911", "TCP listen address")
+		httpAddr  = flag.String("http", "", "telemetry/SLO HTTP address (empty = disabled)")
+		sdimms    = flag.Int("sdimms", 4, "SDIMM count (power of two)")
+		levels    = flag.Int("levels", 12, "global tree levels")
+		blockSize = flag.Int("block", 128, "block payload bytes")
+		window    = flag.Int("window", 8, "pipeline window")
+		seed      = flag.Uint64("seed", 1, "cluster seed")
+		state     = flag.String("state", "", "durable state directory (empty = in-memory)")
+		interval  = flag.Int("interval", 256, "checkpoint interval (accesses)")
+		deadline  = flag.Duration("deadline", 250*time.Millisecond, "default per-request deadline")
+		flightDir = flag.String("flight-dir", "", "flight-recorder auto-dump directory")
+		key       = flag.String("key", "sdimm-serve-key", "cluster master key")
+		smoke     = flag.Bool("smoke", false, "run the in-process serving smoke test and exit")
+		bench     = flag.Bool("bench", false, "run the overload benchmark and exit")
+		benchOut  = flag.String("bench-out", "BENCH_serve.json", "benchmark report path")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Cluster: sdimm.ClusterOptions{
+			SDIMMs: *sdimms, Levels: *levels, BlockSize: *blockSize,
+			Key: []byte(*key), Seed: *seed,
+		},
+		Pipeline:        sdimm.PipelineOptions{Window: *window},
+		DefaultDeadline: *deadline,
+		FlightDir:       *flightDir,
+	}
+	if *state != "" {
+		cfg.Cluster.Durability = &sdimm.DurabilityOptions{Dir: *state, Interval: *interval}
+	}
+
+	switch {
+	case *smoke:
+		if err := runSmoke(cfg); err != nil {
+			log.Fatalf("serve smoke: %v", err)
+		}
+	case *bench:
+		if err := runBench(cfg, *benchOut); err != nil {
+			log.Fatalf("serve bench: %v", err)
+		}
+	default:
+		if err := runServe(cfg, *addr, *httpAddr); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// newOrRecover builds the server, recovering the state directory when it
+// already holds checkpoints from a previous run.
+func newOrRecover(cfg serve.Config) (*serve.Server, error) {
+	s, err := serve.New(cfg)
+	if err == nil {
+		return s, nil
+	}
+	if !strings.Contains(err.Error(), "RecoverCluster") {
+		return nil, err
+	}
+	s, report, err := serve.Recover(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("recover %s: %w", cfg.Cluster.Durability.Dir, err)
+	}
+	log.Printf("recovered state from %s: %+v", cfg.Cluster.Durability.Dir, *report)
+	return s, nil
+}
+
+func runServe(cfg serve.Config, addr, httpAddr string) error {
+	s, err := newOrRecover(cfg)
+	if err != nil {
+		return err
+	}
+	bound, err := s.Start(addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving on %s (window %d, deadline %s, queue limit %d)",
+		bound, cfg.Pipeline.Window, cfg.DefaultDeadline, s.Admission().Limit())
+	if httpAddr != "" {
+		go func() {
+			log.Printf("SLO dashboard on http://%s/slo", httpAddr)
+			if err := http.ListenAndServe(httpAddr, s.HTTPHandler()); err != nil {
+				log.Printf("http: %v", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("%s: draining (second signal hard-exits)", got)
+	go func() {
+		<-sig
+		log.Print("second signal: hard exit")
+		os.Exit(2)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Print("drained cleanly")
+	return nil
+}
+
+// runSmoke is the CI smoke leg: two tenants against an in-process server,
+// then a graceful drain. Fails on any SLO breach.
+func runSmoke(cfg serve.Config) error {
+	s, err := newOrRecover(cfg)
+	if err != nil {
+		return err
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	for _, tenant := range []string{"alpha", "beta"} {
+		rep, err := serve.RunLoad(serve.LoadOptions{
+			Addr: addr, Tenant: tenant, Workers: 4, Ops: 200,
+			Space: 64, DeadlineMS: 2000, Seed: 7,
+		})
+		if err != nil {
+			return fmt.Errorf("%s load: %w", tenant, err)
+		}
+		if rep.OK == 0 || rep.Errors != 0 {
+			return fmt.Errorf("%s: %+v", tenant, rep)
+		}
+	}
+	slo := s.SLO()
+	if err := s.Shutdown(context.Background()); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if slo.AcceptedDeadlineMissed != 0 {
+		return fmt.Errorf("%d accepted deadline misses", slo.AcceptedDeadlineMissed)
+	}
+	if !slo.Witness.OK {
+		return fmt.Errorf("witness red: %+v", slo.Witness)
+	}
+	fmt.Printf("serve smoke ok: %d ops, p99 %dus, witness green (%d frames)\n",
+		slo.OK, slo.LatencyP99US, slo.Witness.Frames)
+	return nil
+}
+
+// benchReport is BENCH_serve.json: the saturation and 2× overload probes,
+// the SLO outcome, and the crash-recovery equivalence leg.
+type benchReport struct {
+	SaturationWorkers int              `json:"saturation_workers"`
+	Saturation        serve.LoadReport `json:"saturation"`
+	OverloadWorkers   int              `json:"overload_workers"`
+	Overload          serve.LoadReport `json:"overload"`
+	GoodputRatio      float64          `json:"goodput_ratio"`
+	AcceptedDMissed   uint64           `json:"accepted_deadline_missed"`
+	Witness           witness.Verdict  `json:"witness"`
+	CrashEqual        bool             `json:"crash_recovery_equal"`
+	Gates             map[string]bool  `json:"gates"`
+	Pass              bool             `json:"pass"`
+}
+
+func runBench(cfg serve.Config, out string) error {
+	// Throughput legs run non-durable (journal fsync noise is a different
+	// benchmark); the crash leg below is durable by construction.
+	cfg.Cluster.Durability = nil
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+
+	rep := benchReport{Gates: map[string]bool{}}
+	satWorkers := 2 * cfg.Pipeline.Window
+	if satWorkers <= 0 {
+		satWorkers = 16
+	}
+	warm, err := serve.RunLoad(serve.LoadOptions{
+		Addr: addr, Tenant: "warmup", Workers: satWorkers, Ops: 1000,
+		Space: 256, DeadlineMS: 5000, Seed: 3,
+	})
+	if err != nil {
+		return fmt.Errorf("warmup: %w (%+v)", err, warm)
+	}
+	rep.SaturationWorkers = satWorkers
+	rep.Saturation, err = serve.RunLoad(serve.LoadOptions{
+		Addr: addr, Tenant: "sat", Workers: satWorkers, Ops: 4000,
+		Space: 256, DeadlineMS: 5000, Seed: 5,
+	})
+	if err != nil {
+		return fmt.Errorf("saturation: %w", err)
+	}
+	rep.OverloadWorkers = 2 * satWorkers
+	rep.Overload, err = serve.RunLoad(serve.LoadOptions{
+		Addr: addr, Tenant: "over", Workers: 2 * satWorkers, Ops: 8000,
+		Space: 256, DeadlineMS: 5000, Seed: 6,
+	})
+	if err != nil {
+		return fmt.Errorf("overload: %w", err)
+	}
+	slo := s.SLO()
+	rep.AcceptedDMissed = slo.AcceptedDeadlineMissed
+	rep.Witness = slo.Witness
+	if err := s.Shutdown(context.Background()); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+
+	if rep.Saturation.GoodputPerSec > 0 {
+		rep.GoodputRatio = rep.Overload.GoodputPerSec / rep.Saturation.GoodputPerSec
+	}
+	crashEqual, err := crashEquivalence(cfg)
+	if err != nil {
+		return fmt.Errorf("crash leg: %w", err)
+	}
+	rep.CrashEqual = crashEqual
+
+	rep.Gates["goodput_within_10pct_of_saturation"] = rep.GoodputRatio >= 0.9
+	rep.Gates["zero_accepted_deadline_missed"] = rep.AcceptedDMissed == 0
+	rep.Gates["witness_green_under_overload"] = rep.Witness.OK && rep.Witness.Frames > 0
+	rep.Gates["crash_recovery_bitwise_equal"] = rep.CrashEqual
+	rep.Pass = true
+	for _, ok := range rep.Gates {
+		rep.Pass = rep.Pass && ok
+	}
+
+	if err := writeJSONAtomic(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("serve bench: saturation %.0f ops/s (%d workers), overload %.0f ops/s (%d workers), ratio %.2f\n",
+		rep.Saturation.GoodputPerSec, satWorkers, rep.Overload.GoodputPerSec, 2*satWorkers, rep.GoodputRatio)
+	fmt.Printf("gates: %v -> %s\n", rep.Gates, map[bool]string{true: "PASS", false: "FAIL"}[rep.Pass])
+	if !rep.Pass {
+		return fmt.Errorf("gates failed (see %s)", out)
+	}
+	return nil
+}
+
+// crashEquivalence drives a durable in-process server into a planned
+// mid-wave crash, recovers the state directory, and compares the recovered
+// cluster bitwise against a fresh reference replaying the committed prefix
+// sequentially.
+func crashEquivalence(cfg serve.Config) (bool, error) {
+	dir, err := os.MkdirTemp("", "sdimm-serve-crash-*")
+	if err != nil {
+		return false, err
+	}
+	defer os.RemoveAll(dir)
+	cfg.Cluster.Durability = &sdimm.DurabilityOptions{Dir: dir, Interval: 32}
+
+	s, err := serve.New(cfg)
+	if err != nil {
+		return false, err
+	}
+	if err := s.Cluster().PlanCrash(60, 5); err != nil {
+		return false, err
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		return false, err
+	}
+	cl, err := serve.Dial(addr, "crash")
+	if err != nil {
+		return false, err
+	}
+
+	r := rng.Stream(cfg.Cluster.Seed, "serve-bench-crash", 0)
+	type op struct {
+		addr  uint64
+		write bool
+		data  string
+	}
+	ops := make([]op, 400)
+	for i := range ops {
+		ops[i] = op{addr: r.Uint64n(48), write: r.Bool(0.6)}
+		if ops[i].write {
+			ops[i].data = fmt.Sprintf("bench-crash-%04d", i)
+		}
+	}
+	crashed := false
+	for _, o := range ops {
+		req := serve.Request{Addr: o.addr, Write: o.write}
+		if o.write {
+			req.Data = []byte(o.data)
+		}
+		resp, err := cl.Do(req)
+		if err != nil {
+			return false, err
+		}
+		if resp.Status == serve.StatusError {
+			crashed = true
+			break
+		}
+	}
+	cl.Close()
+	s.Shutdown(context.Background()) // backend crashed: drain error expected
+	if !crashed {
+		return false, fmt.Errorf("planned crash never tripped")
+	}
+
+	rc, _, err := sdimm.RecoverCluster(cfg.Cluster)
+	if err != nil {
+		return false, err
+	}
+	defer rc.Close()
+	n := rc.WorkloadSeq()
+	refOpts := cfg.Cluster
+	refOpts.Durability = nil
+	ref, err := sdimm.NewCluster(refOpts)
+	if err != nil {
+		return false, err
+	}
+	defer ref.Close()
+	for _, o := range ops[:n] {
+		if o.write {
+			if err := ref.Write(o.addr, []byte(o.data)); err != nil {
+				return false, err
+			}
+		} else if _, err := ref.Read(o.addr); err != nil {
+			return false, err
+		}
+	}
+	gotPos, wantPos := rc.Positions(), ref.Positions()
+	if len(gotPos) != len(wantPos) {
+		return false, nil
+	}
+	for a, leaf := range wantPos {
+		if gotPos[a] != leaf {
+			return false, nil
+		}
+	}
+	for a := uint64(0); a < 48; a++ {
+		got, err := rc.Read(a)
+		if err != nil {
+			return false, err
+		}
+		want, err := ref.Read(a)
+		if err != nil {
+			return false, err
+		}
+		if string(got) != string(want) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// writeJSONAtomic publishes v as indented JSON via temp file + rename, the
+// same discipline as the other BENCH_*.json writers.
+func writeJSONAtomic(path string, v any) error {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,117 +1,61 @@
-// Secure-kv: an oblivious key-value store built on the functional Path
-// ORAM — the kind of in-memory database workload (the paper cites Oracle
-// TimesTen) that motivates high-capacity secure memory. Keys are hashed to
-// block addresses with open addressing; every get and put is a fixed
-// pattern of ORAM accesses, so an observer of the memory bus learns
-// neither the keys nor whether an operation was a read or a write.
+// Secure-kv: an oblivious key-value store — the in-memory database workload
+// (the paper cites Oracle TimesTen) that motivates high-capacity secure
+// memory. The KV mapping itself lives in internal/kv: keys hash to block
+// addresses with bounded linear probing, and every get and put is a fixed
+// pattern of ORAM accesses, so an observer learns neither the keys nor
+// whether an operation was a read or a write.
+//
+// This example is deliberately a *thin client*: it starts an sdimm-serve
+// front end in-process (a real TCP server over the cluster's streaming
+// pipeline, with admission control and backpressure) and runs the KV
+// workload through the wire protocol — the same path a production tenant
+// would use, shed-and-retry handling included.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"sdimm"
+	"sdimm/internal/kv"
+	"sdimm/internal/serve"
 )
 
-// kv is a fixed-capacity oblivious map[string]string. Each block stores
-// one record: keyLen(1) | key | valLen(1) | value, zero-padded.
-type kv struct {
-	store *sdimm.ORAM
-	slots uint64
-}
-
-func newKV(levels int, key []byte) (*kv, error) {
-	store, err := sdimm.NewORAM(sdimm.ORAMOptions{Levels: levels, BlockSize: 128, Key: key})
-	if err != nil {
-		return nil, err
-	}
-	return &kv{store: store, slots: store.Capacity()}, nil
-}
-
-func fnv(s string) uint64 {
-	h := uint64(1469598103934665603)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
-func (m *kv) encode(key, val string) ([]byte, error) {
-	if len(key) > 60 || len(val) > 60 {
-		return nil, fmt.Errorf("kv: record too large")
-	}
-	out := make([]byte, 0, 2+len(key)+len(val))
-	out = append(out, byte(len(key)))
-	out = append(out, key...)
-	out = append(out, byte(len(val)))
-	out = append(out, val...)
-	return out, nil
-}
-
-func decode(b []byte) (key, val string, ok bool) {
-	if len(b) < 2 || b[0] == 0 {
-		return "", "", false
-	}
-	kl := int(b[0])
-	if 1+kl+1 > len(b) {
-		return "", "", false
-	}
-	key = string(b[1 : 1+kl])
-	vl := int(b[1+kl])
-	if 2+kl+vl > len(b) {
-		return "", "", false
-	}
-	return key, string(b[2+kl : 2+kl+vl]), true
-}
-
-// put stores key=val using linear probing (at most 16 probes).
-func (m *kv) put(key, val string) error {
-	rec, err := m.encode(key, val)
-	if err != nil {
-		return err
-	}
-	h := fnv(key) % m.slots
-	for i := uint64(0); i < 16; i++ {
-		addr := (h + i) % m.slots
-		cur, err := m.store.Read(addr)
-		if err != nil {
-			return err
-		}
-		k, _, occupied := decode(cur)
-		if !occupied || k == key {
-			return m.store.Write(addr, rec)
-		}
-	}
-	return fmt.Errorf("kv: probe chain full for %q", key)
-}
-
-// get fetches the value for key.
-func (m *kv) get(key string) (string, bool, error) {
-	h := fnv(key) % m.slots
-	for i := uint64(0); i < 16; i++ {
-		addr := (h + i) % m.slots
-		cur, err := m.store.Read(addr)
-		if err != nil {
-			return "", false, err
-		}
-		k, v, occupied := decode(cur)
-		if !occupied {
-			return "", false, nil
-		}
-		if k == key {
-			return v, true, nil
-		}
-	}
-	return "", false, nil
-}
-
 func main() {
-	db, err := newKV(12, []byte("tenant-42-master-key"))
+	const blockSize = 128
+	srv, err := serve.New(serve.Config{
+		Cluster: sdimm.ClusterOptions{
+			SDIMMs: 4, Levels: 12, BlockSize: blockSize,
+			Key: []byte("tenant-42-master-key"), Seed: 42,
+		},
+		Pipeline: sdimm.PipelineOptions{Window: 8},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("oblivious KV store with %d slots\n", db.slots)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	cl, err := serve.Dial(addr, "tenant-42")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	// The oblivious map over the served block space: 1024 slots of the
+	// server's block size, probed through the wire client. BlockStore
+	// retries shed responses with backoff, so the example behaves under
+	// server backpressure too.
+	db, err := kv.New(1024, cl.BlockSize())
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := &serve.BlockStore{C: cl}
+	fmt.Printf("oblivious KV store with %d slots, served over %s\n", db.Slots(), addr)
 
 	users := map[string]string{
 		"alice": "credit:9912",
@@ -126,18 +70,18 @@ func main() {
 		"judy":  "credit:8888",
 	}
 	for k, v := range users {
-		if err := db.put(k, v); err != nil {
+		if err := db.Put(store, k, v); err != nil {
 			log.Fatal(err)
 		}
 	}
 	// Overwrite one record, then read everything back.
-	if err := db.put("alice", "credit:0000"); err != nil {
+	if err := db.Put(store, "alice", "credit:0000"); err != nil {
 		log.Fatal(err)
 	}
 	users["alice"] = "credit:0000"
 
 	for k, want := range users {
-		got, ok, err := db.get(k)
+		got, ok, err := db.Get(store, k)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -146,9 +90,12 @@ func main() {
 		}
 		fmt.Printf("  %-6s -> %s\n", k, got)
 	}
-	if _, ok, _ := db.get("mallory"); ok {
+	if _, ok, _ := db.Get(store, "mallory"); ok {
 		log.Fatal("phantom record")
 	}
 	fmt.Printf("all %d records verified; absent key correctly missing\n", len(users))
-	fmt.Printf("stash occupancy after workload: %d blocks\n", db.store.StashLen())
+
+	slo := srv.SLO()
+	fmt.Printf("server SLO: %d ops ok, p99 %dµs, witness green=%v over %d frames\n",
+		slo.OK, slo.LatencyP99US, slo.Witness.OK, slo.Witness.Frames)
 }

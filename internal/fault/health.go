@@ -54,6 +54,28 @@ func (s State) String() string {
 	}
 }
 
+// CapacityWeight maps a health state to the fraction of the member's
+// nominal serving capacity an admission layer should keep advertising for
+// it. This is the serving front end's degradation ladder: a Recovering or
+// Degraded member is addressed but at half weight (its next exchanges may
+// retry or re-probe), a Draining member keeps only a sliver (it serves
+// reads but is excluded from placement, so it converges to dummy traffic),
+// and Failed/Removed members contribute nothing. Shrinking advertised
+// capacity turns a sick member into early backpressure on clients instead
+// of late timeouts.
+func (s State) CapacityWeight() float64 {
+	switch s {
+	case Healthy:
+		return 1.0
+	case Degraded, Recovering:
+		return 0.5
+	case Draining:
+		return 0.25
+	default: // Failed, Removed
+		return 0
+	}
+}
+
 // Health tracks one SDIMM's consecutive-failure state machine:
 // Healthy → (DegradeAfter consecutive failures) → Degraded → (success) →
 // Healthy; ErrFailStop or FailAfter consecutive failures → Failed (sticky).

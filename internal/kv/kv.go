@@ -1,0 +1,150 @@
+// Package kv is the oblivious key-value mapping shared by the secure-kv
+// example and the sdimm-serve front end: string keys are hashed onto ORAM
+// block addresses with bounded linear probing, and each block stores one
+// record — keyLen(1) | key | valLen(1) | value, zero-padded to the block
+// size. Every Get and Put is a fixed pattern of ORAM accesses against any
+// Store, so an observer of the memory bus (or of the sealed cluster links)
+// learns neither the keys nor whether an operation was a read or a write.
+//
+// The mapping is deliberately stateless: a Map carries only the slot count
+// and block size, so the server, the example, and a recovery replay all
+// address the same records as long as they agree on those two numbers.
+package kv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Store is the block device a Map probes: the functional ORAM, a cluster,
+// or the serving pipeline adapter. Read of a never-written address returns
+// zeros (an unoccupied record).
+type Store interface {
+	Read(addr uint64) ([]byte, error)
+	Write(addr uint64, data []byte) error
+}
+
+// MaxProbes bounds every probe chain. A Get that walks MaxProbes occupied
+// slots without a hit reports absence; a Put that finds no free or matching
+// slot within MaxProbes fails with ErrFull.
+const MaxProbes = 16
+
+// ErrFull reports a probe chain with no free slot — the table is locally
+// full around that key's hash.
+var ErrFull = errors.New("kv: probe chain full")
+
+// ErrAborted is a sentinel Stores may return to cut a probe chain short
+// (deadline exceeded, shutdown). Map methods pass it through unwrapped.
+var ErrAborted = errors.New("kv: access aborted")
+
+// Map is a fixed-capacity oblivious string→string map layered over a Store.
+type Map struct {
+	slots     uint64
+	blockSize int
+}
+
+// New builds a mapping over slots block addresses of blockSize bytes each.
+// blockSize must leave room for the two length prefixes.
+func New(slots uint64, blockSize int) (*Map, error) {
+	if slots == 0 {
+		return nil, fmt.Errorf("kv: zero slots")
+	}
+	if blockSize < 4 {
+		return nil, fmt.Errorf("kv: block size %d too small for a record", blockSize)
+	}
+	return &Map{slots: slots, blockSize: blockSize}, nil
+}
+
+// Slots returns the table capacity in block addresses.
+func (m *Map) Slots() uint64 { return m.slots }
+
+// Hash is the table's key hash (FNV-1a, 64-bit).
+func Hash(key string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Probe returns the i-th slot of key's probe chain.
+func (m *Map) Probe(key string, i uint64) uint64 {
+	return (Hash(key) + i) % m.slots
+}
+
+// Encode packs key=val into one record. The record must fit the block and
+// each field a one-byte length, and keys must be non-empty (a zero first
+// byte marks an unoccupied slot).
+func (m *Map) Encode(key, val string) ([]byte, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("kv: empty key")
+	}
+	if len(key) > 255 || len(val) > 255 || 2+len(key)+len(val) > m.blockSize {
+		return nil, fmt.Errorf("kv: record %q (%d+%d bytes) exceeds block size %d",
+			key, len(key), len(val), m.blockSize)
+	}
+	out := make([]byte, 0, 2+len(key)+len(val))
+	out = append(out, byte(len(key)))
+	out = append(out, key...)
+	out = append(out, byte(len(val)))
+	out = append(out, val...)
+	return out, nil
+}
+
+// Decode unpacks a record. ok is false for unoccupied (zeroed) or
+// malformed blocks — Decode is total and never panics on hostile input.
+func Decode(b []byte) (key, val string, ok bool) {
+	if len(b) < 2 || b[0] == 0 {
+		return "", "", false
+	}
+	kl := int(b[0])
+	if 1+kl+1 > len(b) {
+		return "", "", false
+	}
+	key = string(b[1 : 1+kl])
+	vl := int(b[1+kl])
+	if 2+kl+vl > len(b) {
+		return "", "", false
+	}
+	return key, string(b[2+kl : 2+kl+vl]), true
+}
+
+// Get fetches the value for key, probing at most MaxProbes slots. An
+// unoccupied slot terminates the chain (the key is absent).
+func (m *Map) Get(s Store, key string) (string, bool, error) {
+	for i := uint64(0); i < MaxProbes; i++ {
+		cur, err := s.Read(m.Probe(key, i))
+		if err != nil {
+			return "", false, err
+		}
+		k, v, occupied := Decode(cur)
+		if !occupied {
+			return "", false, nil
+		}
+		if k == key {
+			return v, true, nil
+		}
+	}
+	return "", false, nil
+}
+
+// Put stores key=val in the first free or matching slot of the chain.
+func (m *Map) Put(s Store, key, val string) error {
+	rec, err := m.Encode(key, val)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < MaxProbes; i++ {
+		addr := m.Probe(key, i)
+		cur, err := s.Read(addr)
+		if err != nil {
+			return err
+		}
+		k, _, occupied := Decode(cur)
+		if !occupied || k == key {
+			return s.Write(addr, rec)
+		}
+	}
+	return fmt.Errorf("kv: %w for %q", ErrFull, key)
+}

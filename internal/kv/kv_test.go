@@ -1,0 +1,165 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// memStore is a plain in-memory Store with the ORAM contract: reads of
+// never-written addresses return zeros.
+type memStore struct {
+	blockSize int
+	m         map[uint64][]byte
+	reads     int
+	failAfter int // when > 0, reads past this count return ErrAborted
+}
+
+func newMemStore(blockSize int) *memStore {
+	return &memStore{blockSize: blockSize, m: make(map[uint64][]byte)}
+}
+
+func (s *memStore) Read(addr uint64) ([]byte, error) {
+	s.reads++
+	if s.failAfter > 0 && s.reads > s.failAfter {
+		return nil, ErrAborted
+	}
+	if b, ok := s.m[addr]; ok {
+		return b, nil
+	}
+	return make([]byte, s.blockSize), nil
+}
+
+func (s *memStore) Write(addr uint64, data []byte) error {
+	b := make([]byte, s.blockSize)
+	copy(b, data)
+	s.m[addr] = b
+	return nil
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	m, err := New(64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := m.Encode("alice", "credit:9912")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, v, ok := Decode(rec)
+	if !ok || k != "alice" || v != "credit:9912" {
+		t.Fatalf("Decode = %q %q %v", k, v, ok)
+	}
+	// Padding to the block size must not change the decoding.
+	padded := make([]byte, 128)
+	copy(padded, rec)
+	if k, v, ok = Decode(padded); !ok || k != "alice" || v != "credit:9912" {
+		t.Fatalf("padded Decode = %q %q %v", k, v, ok)
+	}
+	if _, err := m.Encode("", "x"); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if _, err := m.Encode(strings.Repeat("k", 127), strings.Repeat("v", 127)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+// Decode must be total on hostile input.
+func TestDecodeHostile(t *testing.T) {
+	cases := [][]byte{
+		nil, {}, {0}, {5}, {200, 'a'}, {1, 'a', 250}, {2, 'a'},
+	}
+	for _, b := range cases {
+		if _, _, ok := Decode(b); ok {
+			t.Fatalf("Decode(%v) claimed a valid record", b)
+		}
+	}
+}
+
+func TestPutGetOverwriteAbsent(t *testing.T) {
+	m, err := New(256, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newMemStore(128)
+	want := map[string]string{}
+	for i := 0; i < 50; i++ {
+		k, v := fmt.Sprintf("user-%d", i), fmt.Sprintf("val-%d", i)
+		if err := m.Put(s, k, v); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	// Overwrite in place.
+	if err := m.Put(s, "user-7", "rewritten"); err != nil {
+		t.Fatal(err)
+	}
+	want["user-7"] = "rewritten"
+	for k, v := range want {
+		got, ok, err := m.Get(s, k)
+		if err != nil || !ok || got != v {
+			t.Fatalf("Get(%q) = %q %v %v, want %q", k, got, ok, err, v)
+		}
+	}
+	if _, ok, err := m.Get(s, "mallory"); err != nil || ok {
+		t.Fatalf("absent key reported present (err %v)", err)
+	}
+}
+
+// Forcing every key into one chain must keep probing past collisions and
+// fail with ErrFull once the chain saturates.
+func TestProbeChainSaturation(t *testing.T) {
+	m, err := New(MaxProbes, 64) // tiny table: all chains overlap heavily
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newMemStore(64)
+	stored := 0
+	for i := 0; i < 2*MaxProbes; i++ {
+		err := m.Put(s, fmt.Sprintf("k%02d", i), "v")
+		if err == nil {
+			stored++
+			continue
+		}
+		if !errors.Is(err, ErrFull) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if stored != MaxProbes {
+		t.Fatalf("stored %d records in a %d-slot table", stored, MaxProbes)
+	}
+	// Everything that was acknowledged must still be readable.
+	found := 0
+	for i := 0; i < 2*MaxProbes; i++ {
+		if _, ok, err := m.Get(s, fmt.Sprintf("k%02d", i)); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			found++
+		}
+	}
+	if found != stored {
+		t.Fatalf("found %d of %d stored records", found, stored)
+	}
+}
+
+// A Store abort (deadline, shutdown) must surface unwrapped so callers can
+// classify it.
+func TestStoreAbortPassthrough(t *testing.T) {
+	m, err := New(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newMemStore(64)
+	s.failAfter = 0
+	if err := m.Put(s, "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	s.failAfter = s.reads // next read aborts
+	if _, _, err := m.Get(s, "a"); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Get abort = %v, want ErrAborted", err)
+	}
+	if err := m.Put(s, "b", "2"); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Put abort = %v, want ErrAborted", err)
+	}
+}

@@ -1,0 +1,134 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"sdimm/internal/rng"
+)
+
+// This file extends the Section IV-C queue models with the arrival side a
+// serving front end actually faces: bursty, correlated request streams. The
+// admission layer of cmd/sdimm-serve sizes its queue watermarks from these
+// models — QueueLimitFor picks the shallowest bound that keeps the
+// stationary overflow probability under a target, and the MMPP lets the
+// tests drive the bound with arrivals far burstier than Bernoulli.
+
+// MMPP is a two-state Markov-modulated Bernoulli process — the discrete-time
+// MMPP commonly used to model bursty request arrivals. Each slot the process
+// sits in a Low or High state, emits an arrival with that state's
+// probability, and then flips state with probability PUp (Low→High) or
+// PDown (High→Low). With LowRate == HighRate it degenerates to the plain
+// Bernoulli arrivals of Walk; pushing the rates apart adds burstiness at a
+// fixed mean rate.
+type MMPP struct {
+	LowRate  float64 // per-slot arrival probability in the Low state
+	HighRate float64 // per-slot arrival probability in the High state
+	PUp      float64 // per-slot Low→High transition probability
+	PDown    float64 // per-slot High→Low transition probability
+}
+
+// Validate checks the process parameters.
+func (m MMPP) Validate() error {
+	for _, p := range []float64{m.LowRate, m.HighRate, m.PUp, m.PDown} {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("queueing: invalid MMPP parameter in %+v", m)
+		}
+	}
+	if m.PUp+m.PDown == 0 {
+		return fmt.Errorf("queueing: MMPP never changes state: %+v", m)
+	}
+	return nil
+}
+
+// MeanRate returns the stationary arrival rate: the High-state occupancy is
+// PUp/(PUp+PDown).
+func (m MMPP) MeanRate() float64 {
+	piHigh := m.PUp / (m.PUp + m.PDown)
+	return (1-piHigh)*m.LowRate + piHigh*m.HighRate
+}
+
+// SimulateOverflow estimates, by Monte Carlo, the probability that a
+// single-server queue fed by this arrival process and drained with per-slot
+// service probability service exceeds limit at least once within steps
+// slots. This is the bursty-arrivals counterpart of Walk.SimulateOverflow.
+func (m MMPP) SimulateOverflow(steps, limit, trials int, service float64, r *rng.Source) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if steps < 0 || limit <= 0 || trials <= 0 || r == nil || service < 0 || service > 1 {
+		return 0, fmt.Errorf("queueing: invalid MMPP simulation setup")
+	}
+	hits := 0
+	for t := 0; t < trials; t++ {
+		pos, high := 0, false
+		for s := 0; s < steps; s++ {
+			rate := m.LowRate
+			if high {
+				rate = m.HighRate
+			}
+			if r.Float64() < rate {
+				pos++
+			}
+			if pos > 0 && r.Float64() < service {
+				pos--
+			}
+			if pos >= limit {
+				hits++
+				break
+			}
+			if high {
+				if r.Float64() < m.PDown {
+					high = false
+				}
+			} else if r.Float64() < m.PUp {
+				high = true
+			}
+		}
+	}
+	return float64(hits) / float64(trials), nil
+}
+
+// FullProbability returns the stationary probability that an M/M/1/K queue
+// at utilization rho is full: P_K = rho^K (1-rho) / (1-rho^(K+1)). It is
+// MM1KFullProbability with the utilization supplied directly instead of
+// derived from the paper's drain probability.
+func FullProbability(rho float64, k int) (float64, error) {
+	if rho < 0 || math.IsNaN(rho) {
+		return 0, fmt.Errorf("queueing: utilization %v invalid", rho)
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("queueing: queue size %d invalid", k)
+	}
+	if math.Abs(rho-1) < 1e-12 {
+		return 1 / float64(k+1), nil
+	}
+	return math.Pow(rho, float64(k)) * (1 - rho) / (1 - math.Pow(rho, float64(k+1))), nil
+}
+
+// QueueLimitFor returns the smallest queue bound K ≤ maxK whose stationary
+// full-queue probability at utilization rho stays at or below target — the
+// admission layer's watermark-sizing rule. rho must be < 1 (an overloaded
+// queue has no bound that meets any target below 1/(K+1); admission handles
+// that regime by shedding, not by queueing deeper).
+func QueueLimitFor(rho, target float64, maxK int) (int, error) {
+	if rho <= 0 || rho >= 1 || math.IsNaN(rho) {
+		return 0, fmt.Errorf("queueing: utilization %v out of (0,1)", rho)
+	}
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("queueing: target %v out of (0,1)", target)
+	}
+	if maxK <= 0 {
+		return 0, fmt.Errorf("queueing: maxK %d invalid", maxK)
+	}
+	for k := 1; k <= maxK; k++ {
+		p, err := FullProbability(rho, k)
+		if err != nil {
+			return 0, err
+		}
+		if p <= target {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("queueing: no K ≤ %d meets target %v at rho %v", maxK, target, rho)
+}

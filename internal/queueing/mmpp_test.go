@@ -1,0 +1,146 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"sdimm/internal/rng"
+)
+
+// With LowRate == HighRate the MMPP feeds a plain Bernoulli single-server
+// queue. Unlike the paper's Walk (a signed net-balance walk that wanders
+// negative), the queue is reflected at zero, so we validate the simulator
+// against an exact absorbing-barrier DP of the same queue dynamics: from an
+// occupied queue, +1 w.p. a(1-s), -1 w.p. s(1-a); from an empty queue an
+// arrival is immediately serviceable, so +1 w.p. a(1-s) and stay otherwise.
+func TestMMPPMatchesExactQueueDP(t *testing.T) {
+	const a, s = 0.25, 0.25
+	m := MMPP{LowRate: a, HighRate: a, PUp: 0.1, PDown: 0.1}
+	if got, want := m.MeanRate(), a; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanRate = %v, want %v", got, want)
+	}
+	steps, limit := 400, 8
+	up := a * (1 - s)
+	down := s * (1 - a)
+	dist := make([]float64, limit)
+	next := make([]float64, limit)
+	dist[0] = 1
+	absorbed := 0.0
+	for t := 0; t < steps; t++ {
+		clear(next)
+		for k, p := range dist {
+			if p == 0 {
+				continue
+			}
+			if k+1 >= limit {
+				absorbed += p * up
+			} else {
+				next[k+1] += p * up
+			}
+			if k > 0 {
+				next[k-1] += p * down
+				next[k] += p * (1 - up - down)
+			} else {
+				next[0] += p * (1 - up)
+			}
+		}
+		dist, next = next, dist
+	}
+	sim, err := m.SimulateOverflow(steps, limit, 20000, s, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim-absorbed) > 0.03 {
+		t.Fatalf("degenerate MMPP overflow %v, exact queue DP %v — simulator diverged", sim, absorbed)
+	}
+}
+
+// Burstiness at a fixed mean rate must strictly raise the overflow
+// probability: the queue eats the High-state bursts it never sees under
+// uniform arrivals. This is the property the admission watermarks are sized
+// against.
+func TestMMPPBurstyOverflowsMore(t *testing.T) {
+	uniform := MMPP{LowRate: 0.25, HighRate: 0.25, PUp: 0.05, PDown: 0.05}
+	bursty := MMPP{LowRate: 0.05, HighRate: 0.45, PUp: 0.05, PDown: 0.05}
+	if u, b := uniform.MeanRate(), bursty.MeanRate(); math.Abs(u-b) > 1e-12 {
+		t.Fatalf("mean rates differ: uniform %v bursty %v", u, b)
+	}
+	steps, limit, trials := 600, 10, 20000
+	u, err := uniform.SimulateOverflow(steps, limit, trials, 0.3, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bursty.SimulateOverflow(steps, limit, trials, 0.3, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= u+0.02 {
+		t.Fatalf("bursty overflow %v not above uniform %v", b, u)
+	}
+}
+
+func TestMMPPValidate(t *testing.T) {
+	bad := []MMPP{
+		{LowRate: -0.1, HighRate: 0.5, PUp: 0.1, PDown: 0.1},
+		{LowRate: 0.1, HighRate: 1.5, PUp: 0.1, PDown: 0.1},
+		{LowRate: 0.1, HighRate: 0.5, PUp: 0, PDown: 0},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) accepted invalid process", m)
+		}
+	}
+	if _, err := (MMPP{LowRate: 0.1, HighRate: 0.5, PUp: 0.1, PDown: 0.1}).
+		SimulateOverflow(10, 5, 10, 1.5, rng.New(1)); err == nil {
+		t.Fatal("SimulateOverflow accepted service probability > 1")
+	}
+}
+
+// QueueLimitFor must return the smallest bound meeting the target, shrink
+// as the target loosens, and agree with FullProbability.
+func TestQueueLimitFor(t *testing.T) {
+	k, err := QueueLimitFor(0.9, 1e-4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FullProbability(0.9, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-4 {
+		t.Fatalf("K=%d misses target: P_K=%v", k, p)
+	}
+	if k > 1 {
+		prev, err := FullProbability(0.9, k-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev <= 1e-4 {
+			t.Fatalf("K=%d not minimal: P_{K-1}=%v already meets target", k, prev)
+		}
+	}
+	loose, err := QueueLimitFor(0.9, 1e-2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose > k {
+		t.Fatalf("looser target needs deeper queue: %d > %d", loose, k)
+	}
+	for _, bad := range [][2]float64{{1.0, 0.1}, {0.5, 0}, {0, 0.1}, {0.5, 1}} {
+		if _, err := QueueLimitFor(bad[0], bad[1], 100); err == nil {
+			t.Fatalf("QueueLimitFor(%v, %v) accepted invalid input", bad[0], bad[1])
+		}
+	}
+	// MM1KFullProbability must still match its FullProbability refactor.
+	want, err := MM1KFullProbability(0.25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FullProbability(Utilization(0.25), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want-got) > 1e-15 {
+		t.Fatalf("MM1KFullProbability %v != FullProbability %v", want, got)
+	}
+}

@@ -158,10 +158,5 @@ func MM1KFullProbability(p float64, k int) (float64, error) {
 	if k <= 0 {
 		return 0, fmt.Errorf("queueing: queue size %d invalid", k)
 	}
-	rho := Utilization(p)
-	if math.Abs(rho-1) < 1e-12 {
-		// ρ = 1 degenerate case: uniform over K+1 states.
-		return 1 / float64(k+1), nil
-	}
-	return math.Pow(rho, float64(k)) * (1 - rho) / (1 - math.Pow(rho, float64(k+1))), nil
+	return FullProbability(Utilization(p), k)
 }

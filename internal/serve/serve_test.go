@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdimm"
+	"sdimm/internal/fault"
+	"sdimm/internal/rng"
+)
+
+func baseConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Cluster: sdimm.ClusterOptions{
+			SDIMMs: 4, Levels: 10, Key: []byte("serve-test-key"), Seed: 5,
+		},
+		Pipeline: sdimm.PipelineOptions{Window: 8},
+	}
+}
+
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, addr
+}
+
+func TestServeMultiTenantBasic(t *testing.T) {
+	s, addr := startServer(t, baseConfig(t))
+	defer s.Shutdown(context.Background())
+
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"alpha", "beta"} {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			cl, err := Dial(addr, tenant)
+			if err != nil {
+				t.Errorf("%s: %v", tenant, err)
+				return
+			}
+			defer cl.Close()
+			base := uint64(0)
+			if tenant == "beta" {
+				base = 1000
+			}
+			for i := 0; i < 25; i++ {
+				addr := base + uint64(i)
+				want := fmt.Sprintf("%s-%03d", tenant, i)
+				resp, err := cl.Do(Request{Addr: addr, Write: true, Data: []byte(want)})
+				if err != nil || resp.Status != StatusOK {
+					t.Errorf("%s write %d: %v %s", tenant, i, err, StatusString(resp.Status))
+					return
+				}
+				resp, err = cl.Do(Request{Addr: addr})
+				if err != nil || resp.Status != StatusOK {
+					t.Errorf("%s read %d: %v %s", tenant, i, err, StatusString(resp.Status))
+					return
+				}
+				if got := string(resp.Data[:len(want)]); got != want {
+					t.Errorf("%s addr %d: got %q want %q", tenant, addr, got, want)
+					return
+				}
+			}
+		}(tenant)
+	}
+	wg.Wait()
+
+	// Per-tenant accounting exists; admission never saw the labels.
+	snap := s.Registry().Snapshot()
+	text := snap.String()
+	for _, want := range []string{"serve.requests{tenant=alpha}", "serve.requests{tenant=beta}"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("telemetry missing %s:\n%s", want, text)
+		}
+	}
+
+	// SLO + witness over HTTP.
+	hs := httptest.NewServer(s.HTTPHandler())
+	defer hs.Close()
+	resp, err := hs.Client().Get(hs.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slo SLOSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&slo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if slo.OK != 100 {
+		t.Errorf("SLO ok = %d, want 100", slo.OK)
+	}
+	if !slo.Witness.OK || slo.Witness.Frames == 0 {
+		t.Errorf("witness not green under normal serving: %+v", slo.Witness)
+	}
+	if slo.Capacity != 1.0 {
+		t.Errorf("healthy capacity = %v, want 1.0", slo.Capacity)
+	}
+	if slo.AcceptedDeadlineMissed != 0 {
+		t.Errorf("accepted deadline misses = %d", slo.AcceptedDeadlineMissed)
+	}
+}
+
+// TestServeOverloadSheds drives a deliberately tiny queue with 16 closed-loop
+// workers: the server must shed rather than queue into deadline misses, and
+// everything it does accept must complete in time.
+func TestServeOverloadSheds(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Admission = AdmissionOptions{Rho: 0.5, OverflowTarget: 0.2} // limit = 2
+	s, addr := startServer(t, cfg)
+	defer s.Shutdown(context.Background())
+
+	rep, err := RunLoad(LoadOptions{
+		Addr: addr, Tenant: "storm", Workers: 16, Ops: 600,
+		Space: 128, DeadlineMS: 2000, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 {
+		t.Fatal("overloaded server made no progress at all")
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("16 workers against a depth-2 queue shed nothing: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d hard errors under overload: %+v", rep.Errors, rep)
+	}
+	slo := s.SLO()
+	if slo.AcceptedDeadlineMissed != 0 {
+		t.Fatalf("%d accepted requests missed their deadline — admission let them in anyway", slo.AcceptedDeadlineMissed)
+	}
+	if !slo.Witness.OK {
+		t.Fatalf("witness tripped during overload: %+v", slo.Witness)
+	}
+	if slo.QueuePeak > s.Admission().Limit() {
+		t.Fatalf("queue peaked at %d past limit %d", slo.QueuePeak, s.Admission().Limit())
+	}
+}
+
+// TestServeFlightDumpOnWitnessViolation pins the auto-dump path: a witness
+// violation must snapshot the flight rings to disk exactly once.
+func TestServeFlightDumpOnWitnessViolation(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.FlightDir = t.TempDir()
+	violated := make(chan string, 4)
+	cfg.Witness.OnViolation = func(kind string) { violated <- kind }
+	s, addr := startServer(t, cfg)
+	defer s.Shutdown(context.Background())
+
+	cl, err := Dial(addr, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Enough traffic to freeze the shape set.
+	for i := 0; i < 70; i++ {
+		if resp, err := cl.Do(Request{Addr: uint64(i % 8)}); err != nil || resp.Status != StatusOK {
+			t.Fatalf("op %d: %v %s", i, err, StatusString(resp.Status))
+		}
+	}
+	// A frame shape the calibrated link never produced.
+	s.Witness().Tap(0, fault.HostToDev, 0, make([]byte, 31337))
+	select {
+	case kind := <-violated:
+		if kind != "shape" {
+			t.Fatalf("violation kind = %q", kind)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("user OnViolation callback never fired")
+	}
+	path := filepath.Join(cfg.FlightDir, "flight-witness-shape.trace.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("flight recorder did not dump: %v", err)
+	}
+	// Second violation: no second dump file churn (dump-once is per trigger).
+	s.Witness().Tap(0, fault.HostToDev, 0, make([]byte, 31338))
+	ents, err := os.ReadDir(cfg.FlightDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("expected exactly one dump, found %d", len(ents))
+	}
+}
+
+// TestServeGracefulShutdownDurable: every write the server acknowledged
+// before Shutdown must read back identically from a recovered server — the
+// drain runs through the durable journal commit point.
+func TestServeGracefulShutdownDurable(t *testing.T) {
+	dir := t.TempDir()
+	cfg := baseConfig(t)
+	cfg.Cluster.Durability = &sdimm.DurabilityOptions{Dir: dir, Interval: 32}
+	s, addr := startServer(t, cfg)
+
+	cl, err := Dial(addr, "durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := map[uint64]string{}
+	for i := 0; i < 60; i++ {
+		a := uint64(i % 40)
+		v := fmt.Sprintf("v%04d", i)
+		resp, err := cl.Do(Request{Addr: a, Write: true, Data: []byte(v)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status == StatusOK {
+			acked[a] = v
+		}
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	cl.Close()
+	// Post-shutdown the address must refuse connections.
+	if _, err := Dial(addr, "late"); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+
+	s2, report, err := Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if report == nil {
+		t.Fatal("recovery returned no report")
+	}
+	addr2, err := s2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(context.Background())
+	cl2, err := Dial(addr2, "durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	for a, v := range acked {
+		resp, err := cl2.Do(Request{Addr: a})
+		if err != nil || resp.Status != StatusOK {
+			t.Fatalf("recovered read %d: %v %s", a, err, StatusString(resp.Status))
+		}
+		if got := string(resp.Data[:len(v)]); got != v {
+			t.Fatalf("addr %d: recovered %q, acked %q", a, got, v)
+		}
+	}
+}
+
+// TestServeCrashRecoveryEquivalence is the acceptance gate: a planned crash
+// mid-stream (torn final record), recovery, and a fresh reference cluster
+// replaying the same committed prefix sequentially must agree bitwise on the
+// position map and on every block's content.
+func TestServeCrashRecoveryEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := baseConfig(t)
+	cfg.Cluster.Durability = &sdimm.DurabilityOptions{Dir: dir, Interval: 32}
+	s, addr := startServer(t, cfg)
+	if err := s.Cluster().PlanCrash(50, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic serial workload: request order = logical order.
+	r := rng.Stream(77, "serve-crash", 0)
+	type op struct {
+		addr  uint64
+		write bool
+		data  string
+	}
+	ops := make([]op, 300)
+	for i := range ops {
+		ops[i] = op{addr: r.Uint64n(32), write: r.Bool(0.6)}
+		if ops[i].write {
+			ops[i].data = fmt.Sprintf("crash-op-%04d", i)
+		}
+	}
+
+	cl, err := Dial(addr, "crasher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := false
+	for _, o := range ops {
+		req := Request{Addr: o.addr, Write: o.write, Data: []byte(o.data)}
+		if !o.write {
+			req.Data = nil
+		}
+		resp, err := cl.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status == StatusError {
+			if !strings.Contains(string(resp.Data), "crash") {
+				t.Fatalf("unexpected error: %s", resp.Data)
+			}
+			crashed = true
+			break
+		}
+	}
+	if !crashed {
+		t.Fatal("planned crash never surfaced to the client")
+	}
+	cl.Close()
+	s.Shutdown(context.Background()) // error is fine: the backend is crashed
+
+	// Recover the crashed state directory.
+	rc, report, err := sdimm.RecoverCluster(cfg.Cluster)
+	if err != nil {
+		t.Fatalf("RecoverCluster: %v", err)
+	}
+	defer rc.Close()
+	if report == nil {
+		t.Fatal("no recovery report")
+	}
+	n := rc.WorkloadSeq()
+	if n == 0 || n > uint64(len(ops)) {
+		t.Fatalf("implausible committed count %d", n)
+	}
+
+	// Reference: the same committed prefix, sequentially, from scratch.
+	ref, err := sdimm.NewCluster(sdimm.ClusterOptions{
+		SDIMMs: 4, Levels: 10, Key: []byte("serve-test-key"), Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for _, o := range ops[:n] {
+		if o.write {
+			if err := ref.Write(o.addr, []byte(o.data)); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := ref.Read(o.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gotPos, wantPos := rc.Positions(), ref.Positions()
+	if len(gotPos) != len(wantPos) {
+		t.Fatalf("position map sizes differ: %d vs %d", len(gotPos), len(wantPos))
+	}
+	for a, leaf := range wantPos {
+		if gotPos[a] != leaf {
+			t.Fatalf("addr %d: recovered leaf %d, reference leaf %d", a, gotPos[a], leaf)
+		}
+	}
+	// Content sweep, lockstep so both clusters keep drawing the same RNG
+	// stream.
+	for a := uint64(0); a < 32; a++ {
+		got, err := rc.Read(a)
+		if err != nil {
+			t.Fatalf("recovered read %d: %v", a, err)
+		}
+		want, err := ref.Read(a)
+		if err != nil {
+			t.Fatalf("reference read %d: %v", a, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("addr %d content diverged after recovery", a)
+		}
+	}
+}

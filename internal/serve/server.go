@@ -1,0 +1,562 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdimm"
+	"sdimm/internal/durable"
+	"sdimm/internal/fault"
+	"sdimm/internal/flight"
+	"sdimm/internal/telemetry"
+	"sdimm/internal/witness"
+)
+
+// Config assembles a Server: the cluster it fronts, the pipeline shape, the
+// admission controller, and the serving knobs.
+type Config struct {
+	// Cluster configures the backing cluster. The server wires its own
+	// witness monitor and flight recorder into these options; a LinkTap
+	// already present (e.g. an attacker harness) is chained, not replaced.
+	Cluster sdimm.ClusterOptions
+	// Pipeline shapes the streaming pipeline (zero value = defaults).
+	Pipeline sdimm.PipelineOptions
+	// Admission sizes the admission controller (zero value = defaults).
+	// Its Capacity hook is installed by the server.
+	Admission AdmissionOptions
+	// DefaultDeadline applies to requests with DeadlineMS 0 (default
+	// 250ms).
+	DefaultDeadline time.Duration
+	// InitialCredit and MaxCredit bound the per-connection slow-start
+	// request window (defaults 1 and 32).
+	InitialCredit int
+	MaxCredit     int
+	// Witness configures the obliviousness monitor; Members is set by the
+	// server. Calibration and Window keep their package defaults when 0.
+	Witness witness.Options
+	// FlightDir, when set, is where the flight recorder auto-dumps on a
+	// shed storm, an accepted-request deadline miss, or a witness
+	// violation (one dump per trigger kind per process).
+	FlightDir string
+	// ShedStormThreshold is how many consecutive sheds (no accept in
+	// between) constitute a storm (default 4 × the admission queue limit).
+	ShedStormThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 250 * time.Millisecond
+	}
+	if c.InitialCredit <= 0 {
+		c.InitialCredit = 1
+	}
+	if c.MaxCredit <= 0 {
+		c.MaxCredit = 32
+	}
+	return c
+}
+
+// Server is the multi-tenant block-serving front end: TCP connections carry
+// framed requests into the admission layer, accepted requests flow through
+// the cluster's streaming pipeline, and the telemetry/SLO surface hangs off
+// HTTPHandler.
+type Server struct {
+	cfg  Config
+	c    *sdimm.Cluster
+	pipe *sdimm.Pipeline
+	in   chan *sdimm.AsyncOp
+	adm  *Admission
+	reg  *telemetry.Registry
+	wit  *witness.Monitor
+	fr   *flight.Recorder
+
+	ln      net.Listener
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	connWG  sync.WaitGroup
+	pipeWG  sync.WaitGroup
+	closing chan struct{}
+	down    atomic.Bool
+
+	start       time.Time
+	okCount     atomic.Uint64
+	shedStreak  atomic.Uint64
+	acceptedDM  atomic.Uint64
+	dumpMu      sync.Mutex
+	dumped      map[string]bool
+	latency     *telemetry.Histogram
+	stormThresh uint64
+}
+
+// New builds the cluster and its serving front. The cluster is created
+// inside New so the witness tap and flight recorder observe every frame
+// from the first access.
+func New(cfg Config) (*Server, error) {
+	return build(cfg, func(opts sdimm.ClusterOptions) (*sdimm.Cluster, error) {
+		return sdimm.NewCluster(opts)
+	})
+}
+
+// Recover is New over sdimm.RecoverCluster: it rebuilds the cluster from
+// its durable state directory (replaying the journal tail) and fronts the
+// recovered cluster. The report describes what recovery replayed.
+func Recover(cfg Config) (*Server, *durable.RecoveryReport, error) {
+	var report *durable.RecoveryReport
+	s, err := build(cfg, func(opts sdimm.ClusterOptions) (*sdimm.Cluster, error) {
+		c, r, err := sdimm.RecoverCluster(opts)
+		report = r
+		return c, err
+	})
+	return s, report, err
+}
+
+func build(cfg Config, mk func(sdimm.ClusterOptions) (*sdimm.Cluster, error)) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Cluster.Telemetry == nil {
+		cfg.Cluster.Telemetry = telemetry.NewRegistry()
+	}
+	reg := cfg.Cluster.Telemetry
+
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		conns:   make(map[net.Conn]struct{}),
+		closing: make(chan struct{}),
+		dumped:  make(map[string]bool),
+		start:   time.Now(),
+	}
+
+	wopts := cfg.Witness
+	wopts.Members = cfg.Cluster.SDIMMs
+	wopts.Registry = reg
+	userViolation := wopts.OnViolation
+	wopts.OnViolation = func(kind string) {
+		s.dumpFlight("witness-" + kind)
+		if userViolation != nil {
+			userViolation(kind)
+		}
+	}
+	s.wit = witness.New(wopts)
+
+	if cfg.Cluster.Flight == nil {
+		cfg.Cluster.Flight = flight.New(cfg.Cluster.SDIMMs, 4096)
+	}
+	s.fr = cfg.Cluster.Flight
+
+	userTap := cfg.Cluster.LinkTap
+	cfg.Cluster.LinkTap = func(sd int, dir fault.Direction, attempt int, frame []byte) {
+		s.wit.Tap(sd, dir, attempt, frame)
+		if userTap != nil {
+			userTap(sd, dir, attempt, frame)
+		}
+	}
+
+	c, err := mk(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	s.c = c
+	s.cfg = cfg
+
+	admOpts := cfg.Admission
+	admOpts.Capacity = s.capacity
+	adm, err := NewAdmission(admOpts)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	s.adm = adm
+	s.stormThresh = uint64(cfg.ShedStormThreshold)
+	if s.stormThresh == 0 {
+		s.stormThresh = uint64(4 * adm.Limit())
+	}
+
+	// Latency in microseconds, 250µs buckets out to 100ms (the tail rides
+	// in the overflow bucket; Max is exact).
+	s.latency = reg.Histogram("serve.latency_us", 250, 400)
+
+	s.pipe = c.Pipeline(cfg.Pipeline)
+	s.in = make(chan *sdimm.AsyncOp, 256)
+	s.pipeWG.Add(1)
+	go func() {
+		defer s.pipeWG.Done()
+		s.pipe.Serve(s.in)
+	}()
+	return s, nil
+}
+
+// Cluster exposes the backing cluster (tests: positions, crash planning).
+func (s *Server) Cluster() *sdimm.Cluster { return s.c }
+
+// Witness exposes the obliviousness monitor.
+func (s *Server) Witness() *witness.Monitor { return s.wit }
+
+// Admission exposes the admission controller.
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Registry exposes the telemetry registry.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// capacity is the advertised capacity fraction: the mean CapacityWeight of
+// the members' health states. Reading only the mutex-guarded state
+// machines, it is safe concurrent with the pipeline.
+func (s *Server) capacity() float64 {
+	states := s.c.HealthStates()
+	if len(states) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, st := range states {
+		sum += st.CapacityWeight()
+	}
+	return sum / float64(len(states))
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves connections until
+// Shutdown. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.connWG.Add(1)
+	go func() {
+		defer s.connWG.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			if s.down.Load() {
+				s.mu.Unlock()
+				conn.Close()
+				continue
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.connWG.Add(1)
+			go func() {
+				defer s.connWG.Done()
+				s.handleConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// servConn is per-connection state: the response writer lock and the
+// slow-start credit window.
+type servConn struct {
+	conn   net.Conn
+	wmu    sync.Mutex
+	cmu    sync.Mutex
+	credit int
+}
+
+func (cn *servConn) send(resp Response) error {
+	b, err := resp.Encode()
+	if err != nil {
+		return err
+	}
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	return WriteFrame(cn.conn, b)
+}
+
+// adjustCredit applies slow-start: grow multiplicatively while the server
+// is unpressured, halve on pressure or shed. Returns the window to
+// advertise.
+func (s *Server) adjustCredit(cn *servConn, ok bool) uint16 {
+	cn.cmu.Lock()
+	defer cn.cmu.Unlock()
+	if ok && !s.adm.Pressure() {
+		cn.credit *= 2
+		if cn.credit > s.cfg.MaxCredit {
+			cn.credit = s.cfg.MaxCredit
+		}
+	} else {
+		cn.credit /= 2
+		if cn.credit < 1 {
+			cn.credit = 1
+		}
+		s.reg.Counter("serve.backpressure").Inc()
+	}
+	return uint16(cn.credit)
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	payload, err := ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	msg, err := Decode(payload)
+	if err != nil {
+		return
+	}
+	hello, ok := msg.(Hello)
+	if !ok {
+		return
+	}
+	tenant := hello.Tenant
+	if tenant == "" {
+		tenant = "anon"
+	}
+	cn := &servConn{conn: conn, credit: s.cfg.InitialCredit}
+	if err := func() error {
+		cn.wmu.Lock()
+		defer cn.wmu.Unlock()
+		return WriteFrame(conn, HelloAck{
+			Credit:    uint16(cn.credit),
+			BlockSize: uint32(s.c.BlockSize()),
+		}.Encode())
+	}(); err != nil {
+		return
+	}
+	s.reg.Counter("serve.connections", "tenant", tenant).Inc()
+
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		payload, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		msg, err := Decode(payload)
+		if err != nil {
+			return
+		}
+		req, ok := msg.(Request)
+		if !ok {
+			return
+		}
+		reqWG.Add(1)
+		go func() {
+			defer reqWG.Done()
+			s.handleRequest(cn, req, tenant)
+		}()
+	}
+}
+
+// handleRequest runs one request through admission and (if accepted) the
+// pipeline. The tenant label is used for telemetry only — it is not passed
+// to the admission layer, whose Admit signature cannot even express it.
+func (s *Server) handleRequest(cn *servConn, req Request, tenant string) {
+	s.reg.Counter("serve.requests", "tenant", tenant).Inc()
+	budget := time.Duration(req.DeadlineMS) * time.Millisecond
+	if budget == 0 {
+		budget = s.cfg.DefaultDeadline
+	}
+	arrived := time.Now()
+	deadline := arrived.Add(budget)
+
+	switch s.adm.Admit(budget, req.Retry) {
+	case ShedOverload:
+		s.noteShed("overload", tenant)
+		cn.send(Response{ID: req.ID, Status: StatusShed, Credit: s.adjustCredit(cn, false)})
+		return
+	case ShedDeadline:
+		s.noteShed("deadline", tenant)
+		cn.send(Response{ID: req.ID, Status: StatusDeadline, Credit: s.adjustCredit(cn, false)})
+		return
+	case ShedClosing:
+		cn.send(Response{ID: req.ID, Status: StatusClosing, Credit: 1})
+		return
+	}
+	s.shedStreak.Store(0)
+
+	op := sdimm.BatchOp{Addr: req.Addr, Write: req.Write}
+	if req.Write {
+		op.Data = req.Data
+	}
+	a := sdimm.NewAsyncOp(op)
+	s.in <- a
+	r := <-a.Done
+	elapsed := time.Since(arrived)
+	s.adm.Done(elapsed)
+	s.latency.Add(uint64(elapsed.Microseconds()))
+
+	resp := Response{ID: req.ID}
+	switch {
+	case r.Err != nil:
+		resp.Status = StatusError
+		resp.Data = []byte(r.Err.Error())
+		s.reg.Counter("serve.errors", "tenant", tenant).Inc()
+		resp.Credit = s.adjustCredit(cn, false)
+	case time.Now().After(deadline):
+		// Accepted and executed, but too late: this is the SLO breach the
+		// admission layer exists to prevent — count it loudly and snapshot
+		// the flight rings.
+		resp.Status = StatusDeadline
+		s.acceptedDM.Add(1)
+		s.reg.Counter("serve.deadline.missed.accepted", "tenant", tenant).Inc()
+		s.dumpFlight("deadline-miss")
+		resp.Credit = s.adjustCredit(cn, false)
+	default:
+		resp.Status = StatusOK
+		if !req.Write {
+			resp.Data = r.Data
+		}
+		s.okCount.Add(1)
+		s.reg.Counter("serve.ok", "tenant", tenant).Inc()
+		resp.Credit = s.adjustCredit(cn, true)
+	}
+	cn.send(resp)
+}
+
+func (s *Server) noteShed(reason, tenant string) {
+	s.reg.Counter("serve.shed", "reason", reason, "tenant", tenant).Inc()
+	if s.shedStreak.Add(1) == s.stormThresh {
+		s.dumpFlight("shed-storm")
+	}
+}
+
+// dumpFlight snapshots the flight recorder into FlightDir, once per
+// trigger kind.
+func (s *Server) dumpFlight(trigger string) {
+	if s.fr == nil || s.cfg.FlightDir == "" {
+		return
+	}
+	s.dumpMu.Lock()
+	if s.dumped[trigger] {
+		s.dumpMu.Unlock()
+		return
+	}
+	s.dumped[trigger] = true
+	s.dumpMu.Unlock()
+	path := filepath.Join(s.cfg.FlightDir, "flight-"+trigger+".trace.json")
+	if err := os.MkdirAll(s.cfg.FlightDir, 0o755); err == nil {
+		if err := s.fr.DumpFile(path); err == nil {
+			s.reg.Counter("serve.flight.dumps", "trigger", trigger).Inc()
+			fmt.Fprintf(os.Stderr, "sdimm-serve: flight recorder dumped to %s (%s)\n", path, trigger)
+		}
+	}
+}
+
+// SLOSnapshot is the serving-health summary exposed at /slo.
+type SLOSnapshot struct {
+	UptimeSec              float64         `json:"uptime_sec"`
+	GoodputPerSec          float64         `json:"goodput_per_sec"`
+	OK                     uint64          `json:"ok"`
+	AcceptedDeadlineMissed uint64          `json:"accepted_deadline_missed"`
+	QueueDepth             int             `json:"queue_depth"`
+	QueuePeak              int             `json:"queue_peak"`
+	QueueLimit             int             `json:"queue_limit"`
+	Capacity               float64         `json:"capacity"`
+	LatencyP50US           uint64          `json:"latency_p50_us"`
+	LatencyP99US           uint64          `json:"latency_p99_us"`
+	Health                 []string        `json:"health"`
+	Witness                witness.Verdict `json:"witness"`
+}
+
+// SLO snapshots current serving health.
+func (s *Server) SLO() SLOSnapshot {
+	states := s.c.HealthStates()
+	names := make([]string, len(states))
+	for i, st := range states {
+		names[i] = st.String()
+	}
+	up := time.Since(s.start).Seconds()
+	ok := s.okCount.Load()
+	return SLOSnapshot{
+		UptimeSec:              up,
+		GoodputPerSec:          float64(ok) / up,
+		OK:                     ok,
+		AcceptedDeadlineMissed: s.acceptedDM.Load(),
+		QueueDepth:             s.adm.Depth(),
+		QueuePeak:              s.adm.PeakDepth(),
+		QueueLimit:             s.adm.Limit(),
+		Capacity:               s.capacity(),
+		LatencyP50US:           s.latency.Quantile(0.5),
+		LatencyP99US:           s.latency.Quantile(0.99),
+		Health:                 names,
+		Witness:                s.wit.Verdict(),
+	}
+}
+
+// HTTPHandler is the observability surface: the telemetry registry at /
+// and /metrics, the SLO snapshot at /slo, and the witness verdict at
+// /witness.
+func (s *Server) HTTPHandler() http.Handler {
+	return telemetry.HandlerMux(s.reg, map[string]http.Handler{
+		"/slo": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(s.SLO())
+		}),
+		"/witness": s.wit.Handler(),
+	})
+}
+
+// Shutdown drains the server gracefully: admission closes (new requests
+// answer StatusClosing), accepted requests run to completion through the
+// pipeline and the durable journal commit point, the pipeline drains, a
+// final checkpoint is forced when durability is on, and only then do the
+// cluster and connections close. A server killed instead of Shutdown —
+// SIGKILL, or a planned crash — recovers through Recover with no committed
+// op lost (the crash suites pin bitwise equality).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.down.Swap(true) {
+		return nil
+	}
+	s.adm.Close()
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+
+	// Drain accepted requests: depth falls to zero once every in-flight op
+	// has retired and answered.
+	drained := false
+	for !drained {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+			drained = s.adm.Depth() == 0
+		}
+	}
+
+	// No submissions can follow: admission is closed and depth is zero.
+	close(s.in)
+	s.pipeWG.Wait()
+	s.pipe.Close()
+
+	var err error
+	if s.cfg.Cluster.Durability != nil {
+		err = s.c.ForceCheckpoint()
+	}
+
+	// Connections now: readers unblock on close and handlers exit.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+
+	if cerr := s.c.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

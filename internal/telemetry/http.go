@@ -35,6 +35,23 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
+// HandlerMux serves the registry (snapshot at /, Prometheus at /metrics)
+// alongside caller-supplied handlers at their own paths — the serving front
+// end mounts its SLO snapshot and the obliviousness-witness verdict next to
+// the metrics endpoint, so one scrape target carries the whole dashboard.
+// Extra paths must not be "/" or "/metrics".
+func HandlerMux(r *Registry, extra map[string]http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	for path, h := range extra {
+		if path == "/" || path == "/metrics" {
+			continue // reserved for the registry views
+		}
+		mux.Handle(path, h)
+	}
+	mux.Handle("/", Handler(r))
+	return mux
+}
+
 // Serve starts the live endpoint on addr (e.g. "localhost:0") in a
 // background goroutine. It returns the bound address and a stop function.
 func Serve(addr string, r *Registry) (string, func(), error) {

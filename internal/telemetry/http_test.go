@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMuxRoutes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.requests").Add(3)
+	mux := HandlerMux(reg, map[string]http.Handler{
+		"/slo": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			io.WriteString(w, `{"slo":"ok"}`)
+		}),
+		"/metrics": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			io.WriteString(w, "shadowed") // must be ignored: path is reserved
+		}),
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	if body := get("/slo"); !strings.Contains(body, `"slo":"ok"`) {
+		t.Fatalf("/slo = %q", body)
+	}
+	if body := get("/"); !strings.Contains(body, "serve.requests") {
+		t.Fatalf("registry snapshot missing counter: %q", body)
+	}
+	if body := get("/metrics"); strings.Contains(body, "shadowed") {
+		t.Fatalf("/metrics was shadowed by an extra handler: %q", body)
+	} else if !strings.Contains(body, "serve_requests") {
+		t.Fatalf("/metrics missing Prometheus rendering: %q", body)
+	}
+}

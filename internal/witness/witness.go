@@ -53,6 +53,12 @@ type Options struct {
 	// Registry, when set, receives witness.frames and
 	// witness.violations{kind=shape|balance} counters.
 	Registry *telemetry.Registry
+	// OnViolation, when set, is invoked (outside the monitor's lock, at
+	// most once per Tap) after a frame raises a shape or balance
+	// violation, with the violation kind ("shape" or "balance"). Serving
+	// front ends hook their flight-recorder auto-dump here so the ring
+	// snapshot captures the traffic that broke the invariant.
+	OnViolation func(kind string)
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +132,7 @@ func (m *Monitor) Tap(sd int, dir fault.Direction, attempt int, frame []byte) {
 	m.cFrames.Inc()
 
 	// Shape invariant.
+	shapeFired := false
 	known := false
 	for _, s := range m.shapes[sd][d] {
 		if s == l {
@@ -139,17 +146,29 @@ func (m *Monitor) Tap(sd int, dir fault.Direction, attempt int, frame []byte) {
 		} else {
 			m.shapeV++
 			m.cShape.Inc()
+			shapeFired = true
 		}
 	}
 	m.seen[sd][d]++
 
 	// Balance invariant.
+	balBefore := m.balV
 	m.winCount[sd]++
 	m.winTotal++
 	if m.winTotal >= m.opt.Window {
 		m.checkWindowLocked()
 	}
+	balFired := m.balV != balBefore
 	m.mu.Unlock()
+
+	if cb := m.opt.OnViolation; cb != nil {
+		if shapeFired {
+			cb("shape")
+		}
+		if balFired {
+			cb("balance")
+		}
+	}
 }
 
 // checkWindowLocked applies the balance band to the completed window and

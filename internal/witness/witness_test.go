@@ -181,3 +181,50 @@ func TestHandlerVerdict(t *testing.T) {
 		t.Fatalf("violated body = %+v (err %v)", v, err)
 	}
 }
+
+// OnViolation must fire once per violating Tap, outside the lock (re-entrant
+// Verdict calls from the callback must not deadlock), and never on clean
+// traffic.
+func TestOnViolationCallback(t *testing.T) {
+	var fired []string
+	var m *Monitor
+	m = New(Options{Members: 2, Calibration: 2, Window: 4, OnViolation: func(kind string) {
+		fired = append(fired, kind)
+		// Re-entrancy: the serving front end snapshots the verdict from the
+		// callback while dumping the flight recorder.
+		if v := m.Verdict(); v.OK {
+			t.Errorf("callback saw OK verdict after a violation")
+		}
+	}})
+	for i := 0; i < 2; i++ {
+		m.Tap(0, fault.HostToDev, 0, frame(64))
+		m.Tap(1, fault.HostToDev, 0, frame(64))
+	}
+	if len(fired) != 0 {
+		t.Fatalf("calibration fired callbacks: %v", fired)
+	}
+	m.Tap(0, fault.HostToDev, 0, frame(99))
+	if len(fired) != 1 || fired[0] != "shape" {
+		t.Fatalf("shape violation callbacks = %v, want [shape]", fired)
+	}
+	// Starve (but do not silence) member 1 for a full window: its share
+	// drops below fair/4 and the balance check fires the callback.
+	var kinds []string
+	m2 := New(Options{Members: 2, Calibration: 1, Window: 32,
+		OnViolation: func(kind string) { kinds = append(kinds, kind) }})
+	m2.Tap(0, fault.HostToDev, 0, frame(64))
+	m2.Tap(1, fault.HostToDev, 0, frame(64))
+	for i := 0; i < 29; i++ {
+		m2.Tap(0, fault.HostToDev, 0, frame(64))
+	}
+	m2.Tap(1, fault.HostToDev, 0, frame(64))
+	sawBalance := false
+	for _, k := range kinds {
+		if k == "balance" {
+			sawBalance = true
+		}
+	}
+	if !sawBalance {
+		t.Fatalf("starved member raised no balance callback: %v", kinds)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"sdimm/internal/blame"
 	"sdimm/internal/durable"
@@ -164,7 +165,21 @@ type PipelineOptions struct {
 	// (default = Window). 1 degenerates to sequential execution of the
 	// exact same logical schedule.
 	Parallelism int
+	// FillTimeout bounds how long the streaming front end (Serve) waits
+	// for more operations before launching a partially filled wave. Without
+	// a bound a trickle of callers stalls behind a window that never fills
+	// — the last ops of a batch would wait indefinitely for peers that
+	// never come. Zero selects DefaultFillTimeout; negative launches
+	// partial waves immediately (no coalescing delay). Do ignores it: a
+	// slice batch is fully known up front.
+	FillTimeout time.Duration
 }
+
+// DefaultFillTimeout is the streaming pipeline's window-fill bound: long
+// enough that concurrent request streams coalesce into full waves, short
+// enough to be invisible next to request deadlines in the hundreds of
+// milliseconds.
+const DefaultFillTimeout = 2 * time.Millisecond
 
 func (o PipelineOptions) withDefaults() PipelineOptions {
 	if o.Window <= 0 {
@@ -172,6 +187,9 @@ func (o PipelineOptions) withDefaults() PipelineOptions {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = o.Window
+	}
+	if o.FillTimeout == 0 {
+		o.FillTimeout = DefaultFillTimeout
 	}
 	return o
 }
@@ -887,4 +905,249 @@ func (p *Pipeline) rehomePooled(addr uint64, blk oram.Block, exclude int, global
 	}
 	c.tm.rehomeFailures.Inc()
 	return fmt.Errorf("sdimm: re-homing block %d failed: %w", addr, lastErr)
+}
+
+// AsyncOp is one operation submitted to the streaming pipeline front
+// (Serve): the op plus a buffered channel that receives exactly one result
+// when the op retires. Every submitted op is answered — delivered, failed,
+// or failed-on-crash — before Serve returns.
+type AsyncOp struct {
+	Op   BatchOp
+	Done chan BatchResult
+}
+
+// NewAsyncOp wraps op with a result channel sized so the pipeline never
+// blocks on delivery.
+func NewAsyncOp(op BatchOp) *AsyncOp {
+	return &AsyncOp{Op: op, Done: make(chan BatchResult, 1)}
+}
+
+// liveWave is one Serve wave in flight: the engine state plus the submitted
+// ops awaiting its results.
+type liveWave struct {
+	w    *waveState
+	acks []*AsyncOp
+	res  []BatchResult
+}
+
+// Serve is the pipeline's streaming front end: it pulls individually
+// submitted operations from in, coalesces them into waves of up to Window,
+// and drives the same schedule/dispatch/retire machinery as Do — wave N+1's
+// ACCESS exchanges still overlap wave N's APPEND broadcast and journal
+// append. A wave launches as soon as it is full, the moment in closes, or
+// after FillTimeout with whatever has arrived — a partially filled wave
+// never waits indefinitely for callers that never come.
+//
+// Serve owns the cluster's request stream while running: do not call Do,
+// Read, or Write concurrently. It returns only after in is closed and every
+// submitted op has received its result; after a crash (planned crash point
+// or journal failure) remaining and subsequent ops fail with the crash
+// error, preserving the write-ahead contract exactly as Do does. Ordering:
+// ops are scheduled in arrival order, and two in-flight ops never share an
+// address (the wave schedule breaks on conflicts), so per-address semantics
+// match submitting them one at a time.
+func (p *Pipeline) Serve(in <-chan *AsyncOp) {
+	c := p.c
+	globalLeaves := uint64(1) << (c.levels - 1)
+	p.snapshotHealth()
+
+	var (
+		buf    []*AsyncOp // admitted, not yet scheduled (arrival order)
+		opsBuf []BatchOp  // schedule scratch, rebuilt from buf each wave
+		prev   *liveWave
+		closed bool
+	)
+	timer := time.NewTimer(time.Hour)
+	stopFillTimer(timer)
+
+	// bail fails everything still buffered or arriving and returns. Called
+	// after prev is fully retired.
+	bail := func(err error) {
+		for _, a := range buf {
+			a.Done <- BatchResult{Err: err}
+		}
+		buf = buf[:0]
+		if !closed {
+			for a := range in {
+				a.Done <- BatchResult{Err: err}
+			}
+		}
+	}
+
+	for {
+		if !closed && len(buf) < p.opts.Window {
+			// Block for the first op only when the pipeline is idle —
+			// with a wave in flight there is retirement work to do even if
+			// no new ops arrive.
+			buf, closed = p.fillBuf(in, buf, len(buf) == 0 && prev == nil, timer)
+		}
+		if len(buf) == 0 && prev == nil {
+			if closed {
+				return
+			}
+			continue
+		}
+
+		bw := c.blame.BeginWave()
+		if c.crashedNow() {
+			if prev != nil {
+				p.retire(prev.w, prev.res, bw)
+				deliverWave(prev)
+				prev = nil
+			} else {
+				bw.Mark(blame.PhaseSchedule)
+				bw.Mark(blame.PhaseRetireWait)
+				bw.Mark(blame.PhaseFinalize)
+			}
+			bw.End(0)
+			bail(durable.ErrCrashed)
+			return
+		}
+
+		ckptDue := c.checkpointDue()
+		var lw *liveWave
+		if len(buf) > 0 && !ckptDue {
+			opsBuf = opsBuf[:0]
+			for _, a := range buf {
+				opsBuf = append(opsBuf, a.Op)
+			}
+			var pw *waveState
+			if prev != nil {
+				pw = prev.w
+			}
+			if w := p.scheduleWave(opsBuf, 0, pw, globalLeaves); w != nil {
+				p.dispatchAccess(w)
+				lw = &liveWave{
+					w:    w,
+					acks: append([]*AsyncOp(nil), buf[:w.n]...),
+					res:  make([]BatchResult, w.n),
+				}
+			}
+		}
+		bw.Mark(blame.PhaseSchedule)
+
+		if prev != nil {
+			p.retire(prev.w, prev.res, bw)
+			deliverWave(prev)
+			prev = nil
+		} else {
+			bw.Mark(blame.PhaseRetireWait)
+			bw.Mark(blame.PhaseFinalize)
+		}
+
+		launched := 0
+		if lw != nil {
+			w := lw.w
+			w.wgA.Wait()
+			bw.Mark(blame.PhaseAccessWait)
+			// Quiescent point, exactly as in Do.
+			p.snapshotHealth()
+			if c.crashedNow() {
+				// The retired wave's journal goroutine hit the crash point
+				// while this wave's exchanges ran: nothing of this wave may
+				// commit.
+				for _, po := range w.ops {
+					if po.err == nil {
+						po.err = durable.ErrCrashed
+					}
+					lw.res[po.idx] = BatchResult{Err: po.err}
+				}
+				deliverWave(lw)
+				buf = buf[w.n:]
+				p.releaseWave(w)
+				bw.End(0)
+				bail(durable.ErrCrashed)
+				return
+			}
+			p.commit(w)
+			bw.Mark(blame.PhaseCommit)
+			p.dispatchAppend(w)
+			p.spawnJournal(w)
+			c.flight.Coordinator().Record(flight.KindPhase, uint64(blame.PhaseDispatch), w.waveID)
+			buf = buf[w.n:]
+			launched = w.n
+			prev = lw
+			bw.Mark(blame.PhaseDispatch)
+		} else if ckptDue {
+			// Fully drained (prev retired above, nothing launched): capture
+			// the checkpoint at the same committed-sequence boundary the
+			// sequential path would.
+			bw.Mark(blame.PhaseAccessWait)
+			bw.Mark(blame.PhaseCommit)
+			bw.Mark(blame.PhaseDispatch)
+			err := c.ForceCheckpoint()
+			bw.Mark(blame.PhaseCheckpoint)
+			if err != nil {
+				bw.End(0)
+				bail(err)
+				return
+			}
+		}
+		bw.End(launched)
+	}
+}
+
+// deliverWave hands a retired wave's results to their submitters. Done
+// channels are buffered, so delivery never blocks the coordinator.
+func deliverWave(lw *liveWave) {
+	for i, a := range lw.acks {
+		a.Done <- lw.res[i]
+	}
+}
+
+// fillBuf admits ops from in until the window is full, the fill timeout
+// lapses, or the channel closes. With block set it waits indefinitely for
+// the first op (the pipeline is idle). It returns the updated buffer and
+// whether in is closed.
+func (p *Pipeline) fillBuf(in <-chan *AsyncOp, buf []*AsyncOp, block bool, timer *time.Timer) ([]*AsyncOp, bool) {
+	if block && len(buf) == 0 {
+		a, ok := <-in
+		if !ok {
+			return buf, true
+		}
+		buf = append(buf, a)
+	}
+	// Non-blocking drain: whatever is already queued joins the wave.
+	for len(buf) < p.opts.Window {
+		select {
+		case a, ok := <-in:
+			if !ok {
+				return buf, true
+			}
+			buf = append(buf, a)
+			continue
+		default:
+		}
+		break
+	}
+	if len(buf) == 0 || len(buf) >= p.opts.Window || p.opts.FillTimeout < 0 {
+		return buf, false
+	}
+	// Partially filled: wait out the fill timeout for stragglers.
+	timer.Reset(p.opts.FillTimeout)
+	for len(buf) < p.opts.Window {
+		select {
+		case a, ok := <-in:
+			if !ok {
+				stopFillTimer(timer)
+				return buf, true
+			}
+			buf = append(buf, a)
+		case <-timer.C:
+			return buf, false
+		}
+	}
+	stopFillTimer(timer)
+	return buf, false
+}
+
+// stopFillTimer stops a timer and drains a pending fire, leaving it safe to
+// Reset.
+func stopFillTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
 }

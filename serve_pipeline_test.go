@@ -1,0 +1,199 @@
+package sdimm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sdimm/internal/durable"
+	"sdimm/internal/telemetry"
+)
+
+// serveCluster builds a small cluster + streaming pipeline for these tests.
+func serveCluster(t *testing.T, reg *telemetry.Registry, opts PipelineOptions) (*Cluster, *Pipeline, chan *AsyncOp, *sync.WaitGroup) {
+	t.Helper()
+	c, err := NewCluster(ClusterOptions{
+		SDIMMs: 4, Levels: 10, Key: []byte("serve-key"), Seed: 23, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Pipeline(opts)
+	in := make(chan *AsyncOp, 64)
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() {
+		defer done.Done()
+		p.Serve(in)
+	}()
+	t.Cleanup(p.Close)
+	return c, p, in, &done
+}
+
+// TestPipelineServePartialWaveNoStall is the latent-stall regression test:
+// three ops on a Window-8 pipeline, with the channel left open, must retire
+// after the fill timeout instead of waiting forever for five peers that
+// never come.
+func TestPipelineServePartialWaveNoStall(t *testing.T) {
+	_, _, in, done := serveCluster(t, nil, PipelineOptions{Window: 8})
+	ops := make([]*AsyncOp, 3)
+	for i := range ops {
+		ops[i] = NewAsyncOp(BatchOp{Addr: uint64(10 + i), Write: true,
+			Data: []byte(fmt.Sprintf("partial-%d", i))})
+		in <- ops[i]
+	}
+	deadline := time.After(5 * time.Second) // generous; expected ~FillTimeout
+	for i, a := range ops {
+		select {
+		case r := <-a.Done:
+			if r.Err != nil {
+				t.Fatalf("op %d: %v", i, r.Err)
+			}
+		case <-deadline:
+			t.Fatalf("op %d stalled: partial wave never launched", i)
+		}
+	}
+	close(in)
+	done.Wait()
+}
+
+// TestPipelineServeMatchesSequential pins the streaming front to the
+// sequential engine: a serial client (submit, wait, submit) produces
+// one-op waves whose RNG draw order, commit order, and append order are
+// identical to bare Read/Write calls, so every observable — payloads,
+// position map, stashes, telemetry, health — must agree bitwise.
+func TestPipelineServeMatchesSequential(t *testing.T) {
+	ops := pipelineWorkload(160, 48)
+
+	regSeq := telemetry.NewRegistry()
+	cs, err := NewCluster(ClusterOptions{
+		SDIMMs: 4, Levels: 10, Key: []byte("serve-key"), Seed: 23, Telemetry: regSeq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqResults := make([]BatchResult, len(ops))
+	for i, op := range ops {
+		if op.Write {
+			seqResults[i].Err = cs.Write(op.Addr, op.Data)
+		} else {
+			seqResults[i].Data, seqResults[i].Err = cs.Read(op.Addr)
+		}
+	}
+	seq := captureState(seqResults, cs.Positions(), cs.StashLens(), regSeq, cs.Health())
+
+	regSrv := telemetry.NewRegistry()
+	c, _, in, done := serveCluster(t, regSrv, PipelineOptions{
+		Window: 8, FillTimeout: -1, // serial client: launch immediately
+	})
+	srvResults := make([]BatchResult, len(ops))
+	for i, op := range ops {
+		a := NewAsyncOp(op)
+		in <- a
+		srvResults[i] = <-a.Done
+	}
+	close(in)
+	done.Wait()
+	srv := captureState(srvResults, c.Positions(), c.StashLens(), regSrv, c.Health())
+
+	diffState(t, "serve(serial) vs sequential", seq, srv)
+}
+
+// TestPipelineServeConcurrentSmoke hammers Serve from several goroutines
+// with disjoint address ranges (run under -race): every write must be
+// acknowledged and every subsequent read must observe it.
+func TestPipelineServeConcurrentSmoke(t *testing.T) {
+	_, _, in, done := serveCluster(t, nil, PipelineOptions{Window: 8})
+	const clients, opsPer = 6, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g * 100)
+			for i := 0; i < opsPer; i++ {
+				addr := base + uint64(i%10)
+				want := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				w := NewAsyncOp(BatchOp{Addr: addr, Write: true, Data: want})
+				in <- w
+				if r := <-w.Done; r.Err != nil {
+					errs <- fmt.Errorf("client %d write %d: %v", g, i, r.Err)
+					return
+				}
+				rd := NewAsyncOp(BatchOp{Addr: addr})
+				in <- rd
+				r := <-rd.Done
+				if r.Err != nil {
+					errs <- fmt.Errorf("client %d read %d: %v", g, i, r.Err)
+					return
+				}
+				if string(r.Data[:len(want)]) != string(want) {
+					errs <- fmt.Errorf("client %d addr %d: read %q want %q",
+						g, addr, r.Data[:len(want)], want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(in)
+	done.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestPipelineServeCrashFailsPending verifies the write-ahead contract on
+// the streaming path: once the planned crash point trips, every later op
+// fails with durable.ErrCrashed and Serve still answers everything before
+// returning.
+func TestPipelineServeCrashFailsPending(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{
+		SDIMMs: 4, Levels: 10, Key: []byte("serve-key"), Seed: 23,
+		Durability: &DurabilityOptions{Dir: t.TempDir(), Interval: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.PlanCrash(20, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Pipeline(PipelineOptions{Window: 4})
+	defer p.Close()
+	in := make(chan *AsyncOp, 16)
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() {
+		defer done.Done()
+		p.Serve(in)
+	}()
+	sawCrash := false
+	for i := 0; i < 200 && !sawCrash; i++ {
+		a := NewAsyncOp(BatchOp{Addr: uint64(i % 16), Write: true,
+			Data: []byte(fmt.Sprintf("pre-crash-%d", i))})
+		in <- a
+		if r := <-a.Done; r.Err != nil {
+			if !errors.Is(r.Err, durable.ErrCrashed) {
+				t.Fatalf("op %d failed with %v, want ErrCrashed", i, r.Err)
+			}
+			sawCrash = true
+		}
+	}
+	if !sawCrash {
+		t.Fatal("planned crash never tripped")
+	}
+	// Ops submitted after the crash must be answered (with the crash error),
+	// not dropped.
+	post := NewAsyncOp(BatchOp{Addr: 3})
+	in <- post
+	if r := <-post.Done; !errors.Is(r.Err, durable.ErrCrashed) {
+		t.Fatalf("post-crash op = %v, want ErrCrashed", r.Err)
+	}
+	close(in)
+	done.Wait()
+}
