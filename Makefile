@@ -27,6 +27,7 @@ race:
 # faults, then Split with a mid-run shard fail-stop surviving via parity.
 chaos:
 	$(GO) run ./cmd/sdimm-chaos -n 5000
+	$(GO) run ./cmd/sdimm-chaos -ringflush 4 -n 3000
 	$(GO) run ./cmd/sdimm-chaos -split -failshard 1 -n 2000
 
 # Crash-recovery equivalence sweep (bounded runtime, fully seeded): restart
@@ -38,6 +39,7 @@ chaos:
 crash:
 	$(GO) run ./cmd/sdimm-chaos -crash -n 1200 -crashes 4 -interval 64
 	$(GO) run ./cmd/sdimm-chaos -crash -n 1200 -crashes 4 -parallel 4
+	$(GO) run ./cmd/sdimm-chaos -crash -ringflush 4 -n 1200 -crashes 4 -parallel 4
 	$(GO) run ./cmd/sdimm-chaos -crash -n 800 -crashes 3 -corrupt
 	$(GO) run ./cmd/sdimm-chaos -crash -split -n 800 -crashes 3 -corrupt
 
@@ -74,6 +76,7 @@ bench: alloc-gates
 	$(GO) run ./cmd/sdimm-bench -exp recbench -recbench-out BENCH_recovery.json
 	$(GO) run ./cmd/sdimm-bench -exp hotpath -hotpath-out BENCH_hotpath.json
 	$(GO) run ./cmd/sdimm-bench -exp rebalance -rebalance-out BENCH_rebalance.json
+	$(GO) run ./cmd/sdimm-bench -exp ringbench -ringbench-out BENCH_ring.json
 	$(GO) run ./cmd/sdimm-serve -bench -bench-out BENCH_serve.json
 
 # Critical-path blame profile of the batched pipeline: per-wave phase
@@ -112,6 +115,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzJournalDecode -fuzztime=20s ./internal/durable
 	$(GO) test -run=NONE -fuzz=FuzzCheckpointDecode -fuzztime=20s ./internal/durable
 	$(GO) test -run=NONE -fuzz=FuzzShardedPosMap -fuzztime=20s ./internal/oram
+	$(GO) test -run=NONE -fuzz=FuzzRingStateDecode -fuzztime=20s ./internal/oram
 	$(GO) test -run=NONE -fuzz=FuzzWireDecode -fuzztime=20s ./internal/serve
 
 # Serving front-end smoke: the in-process sdimm-serve run (two tenants,

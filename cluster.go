@@ -28,6 +28,13 @@ type ClusterOptions struct {
 	BlockSize int
 	// Z is the bucket capacity (default 4).
 	Z int
+	// RingFlushInterval, when > 0, runs every member's engine in
+	// ring-eviction mode: reads lift only the target block off the path and
+	// writeback is deferred to a deterministic reverse-lexicographic
+	// eviction pointer that flushes one path per RingFlushInterval accesses
+	// (see DESIGN.md, Backends). 0 keeps the Path ORAM engines. Requires
+	// Z ≥ 2 (each written bucket reserves dummy slots).
+	RingFlushInterval int
 	// Key seeds the bucket encryption/MAC keys.
 	Key []byte
 	// Seed drives leaf assignment (0 uses 1).
@@ -308,10 +315,11 @@ func buildCluster(opts ClusterOptions) (*Cluster, error) {
 			return nil, err
 		}
 		engine, err := oram.NewEngine(store, nil, oram.Options{
-			Geometry:       geom,
-			StashCapacity:  200,
-			EvictThreshold: 150,
-			Rand:           rng.New(opts.Seed ^ uint64(0x5d*i+11)),
+			Geometry:          geom,
+			StashCapacity:     200,
+			EvictThreshold:    150,
+			RingFlushInterval: opts.RingFlushInterval,
+			Rand:              rng.New(opts.Seed ^ uint64(0x5d*i+11)),
 		})
 		if err != nil {
 			return nil, err
@@ -377,10 +385,11 @@ func buildCluster(opts ClusterOptions) (*Cluster, error) {
 			return err
 		}
 		engine, err := oram.NewEngine(store, nil, oram.Options{
-			Geometry:       geom,
-			StashCapacity:  200,
-			EvictThreshold: 150,
-			Rand:           rng.Stream(opts.Seed, "elastic.engine", stream),
+			Geometry:          geom,
+			StashCapacity:     200,
+			EvictThreshold:    150,
+			RingFlushInterval: opts.RingFlushInterval,
+			Rand:              rng.Stream(opts.Seed, "elastic.engine", stream),
 		})
 		if err != nil {
 			return err
@@ -794,6 +803,20 @@ func (c *Cluster) StashLens() []int {
 		out[i] = b.Engine().StashLen()
 	}
 	return out
+}
+
+// BucketWrites sums physical bucket writes across every member's store.
+// This is the on-DIMM write-traffic metric the ring-eviction benchmark
+// gates on: ring engines defer path writeback to the eviction pointer, so
+// the count grows much slower than under Path ORAM at the same workload.
+func (c *Cluster) BucketWrites() uint64 {
+	var n uint64
+	for _, b := range c.buffers {
+		if ms, ok := b.Engine().Store().(*oram.MemStore); ok {
+			n += ms.Writes()
+		}
+	}
+	return n
 }
 
 // SDIMMHealth is one buffer's health as surfaced to operators.

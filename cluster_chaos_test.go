@@ -66,6 +66,54 @@ func TestChaosClusterUnderRandomFaults(t *testing.T) {
 	t.Logf("\n%s", res)
 }
 
+// TestChaosRingClusterUnderRandomFaults re-runs the acceptance campaign on
+// a ring-eviction cluster (deferred-flush interval 4): the >1% fault
+// schedule, zero-mismatch, zero-violation bar is identical, and the
+// parallel leg must match the sequential leg's payload accounting exactly —
+// the ring engines' extra state (eviction pointer, invalid-slot masks) must
+// not open any divergence under retries.
+func TestChaosRingClusterUnderRandomFaults(t *testing.T) {
+	accesses := 3000
+	if testing.Short() {
+		accesses = 600
+	}
+	base := chaos.Config{
+		SDIMMs:            4,
+		Levels:            10,
+		RingFlushInterval: 4,
+		Accesses:          accesses,
+		Addresses:         96,
+		Seed:              42,
+		Faults:            chaosFaults,
+		Retry:             fault.RetryPolicy{MaxAttempts: 8, Sleep: func(time.Duration) {}},
+		CheckTraffic:      true,
+	}
+	seq, err := chaos.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.FaultRate < 0.01 {
+		t.Fatalf("fault rate %.4f below the 1%% acceptance floor", seq.FaultRate)
+	}
+	if seq.Mismatches != 0 || seq.TrafficViolations != 0 || seq.Errors != 0 {
+		t.Fatalf("ring cluster went red under chaos:\n%s", seq)
+	}
+	par := base
+	par.Parallelism, par.Batch = 4, 8
+	pres, err := chaos.Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Mismatches != 0 || pres.TrafficViolations != 0 || pres.Errors != 0 {
+		t.Fatalf("parallel ring cluster went red under chaos:\n%s", pres)
+	}
+	if seq.Reads != pres.Reads || seq.Writes != pres.Writes {
+		t.Fatalf("ring parallel accounting diverged: seq %d/%d vs par %d/%d",
+			seq.Reads, seq.Writes, pres.Reads, pres.Writes)
+	}
+	t.Logf("\n%s", seq)
+}
+
 // TestChaosClusterUnderRandomFaultsParallel re-runs the acceptance scenario
 // through the batched access pipeline with four concurrent SDIMM workers:
 // zero mismatches, zero traffic-invariant violations (whole-run exchange

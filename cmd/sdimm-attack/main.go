@@ -77,7 +77,7 @@ func main() {
 
 func parseProtocol(s string) (config.Protocol, error) {
 	for _, p := range []config.Protocol{config.NonSecure, config.Freecursive,
-		config.Independent, config.Split, config.IndepSplit} {
+		config.Independent, config.Split, config.IndepSplit, config.Ring} {
 		if p.String() == s {
 			return p, nil
 		}

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6|fig8|fig9|fig10|fig11|fig13a|fig13b|offdimm|latency|lowpower|cotenant|overflow|area|all, or parbench/recbench/hotpath/rebalance/blame (not part of all)")
+		exp      = flag.String("exp", "all", "experiment: fig6|fig8|fig9|fig10|fig11|fig13a|fig13b|offdimm|latency|lowpower|cotenant|overflow|ring|area|all, or parbench/recbench/hotpath/rebalance/blame/ringbench (not part of all)")
 		warmup   = flag.Int("warmup", 400, "warmup records per run")
 		measure  = flag.Int("measure", 800, "measured records per run")
 		levels   = flag.Int("levels", 28, "ORAM tree levels")
@@ -38,6 +38,7 @@ func main() {
 		rebOut   = flag.String("rebalance-out", "BENCH_rebalance.json", "output path for -exp rebalance")
 		hotOut   = flag.String("hotpath-out", "BENCH_hotpath.json", "output path for -exp hotpath")
 		blameOut = flag.String("blame-out", "BENCH_blame.json", "output path for -exp blame")
+		ringOut  = flag.String("ringbench-out", "BENCH_ring.json", "output path for -exp ringbench")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the hotpath loops to this file (-exp hotpath)")
 		memProf  = flag.String("memprofile", "", "write a heap profile after the hotpath loops to this file (-exp hotpath)")
 	)
@@ -48,6 +49,16 @@ func main() {
 	// optional pprof profiles for `make profile`).
 	if *exp == "hotpath" {
 		if err := runHotPath(*hotOut, *cpuProf, *memProf); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// ringbench compares on-DIMM bucket-write traffic between ring-eviction
+	// and Path ORAM clusters at the identical workload and enforces the
+	// ≥20% reduction gate. Writes BENCH_ring.json.
+	if *exp == "ringbench" {
+		if err := runRingBench(*ringOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -131,6 +142,7 @@ func main() {
 		{"fig11", func(o experiments.Options) (*stats.Table, error) { return experiments.Fig11(o, nil) }},
 		{"offdimm", experiments.OffDIMM},
 		{"latency", experiments.Latency},
+		{"ring", experiments.Ring},
 		{"lowpower", experiments.LowPower},
 		{"cotenant", experiments.CoTenant},
 		{"overflow", experiments.Overflow},

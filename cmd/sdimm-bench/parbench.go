@@ -73,7 +73,7 @@ func clusterThroughput(parallelism int) (float64, error) {
 func campaignWallClock(workers int) (int, float64, error) {
 	o := experiments.Options{Warmup: 100, Measure: 250, Levels: 22, Seed: 1, Parallel: workers}
 	protos := []config.Protocol{config.NonSecure, config.Freecursive,
-		config.Independent, config.Split, config.IndepSplit}
+		config.Independent, config.Split, config.IndepSplit, config.Ring}
 	start := time.Now()
 	res, err := experiments.Campaign(o, protos, 2)
 	if err != nil {

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sdimm"
+	"sdimm/internal/rng"
+)
+
+// ringBenchReport is the BENCH_ring.json schema: physical on-DIMM bucket
+// writes per access for ring-eviction vs Path ORAM engines at the identical
+// workload, plus the stash high-water marks. The reduction gate is
+// deterministic (bucket writes, not wall-clock), so it is always enforced.
+type ringBenchReport struct {
+	Accesses            int     `json:"accesses"`
+	Addresses           uint64  `json:"addresses"`
+	SDIMMs              int     `json:"sdimms"`
+	Levels              int     `json:"levels"`
+	RingFlushInterval   int     `json:"ring_flush_interval"`
+	PathWritesPerAccess float64 `json:"path_writes_per_access"`
+	RingWritesPerAccess float64 `json:"ring_writes_per_access"`
+	ReductionPct        float64 `json:"reduction_pct"`
+	PathStashPeak       int     `json:"path_stash_peak"`
+	RingStashPeak       int     `json:"ring_stash_peak"`
+	GatePct             float64 `json:"gate_pct"`
+}
+
+const (
+	ringBenchAccesses = 4000
+	ringBenchAddrs    = 96
+	ringBenchSDIMMs   = 4
+	ringBenchLevels   = 10
+	ringBenchA        = 4
+	ringBenchGatePct  = 20.0
+)
+
+// ringBenchRun drives the fixed workload through one cluster flavour and
+// reports bucket writes per access plus the stash high-water mark. The
+// workload RNG is seeded independently of the cluster, so both flavours see
+// the byte-identical op stream.
+func ringBenchRun(flushInterval int) (writesPerAccess float64, stashPeak int, err error) {
+	c, err := sdimm.NewCluster(sdimm.ClusterOptions{
+		SDIMMs:            ringBenchSDIMMs,
+		Levels:            ringBenchLevels,
+		RingFlushInterval: flushInterval,
+		Key:               []byte("ring-bench-key"),
+		Seed:              9,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	r := rng.New(71)
+	payload := make([]byte, 24)
+	base := c.BucketWrites()
+	for i := 0; i < ringBenchAccesses; i++ {
+		addr := r.Uint64n(ringBenchAddrs)
+		if r.Bool(0.5) {
+			for j := range payload {
+				payload[j] = byte(r.Uint64n(256))
+			}
+			err = c.Write(addr, payload)
+		} else {
+			_, err = c.Read(addr)
+		}
+		if err != nil {
+			return 0, 0, fmt.Errorf("access %d: %w", i, err)
+		}
+		for _, n := range c.StashLens() {
+			if n > stashPeak {
+				stashPeak = n
+			}
+		}
+	}
+	writes := c.BucketWrites() - base
+	return float64(writes) / float64(ringBenchAccesses), stashPeak, nil
+}
+
+// runRingBench produces BENCH_ring.json and enforces the write-traffic
+// gate: at the same workload, the ring-eviction cluster must issue at least
+// 20% fewer physical bucket writes per access than the Path baseline. Ring
+// reads lift one block and leave the path untouched on the way back; only
+// the deterministic eviction pointer (every A accesses) and stash-pressure
+// drains pay full path writebacks.
+func runRingBench(outPath string) error {
+	pathW, pathPeak, err := ringBenchRun(0)
+	if err != nil {
+		return fmt.Errorf("ringbench path baseline: %w", err)
+	}
+	ringW, ringPeak, err := ringBenchRun(ringBenchA)
+	if err != nil {
+		return fmt.Errorf("ringbench ring run: %w", err)
+	}
+	rep := ringBenchReport{
+		Accesses:            ringBenchAccesses,
+		Addresses:           ringBenchAddrs,
+		SDIMMs:              ringBenchSDIMMs,
+		Levels:              ringBenchLevels,
+		RingFlushInterval:   ringBenchA,
+		PathWritesPerAccess: pathW,
+		RingWritesPerAccess: ringW,
+		ReductionPct:        100 * (1 - ringW/pathW),
+		PathStashPeak:       pathPeak,
+		RingStashPeak:       ringPeak,
+		GatePct:             ringBenchGatePct,
+	}
+	if err := writeJSONAtomic(outPath, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"ringbench: %.1f bucket writes/access (path) vs %.1f (ring A=%d): %.1f%% reduction; stash peak %d vs %d\n",
+		pathW, ringW, ringBenchA, rep.ReductionPct, pathPeak, ringPeak)
+	fmt.Fprintf(os.Stderr, "ringbench: wrote %s\n", outPath)
+	if rep.ReductionPct < ringBenchGatePct {
+		return fmt.Errorf("ring write reduction %.1f%% below the %.0f%% gate", rep.ReductionPct, ringBenchGatePct)
+	}
+	return nil
+}

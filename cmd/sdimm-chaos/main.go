@@ -67,6 +67,7 @@ func main() {
 		resize    = flag.Bool("resize", false, "run the elastic-membership (drain/remove/join) equivalence sweep")
 		member    = flag.Int("member", 1, "resize: member slot to drain and rejoin (Split: to fail and rebuild)")
 		flightOut = flag.String("flight", "", "attach the flight recorder; dump its rings as a Chrome trace to this file if the run goes red")
+		ringFlush = flag.Int("ringflush", 0, "run ring-eviction ORAM engines with this deferred-flush interval A (0 = Path ORAM; Independent campaigns and -crash only)")
 	)
 	flag.Parse()
 
@@ -117,20 +118,21 @@ func main() {
 
 	if *crash {
 		res, err := chaos.RunCrash(chaos.CrashConfig{
-			SDIMMs:      *sdimms,
-			Levels:      *levels,
-			Accesses:    *n,
-			Addresses:   *addrs,
-			Seed:        *seed,
-			Crashes:     *crashes,
-			Parallelism: *parallel,
-			Batch:       *batch,
-			Dir:         *stateDir,
-			Interval:    *interval,
-			Corrupt:     *corrupt,
-			Split:       *split,
-			Flight:      fr,
-			FlightPath:  *flightOut,
+			SDIMMs:            *sdimms,
+			Levels:            *levels,
+			RingFlushInterval: *ringFlush,
+			Accesses:          *n,
+			Addresses:         *addrs,
+			Seed:              *seed,
+			Crashes:           *crashes,
+			Parallelism:       *parallel,
+			Batch:             *batch,
+			Dir:               *stateDir,
+			Interval:          *interval,
+			Corrupt:           *corrupt,
+			Split:             *split,
+			Flight:            fr,
+			FlightPath:        *flightOut,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdimm-chaos: %v\n", err)
@@ -176,11 +178,12 @@ func main() {
 	r := *rate
 	wit := witness.New(witness.Options{Members: *sdimms, Registry: reg})
 	res, err := chaos.Run(chaos.Config{
-		SDIMMs:    *sdimms,
-		Levels:    *levels,
-		Accesses:  *n,
-		Addresses: *addrs,
-		Seed:      *seed,
+		SDIMMs:            *sdimms,
+		Levels:            *levels,
+		RingFlushInterval: *ringFlush,
+		Accesses:          *n,
+		Addresses:         *addrs,
+		Seed:              *seed,
 		Faults: fault.Config{
 			Seed:       *seed ^ 0xfa417,
 			BitFlip:    r * 0.30,

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		protoName = flag.String("protocol", "freecursive", "non-secure | freecursive | independent | split | indep-split")
+		protoName = flag.String("protocol", "freecursive", "non-secure | freecursive | independent | split | indep-split | ring")
 		channels  = flag.Int("channels", 2, "host memory channels (1 or 2)")
 		workload  = flag.String("workload", "mcf", "benchmark profile, or a comma-separated list to shard (see -list)")
 		parallel  = flag.Int("parallel", 1, "concurrent simulations when -workload lists several profiles (output order and merged telemetry are identical at any value)")
@@ -242,7 +242,7 @@ func writeTrace(path string, tr *telemetry.Tracer) error {
 
 func parseProtocol(s string) (config.Protocol, error) {
 	for _, p := range []config.Protocol{config.NonSecure, config.Freecursive,
-		config.Independent, config.Split, config.IndepSplit} {
+		config.Independent, config.Split, config.IndepSplit, config.Ring} {
 		if p.String() == s {
 			return p, nil
 		}

@@ -52,10 +52,16 @@ func (o *DurabilityOptions) withDefaults(clusterKey []byte) DurabilityOptions {
 }
 
 // independentFingerprint pins an Independent cluster's shape. opts must be
-// defaulted.
+// defaulted. Ring-eviction clusters get their own kind (including the flush
+// interval): their engines hold extra durable state (eviction pointer,
+// dead-slot masks) that a path-mode recovery could not interpret.
 func independentFingerprint(opts ClusterOptions) durable.Fingerprint {
+	kind := "independent"
+	if opts.RingFlushInterval > 0 {
+		kind = fmt.Sprintf("independent-ring%d", opts.RingFlushInterval)
+	}
 	return durable.Fingerprint{
-		Kind:      "independent",
+		Kind:      kind,
 		Members:   opts.SDIMMs,
 		Levels:    opts.Levels,
 		BlockSize: opts.BlockSize,
@@ -300,6 +306,7 @@ func captureMember(b *isdimm.Buffer, h *fault.Health) durable.MemberState {
 		BufferRNG: b.RandState(),
 		Stash:     captureBlocks(b.Engine().StashBlocks()),
 		Transfer:  captureBlocks(b.TransferBlocks()),
+		Ring:      b.Engine().RingSnapshot(),
 	}
 	ms := memStore(b)
 	for _, idx := range ms.BucketIndices() {
@@ -325,6 +332,9 @@ func restoreMember(b *isdimm.Buffer, h *fault.Health, m durable.MemberState) err
 		return err
 	}
 	if err := b.RestoreTransfer(restoreBlocks(m.Transfer)); err != nil {
+		return err
+	}
+	if err := b.Engine().RestoreRingSnapshot(m.Ring); err != nil {
 		return err
 	}
 	ms := memStore(b)
@@ -527,12 +537,15 @@ func (c *Cluster) scrub(report *durable.RecoveryReport) error {
 			if set[idx] {
 				continue
 			}
+			// Ring engines invalidate slots in place when a read lifts the
+			// block; a dead slot is a stale copy, not a live one.
+			dead := b.Engine().RingInvalidSlots(idx)
 			bkt, err := ms.ReadBucket(idx)
 			if err != nil {
 				return err
 			}
-			for _, slot := range bkt.Slots {
-				if slot.Addr == e.Addr {
+			for si, slot := range bkt.Slots {
+				if slot.Addr == e.Addr && dead&(1<<uint(si)) == 0 {
 					found = true
 					break
 				}

@@ -50,6 +50,11 @@ type Config struct {
 	Faults fault.Config
 	// Retry is the cluster's recovery budget (zero value = defaults).
 	Retry fault.RetryPolicy
+	// RingFlushInterval, when > 0, runs the campaign against ring-eviction
+	// ORAM engines with this deferred-flush interval A instead of the Path
+	// ORAM default. The wire shape is unchanged, so every invariant —
+	// traffic, witness, payload — applies as-is.
+	RingFlushInterval int
 	// CheckTraffic enables the obliviousness invariant checks via the
 	// cluster's link tap.
 	CheckTraffic bool
@@ -265,16 +270,17 @@ func Run(cfg Config) (Result, error) {
 	in := fault.NewInjector(cfg.Faults)
 	tc := newTrafficChecker(cfg.SDIMMs)
 	opts := sdimm.ClusterOptions{
-		SDIMMs:    cfg.SDIMMs,
-		Levels:    cfg.Levels,
-		Key:       []byte("chaos-campaign-key"),
-		Seed:      cfg.Seed ^ 0xc0ffee,
-		Faults:    in,
-		Retry:     cfg.Retry,
-		Telemetry: cfg.Telemetry,
-		Tracer:    cfg.Tracer,
-		Blame:     cfg.Blame,
-		Flight:    cfg.Flight,
+		SDIMMs:            cfg.SDIMMs,
+		Levels:            cfg.Levels,
+		RingFlushInterval: cfg.RingFlushInterval,
+		Key:               []byte("chaos-campaign-key"),
+		Seed:              cfg.Seed ^ 0xc0ffee,
+		Faults:            in,
+		Retry:             cfg.Retry,
+		Telemetry:         cfg.Telemetry,
+		Tracer:            cfg.Tracer,
+		Blame:             cfg.Blame,
+		Flight:            cfg.Flight,
 	}
 	switch {
 	case cfg.CheckTraffic && cfg.Witness != nil:

@@ -59,6 +59,11 @@ type CrashConfig struct {
 	Corrupt bool
 	// Split runs the Split protocol with the XOR parity member.
 	Split bool
+	// RingFlushInterval, when > 0, gives Independent incarnations
+	// ring-eviction ORAM engines with this deferred-flush interval A. The
+	// eviction pointer and pending-flush countdown ride the checkpoint, so
+	// the sweep's bitwise-equivalence demand covers them. Ignored for Split.
+	RingFlushInterval int
 	// Flight, when set, attaches the flight recorder to every Independent
 	// incarnation (the rings span restarts); when FlightPath is also set
 	// and the sweep is not Equivalent(), the rings are dumped there.
@@ -155,13 +160,14 @@ type crashDriver interface {
 
 func crashIndOpts(cfg CrashConfig, reg *telemetry.Registry, dur *sdimm.DurabilityOptions) sdimm.ClusterOptions {
 	return sdimm.ClusterOptions{
-		SDIMMs:     cfg.SDIMMs,
-		Levels:     cfg.Levels,
-		Key:        []byte("chaos-campaign-key"),
-		Seed:       cfg.Seed ^ 0xc0ffee,
-		Telemetry:  reg,
-		Durability: dur,
-		Flight:     cfg.Flight,
+		SDIMMs:            cfg.SDIMMs,
+		Levels:            cfg.Levels,
+		RingFlushInterval: cfg.RingFlushInterval,
+		Key:               []byte("chaos-campaign-key"),
+		Seed:              cfg.Seed ^ 0xc0ffee,
+		Telemetry:         reg,
+		Durability:        dur,
+		Flight:            cfg.Flight,
 	}
 }
 

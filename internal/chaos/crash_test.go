@@ -50,6 +50,28 @@ func TestCrashRecoveryEquivalenceParallel(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryEquivalenceRing tears the journal mid-stream while the
+// ring-eviction engines hold live deferred-flush state: a recovery that
+// failed to restore the eviction pointer or pending countdown would evict
+// different buckets after the restart and diverge from the reference.
+func TestCrashRecoveryEquivalenceRing(t *testing.T) {
+	cfg := crashCfg(t)
+	cfg.RingFlushInterval = 4
+	res := checkCrash(t, cfg)
+	if res.Replayed == 0 {
+		t.Fatalf("no journal records replayed:\n%s", res)
+	}
+}
+
+// TestCrashRecoveryEquivalenceRingParallel layers the batched pipeline on
+// the ring crash sweep, so tears land mid-wave with flushes pending.
+func TestCrashRecoveryEquivalenceRingParallel(t *testing.T) {
+	cfg := crashCfg(t)
+	cfg.RingFlushInterval = 4
+	cfg.Parallelism = 4
+	checkCrash(t, cfg)
+}
+
 func TestCrashRecoveryEquivalenceSplit(t *testing.T) {
 	cfg := crashCfg(t)
 	cfg.Split = true

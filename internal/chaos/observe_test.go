@@ -56,6 +56,44 @@ func TestWitnessSilentOnChaosSweep(t *testing.T) {
 	}
 }
 
+// TestWitnessSilentOnRingChaosSweep runs the faulted campaign against
+// ring-eviction engines with the monitor attached. Ring mode changes only
+// on-DIMM bucket traffic — reads lift one block, the eviction pointer
+// defers writeback — so the link-level frame shapes and balance must be
+// indistinguishable from the Path campaign, and the witness must stay
+// silent without recalibration.
+func TestWitnessSilentOnRingChaosSweep(t *testing.T) {
+	wit := witness.New(witness.Options{Members: 4, Window: 512})
+	res, err := Run(Config{
+		Accesses:          1200,
+		Seed:              11,
+		RingFlushInterval: 4,
+		Faults: fault.Config{
+			Seed:      5,
+			Drop:      0.01,
+			BitFlip:   0.01,
+			Duplicate: 0.005,
+			Replay:    0.005,
+			Stall:     0.005,
+		},
+		CheckTraffic: true,
+		Witness:      wit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches != 0 || res.TrafficViolations != 0 || res.Errors != 0 {
+		t.Fatalf("ring campaign went red: %+v", res)
+	}
+	if res.WitnessViolations != 0 {
+		t.Fatalf("witness flagged %d violations on a clean ring sweep: %+v",
+			res.WitnessViolations, wit.Verdict())
+	}
+	if v := wit.Verdict(); v.Frames == 0 || v.Windows == 0 {
+		t.Fatalf("witness under-observed the ring sweep: %+v", v)
+	}
+}
+
 // TestWitnessSilentOnResizeSweep attaches the monitor to the elastic
 // drain/remove/join equivalence sweep: migration batches ride the ordinary
 // access shape, so even a full rebalance with seeded crashes must keep the

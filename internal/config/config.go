@@ -28,6 +28,11 @@ const (
 	// IndepSplit combines both: independent halves, each split across
 	// half the SDIMMs (Figure 7e).
 	IndepSplit
+	// Ring is the Independent topology with ring-style eviction inside
+	// each SDIMM: reads lift one block per path, writebacks are deferred
+	// to a deterministic reverse-lexicographic eviction pointer every
+	// ORAM.RingFlushInterval accesses (see internal/oram ring mode).
+	Ring
 )
 
 // String returns the paper's name for the protocol.
@@ -43,6 +48,8 @@ func (p Protocol) String() string {
 		return "split"
 	case IndepSplit:
 		return "indep-split"
+	case Ring:
+		return "ring"
 	}
 	return fmt.Sprintf("protocol(%d)", int(p))
 }
@@ -177,37 +184,39 @@ func (o Org) TotalBytes() uint64 { return uint64(o.Channels) * o.ChannelBytes() 
 
 // ORAM holds Path ORAM / Freecursive parameters (Table II).
 type ORAM struct {
-	Z                int     // blocks per bucket
-	BlockBytes       int     // data block size
-	Levels           int     // total tree levels (root = level 0)
-	CachedLevels     int     // top levels held in the on-chip ORAM cache (0 = off)
-	RecursivePosMaps int     // number of recursive PosMap ORAMs
-	PosMapScale      int     // leaf entries per PosMap block
-	PLBBytes         int     // PosMap Lookaside Buffer capacity
-	EncLatency       int     // encryption/decryption latency, CPU cycles
-	StashCapacity    int     // normal stash entries (paper: ~200)
-	EvictThreshold   int     // background eviction trigger occupancy
-	SubtreeLevels    int     // levels per packed subtree in the memory layout
-	TransferQueueCap int     // Independent-protocol transfer queue entries
-	DrainProb        float64 // probability p of draining a transferred block with an extra accessORAM
+	Z                 int     // blocks per bucket
+	BlockBytes        int     // data block size
+	Levels            int     // total tree levels (root = level 0)
+	CachedLevels      int     // top levels held in the on-chip ORAM cache (0 = off)
+	RecursivePosMaps  int     // number of recursive PosMap ORAMs
+	PosMapScale       int     // leaf entries per PosMap block
+	PLBBytes          int     // PosMap Lookaside Buffer capacity
+	EncLatency        int     // encryption/decryption latency, CPU cycles
+	StashCapacity     int     // normal stash entries (paper: ~200)
+	EvictThreshold    int     // background eviction trigger occupancy
+	SubtreeLevels     int     // levels per packed subtree in the memory layout
+	TransferQueueCap  int     // Independent-protocol transfer queue entries
+	DrainProb         float64 // probability p of draining a transferred block with an extra accessORAM
+	RingFlushInterval int     // ring backend: accesses per deferred eviction flush (A)
 }
 
 // DefaultORAM returns the paper's ORAM parameters for the given tree height.
 func DefaultORAM(levels int) ORAM {
 	return ORAM{
-		Z:                4,
-		BlockBytes:       64,
-		Levels:           levels,
-		CachedLevels:     7,
-		RecursivePosMaps: 5,
-		PosMapScale:      32,
-		PLBBytes:         64 << 10,
-		EncLatency:       21,
-		StashCapacity:    200,
-		EvictThreshold:   150,
-		SubtreeLevels:    4,
-		TransferQueueCap: 64,
-		DrainProb:        0.1,
+		Z:                 4,
+		BlockBytes:        64,
+		Levels:            levels,
+		CachedLevels:      7,
+		RecursivePosMaps:  5,
+		PosMapScale:       32,
+		PLBBytes:          64 << 10,
+		EncLatency:        21,
+		StashCapacity:     200,
+		EvictThreshold:    150,
+		SubtreeLevels:     4,
+		TransferQueueCap:  64,
+		DrainProb:         0.1,
+		RingFlushInterval: 4,
 	}
 }
 
@@ -330,13 +339,21 @@ func (c Config) Validate() error {
 		return errors.New("config: eviction threshold out of (0, stash capacity]")
 	}
 	switch c.Protocol {
-	case Independent, Split, IndepSplit:
+	case Independent, Split, IndepSplit, Ring:
 		if c.NumSDIMMs != c.Org.Channels*c.Org.DIMMsPerChannel {
 			return fmt.Errorf("config: NumSDIMMs = %d, want channels*dimms = %d",
 				c.NumSDIMMs, c.Org.Channels*c.Org.DIMMsPerChannel)
 		}
 		if bits.OnesCount(uint(c.NumSDIMMs)) != 1 {
 			return errors.New("config: SDIMM count must be a power of two")
+		}
+	}
+	if c.Protocol == Ring {
+		if om.RingFlushInterval <= 0 {
+			return errors.New("config: ring backend needs a positive flush interval")
+		}
+		if om.Z < 2 {
+			return errors.New("config: ring backend needs Z >= 2 (reserved dummy slots)")
 		}
 	}
 	if c.Protocol == IndepSplit && c.NumSDIMMs < 4 {

@@ -8,10 +8,10 @@ import (
 	"fmt"
 )
 
-// checkpointMagic identifies a checkpoint file (version 2: version 1 plus
-// elastic-membership state — member incarnations and detach flags, drain
-// progress, and the rebalance/topology sequence counters).
-const checkpointMagic = "SDIMMCP2"
+// checkpointMagic identifies a checkpoint file (version 3: version 2 plus
+// per-member ring-eviction state — the eviction pointer, flush phase, and
+// dead-slot masks of ring-mode engines; empty for path-mode members).
+const checkpointMagic = "SDIMMCP3"
 
 // checkpointMACSize is the untruncated HMAC-SHA256 trailer over the whole
 // file body. Checkpoints are read once per recovery, so the full 32 bytes
@@ -60,8 +60,8 @@ type HealthState struct {
 type MemberState struct {
 	EngineRNG [4]uint64
 	BufferRNG [4]uint64
-	Stash     []BlockState // sorted by Addr
-	Transfer  []BlockState // queue order (head first)
+	Stash     []BlockState  // sorted by Addr
+	Transfer  []BlockState  // queue order (head first)
 	Buckets   []BucketState // sorted by Idx
 	Health    HealthState
 	HostSend  uint64
@@ -76,6 +76,10 @@ type MemberState struct {
 	// Detached marks a slot whose member was removed and not yet replaced.
 	// A detached slot holds no blocks and serves no exchanges.
 	Detached bool
+	// Ring is the engine's opaque ring-eviction snapshot (oram.RingSnapshot):
+	// eviction pointer, flush phase, and dead-slot masks. Empty for
+	// path-mode members; the engine validates it on restore.
+	Ring []byte
 }
 
 // DrainState is one in-progress drain: how many migration steps have
@@ -91,12 +95,12 @@ type DrainState struct {
 type Checkpoint struct {
 	FP        [8]byte
 	Seq       uint64
-	RNG       [4]uint64 // cluster-level coordinator RNG
+	RNG       [4]uint64  // cluster-level coordinator RNG
 	Positions []PosEntry // sorted by Addr
 	Members   []MemberState
-	Poisoned  []uint64 // sorted addrs lost to unrecoverable corruption
-	MigSeq    uint64   // lifetime count of committed migration records
-	TopoSeq   uint64   // lifetime count of committed topology records
+	Poisoned  []uint64     // sorted addrs lost to unrecoverable corruption
+	MigSeq    uint64       // lifetime count of committed migration records
+	TopoSeq   uint64       // lifetime count of committed topology records
 	Drains    []DrainState // sorted by Member
 }
 
@@ -104,9 +108,9 @@ type Checkpoint struct {
 
 type byteWriter struct{ b []byte }
 
-func (w *byteWriter) u8(v byte)     { w.b = append(w.b, v) }
-func (w *byteWriter) u32(v uint32)  { w.b = binary.BigEndian.AppendUint32(w.b, v) }
-func (w *byteWriter) u64(v uint64)  { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *byteWriter) u8(v byte)    { w.b = append(w.b, v) }
+func (w *byteWriter) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *byteWriter) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
 func (w *byteWriter) bytes(p []byte) {
 	w.u32(uint32(len(p)))
 	w.b = append(w.b, p...)
@@ -165,6 +169,7 @@ func encodeCheckpoint(key []byte, cp *Checkpoint) []byte {
 		} else {
 			w.u8(0)
 		}
+		w.bytes(m.Ring)
 	}
 	w.u32(uint32(len(cp.Poisoned)))
 	for _, a := range cp.Poisoned {
@@ -331,7 +336,7 @@ func decodeCheckpoint(key, data []byte) (*Checkpoint, error) {
 			return nil, err
 		}
 	}
-	nMem, err := r.count(32 + 32 + 3*4 + 2*4 + 2*8 + 4*8 + 8 + 1)
+	nMem, err := r.count(32 + 32 + 3*4 + 2*4 + 2*8 + 4*8 + 8 + 1 + 4)
 	if err != nil {
 		return nil, err
 	}
@@ -402,6 +407,9 @@ func decodeCheckpoint(key, data []byte) (*Checkpoint, error) {
 			return nil, errCheckpointCorrupt
 		}
 		m.Detached = det == 1
+		if m.Ring, err = r.bytes(); err != nil {
+			return nil, err
+		}
 	}
 	nPoison, err := r.count(8)
 	if err != nil {

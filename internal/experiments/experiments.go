@@ -397,6 +397,34 @@ func OffDIMM(o Options) (*stats.Table, error) {
 	return t, nil
 }
 
+// Ring compares the ring-eviction backend against Independent at one
+// channel: relative execution time per LLC miss, and the on-DIMM byte
+// ratio. Ring reads replay as read-only paths — writeback rides the
+// deterministic eviction pointer every A accesses — so the local-bus
+// traffic drops well below Independent's full read+write paths while the
+// host-visible wire shape stays identical.
+func Ring(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	var jobs []job
+	for _, w := range o.Workloads {
+		jobs = append(jobs,
+			job{key(config.Independent, 1, w), w, o.configFor(config.Independent, 1)},
+			job{key(config.Ring, 1, w), w, o.configFor(config.Ring, 1)})
+	}
+	res, err := runAll(jobs, o)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ring eviction vs Independent (1ch)", "rel-time", "local-bytes")
+	for _, w := range o.Workloads {
+		base := res[key(config.Independent, 1, w)]
+		r := res[key(config.Ring, 1, w)]
+		t.Set(w, "rel-time", r.CyclesPerMiss()/base.CyclesPerMiss())
+		t.Set(w, "local-bytes", float64(r.LocalBytes)/float64(base.LocalBytes))
+	}
+	return t, nil
+}
+
 // Latency reproduces the Section IV-B latency claim: average LLC-miss
 // latency of SPLIT-4 and INDEP-SPLIT relative to 2-channel Freecursive
 // (the paper reports reductions of 41% and 63%).

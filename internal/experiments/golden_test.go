@@ -41,6 +41,7 @@ func TestGoldenTables(t *testing.T) {
 		{"fig10", Fig10},
 		{"offdimm", OffDIMM},
 		{"latency", Latency},
+		{"ring", Ring},
 	}
 	for _, c := range cases {
 		c := c

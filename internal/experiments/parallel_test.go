@@ -30,6 +30,7 @@ func TestCampaignParallelEquivalence(t *testing.T) {
 		{config.Independent, 1},
 		{config.Split, 1},
 		{config.IndepSplit, 2}, // needs ≥4 SDIMMs, i.e. two channels
+		{config.Ring, 1},
 	}
 	for _, b := range backends {
 		b := b

@@ -62,6 +62,17 @@ type Options struct {
 	// made by the CPU-side controller and pushed to every shard engine via
 	// EvictPath so all shards stay in lockstep.
 	DisableAutoDrain bool
+	// RingFlushInterval, when > 0, switches the engine into ring-eviction
+	// mode with flush interval A: each access reads its path and lifts only
+	// the target block into the stash (invalidating its slot in place —
+	// no per-access writeback), and every A-th access flushes one path
+	// chosen by a deterministic reverse-lexicographic eviction pointer.
+	// Writebacks reserve dummy slots per bucket (Z/4, at least one) so
+	// freshly evicted buckets can absorb reads before the pointer returns.
+	// Ring mode draws no randomness: eviction order is a pure function of
+	// the access count, which is what makes it bitwise-reproducible across
+	// parallelism and crash recovery.
+	RingFlushInterval int
 }
 
 // Engine is one Path ORAM instance: tree store + stash + (optionally) a
@@ -80,6 +91,16 @@ type Engine struct {
 	evictThreshold int
 	maxBG          int
 	autoDrain      bool
+
+	// Ring-eviction state (ringA > 0 enables ring mode; see
+	// Options.RingFlushInterval and ring.go). ringInvalid maps bucket index
+	// to a bitmap of slots whose contents were consumed by a read and are
+	// stale in the tree; the live copy is in the stash (or migrated away).
+	ringA        int
+	ringReserved int
+	ringCounter  uint64 // eviction-pointer position (flushes performed)
+	ringSince    uint32 // accesses since the last scheduled flush
+	ringInvalid  map[uint64]uint64
 
 	pending     bool
 	pendingLeaf uint64
@@ -167,7 +188,7 @@ func NewEngine(store Store, pos PositionMap, opts Options) (*Engine, error) {
 	if maxBG == 0 {
 		maxBG = 8
 	}
-	return &Engine{
+	e := &Engine{
 		geom:           opts.Geometry,
 		store:          store,
 		pos:            pos,
@@ -176,7 +197,23 @@ func NewEngine(store Store, pos PositionMap, opts Options) (*Engine, error) {
 		evictThreshold: opts.EvictThreshold,
 		maxBG:          maxBG,
 		autoDrain:      !opts.DisableAutoDrain,
-	}, nil
+	}
+	if opts.RingFlushInterval < 0 {
+		return nil, errors.New("oram: negative ring flush interval")
+	}
+	if opts.RingFlushInterval > 0 {
+		reserved := store.Z() / 4
+		if reserved < 1 {
+			reserved = 1
+		}
+		if store.Z()-reserved < 1 {
+			return nil, fmt.Errorf("oram: ring mode needs Z >= 2, got %d", store.Z())
+		}
+		e.ringA = opts.RingFlushInterval
+		e.ringReserved = reserved
+		e.ringInvalid = make(map[uint64]uint64)
+	}
+	return e, nil
 }
 
 // Geometry returns the tree geometry.
@@ -258,6 +295,9 @@ func (e *Engine) AccessAt(addr uint64, op Op, data []byte, oldLeaf, newLeaf uint
 // set, the accessed block is excluded from this tree's writeback and
 // returned for transfer elsewhere.
 func (e *Engine) accessPath(addr uint64, op Op, data []byte, oldLeaf, newLeaf uint64, migrate bool) (AccessPlan, Block, error) {
+	if e.ringA > 0 {
+		return e.ringAccessPath(addr, op, data, oldLeaf, newLeaf, migrate)
+	}
 	plan := AccessPlan{Addr: addr, OldLeaf: oldLeaf, NewLeaf: newLeaf}
 	if !e.geom.ValidLeaf(oldLeaf) {
 		return plan, Block{}, fmt.Errorf("oram: old leaf %d out of range", oldLeaf)
@@ -348,8 +388,15 @@ func (e *Engine) ReadPath(leaf uint64) ([]uint64, error) {
 		if err := e.store.ReadBucketInto(idx, &e.readBkt); err != nil {
 			return nil, err
 		}
-		for _, slot := range e.readBkt.Slots {
-			if slot.IsDummy() {
+		dead := uint64(0)
+		if e.ringA > 0 {
+			dead = e.ringInvalid[idx]
+		}
+		for si, slot := range e.readBkt.Slots {
+			if slot.IsDummy() || dead&(1<<uint(si)) != 0 {
+				// Ring mode: an invalidated slot is a stale copy of a block
+				// whose live version is in the stash (or migrated away) —
+				// pulling it in would resurrect old data.
 				continue
 			}
 			// ReadBucketInto's payloads alias store scratch; move them
@@ -392,11 +439,17 @@ func (e *Engine) WritePath(leaf uint64) error {
 	clear(e.placed)
 
 	z := e.store.Z()
+	fill := z
+	if e.ringA > 0 {
+		// Ring mode reserves dummy slots so a freshly written bucket can
+		// absorb reads (slot invalidations) before the pointer returns.
+		fill = z - e.ringReserved
+	}
 	for lvl := e.geom.Levels - 1; lvl >= 0; lvl-- {
 		resetSlots(&e.writeBkt, z)
 		n := 0
 		for _, b := range e.cands {
-			if n == z {
+			if n == fill {
 				break
 			}
 			if e.placed[b.Addr] {
@@ -408,8 +461,13 @@ func (e *Engine) WritePath(leaf uint64) error {
 				e.placed[b.Addr] = true
 			}
 		}
-		if err := e.store.WriteBucket(e.geom.BucketAt(leaf, lvl), e.writeBkt); err != nil {
+		idx := e.geom.BucketAt(leaf, lvl)
+		if err := e.store.WriteBucket(idx, e.writeBkt); err != nil {
 			return err
+		}
+		if e.ringA > 0 {
+			// Every slot in the bucket is fresh again.
+			delete(e.ringInvalid, idx)
 		}
 	}
 	for addr := range e.placed {
@@ -425,15 +483,24 @@ func (e *Engine) WritePath(leaf uint64) error {
 	return nil
 }
 
-// DrainStash performs background-eviction dummy accesses (read a random
-// path, write it back) while the stash exceeds the eviction threshold, up
-// to the per-access bound. It returns the leaves of the accesses performed;
-// the slice is engine scratch, valid only until the next DrainStash.
+// DrainStash performs background-eviction dummy accesses (read a path,
+// write it back) while the stash exceeds the eviction threshold, up to the
+// per-access bound. Path mode draws each leaf uniformly; ring mode advances
+// the deterministic eviction pointer instead, so a drain consumes no
+// randomness. It returns the leaves of the accesses performed; the slice is
+// engine scratch, valid only until the next DrainStash.
 func (e *Engine) DrainStash() ([]uint64, error) {
 	e.leavesBuf = e.leavesBuf[:0]
 	for e.stash.Len() > e.evictThreshold && len(e.leavesBuf) < e.maxBG {
-		leaf := e.RandomLeaf()
-		if err := e.EvictPath(leaf); err != nil {
+		var leaf uint64
+		var err error
+		if e.ringA > 0 {
+			leaf, err = e.ringFlush()
+		} else {
+			leaf = e.RandomLeaf()
+			err = e.EvictPath(leaf)
+		}
+		if err != nil {
 			return e.leavesBuf, err
 		}
 		e.leavesBuf = append(e.leavesBuf, leaf)

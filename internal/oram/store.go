@@ -154,6 +154,7 @@ type MemStore struct {
 	aead       cipher.Block
 	mac        *integrity.PMMAC
 	buckets    map[uint64][]byte // idx -> counter || ciphertext || tag
+	writes     uint64            // physical bucket seals (see Writes)
 
 	// Reusable scratch: CTR stream state, IV, and the plaintext staging
 	// buffer shared by ReadBucketInto (decode) and PutBucketAt (encode).
@@ -300,8 +301,15 @@ func (s *MemStore) PutBucketAt(idx uint64, b Bucket, counter uint64) error {
 	s.keystream(idx, counter, pt, ct)
 	raw = s.mac.AppendTag(raw[:8+len(pt)], idx, counter, ct)
 	s.buckets[idx] = raw
+	s.writes++
 	return nil
 }
+
+// Writes returns the number of physical bucket seals this store has
+// performed — every encrypt-and-MAC of a bucket, whatever triggered it.
+// The ring-eviction write-traffic gate compares this across backends at
+// equal workload.
+func (s *MemStore) Writes() uint64 { return s.writes }
 
 // BucketIndices returns the indices of every bucket ever written, sorted
 // ascending. Checkpoint capture and the recovery scrub pass iterate it so

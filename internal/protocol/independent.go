@@ -48,6 +48,7 @@ type IndependentBackend struct {
 	links   []*dram.Link
 
 	localBits uint // local leaf bits per SDIMM
+	ring      bool // ring-eviction engines: per-access path replay is read-only
 
 	demandQ  [][]func(done func())
 	postedQ  [][]func(done func())
@@ -77,6 +78,14 @@ func (b *IndependentBackend) SetTelemetry(reg *telemetry.Registry, tr *telemetry
 
 // NewIndependent builds the Independent backend.
 func NewIndependent(eng *event.Engine, cfg config.Config) (*IndependentBackend, error) {
+	return newIndependent(eng, cfg, false)
+}
+
+// newIndependent builds the Independent topology; with ring set the per-SDIMM
+// engines run in ring-eviction mode and the per-access path replay is
+// read-only (writeback is deferred to the eviction pointer, which surfaces as
+// background paths).
+func newIndependent(eng *event.Engine, cfg config.Config, ring bool) (*IndependentBackend, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -97,7 +106,12 @@ func NewIndependent(eng *event.Engine, cfg config.Config) (*IndependentBackend, 
 		pos:       oram.NewSparsePosMap(),
 		rnd:       rng.New(cfg.Seed ^ 0x1dde),
 		localBits: uint(localLevels - 1),
+		ring:      ring,
 		enc:       event.Time(cfg.ORAM.EncLatency),
+	}
+	ringA := 0
+	if ring {
+		ringA = cfg.ORAM.RingFlushInterval
 	}
 	b.st.MissLatency = stats.NewHistogram(256, 4096)
 	for c := 0; c < cfg.Org.Channels; c++ {
@@ -120,10 +134,11 @@ func NewIndependent(eng *event.Engine, cfg config.Config) (*IndependentBackend, 
 		}
 		b.tms = append(b.tms, tm)
 		eng2, err := oram.NewEngine(oram.NewSparseStore(cfg.ORAM.Z), nil, oram.Options{
-			Geometry:       oram.MustGeometry(localLevels),
-			StashCapacity:  cfg.ORAM.StashCapacity,
-			EvictThreshold: cfg.ORAM.EvictThreshold,
-			Rand:           rng.New(cfg.Seed ^ uint64(0xd1*i+7)),
+			Geometry:          oram.MustGeometry(localLevels),
+			StashCapacity:     cfg.ORAM.StashCapacity,
+			EvictThreshold:    cfg.ORAM.EvictThreshold,
+			RingFlushInterval: ringA,
+			Rand:              rng.New(cfg.Seed ^ uint64(0xd1*i+7)),
 		})
 		if err != nil {
 			return nil, err
@@ -293,7 +308,15 @@ func (b *IndependentBackend) accessORAM(addr uint64, op oram.Op, posted bool, la
 		b.enqueueWork(sd, posted, func(workDone func()) {
 			t1b = uint64(b.eng.Now())
 			tr.Complete(lane, "sdimm.queue", "queue", t1, t1b)
-			b.tms[sd].accessPath(paths[0], func() {
+			runPath := b.tms[sd].accessPath
+			if b.ring {
+				// Ring reads lift one block and defer writeback, so the
+				// per-access path is read-only on the bus; the eviction
+				// pointer's flushes replay as background paths (full
+				// read+write) below.
+				runPath = b.tms[sd].readPath
+			}
+			runPath(paths[0], func() {
 				t2 = uint64(b.eng.Now())
 				t2e = t2 + uint64(b.enc)
 				if tr != nil {

@@ -10,6 +10,9 @@
 //     carries metadata, the SDIMMs shuffle data locally (Section III-D).
 //   - IndepSplitBackend: two Independent halves, each Split across half
 //     the SDIMMs (Figure 7e).
+//   - Ring (NewRing): the Independent topology with ring-eviction engines —
+//     read-only per-access paths plus a deterministic deferred-flush
+//     eviction pointer (write traffic drops by roughly the flush interval).
 //
 // Each backend owns its DRAM channels/links and exposes them for energy
 // accounting. All functional ORAM state runs through package oram, so the
@@ -260,6 +263,8 @@ func New(eng *event.Engine, cfg config.Config) (Backend, error) {
 		return NewSplit(eng, cfg)
 	case config.IndepSplit:
 		return NewIndepSplit(eng, cfg)
+	case config.Ring:
+		return NewRing(eng, cfg)
 	}
 	return nil, fmt.Errorf("protocol: unknown protocol %v", cfg.Protocol)
 }

@@ -1,0 +1,18 @@
+package protocol
+
+import (
+	"sdimm/internal/config"
+	"sdimm/internal/event"
+)
+
+// NewRing builds the ring-eviction backend: the Independent topology (one
+// whole sub-ORAM per SDIMM, host channel carrying ACCESS/PROBE/FETCH_RESULT/
+// APPEND) with each SDIMM's engine in ring-eviction mode. Reads fetch the
+// path but lift only the target block — the per-access path replay is
+// read-only on the local bus — and writeback is deferred to a deterministic
+// reverse-lexicographic eviction pointer that flushes one full path every
+// ORAM.RingFlushInterval accesses. The wire shape the host observes is
+// identical to Independent; the savings are in on-DIMM bucket writes.
+func NewRing(eng *event.Engine, cfg config.Config) (*IndependentBackend, error) {
+	return newIndependent(eng, cfg, true)
+}

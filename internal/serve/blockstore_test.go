@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// shedDoer always sheds, counting calls, so BlockStore's retry loop spins
+// into its backoff sleep on every attempt.
+type shedDoer struct{ calls int }
+
+func (d *shedDoer) Do(req Request) (Response, error) {
+	d.calls++
+	return Response{ID: req.ID, Status: StatusShed}, nil
+}
+
+// TestBlockStoreBackoffRespectsContext is the regression test for the
+// shed-retry backoff ignoring cancellation: with an hour-long backoff, a
+// context cancelled mid-sleep must abort the retry loop promptly with the
+// context's error instead of serving out the full backoff.
+func TestBlockStoreBackoffRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &shedDoer{}
+	st := &BlockStore{C: d, Ctx: ctx, Retries: 5, Backoff: time.Hour}
+
+	errc := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := st.Read(7)
+		errc <- err
+	}()
+
+	// Let the first attempt shed and the loop enter its hour-long backoff,
+	// then cancel mid-sleep.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+		if waited := time.Since(start); waited > 5*time.Second {
+			t.Fatalf("cancellation took %v; backoff sleep not interrupted", waited)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Read still blocked in backoff after cancel")
+	}
+	if d.calls != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (cancel hit during first backoff)", d.calls)
+	}
+
+	// Already-cancelled context: abort before submitting anything.
+	d2 := &shedDoer{}
+	st2 := &BlockStore{C: d2, Ctx: ctx, Retries: 5, Backoff: time.Hour}
+	if _, err := st2.Read(7); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled read got %v, want context.Canceled", err)
+	}
+	if d2.calls != 0 {
+		t.Fatalf("pre-cancelled read reached the server %d times", d2.calls)
+	}
+}
+
+// TestBlockStoreNilContextKeepsRetrying pins the nil-Ctx compatibility path:
+// no context means the old bounded-retry behaviour, ending in ErrShed.
+func TestBlockStoreNilContextKeepsRetrying(t *testing.T) {
+	d := &shedDoer{}
+	st := &BlockStore{C: d, Retries: 3, Backoff: time.Microsecond}
+	if _, err := st.Read(7); !errors.Is(err, ErrShed) {
+		t.Fatalf("got %v, want ErrShed", err)
+	}
+	if d.calls != 4 {
+		t.Fatalf("server saw %d attempts, want 4 (initial + 3 retries)", d.calls)
+	}
+}

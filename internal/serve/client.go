@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -170,12 +171,23 @@ func (c *Client) Close() error {
 	return err
 }
 
+// Doer submits one request and blocks for its response. *Client implements
+// it; tests substitute fakes to exercise BlockStore's retry loop without a
+// server.
+type Doer interface {
+	Do(Request) (Response, error)
+}
+
 // BlockStore adapts a Client into the internal/kv Store shape: Read/Write
 // over block addresses, with bounded retry of shed responses. Deadline and
 // Closing responses abort (the caller's probe chain should stop, not spin
 // against a draining server).
 type BlockStore struct {
-	C *Client
+	C Doer
+	// Ctx, when non-nil, bounds the whole retry loop: a cancelled or
+	// expired context aborts immediately — including mid-backoff sleep —
+	// with the context's error. Nil keeps the uncancellable behaviour.
+	Ctx context.Context
 	// DeadlineMS is the per-request budget (0 = server default).
 	DeadlineMS uint32
 	// Retries bounds re-submissions after StatusShed (default 3).
@@ -194,6 +206,23 @@ var ErrServerClosing = errors.New("serve: server closing")
 // ErrDeadline reports a request refused or aborted on deadline.
 var ErrDeadline = errors.New("serve: deadline")
 
+// sleepCtx sleeps for d, or returns the context's error the moment ctx is
+// cancelled. A nil ctx is an unconditional sleep.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 func (s *BlockStore) do(req Request) ([]byte, error) {
 	retries := s.Retries
 	if retries == 0 {
@@ -205,6 +234,9 @@ func (s *BlockStore) do(req Request) ([]byte, error) {
 	}
 	req.DeadlineMS = s.DeadlineMS
 	for attempt := 0; ; attempt++ {
+		if s.Ctx != nil && s.Ctx.Err() != nil {
+			return nil, s.Ctx.Err()
+		}
 		resp, err := s.C.Do(req)
 		if err != nil {
 			return nil, err
@@ -216,7 +248,9 @@ func (s *BlockStore) do(req Request) ([]byte, error) {
 			if attempt >= retries {
 				return nil, ErrShed
 			}
-			time.Sleep(backoff)
+			if err := sleepCtx(s.Ctx, backoff); err != nil {
+				return nil, err
+			}
 			backoff *= 2
 			req.Retry = true
 		case StatusDeadline:

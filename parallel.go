@@ -1142,12 +1142,15 @@ func (p *Pipeline) fillBuf(in <-chan *AsyncOp, buf []*AsyncOp, block bool, timer
 }
 
 // stopFillTimer stops a timer and drains a pending fire, leaving it safe to
-// Reset.
+// Reset. Stop() == false means the timer already fired, but the fire can
+// still be in flight on the runtime's timer goroutine — a non-blocking drain
+// would miss it and leave a stale value in t.C, which the next Reset'd wait
+// would consume instantly, cutting that fill window short. Blocking is safe
+// here: every caller invokes stopFillTimer only when the fire since the last
+// Reset has not been consumed (the <-timer.C path in fillBuf returns without
+// calling it), so the pending value is ours to take.
 func stopFillTimer(t *time.Timer) {
 	if !t.Stop() {
-		select {
-		case <-t.C:
-		default:
-		}
+		<-t.C
 	}
 }

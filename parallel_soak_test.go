@@ -53,11 +53,12 @@ type soakScenario struct {
 	batches  int
 	faulty   bool
 	failStop int // member to fail-stop before the middle batch; -1 none
+	ring     int // ring-eviction flush interval A; 0 = Path ORAM engines
 }
 
 func (sc soakScenario) String() string {
-	return fmt.Sprintf("window=%d batches=%d faulty=%v failstop=%d",
-		sc.window, sc.batches, sc.faulty, sc.failStop)
+	return fmt.Sprintf("window=%d batches=%d faulty=%v failstop=%d ring=%d",
+		sc.window, sc.batches, sc.faulty, sc.failStop, sc.ring)
 }
 
 // runSoak executes ops through a fresh cluster + pipeline at the given
@@ -74,13 +75,14 @@ func runSoak(t *testing.T, sc soakScenario, ops []BatchOp, par int) engineState 
 		inj = fault.NewInjector(cfg)
 	}
 	c, err := NewCluster(ClusterOptions{
-		SDIMMs:    4,
-		Levels:    10,
-		Key:       []byte("soak-key"),
-		Seed:      sc.seed,
-		Faults:    inj,
-		Retry:     fault.RetryPolicy{MaxAttempts: 4, Sleep: nop},
-		Telemetry: reg,
+		SDIMMs:            4,
+		Levels:            10,
+		RingFlushInterval: sc.ring,
+		Key:               []byte("soak-key"),
+		Seed:              sc.seed,
+		Faults:            inj,
+		Retry:             fault.RetryPolicy{MaxAttempts: 4, Sleep: nop},
+		Telemetry:         reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -257,5 +259,100 @@ func TestPipelineSoakCrashEquivalence(t *testing.T) {
 	}
 	if !reflect.DeepEqual(s1, s4) {
 		t.Errorf("recovered contents diverged")
+	}
+}
+
+// TestPipelineSoakRing runs the parallelism-equivalence wall over
+// ring-eviction clusters: the deferred-flush engines add per-member state
+// (eviction pointer, pending-flush countdown, invalid-slot masks) that the
+// waves must keep in the exact sequential order, so a par-1 run and a par-4
+// run of the same schedule must still agree bit for bit on everything
+// captureState fingerprints. Scenarios cover both a clean run and a faulty
+// one with a mid-stream fail-stop.
+func TestPipelineSoakRing(t *testing.T) {
+	cases := []soakScenario{
+		{window: 6, batches: 3, ring: 4, failStop: -1},
+		{window: 9, batches: 2, ring: 4, faulty: true, failStop: 2},
+		{window: 3, batches: 4, ring: 8, failStop: -1},
+	}
+	if testing.Short() {
+		cases = cases[:1]
+	}
+	for i, sc := range cases {
+		sc.seed = uint64(9000 + 13*i)
+		t.Run(sc.String(), func(t *testing.T) {
+			r := rng.Stream(sc.seed, "pipeline-soak-ring", i)
+			ops := soakWorkload(r, 240, 64)
+			base := runSoak(t, sc, ops, 1)
+			if len(base.Positions) == 0 {
+				t.Fatalf("%v: baseline run touched no addresses", sc)
+			}
+			for _, par := range []int{2, 4} {
+				got := runSoak(t, sc, ops, par)
+				diffState(t, fmt.Sprintf("%v parallelism=%d", sc, par), base, got)
+			}
+		})
+	}
+}
+
+// TestPipelineSoakRingCrashEquivalence is the ring leg of the planned-crash
+// wall: the checkpoint now carries live ring-eviction state, and a recovery
+// that dropped or misdecoded it would shift every later flush — so the
+// recovered position maps and contents at parallelism 1 and 4 must still be
+// identical, and identical to each other.
+func TestPipelineSoakRingCrashEquivalence(t *testing.T) {
+	r := rng.Stream(56, "pipeline-soak-ring-crash", 0)
+	ops := soakWorkload(r, 200, 48)
+
+	run := func(par int) (errs []string, pos map[uint64]uint64, sweep [][]byte) {
+		opts := ClusterOptions{
+			SDIMMs: 4, Levels: 10, RingFlushInterval: 4,
+			Key: []byte("soak-crash-key"), Seed: 31,
+			Durability: &DurabilityOptions{Dir: t.TempDir(), Interval: 32},
+		}
+		c, err := NewCluster(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PlanCrash(97, 9); err != nil {
+			t.Fatal(err)
+		}
+		p := c.Pipeline(PipelineOptions{Window: 6, Parallelism: par})
+		res := p.Do(ops)
+		p.Close()
+		c.Close()
+		for i, rr := range res {
+			if rr.Err != nil {
+				errs = append(errs, fmt.Sprintf("%d: %s", i, rr.Err))
+			}
+		}
+		rc, _, err := RecoverCluster(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rc.Close()
+		for a := uint64(0); a < 48; a++ {
+			d, err := rc.Read(a)
+			if err != nil {
+				d = []byte("err: " + err.Error())
+			}
+			sweep = append(sweep, d)
+		}
+		return errs, rc.Positions(), sweep
+	}
+
+	e1, p1, s1 := run(1)
+	if len(e1) == 0 {
+		t.Fatal("planned crash produced no failed ops")
+	}
+	e4, p4, s4 := run(4)
+	if !reflect.DeepEqual(e1, e4) {
+		t.Errorf("ring crash outcomes diverged across parallelism:\n--- par 1 ---\n%v\n--- par 4 ---\n%v", e1, e4)
+	}
+	if !reflect.DeepEqual(p1, p4) {
+		t.Errorf("recovered ring position maps diverged (%d vs %d entries)", len(p1), len(p4))
+	}
+	if !reflect.DeepEqual(s1, s4) {
+		t.Errorf("recovered ring contents diverged")
 	}
 }

@@ -1,0 +1,88 @@
+package sdimm
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestStopFillTimerDrainsInFlightFire is the stale-fire regression test:
+// when Stop() loses the race with the timer firing, the fire can still be in
+// flight on the runtime's timer goroutine, and a non-blocking drain misses
+// it. The stale value then lands in t.C after the next Reset and is consumed
+// instantly, cutting that fill window short. The hammer loop below races
+// Reset against microsecond fires; after stopFillTimer returns, a re-armed
+// timer must never yield a leftover fire.
+// A missed fire is sticky: the stale value sits in the buffered channel
+// until some receive observes it, so the per-iteration check (or the settle
+// check after the loop) eventually reports any leak from an earlier round.
+func TestStopFillTimerDrainsInFlightFire(t *testing.T) {
+	timer := time.NewTimer(time.Hour)
+	stopFillTimer(timer)
+	iters := 300_000
+	if testing.Short() {
+		iters = 20_000
+	}
+	for i := 0; i < iters; i++ {
+		timer.Reset(time.Microsecond)
+		if i%64 == 0 {
+			runtime.Gosched() // widen the fired-but-undelivered window
+		}
+		stopFillTimer(timer)
+		timer.Reset(time.Hour)
+		select {
+		case <-timer.C:
+			t.Fatalf("iteration %d: stale timer fire leaked past stopFillTimer", i)
+		default:
+		}
+		stopFillTimer(timer)
+	}
+	timer.Reset(time.Hour)
+	time.Sleep(time.Millisecond)
+	select {
+	case <-timer.C:
+		t.Fatal("stale timer fire surfaced after the hammer loop")
+	default:
+	}
+}
+
+// TestPipelineServeFillTimeoutWindowBoundary hammers the streaming front end
+// with burst sizes straddling the window boundary under a microsecond fill
+// timeout, so every fillBuf exit path — full window, timeout fire, and final
+// channel close — races the timer repeatedly. Run under -race in CI; every
+// op must still be answered exactly once.
+func TestPipelineServeFillTimeoutWindowBoundary(t *testing.T) {
+	_, _, in, done := serveCluster(t, nil, PipelineOptions{
+		Window: 4, FillTimeout: 100 * time.Microsecond,
+	})
+	var acks []*AsyncOp
+	addr := uint64(0)
+	for round := 0; round < 60; round++ {
+		n := 3 + round%3 // 3, 4, 5 ops: under, at, and over the window
+		for i := 0; i < n; i++ {
+			a := NewAsyncOp(BatchOp{Addr: addr % 64, Write: true,
+				Data: []byte(fmt.Sprintf("burst-%d", addr))})
+			addr++
+			in <- a
+			acks = append(acks, a)
+		}
+		if round%2 == 0 {
+			// Let the fill timer fire (or race Stop) between bursts.
+			time.Sleep(150 * time.Microsecond)
+		}
+	}
+	close(in)
+	deadline := time.After(30 * time.Second)
+	for i, a := range acks {
+		select {
+		case r := <-a.Done:
+			if r.Err != nil {
+				t.Fatalf("op %d: %v", i, r.Err)
+			}
+		case <-deadline:
+			t.Fatalf("op %d never answered", i)
+		}
+	}
+	done.Wait()
+}

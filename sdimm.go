@@ -36,13 +36,15 @@ import (
 // Protocol selects a memory backend for simulation.
 type Protocol = config.Protocol
 
-// The protocols of the paper's evaluation (Figure 7 plus baselines).
+// The protocols of the paper's evaluation (Figure 7 plus baselines), and
+// Ring — the Independent topology with ring-style deferred eviction.
 const (
 	NonSecure   = config.NonSecure
 	Freecursive = config.Freecursive
 	Independent = config.Independent
 	Split       = config.Split
 	IndepSplit  = config.IndepSplit
+	Ring        = config.Ring
 )
 
 // Config is a complete simulation configuration; DefaultConfig returns the
